@@ -1,0 +1,214 @@
+//! Criterion micro-benchmarks for the hot paths of the reproduction:
+//! overlap-time geometry, R-tree construction and search, and the three
+//! query engines on a fixed small workload.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mobiquery::{NaiveEngine, NpdqEngine, PdqEngine, SnapshotQuery, Trajectory};
+use rtree::bulk::bulk_load;
+use rtree::{NsiSegmentRecord, RTree, RTreeConfig};
+use std::hint::black_box;
+use storage::Pager;
+use stkit::{Interval, MotionSegment, MovingWindow, Rect};
+use workload::{Dataset, DatasetConfig, QueryWorkload, QueryWorkloadConfig};
+
+fn bench_geometry(c: &mut Criterion) {
+    let mut g = c.benchmark_group("geometry");
+    let w = MovingWindow::between(
+        Interval::new(0.0, 10.0),
+        &Rect::from_corners([0.0, 0.0], [8.0, 8.0]),
+        &Rect::from_corners([40.0, 20.0], [48.0, 28.0]),
+    );
+    let target = Rect::from_corners([20.0, 10.0], [24.0, 14.0]);
+    let tspan = Interval::new(2.0, 9.0);
+    g.bench_function("overlap_time_rect", |b| {
+        b.iter(|| black_box(w.overlap_time_rect(black_box(&target), black_box(&tspan))))
+    });
+    let seg = MotionSegment::from_endpoints(Interval::new(0.0, 10.0), [50.0, 30.0], [0.0, 0.0]);
+    g.bench_function("overlap_time_segment", |b| {
+        b.iter(|| black_box(w.overlap_time_segment(black_box(&seg))))
+    });
+    g.bench_function("segment_intersect_query", |b| {
+        b.iter(|| black_box(seg.intersect_query(black_box(&target), black_box(&tspan))))
+    });
+    let traj = Trajectory::linear(
+        Rect::from_corners([0.0, 0.0], [8.0, 8.0]),
+        [4.0, 2.0],
+        Interval::new(0.0, 10.0),
+        8,
+    );
+    g.bench_function("trajectory_overlap_rect_8keys", |b| {
+        b.iter(|| black_box(traj.overlap_rect(black_box(&target), black_box(&tspan))))
+    });
+    g.finish();
+}
+
+fn small_dataset() -> Dataset {
+    Dataset::generate(DatasetConfig {
+        objects: 500,
+        duration: 10.0,
+        space_side: 100.0,
+        seed: 7,
+    })
+}
+
+fn bench_rtree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rtree");
+    g.sample_size(20);
+    let ds = small_dataset();
+    let recs = ds.nsi_records();
+    g.bench_function("bulk_load_5k", |b| {
+        b.iter_batched(
+            || recs.clone(),
+            |r| black_box(bulk_load(Pager::new(), RTreeConfig::default(), r)),
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("insert_5k_time_ordered", |b| {
+        b.iter_batched(
+            || recs.clone(),
+            |rs| {
+                let mut tree: RTree<NsiSegmentRecord<2>, _> =
+                    RTree::new(Pager::new(), RTreeConfig::default());
+                for r in rs {
+                    tree.insert(r, r.seg.t.lo);
+                }
+                black_box(tree.len())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    let tree = ds.build_nsi_tree();
+    let q = SnapshotQuery::at_instant(Rect::from_corners([40.0, 40.0], [48.0, 48.0]), 5.0);
+    g.bench_function("range_search_8x8", |b| {
+        let e = NaiveEngine::new();
+        b.iter(|| black_box(e.query_nsi(&tree, black_box(&q), |_| {})))
+    });
+    g.finish();
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engines");
+    g.sample_size(20);
+    let ds = small_dataset();
+    let nsi = ds.build_nsi_tree();
+    let dta = ds.build_dta_tree();
+    let spec = QueryWorkload::new(QueryWorkloadConfig {
+        count: 1,
+        data_duration: 10.0,
+        ..QueryWorkloadConfig::paper(0.9)
+    })
+    .generate_one(0);
+
+    g.bench_function("pdq_full_dq_51_frames", |b| {
+        b.iter(|| {
+            let mut e = PdqEngine::start(&nsi, spec.trajectory.clone());
+            let mut n = 0;
+            for w in spec.frame_times.windows(2) {
+                n += e.drain_window(&nsi, w[0], w[1]).len();
+            }
+            black_box(n)
+        })
+    });
+    g.bench_function("naive_full_dq_51_frames", |b| {
+        let e = NaiveEngine::new();
+        b.iter(|| {
+            let mut n = 0u64;
+            for q in spec.snapshots() {
+                n += e.query_nsi(&nsi, &q, |_| {}).results;
+            }
+            black_box(n)
+        })
+    });
+    g.bench_function("npdq_full_dq_51_frames", |b| {
+        b.iter(|| {
+            let mut e = NpdqEngine::new();
+            let mut n = 0u64;
+            for (i, _) in spec.frame_times.iter().enumerate() {
+                n += e
+                    .execute(&dta, &spec.open_snapshot(i), f64::INFINITY, |_| {})
+                    .results;
+            }
+            black_box(n)
+        })
+    });
+    g.bench_function("knn_k10", |b| {
+        b.iter(|| {
+            let mut stats = mobiquery::QueryStats::default();
+            black_box(mobiquery::knn_at(
+                &nsi,
+                black_box([50.0, 50.0]),
+                5.0,
+                10,
+                f64::INFINITY,
+                &mut stats,
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_extensions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("extensions");
+    g.sample_size(15);
+    let ds = small_dataset();
+    let nsi = ds.build_nsi_tree();
+    g.bench_function("self_distance_join_d1", |b| {
+        b.iter(|| {
+            let mut n = 0u64;
+            mobiquery::self_distance_join(
+                &nsi,
+                1.0,
+                stkit::Interval::new(0.0, 10.0),
+                |_| n += 1,
+            );
+            black_box(n)
+        })
+    });
+    let mut tpr: rtree::RTree<tprtree::TprRecord, Pager> =
+        rtree::RTree::new(Pager::new(), RTreeConfig::default());
+    for u in ds.updates() {
+        tpr.insert(
+            tprtree::TprRecord::new(u.oid, u.seq, u.seg.t, u.seg.x0, u.seg.v),
+            u.seg.t.lo,
+        );
+    }
+    let spec = QueryWorkload::new(QueryWorkloadConfig {
+        count: 1,
+        data_duration: 10.0,
+        ..QueryWorkloadConfig::paper(0.9)
+    })
+    .generate_one(0);
+    g.bench_function("tpr_full_dq_51_frames", |b| {
+        b.iter(|| {
+            let mut e = tprtree::TprDynamicQuery::start(&tpr, spec.trajectory.clone());
+            let mut n = 0;
+            for w in spec.frame_times.windows(2) {
+                n += e.drain_window(&tpr, w[0], w[1]).len();
+            }
+            black_box(n)
+        })
+    });
+    g.bench_function("quadratic_within_distance", |b| {
+        let a = stkit::MotionSegment::from_endpoints(
+            stkit::Interval::new(0.0, 10.0),
+            [0.0, 0.0],
+            [10.0, 10.0],
+        );
+        let s2 = stkit::MotionSegment::from_endpoints(
+            stkit::Interval::new(0.0, 10.0),
+            [10.0, 0.0],
+            [0.0, 10.0],
+        );
+        b.iter(|| black_box(stkit::within_distance(black_box(&a), black_box(&s2), 1.5)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_geometry,
+    bench_rtree,
+    bench_engines,
+    bench_extensions
+);
+criterion_main!(benches);

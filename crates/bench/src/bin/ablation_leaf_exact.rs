@@ -1,0 +1,61 @@
+//! Ablation: the §3.2 leaf-level exact segment test ON vs OFF.
+//!
+//! "Since the motion is represented as a simple line segment, it is
+//! simple to test its intersection with Q directly … This saves a great
+//! deal of I/O as we no longer have to retrieve motion segments that
+//! don't intersect with the query, even though their BBs do."
+//!
+//! In this reproduction segments live inside leaf pages, so node I/O is
+//! identical either way; what the exact test eliminates is *false
+//! admissions* — objects shipped to the client (and rendered) that were
+//! never actually in the window. The bench quantifies the false-admission
+//! rate the bounding-box test would incur, per overlap level.
+
+use bench::{f2, pct, FigureTable, Scale, PAPER_OVERLAPS};
+use mobiquery::NaiveEngine;
+
+fn main() {
+    let scale = Scale::from_env();
+    let ds = bench::build_dataset(scale);
+    let tree = ds.build_nsi_tree();
+
+    let mut table = FigureTable::new(
+        "ablation_leaf_exact",
+        "Leaf-level exact segment test: false admissions eliminated",
+        &[
+            "overlap",
+            "bbox results/query",
+            "exact results/query",
+            "false admission rate",
+        ],
+    );
+
+    for overlap in PAPER_OVERLAPS {
+        let specs = bench::build_queries(scale, overlap, 8.0);
+        let exact = NaiveEngine::new();
+        let sloppy = NaiveEngine {
+            skip_exact_test: true,
+        };
+        let (mut bbox_results, mut exact_results, mut n) = (0u64, 0u64, 0u64);
+        for spec in &specs {
+            for q in spec.snapshots() {
+                bbox_results += sloppy.query_nsi(&tree, &q, |_| {}).results;
+                exact_results += exact.query_nsi(&tree, &q, |_| {}).results;
+                n += 1;
+            }
+        }
+        let fa = if bbox_results == 0 {
+            0.0
+        } else {
+            1.0 - exact_results as f64 / bbox_results as f64
+        };
+        table.row(vec![
+            pct(overlap),
+            f2(bbox_results as f64 / n as f64),
+            f2(exact_results as f64 / n as f64),
+            format!("{:.1}%", fa * 100.0),
+        ]);
+    }
+    table.print();
+    table.write_json();
+}

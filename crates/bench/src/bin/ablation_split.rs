@@ -1,0 +1,72 @@
+//! Ablation: Guttman linear vs quadratic split policy.
+//!
+//! DESIGN.md calls out the split policy as a design choice; the paper
+//! uses a Guttman R-tree without naming the split. This bench builds the
+//! NSI index by time-ordered insertion under both policies and compares
+//! index quality (naive snapshot-query I/O) and build cost.
+
+use bench::{f2, FigureTable, Scale};
+use mobiquery::NaiveEngine;
+use rtree::{NsiSegmentRecord, RTree, RTreeConfig, SplitPolicy};
+use storage::{PageStore, Pager};
+use workload::QueryWorkload;
+
+fn main() {
+    let scale = Scale::from_env();
+    let ds = bench::build_dataset(scale);
+    let specs = QueryWorkload::new(scale.query_config(0.5, 8.0)).generate();
+
+    let mut table = FigureTable::new(
+        "ablation_split",
+        "Split policy: index quality and build cost",
+        &[
+            "policy",
+            "nodes",
+            "avg leaf fill",
+            "build page writes",
+            "naive disk/query",
+            "naive cpu/query",
+        ],
+    );
+
+    for (name, policy) in [
+        ("linear", SplitPolicy::Linear),
+        ("quadratic", SplitPolicy::Quadratic),
+        ("r-star", SplitPolicy::RStar),
+    ] {
+        let cfg = RTreeConfig {
+            split_policy: policy,
+            ..RTreeConfig::default()
+        };
+        let store = Pager::new();
+        let mut tree: RTree<NsiSegmentRecord<2>, _> = RTree::new(store, cfg);
+        for r in ds.nsi_records() {
+            tree.insert(r, r.seg.t.lo);
+        }
+        let build_io = tree.store().io();
+        let inv = tree.validate().unwrap();
+
+        let engine = NaiveEngine::new();
+        let mut disk = 0u64;
+        let mut cpu = 0u64;
+        let mut n = 0u64;
+        for spec in &specs {
+            for q in spec.snapshots() {
+                let s = engine.query_nsi(&tree, &q, |_| {});
+                disk += s.disk_accesses;
+                cpu += s.distance_computations;
+                n += 1;
+            }
+        }
+        table.row(vec![
+            name.to_string(),
+            inv.nodes.to_string(),
+            f2(inv.avg_leaf_fill()),
+            build_io.writes.to_string(),
+            f2(disk as f64 / n as f64),
+            f2(cpu as f64 / n as f64),
+        ]);
+    }
+    table.print();
+    table.write_json();
+}

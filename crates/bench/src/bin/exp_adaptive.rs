@@ -1,0 +1,105 @@
+//! Experiment: automated PDQ↔NPDQ hand-off (future work (iv)).
+//!
+//! Observers follow piecewise-linear paths that change heading every
+//! `leg` seconds (the paper's "the user changes her motion parameters …
+//! every few seconds"). Three strategies answer the same frame stream:
+//!
+//! * NPDQ-only — every frame through the non-predictive engine;
+//! * oracle PDQ — one PDQ over the *true* trajectory (a lower bound:
+//!   requires knowing the path in advance);
+//! * adaptive — the [`mobiquery::AdaptiveSession`] hand-off policy.
+
+use bench::{f2, FigureTable, Scale};
+use mobiquery::{AdaptiveConfig, AdaptiveSession, NpdqEngine, PdqEngine, Trajectory};
+use workload::QueryWorkload;
+
+fn main() {
+    let scale = Scale::from_env();
+    let ds = bench::build_dataset(scale);
+    let nsi = ds.build_nsi_tree();
+    let dta = ds.build_dta_tree();
+
+    let mut table = FigureTable::new(
+        "exp_adaptive",
+        "PDQ↔NPDQ hand-off on piecewise trajectories (90% overlap legs)",
+        &[
+            "strategy",
+            "disk/frame",
+            "cpu/frame",
+            "mode switches/dq",
+            "objects/dq",
+        ],
+    );
+
+    // Piecewise trajectories: reuse the bouncing generator — its key
+    // snapshots are exactly heading changes.
+    let mut cfg = scale.query_config(0.9, 8.0);
+    cfg.count = cfg.count.min(50);
+    cfg.subsequent_frames = 100; // longer runs so hand-offs can settle
+    let specs = QueryWorkload::new(cfg).generate();
+
+    // --- NPDQ only ---
+    let (mut disk, mut cpu, mut objs, mut frames) = (0u64, 0u64, 0u64, 0u64);
+    for spec in &specs {
+        let mut e = NpdqEngine::new();
+        for (i, _) in spec.frame_times.iter().enumerate() {
+            let s = e.execute(&dta, &spec.open_snapshot(i), f64::INFINITY, |_| {});
+            disk += s.disk_accesses;
+            cpu += s.distance_computations;
+            objs += s.results;
+            frames += 1;
+        }
+    }
+    table.row(vec![
+        "NPDQ only".into(),
+        f2(disk as f64 / frames as f64),
+        f2(cpu as f64 / frames as f64),
+        "0".into(),
+        f2(objs as f64 / specs.len() as f64),
+    ]);
+
+    // --- Oracle PDQ (knows the whole trajectory) ---
+    let (mut disk, mut cpu, mut objs, mut frames) = (0u64, 0u64, 0u64, 0u64);
+    for spec in &specs {
+        let mut e = PdqEngine::start(&nsi, spec.trajectory.clone());
+        for w in spec.frame_times.windows(2) {
+            objs += e.drain_window(&nsi, w[0], w[1]).len() as u64;
+            let s = e.take_stats();
+            disk += s.disk_accesses;
+            cpu += s.distance_computations;
+            frames += 1;
+        }
+    }
+    table.row(vec![
+        "oracle PDQ".into(),
+        f2(disk as f64 / frames as f64),
+        f2(cpu as f64 / frames as f64),
+        "0".into(),
+        f2(objs as f64 / specs.len() as f64),
+    ]);
+
+    // --- Adaptive hand-off ---
+    let (mut disk, mut cpu, mut objs, mut frames, mut switches) = (0u64, 0u64, 0u64, 0u64, 0u64);
+    for spec in &specs {
+        let mut s = AdaptiveSession::new(AdaptiveConfig::default());
+        for &t in &spec.frame_times {
+            let w: Trajectory<2> = spec.trajectory.clone();
+            let f = s.frame(&nsi, &dta, t, &w.window_at(t));
+            disk += f.stats.disk_accesses;
+            cpu += f.stats.distance_computations;
+            objs += f.new_objects.len() as u64;
+            frames += 1;
+        }
+        switches += s.mode_switches() as u64;
+    }
+    table.row(vec![
+        "adaptive".into(),
+        f2(disk as f64 / frames as f64),
+        f2(cpu as f64 / frames as f64),
+        f2(switches as f64 / specs.len() as f64),
+        f2(objs as f64 / specs.len() as f64),
+    ]);
+
+    table.print();
+    table.write_json();
+}

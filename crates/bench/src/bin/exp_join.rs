@@ -1,0 +1,84 @@
+//! Experiment: spatio-temporal distance self-join (future work (ii)).
+//!
+//! "Which pairs of objects pass within δ of each other?" over increasing
+//! δ, comparing the dual-tree join against quadratic brute force on the
+//! workload data (both produce identical pairs; the table shows the
+//! pruning factor).
+
+use bench::{f2, FigureTable, Scale};
+use mobiquery::self_distance_join;
+use stkit::{within_distance, Interval};
+use workload::{Dataset, DatasetConfig};
+
+fn main() {
+    let scale = Scale::from_env();
+    // The join is quadratic-ish in density; use a slice of the data set.
+    let base = scale.dataset_config();
+    let ds = Dataset::generate(DatasetConfig {
+        objects: base.objects.min(1000),
+        duration: base.duration.min(10.0),
+        ..base
+    });
+    eprintln!("# join dataset: {} segments", ds.segment_count());
+    let tree = ds.build_nsi_tree();
+    let window = Interval::new(0.0, base.duration.min(10.0));
+
+    let mut table = FigureTable::new(
+        "exp_join",
+        "Distance self-join: dual-tree vs brute force",
+        &[
+            "delta",
+            "pairs",
+            "join cpu (cmp)",
+            "brute cpu (cmp)",
+            "pruning factor",
+            "join disk",
+        ],
+    );
+
+    let updates = ds.updates();
+    for delta in [0.25, 0.5, 1.0, 2.0] {
+        let mut pairs = std::collections::BTreeSet::new();
+        let stats = self_distance_join(&tree, delta, window, |p| {
+            pairs.insert((
+                p.a.oid.min(p.b.oid),
+                p.a.oid.max(p.b.oid),
+                p.a.seq,
+                p.b.seq,
+            ));
+        });
+        // Brute force count of pair comparisons (n²/2 segment pairs).
+        let mut brute_pairs = std::collections::BTreeSet::new();
+        let mut brute_cmp = 0u64;
+        for (i, a) in updates.iter().enumerate() {
+            for b in &updates[i + 1..] {
+                if a.oid == b.oid {
+                    continue;
+                }
+                brute_cmp += 1;
+                if !within_distance(&a.seg, &b.seg, delta)
+                    .intersect_interval(&window)
+                    .is_empty()
+                {
+                    brute_pairs.insert((
+                        a.oid.min(b.oid),
+                        a.oid.max(b.oid),
+                        if a.oid < b.oid { a.seq } else { b.seq },
+                        if a.oid < b.oid { b.seq } else { a.seq },
+                    ));
+                }
+            }
+        }
+        assert_eq!(pairs, brute_pairs, "join must match brute force");
+        table.row(vec![
+            f2(delta),
+            pairs.len().to_string(),
+            stats.distance_computations.to_string(),
+            brute_cmp.to_string(),
+            f2(brute_cmp as f64 / stats.distance_computations.max(1) as f64),
+            stats.disk_accesses.to_string(),
+        ]);
+    }
+    table.print();
+    table.write_json();
+}

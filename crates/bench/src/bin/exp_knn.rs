@@ -1,0 +1,59 @@
+//! Experiment: moving-query-point kNN (the paper's future work (i)).
+//!
+//! Compares per-instant fresh best-first kNN searches against the
+//! bound-reusing [`mobiquery::MovingKnn`], over observer trajectories of
+//! different speeds — the same overlap axis as the range-query figures.
+
+use bench::{f2, pct, FigureTable, Scale, PAPER_OVERLAPS};
+use mobiquery::{knn_at, MovingKnn, QueryStats};
+use workload::QueryWorkload;
+
+fn main() {
+    let scale = Scale::from_env();
+    let ds = bench::build_dataset(scale);
+    let tree = ds.build_nsi_tree();
+    let k = 10;
+    // Objects move at ≈1 unit/tu; 2.0 is a safe speed bound for the
+    // MovingKnn bound-transfer.
+    let max_speed = 2.0;
+
+    let mut table = FigureTable::new(
+        "exp_knn",
+        "Moving kNN (k=10): fresh searches vs bound reuse",
+        &[
+            "overlap",
+            "fresh cpu/query",
+            "reuse cpu/query",
+            "fresh disk/query",
+            "reuse disk/query",
+        ],
+    );
+
+    for overlap in PAPER_OVERLAPS {
+        let mut cfg = scale.query_config(overlap, 8.0);
+        cfg.count = cfg.count.min(50);
+        let specs = QueryWorkload::new(cfg).generate();
+        let mut fresh = QueryStats::default();
+        let mut reuse = QueryStats::default();
+        let mut frames = 0u64;
+        for spec in &specs {
+            let mut mov = MovingKnn::new(k, max_speed);
+            for &t in &spec.frame_times {
+                let w = spec.trajectory.window_at(t);
+                let p = w.center();
+                let _ = knn_at(&tree, p, t, k, f64::INFINITY, &mut fresh);
+                let _ = mov.query(&tree, t, p, &mut reuse);
+                frames += 1;
+            }
+        }
+        table.row(vec![
+            pct(overlap),
+            f2(fresh.distance_computations as f64 / frames as f64),
+            f2(reuse.distance_computations as f64 / frames as f64),
+            f2(fresh.disk_accesses as f64 / frames as f64),
+            f2(reuse.disk_accesses as f64 / frames as f64),
+        ]);
+    }
+    table.print();
+    table.write_json();
+}

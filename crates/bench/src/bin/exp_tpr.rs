@@ -1,0 +1,88 @@
+//! Experiment: dynamic queries over the TPR-tree (future work (iii)).
+//!
+//! The TPR-tree indexes one *current motion* per object (the latest
+//! update, assumed valid until the next), so it answers now-and-future
+//! dynamic queries with one entry per object instead of one per
+//! historical segment. This sweep runs the same dynamic-query
+//! trajectories against:
+//!
+//! * the NSI segment index + PDQ (the paper's main algorithm), and
+//! * the TPR-tree + the TPR dynamic-query engine,
+//!
+//! comparing per-frame I/O and CPU. Result sets differ by design (NSI
+//! sees full history; TPR sees the currently-known motions), so the
+//! table also reports objects delivered.
+
+use bench::{f2, pct, FigureTable, Scale, PAPER_OVERLAPS};
+use mobiquery::PdqEngine;
+use rtree::{RTree, RTreeConfig};
+use storage::Pager;
+use tprtree::{TprDynamicQuery, TprRecord};
+use workload::QueryWorkload;
+
+fn main() {
+    let scale = Scale::from_env();
+    let ds = bench::build_dataset(scale);
+    let nsi = ds.build_nsi_tree();
+
+    // TPR-tree state at each object's *latest* update before the query
+    // span; for simplicity index every update as a motion valid until the
+    // object's next update (known from the trace) — the "historical
+    // TPR" variant that supports queries anywhere in the data window.
+    let mut tpr: RTree<TprRecord, Pager> = RTree::new(Pager::new(), RTreeConfig::default());
+    for u in ds.updates() {
+        tpr.insert(
+            TprRecord::new(u.oid, u.seq, u.seg.t, u.seg.x0, u.seg.v),
+            u.seg.t.lo,
+        );
+    }
+
+    let mut table = FigureTable::new(
+        "exp_tpr",
+        "Dynamic queries: NSI+PDQ vs TPR-tree engine (8×8 window)",
+        &[
+            "overlap",
+            "PDQ disk/frame",
+            "TPR disk/frame",
+            "PDQ cpu/frame",
+            "TPR cpu/frame",
+            "PDQ objs/dq",
+            "TPR objs/dq",
+        ],
+    );
+
+    for overlap in PAPER_OVERLAPS {
+        let mut cfg = scale.query_config(overlap, 8.0);
+        cfg.count = cfg.count.min(100);
+        let specs = QueryWorkload::new(cfg).generate();
+        let (mut pd, mut td, mut pc, mut tc, mut po, mut to, mut frames) =
+            (0u64, 0u64, 0u64, 0u64, 0u64, 0u64, 0u64);
+        for spec in &specs {
+            let mut pdq = PdqEngine::start(&nsi, spec.trajectory.clone());
+            let mut tdq = TprDynamicQuery::start(&tpr, spec.trajectory.clone());
+            for w in spec.frame_times.windows(2) {
+                po += pdq.drain_window(&nsi, w[0], w[1]).len() as u64;
+                to += tdq.drain_window(&tpr, w[0], w[1]).len() as u64;
+                let ps = pdq.take_stats();
+                let ts = tdq.take_stats();
+                pd += ps.disk_accesses;
+                td += ts.disk_accesses;
+                pc += ps.distance_computations;
+                tc += ts.distance_computations;
+                frames += 1;
+            }
+        }
+        let n = specs.len() as f64;
+        table.row(vec![
+            pct(overlap),
+            f2(pd as f64 / frames as f64),
+            f2(td as f64 / frames as f64),
+            f2(pc as f64 / frames as f64),
+            f2(tc as f64 / frames as f64),
+            f2(po as f64 / n),
+            f2(to as f64 / n),
+        ]);
+    }
+    table.print();
+    table.write_json();
+}

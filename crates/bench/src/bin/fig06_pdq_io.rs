@@ -1,0 +1,13 @@
+//! Reproduces **Fig. 6** — I/O performance of PDQ: disk accesses per
+//! query (leaf/total) for the first and subsequent snapshot queries,
+//! naive baseline vs PDQ, across the paper's overlap levels (8×8 window).
+use bench::figures::{emit, overlap_figure, Algo, Metric};
+
+fn main() {
+    emit(overlap_figure(
+        "fig06",
+        "I/O performance of PDQ (disk accesses/query, leaf/total)",
+        Algo::Pdq,
+        Metric::Io,
+    ));
+}

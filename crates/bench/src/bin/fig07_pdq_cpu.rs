@@ -1,0 +1,12 @@
+//! Reproduces **Fig. 7** — CPU performance of PDQ: distance computations
+//! per query for first and subsequent snapshots, naive vs PDQ.
+use bench::figures::{emit, overlap_figure, Algo, Metric};
+
+fn main() {
+    emit(overlap_figure(
+        "fig07",
+        "CPU performance of PDQ (distance computations/query)",
+        Algo::Pdq,
+        Metric::Cpu,
+    ));
+}

@@ -1,0 +1,12 @@
+//! Reproduces **Fig. 8** — impact of query size on the I/O performance of
+//! subsequent queries (PDQ): 8×8 / 14×14 / 20×20 windows.
+use bench::figures::{emit, size_figure, Algo, Metric};
+
+fn main() {
+    emit(size_figure(
+        "fig08",
+        "Impact of query size on I/O of subsequent queries (PDQ)",
+        Algo::Pdq,
+        Metric::Io,
+    ));
+}

@@ -1,0 +1,12 @@
+//! Reproduces **Fig. 9** — impact of query size on the CPU performance of
+//! subsequent queries (PDQ).
+use bench::figures::{emit, size_figure, Algo, Metric};
+
+fn main() {
+    emit(size_figure(
+        "fig09",
+        "Impact of query size on CPU of subsequent queries (PDQ)",
+        Algo::Pdq,
+        Metric::Cpu,
+    ));
+}

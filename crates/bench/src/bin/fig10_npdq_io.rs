@@ -1,0 +1,12 @@
+//! Reproduces **Fig. 10** — I/O performance of NPDQ over the
+//! double-temporal-axes index: naive vs NPDQ, first vs subsequent.
+use bench::figures::{emit, overlap_figure, Algo, Metric};
+
+fn main() {
+    emit(overlap_figure(
+        "fig10",
+        "I/O performance of NPDQ (disk accesses/query, leaf/total)",
+        Algo::Npdq,
+        Metric::Io,
+    ));
+}

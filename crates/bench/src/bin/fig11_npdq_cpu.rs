@@ -1,0 +1,11 @@
+//! Reproduces **Fig. 11** — CPU performance of NPDQ.
+use bench::figures::{emit, overlap_figure, Algo, Metric};
+
+fn main() {
+    emit(overlap_figure(
+        "fig11",
+        "CPU performance of NPDQ (distance computations/query)",
+        Algo::Npdq,
+        Metric::Cpu,
+    ));
+}

@@ -1,0 +1,12 @@
+//! Reproduces **Fig. 12** — impact of query size on the I/O performance
+//! of subsequent queries (NPDQ).
+use bench::figures::{emit, size_figure, Algo, Metric};
+
+fn main() {
+    emit(size_figure(
+        "fig12",
+        "Impact of query size on I/O of subsequent queries (NPDQ)",
+        Algo::Npdq,
+        Metric::Io,
+    ));
+}

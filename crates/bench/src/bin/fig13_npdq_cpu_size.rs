@@ -1,0 +1,12 @@
+//! Reproduces **Fig. 13** — impact of query range on the CPU performance
+//! of subsequent queries (NPDQ).
+use bench::figures::{emit, size_figure, Algo, Metric};
+
+fn main() {
+    emit(size_figure(
+        "fig13",
+        "Impact of query range on CPU of subsequent queries (NPDQ)",
+        Algo::Npdq,
+        Metric::Cpu,
+    ));
+}

@@ -1,0 +1,76 @@
+//! Verify the §5 "Data and Index Buildup" paragraph: segment count, page
+//! size, fanout, fill factor and tree height of the built indexes.
+//!
+//! Paper: "5000 objects … 502,504 linear motion segments … Page size is
+//! 4KB with a 0.5 fill factor for both internal and leaf nodes. Fanout
+//! is 145 and 127 for internal- and leaf-level nodes respectively; tree
+//! height is 3."
+
+use bench::{f2, FigureTable, Scale};
+use storage::PageStore;
+
+fn main() {
+    let scale = Scale::from_env();
+    let ds = bench::build_dataset(scale);
+
+    let mut table = FigureTable::new(
+        "inspect_index",
+        "Index buildup vs the paper's §5 parameters",
+        &[
+            "index",
+            "records",
+            "height",
+            "leaf fanout",
+            "internal fanout",
+            "avg leaf fill",
+            "fill factor",
+            "pages",
+        ],
+    );
+
+    let nsi = ds.build_nsi_tree();
+    let inv = nsi.validate().expect("NSI tree invariants");
+    table.row(vec![
+        "NSI (insert, time order)".into(),
+        inv.records.to_string(),
+        inv.height.to_string(),
+        nsi.leaf_capacity().to_string(),
+        nsi.internal_capacity().to_string(),
+        f2(inv.avg_leaf_fill()),
+        f2(inv.avg_leaf_fill() / nsi.leaf_capacity() as f64),
+        inv.nodes.to_string(),
+    ]);
+
+    let dta = ds.build_dta_tree();
+    let inv = dta.validate().expect("DTA tree invariants");
+    table.row(vec![
+        "DTA (STR spatial, 0.5 fill)".into(),
+        inv.records.to_string(),
+        inv.height.to_string(),
+        dta.leaf_capacity().to_string(),
+        dta.internal_capacity().to_string(),
+        f2(inv.avg_leaf_fill()),
+        f2(inv.avg_leaf_fill() / dta.leaf_capacity() as f64),
+        inv.nodes.to_string(),
+    ]);
+
+    let bulk = ds.build_nsi_tree_bulk();
+    let inv = bulk.validate().expect("bulk NSI tree invariants");
+    table.row(vec![
+        "NSI (STR balanced, 0.5 fill)".into(),
+        inv.records.to_string(),
+        inv.height.to_string(),
+        bulk.leaf_capacity().to_string(),
+        bulk.internal_capacity().to_string(),
+        f2(inv.avg_leaf_fill()),
+        f2(inv.avg_leaf_fill() / bulk.leaf_capacity() as f64),
+        inv.nodes.to_string(),
+    ]);
+
+    table.print();
+    table.write_json();
+    eprintln!(
+        "# paper targets: 502504 segments, height 3, fanout 145/127, fill 0.5, page {} B",
+        nsi.store().page_size()
+    );
+}

@@ -1,0 +1,218 @@
+//! Shared harness utilities for the figure-reproduction binaries.
+//!
+//! Every binary in `src/bin/` regenerates one figure of the paper's §5:
+//! it builds the data set, sweeps the figure's x-axis (overlap level or
+//! window size), runs the relevant engines, prints the table the figure
+//! plots, and writes a machine-readable JSON next to it under
+//! `target/figures/`.
+//!
+//! Scale is controlled by environment variables so `cargo bench` stays
+//! fast while the full paper-scale run remains one command away:
+//!
+//! * `DQ_SCALE=paper|quick` — data-set size (default `quick`).
+//! * `DQ_TRAJECTORIES=N` — dynamic queries per point (default 100;
+//!   paper: 1000).
+
+use serde::Serialize;
+use std::io::Write as _;
+use workload::{Dataset, DatasetConfig, QueryWorkload, QueryWorkloadConfig};
+
+/// Experiment scale resolved from the environment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Down-scaled data set for quick runs (default).
+    Quick,
+    /// The paper's full configuration (≈ 502 k segments, 1000
+    /// trajectories per point unless overridden).
+    Paper,
+}
+
+impl Scale {
+    /// Read `DQ_SCALE` (default: quick).
+    pub fn from_env() -> Scale {
+        match std::env::var("DQ_SCALE").as_deref() {
+            Ok("paper") => Scale::Paper,
+            _ => Scale::Quick,
+        }
+    }
+
+    /// The data-set configuration for this scale.
+    pub fn dataset_config(self) -> DatasetConfig {
+        match self {
+            Scale::Paper => DatasetConfig::paper(),
+            Scale::Quick => DatasetConfig {
+                objects: 2000,
+                duration: 30.0,
+                ..DatasetConfig::quick()
+            },
+        }
+    }
+
+    /// Dynamic queries per experiment point (`DQ_TRAJECTORIES` override).
+    pub fn trajectories(self) -> usize {
+        if let Ok(v) = std::env::var("DQ_TRAJECTORIES") {
+            if let Ok(n) = v.parse() {
+                return n;
+            }
+        }
+        match self {
+            Scale::Paper => 1000,
+            Scale::Quick => 100,
+        }
+    }
+
+    /// Query-workload config for one overlap level at this scale.
+    pub fn query_config(self, overlap: f64, window_side: f64) -> QueryWorkloadConfig {
+        let ds = self.dataset_config();
+        QueryWorkloadConfig {
+            window_side,
+            count: self.trajectories(),
+            data_duration: ds.duration,
+            space_side: ds.space_side,
+            ..QueryWorkloadConfig::paper(overlap)
+        }
+    }
+}
+
+/// Build (and report) the data set for the resolved scale.
+pub fn build_dataset(scale: Scale) -> Dataset {
+    let cfg = scale.dataset_config();
+    eprintln!(
+        "# dataset: {} objects × {} time units (seed {:#x})",
+        cfg.objects, cfg.duration, cfg.seed
+    );
+    let ds = Dataset::generate(cfg);
+    eprintln!("# segments: {}", ds.segment_count());
+    ds
+}
+
+/// Generate the dynamic queries for one experiment point.
+pub fn build_queries(
+    scale: Scale,
+    overlap: f64,
+    window_side: f64,
+) -> Vec<workload::DynamicQuerySpec> {
+    QueryWorkload::new(scale.query_config(overlap, window_side)).generate()
+}
+
+/// The paper's overlap levels and window sizes, re-exported for binaries.
+pub use workload::queries::{PAPER_OVERLAPS, PAPER_WINDOW_SIDES};
+
+/// A printable results table (one per figure).
+#[derive(Debug, Serialize)]
+pub struct FigureTable {
+    /// Figure identifier, e.g. `"fig06"`.
+    pub figure: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows (first cell is the row label).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl FigureTable {
+    /// Create a table with headers.
+    pub fn new(figure: &str, title: &str, columns: &[&str]) -> Self {
+        FigureTable {
+            figure: figure.to_string(),
+            title: title.to_string(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Print as an aligned text table to stdout.
+    pub fn print(&self) {
+        println!("\n== {} — {} ==", self.figure, self.title);
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let print_row = |cells: &[String]| {
+            let line: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:>width$}", width = widths[i]))
+                .collect();
+            println!("{}", line.join("  "));
+        };
+        print_row(&self.columns);
+        println!(
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+        );
+        for row in &self.rows {
+            print_row(row);
+        }
+    }
+
+    /// Write the table as JSON under `target/figures/<figure>.json`.
+    pub fn write_json(&self) {
+        let dir = std::path::Path::new("target/figures");
+        if std::fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        let path = dir.join(format!("{}.json", self.figure));
+        if let Ok(mut f) = std::fs::File::create(&path) {
+            let _ = writeln!(f, "{}", serde_json::to_string_pretty(self).unwrap());
+            eprintln!("# wrote {}", path.display());
+        }
+    }
+}
+
+/// Format a float with two decimals for table cells.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Format an overlap level like the paper ("99.99%").
+pub fn pct(overlap: f64) -> String {
+    if (overlap - 0.9999).abs() < 1e-12 {
+        "99.99%".to_string()
+    } else {
+        format!("{:.0}%", overlap * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(pct(0.0), "0%");
+        assert_eq!(pct(0.25), "25%");
+        assert_eq!(pct(0.9999), "99.99%");
+    }
+
+    #[test]
+    fn table_rejects_bad_rows() {
+        let mut t = FigureTable::new("figX", "test", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.rows.len(), 1);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            t.row(vec!["only-one".into()])
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn scale_defaults() {
+        let q = Scale::Quick;
+        assert!(q.dataset_config().objects < DatasetConfig::paper().objects);
+        let cfg = q.query_config(0.5, 8.0);
+        assert_eq!(cfg.overlap, 0.5);
+        assert_eq!(cfg.window_side, 8.0);
+        assert_eq!(cfg.data_duration, q.dataset_config().duration);
+    }
+}
+pub mod figures;

@@ -1,0 +1,190 @@
+//! Continuous aggregation over dynamic queries — future work (ii).
+//!
+//! A PDQ already returns each visible object once, with its exact
+//! visibility time set. That is sufficient to answer *continuous
+//! aggregate* queries — "how many objects are in view, as a function of
+//! time?" — without any further index access: sweep the visibility
+//! endpoints. [`CountProfile`] is the resulting step function.
+
+use crate::pdq::PdqResult;
+use stkit::{Interval, TimeSet};
+
+/// A piecewise-constant count over time (right-open steps).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CountProfile {
+    /// Breakpoints `(t, count)`: the count holds from this `t` until the
+    /// next breakpoint. Sorted by `t`.
+    steps: Vec<(f64, u32)>,
+}
+
+impl CountProfile {
+    /// Build the profile from visibility time sets (a sweep over their
+    /// interval endpoints).
+    pub fn from_visibilities<'a>(vis: impl IntoIterator<Item = &'a TimeSet>) -> Self {
+        // +1 at every interval start, −1 after every end.
+        let mut events: Vec<(f64, i32)> = Vec::new();
+        for ts in vis {
+            for iv in ts.intervals() {
+                events.push((iv.lo, 1));
+                events.push((iv.hi, -1));
+            }
+        }
+        // Starts before ends at the same instant (closed intervals).
+        events.sort_by(|a, b| a.0.total_cmp(&b.0).then(b.1.cmp(&a.1)));
+        let mut steps: Vec<(f64, u32)> = Vec::new();
+        let mut count = 0i32;
+        for (t, d) in events {
+            count += d;
+            let c = count.max(0) as u32;
+            // Right-continuous convention: at coincident event times the
+            // final value wins (the instant itself is measure zero).
+            match steps.last_mut() {
+                Some(&mut (lt, ref mut lc)) if lt == t => *lc = c,
+                Some(&mut (_, lc)) if lc == c => {}
+                _ => steps.push((t, c)),
+            }
+        }
+        CountProfile { steps }
+    }
+
+    /// Build directly from PDQ results.
+    pub fn from_results<const D: usize>(results: &[PdqResult<D>]) -> Self {
+        Self::from_visibilities(results.iter().map(|r| &r.visibility))
+    }
+
+    /// The count at instant `t` (0 before the first breakpoint).
+    pub fn count_at(&self, t: f64) -> u32 {
+        match self.steps.partition_point(|&(bt, _)| bt <= t) {
+            0 => 0,
+            i => self.steps[i - 1].1,
+        }
+    }
+
+    /// Maximum count over the whole profile.
+    pub fn max_count(&self) -> u32 {
+        self.steps.iter().map(|&(_, c)| c).max().unwrap_or(0)
+    }
+
+    /// Time-weighted average count over `window`.
+    pub fn mean_over(&self, window: Interval) -> f64 {
+        if window.is_empty() || window.length() == 0.0 {
+            return self.count_at(window.lo) as f64;
+        }
+        let mut acc = 0.0;
+        let mut t = window.lo;
+        let mut i = self.steps.partition_point(|&(bt, _)| bt <= window.lo);
+        let mut current = if i == 0 { 0 } else { self.steps[i - 1].1 };
+        while t < window.hi {
+            let next = if i < self.steps.len() {
+                self.steps[i].0.min(window.hi)
+            } else {
+                window.hi
+            };
+            acc += current as f64 * (next - t);
+            t = next;
+            if i < self.steps.len() && self.steps[i].0 <= t {
+                current = self.steps[i].1;
+                i += 1;
+            }
+        }
+        acc / window.length()
+    }
+
+    /// The breakpoints (inspection/plotting).
+    pub fn steps(&self) -> &[(f64, u32)] {
+        &self.steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(ivs: &[(f64, f64)]) -> TimeSet {
+        TimeSet::from_intervals(ivs.iter().map(|&(a, b)| Interval::new(a, b)))
+    }
+
+    #[test]
+    fn single_object_profile() {
+        let v = [ts(&[(1.0, 3.0)])];
+        let p = CountProfile::from_visibilities(v.iter());
+        assert_eq!(p.count_at(0.5), 0);
+        assert_eq!(p.count_at(1.0), 1);
+        assert_eq!(p.count_at(2.9), 1);
+        assert_eq!(p.count_at(3.5), 0);
+        assert_eq!(p.max_count(), 1);
+    }
+
+    #[test]
+    fn overlapping_objects_stack() {
+        let v = [ts(&[(0.0, 4.0)]), ts(&[(2.0, 6.0)]), ts(&[(3.0, 3.5)])];
+        let p = CountProfile::from_visibilities(v.iter());
+        assert_eq!(p.count_at(1.0), 1);
+        assert_eq!(p.count_at(2.5), 2);
+        assert_eq!(p.count_at(3.2), 3);
+        assert_eq!(p.count_at(5.0), 1);
+        assert_eq!(p.count_at(7.0), 0);
+        assert_eq!(p.max_count(), 3);
+    }
+
+    #[test]
+    fn disconnected_visibility() {
+        let v = [ts(&[(0.0, 1.0), (5.0, 6.0)])];
+        let p = CountProfile::from_visibilities(v.iter());
+        assert_eq!(p.count_at(0.5), 1);
+        assert_eq!(p.count_at(3.0), 0);
+        assert_eq!(p.count_at(5.5), 1);
+    }
+
+    #[test]
+    fn mean_over_window() {
+        // One object for [0, 2], two for [2, 4] ⇒ mean over [0, 4] = 1.5.
+        let v = [ts(&[(0.0, 4.0)]), ts(&[(2.0, 4.0)])];
+        let p = CountProfile::from_visibilities(v.iter());
+        let m = p.mean_over(Interval::new(0.0, 4.0));
+        assert!((m - 1.5).abs() < 1e-9, "{m}");
+        assert_eq!(p.mean_over(Interval::new(5.0, 6.0)), 0.0);
+    }
+
+    #[test]
+    fn empty_profile() {
+        let p = CountProfile::from_visibilities(std::iter::empty());
+        assert_eq!(p.count_at(0.0), 0);
+        assert_eq!(p.max_count(), 0);
+        assert_eq!(p.mean_over(Interval::new(0.0, 1.0)), 0.0);
+    }
+
+    #[test]
+    fn profile_matches_pdq_frame_counts() {
+        // End-to-end: profile from PDQ visibilities equals per-frame
+        // naive counts.
+        use crate::{NaiveEngine, PdqEngine, Trajectory};
+        use rtree::bulk::bulk_load;
+        use rtree::{NsiSegmentRecord, RTreeConfig};
+        use storage::Pager;
+        use stkit::Rect;
+        let recs: Vec<NsiSegmentRecord<2>> = (0..50)
+            .map(|i| {
+                let x = i as f64 + 0.5;
+                NsiSegmentRecord::new(i, 0, Interval::new(0.0, 100.0), [x, 0.5], [x, 0.5])
+            })
+            .collect();
+        let tree = bulk_load(Pager::new(), RTreeConfig::default(), recs);
+        let traj = Trajectory::linear(
+            Rect::from_corners([0.0, 0.0], [5.0, 1.0]),
+            [1.0, 0.0],
+            Interval::new(0.0, 20.0),
+            2,
+        );
+        let mut pdq = PdqEngine::start(&tree, traj.clone());
+        let results = pdq.drain_window(&tree, 0.0, 20.0);
+        let profile = CountProfile::from_results(&results);
+        let naive = NaiveEngine::new();
+        for k in 0..40 {
+            let t = 0.25 + k as f64 * 0.5;
+            let mut n = 0;
+            naive.query_nsi(&tree, &traj.snapshot_at(t), |_| n += 1);
+            assert_eq!(profile.count_at(t), n, "t={t}");
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! The client-side cache keyed on disappearance time (§4.1).
+//!
+//! "Along with each object returned, the database will inform the
+//! application about how long that object will stay in the view … it is
+//! easy (at the client) to maintain objects keyed on their 'disappearance
+//! time', discarding them from the cache at that time."
+//!
+//! [`ClientCache`] holds each delivered object with its visibility time
+//! set. Advancing the clock evicts objects whose last visibility interval
+//! has passed; the currently-visible set is what a renderer would draw.
+
+use std::collections::HashMap;
+use stkit::TimeSet;
+
+/// One cached object.
+#[derive(Clone, Debug)]
+struct CacheEntry<V> {
+    value: V,
+    visibility: TimeSet,
+    disappearance: f64,
+}
+
+/// A renderer-side object cache keyed on disappearance time.
+///
+/// `V` is whatever payload the application keeps per object (geometry,
+/// the motion record, …). Keys are object ids.
+#[derive(Clone, Debug, Default)]
+pub struct ClientCache<V> {
+    entries: HashMap<u32, CacheEntry<V>>,
+    clock: f64,
+    evicted_total: u64,
+}
+
+impl<V> ClientCache<V> {
+    /// An empty cache at clock 0.
+    pub fn new() -> Self {
+        ClientCache {
+            entries: HashMap::new(),
+            clock: 0.0,
+            evicted_total: 0,
+        }
+    }
+
+    /// Current clock.
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// Number of resident objects.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True iff nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total objects evicted so far.
+    pub fn evicted_total(&self) -> u64 {
+        self.evicted_total
+    }
+
+    /// Store a delivered object with its visibility set. An object
+    /// delivered again (e.g. a later motion segment of the same object)
+    /// replaces the previous entry, merging visibility.
+    pub fn insert(&mut self, oid: u32, value: V, visibility: TimeSet) {
+        if visibility.is_empty() {
+            return;
+        }
+        let disappearance = visibility.end().expect("non-empty");
+        match self.entries.get_mut(&oid) {
+            Some(e) => {
+                e.value = value;
+                e.visibility = e.visibility.union(&visibility);
+                e.disappearance = e.disappearance.max(disappearance);
+            }
+            None => {
+                self.entries.insert(
+                    oid,
+                    CacheEntry {
+                        value,
+                        visibility,
+                        disappearance,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Advance the clock to `t`, evicting every object whose
+    /// disappearance time has passed. Returns the number evicted.
+    pub fn advance(&mut self, t: f64) -> usize {
+        debug_assert!(t >= self.clock, "clock must be monotone");
+        self.clock = t;
+        let before = self.entries.len();
+        self.entries.retain(|_, e| e.disappearance >= t);
+        let evicted = before - self.entries.len();
+        self.evicted_total += evicted as u64;
+        evicted
+    }
+
+    /// Objects visible *right now* (at the current clock): resident and
+    /// with a visibility interval covering the clock.
+    pub fn visible_now(&self) -> impl Iterator<Item = (u32, &V)> {
+        let t = self.clock;
+        self.entries
+            .iter()
+            .filter(move |(_, e)| e.visibility.contains(t))
+            .map(|(oid, e)| (*oid, &e.value))
+    }
+
+    /// All resident objects (visible now or scheduled to reappear).
+    pub fn resident(&self) -> impl Iterator<Item = (u32, &V)> {
+        self.entries.iter().map(|(oid, e)| (*oid, &e.value))
+    }
+
+    /// Look up one object.
+    pub fn get(&self, oid: u32) -> Option<&V> {
+        self.entries.get(&oid).map(|e| &e.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stkit::Interval;
+
+    fn ts(ivs: &[(f64, f64)]) -> TimeSet {
+        TimeSet::from_intervals(ivs.iter().map(|&(a, b)| Interval::new(a, b)))
+    }
+
+    #[test]
+    fn eviction_at_disappearance_time() {
+        let mut c = ClientCache::new();
+        c.insert(1, "a", ts(&[(0.0, 5.0)]));
+        c.insert(2, "b", ts(&[(0.0, 9.0)]));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.advance(5.0), 0, "5.0 is still within visibility");
+        assert_eq!(c.advance(5.1), 1);
+        assert_eq!(c.len(), 1);
+        assert!(c.get(1).is_none());
+        assert_eq!(c.get(2), Some(&"b"));
+        assert_eq!(c.evicted_total(), 1);
+    }
+
+    #[test]
+    fn visible_now_respects_gaps() {
+        let mut c = ClientCache::new();
+        // Object visible [0,2] and again [8,10] (window passes it twice).
+        c.insert(7, "x", ts(&[(0.0, 2.0), (8.0, 10.0)]));
+        c.advance(1.0);
+        assert_eq!(c.visible_now().count(), 1);
+        c.advance(5.0);
+        // Not visible in the gap, but still resident (it will reappear).
+        assert_eq!(c.visible_now().count(), 0);
+        assert_eq!(c.resident().count(), 1);
+        c.advance(9.0);
+        assert_eq!(c.visible_now().count(), 1);
+        c.advance(10.5);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn reinsertion_merges_visibility() {
+        let mut c = ClientCache::new();
+        c.insert(1, 10, ts(&[(0.0, 2.0)]));
+        c.insert(1, 20, ts(&[(5.0, 7.0)]));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(1), Some(&20));
+        c.advance(3.0);
+        assert_eq!(c.len(), 1, "merged disappearance is 7.0");
+        c.advance(7.5);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn empty_visibility_ignored() {
+        let mut c: ClientCache<()> = ClientCache::new();
+        c.insert(1, (), TimeSet::empty());
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,477 @@
+//! k-nearest-neighbour search for a (moving) query point — the paper's
+//! future-work extension (i), after Song & Roussopoulos' moving-query-
+//! point kNN (§6).
+//!
+//! [`knn_at`] is a classic best-first kNN (Hjaltason–Samet style, the
+//! same priority-queue machinery §4.1 builds on) restricted to motion
+//! segments valid at the query instant. [`MovingKnn`] evaluates a
+//! sequence of instants, seeding each search with the previous answer's
+//! distance bound: when the query point moves by `δ`, the previous k-th
+//! distance plus `δ` plus the maximum object displacement bounds the new
+//! k-th distance, letting the search prune aggressively — the same
+//! result-reuse idea the paper applies to range queries.
+
+use crate::stats::QueryStats;
+use rtree::{NodeEntries, NsiSegmentRecord, RTree};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use storage::{PageId, PageStore};
+
+/// One kNN answer: a record and its squared distance at the query instant.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KnnResult<const D: usize> {
+    /// The motion-segment record.
+    pub record: NsiSegmentRecord<D>,
+    /// Squared distance to the query point at the query instant.
+    pub dist_sq: f64,
+}
+
+enum Frontier<const D: usize> {
+    Node(PageId),
+    Object(NsiSegmentRecord<D>),
+}
+
+struct FrontierItem<const D: usize> {
+    dist_sq: f64,
+    what: Frontier<D>,
+}
+
+impl<const D: usize> PartialEq for FrontierItem<D> {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist_sq == other.dist_sq
+    }
+}
+impl<const D: usize> Eq for FrontierItem<D> {}
+impl<const D: usize> PartialOrd for FrontierItem<D> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<const D: usize> Ord for FrontierItem<D> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.dist_sq.total_cmp(&self.dist_sq) // min-heap
+    }
+}
+
+/// Best-first kNN at a single instant `t`: the `k` objects (valid at `t`)
+/// nearest to point `p`, with an optional initial pruning bound
+/// `max_dist_sq` (results beyond it are not reported).
+pub fn knn_at<const D: usize, S: PageStore>(
+    tree: &RTree<NsiSegmentRecord<D>, S>,
+    p: [f64; D],
+    t: f64,
+    k: usize,
+    max_dist_sq: f64,
+    stats: &mut QueryStats,
+) -> Vec<KnnResult<D>> {
+    let mut heap: BinaryHeap<FrontierItem<D>> = BinaryHeap::new();
+    heap.push(FrontierItem {
+        dist_sq: 0.0,
+        what: Frontier::Node(tree.root_page()),
+    });
+    let mut out: Vec<KnnResult<D>> = Vec::with_capacity(k);
+    let mut bound = max_dist_sq;
+    while let Some(item) = heap.pop() {
+        if item.dist_sq > bound {
+            break;
+        }
+        match item.what {
+            Frontier::Object(record) => {
+                out.push(KnnResult {
+                    record,
+                    dist_sq: item.dist_sq,
+                });
+                stats.results += 1;
+                if out.len() == k {
+                    break;
+                }
+            }
+            Frontier::Node(page) => {
+                let node = tree.load(page);
+                stats.disk_accesses += 1;
+                if node.level == 0 {
+                    stats.leaf_accesses += 1;
+                }
+                match &node.entries {
+                    NodeEntries::Internal(entries) => {
+                        for (key, child) in entries {
+                            stats.distance_computations += 1;
+                            if !key.time.extent(0).contains(t) {
+                                continue;
+                            }
+                            let d = key.space.min_dist_sq(&p);
+                            if d <= bound {
+                                heap.push(FrontierItem {
+                                    dist_sq: d,
+                                    what: Frontier::Node(*child),
+                                });
+                            }
+                        }
+                    }
+                    NodeEntries::Leaf(records) => {
+                        for rec in records {
+                            stats.distance_computations += 1;
+                            if !rec.seg.t.contains(t) {
+                                continue;
+                            }
+                            let d = rec.seg.dist_sq_at(t, &p);
+                            if d <= bound {
+                                heap.push(FrontierItem {
+                                    dist_sq: d,
+                                    what: Frontier::Object(*rec),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Tighten the bound once k candidates are enqueued/known: the
+        // k-th smallest enqueued object distance is an upper bound.
+        if out.len() == k {
+            break;
+        }
+    }
+    out.truncate(k);
+    if let Some(last) = out.last() {
+        let _ = last; // bound bookkeeping done by the caller (MovingKnn)
+    }
+    let _ = &mut bound;
+    out
+}
+
+/// kNN over a moving query point: a sequence of `(t, p)` instants, each
+/// search seeded with a distance bound derived from the previous answer.
+#[derive(Clone, Debug)]
+pub struct MovingKnn<const D: usize> {
+    k: usize,
+    /// Upper bound on any object's speed (for bound transfer between
+    /// instants); `f64::INFINITY` disables reuse.
+    max_object_speed: f64,
+    prev: Option<(f64, [f64; D], f64)>, // (t, p, kth_dist)
+}
+
+impl<const D: usize> MovingKnn<D> {
+    /// A moving-kNN session. `max_object_speed` bounds how fast any
+    /// indexed object moves (the workload knows this).
+    pub fn new(k: usize, max_object_speed: f64) -> Self {
+        assert!(k > 0, "k must be positive");
+        MovingKnn {
+            k,
+            max_object_speed,
+            prev: None,
+        }
+    }
+
+    /// Evaluate the kNN at instant `(t, p)`.
+    pub fn query<S: PageStore>(
+        &mut self,
+        tree: &RTree<NsiSegmentRecord<D>, S>,
+        t: f64,
+        p: [f64; D],
+        stats: &mut QueryStats,
+    ) -> Vec<KnnResult<D>> {
+        let bound = match self.prev {
+            Some((pt, pp, kth)) if t >= pt => {
+                // Previous k-th neighbour moved at most v·Δt; the query
+                // point moved ‖p − pp‖. New k-th distance is at most
+                // kth + both displacements (triangle inequality).
+                let dt = t - pt;
+                let moved: f64 = pp
+                    .iter()
+                    .zip(&p)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>()
+                    .sqrt();
+                let slack = moved + self.max_object_speed * dt;
+                let b = kth.sqrt() + slack;
+                b * b
+            }
+            _ => f64::INFINITY,
+        };
+        let mut res = knn_at(tree, p, t, self.k, bound, stats);
+        // The bound can only be *too tight* if fewer than k results came
+        // back (e.g. objects expired); retry unbounded in that case.
+        if res.len() < self.k && bound.is_finite() {
+            res = knn_at(tree, p, t, self.k, f64::INFINITY, stats);
+        }
+        if let Some(last) = res.last() {
+            self.prev = Some((t, p, last.dist_sq));
+        } else {
+            self.prev = None;
+        }
+        res
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtree::bulk::bulk_load;
+    use rtree::RTreeConfig;
+    use storage::Pager;
+    use stkit::Interval;
+
+    type R = NsiSegmentRecord<2>;
+
+    fn grid_tree(n: u32) -> RTree<R, Pager> {
+        let recs: Vec<R> = (0..n * n)
+            .map(|k| {
+                let x = (k % n) as f64 + 0.5;
+                let y = (k / n) as f64 + 0.5;
+                R::new(k, 0, Interval::new(0.0, 100.0), [x, y], [x, y])
+            })
+            .collect();
+        bulk_load(Pager::new(), RTreeConfig::default(), recs)
+    }
+
+    #[test]
+    fn nearest_neighbor_is_correct() {
+        let tree = grid_tree(20);
+        let mut stats = QueryStats::default();
+        let res = knn_at(&tree, [5.6, 5.6], 1.0, 1, f64::INFINITY, &mut stats);
+        assert_eq!(res.len(), 1);
+        // Nearest grid point to (5.6, 5.6) is (5.5, 5.5).
+        assert_eq!(res[0].record.seg.x0, [5.5, 5.5]);
+        assert!((res[0].dist_sq - 0.02).abs() < 1e-9);
+    }
+
+    #[test]
+    fn k_results_in_distance_order() {
+        let tree = grid_tree(20);
+        let mut stats = QueryStats::default();
+        let res = knn_at(&tree, [10.5, 10.5], 1.0, 5, f64::INFINITY, &mut stats);
+        assert_eq!(res.len(), 5);
+        for w in res.windows(2) {
+            assert!(w[0].dist_sq <= w[1].dist_sq);
+        }
+        // First is the exact cell we sit on.
+        assert_eq!(res[0].record.seg.x0, [10.5, 10.5]);
+        assert_eq!(res[0].dist_sq, 0.0);
+    }
+
+    #[test]
+    fn validity_filter_applies() {
+        // One object valid only early, closer than everything else.
+        let mut recs = vec![R::new(
+            0,
+            0,
+            Interval::new(0.0, 1.0),
+            [50.0, 50.0],
+            [50.0, 50.0],
+        )];
+        recs.push(R::new(1, 0, Interval::new(0.0, 100.0), [52.0, 50.0], [52.0, 50.0]));
+        let tree = bulk_load(Pager::new(), RTreeConfig::default(), recs);
+        let mut stats = QueryStats::default();
+        let early = knn_at(&tree, [50.0, 50.0], 0.5, 1, f64::INFINITY, &mut stats);
+        assert_eq!(early[0].record.oid, 0);
+        let late = knn_at(&tree, [50.0, 50.0], 5.0, 1, f64::INFINITY, &mut stats);
+        assert_eq!(late[0].record.oid, 1, "expired object must be skipped");
+    }
+
+    #[test]
+    fn moving_knn_matches_fresh_searches_and_saves_io() {
+        let tree = grid_tree(40);
+        let mut mov = MovingKnn::new(3, 0.0);
+        let mut mov_stats = QueryStats::default();
+        let mut fresh_stats = QueryStats::default();
+        for step in 0..20 {
+            let t = 1.0 + step as f64 * 0.1;
+            let p = [5.0 + step as f64 * 0.3, 8.0];
+            let a = mov.query(&tree, t, p, &mut mov_stats);
+            let b = knn_at(&tree, p, t, 3, f64::INFINITY, &mut fresh_stats);
+            // Equidistant neighbours may tie-break differently between
+            // the bounded and unbounded searches: compare distances.
+            let ak: Vec<f64> = a.iter().map(|r| r.dist_sq).collect();
+            let bk: Vec<f64> = b.iter().map(|r| r.dist_sq).collect();
+            assert_eq!(ak, bk, "step {step}");
+        }
+        assert!(
+            mov_stats.distance_computations <= fresh_stats.distance_computations,
+            "bound reuse should not examine more: {} vs {}",
+            mov_stats.distance_computations,
+            fresh_stats.distance_computations
+        );
+    }
+
+    #[test]
+    fn more_neighbors_than_objects() {
+        let tree = grid_tree(2);
+        let mut stats = QueryStats::default();
+        let res = knn_at(&tree, [0.0, 0.0], 1.0, 10, f64::INFINITY, &mut stats);
+        assert_eq!(res.len(), 4, "only 4 objects exist");
+    }
+}
+
+/// kNN *relative to a moving observer over a time window*: the `k`
+/// records minimizing their closest approach to the observer's motion
+/// during `window` — "which k objects come nearest to me during the next
+/// minute?". Best-first over a lower bound: the spatial box distance
+/// between the observer's swept extent and each node box (valid because
+/// positions stay inside their bounding boxes).
+pub fn knn_moving_observer<const D: usize, S: PageStore>(
+    tree: &RTree<NsiSegmentRecord<D>, S>,
+    observer: &stkit::MotionSegment<D>,
+    window: stkit::Interval,
+    k: usize,
+    stats: &mut QueryStats,
+) -> Vec<KnnResult<D>> {
+    use stkit::min_dist_sq_over;
+    let span = observer.t.intersect(&window);
+    if span.is_empty() || k == 0 {
+        return Vec::new();
+    }
+    // The observer's swept spatial box over the window.
+    let clipped = stkit::MotionSegment::from_endpoints(
+        span,
+        observer.position(span.lo),
+        observer.position(span.hi),
+    );
+    let swept = clipped.spatial_bbox();
+
+    let mut heap: BinaryHeap<FrontierItem<D>> = BinaryHeap::new();
+    heap.push(FrontierItem {
+        dist_sq: 0.0,
+        what: Frontier::Node(tree.root_page()),
+    });
+    let mut out: Vec<KnnResult<D>> = Vec::with_capacity(k);
+    while let Some(item) = heap.pop() {
+        match item.what {
+            Frontier::Object(record) => {
+                out.push(KnnResult {
+                    record,
+                    dist_sq: item.dist_sq,
+                });
+                stats.results += 1;
+                if out.len() == k {
+                    break;
+                }
+            }
+            Frontier::Node(page) => {
+                let node = tree.load(page);
+                stats.disk_accesses += 1;
+                if node.level == 0 {
+                    stats.leaf_accesses += 1;
+                }
+                match &node.entries {
+                    NodeEntries::Internal(entries) => {
+                        for (key, child) in entries {
+                            stats.distance_computations += 1;
+                            if !key.time.extent(0).overlaps(&span) {
+                                continue;
+                            }
+                            let d = key.space.min_dist_sq_rect(&swept);
+                            heap.push(FrontierItem {
+                                dist_sq: d,
+                                what: Frontier::Node(*child),
+                            });
+                        }
+                    }
+                    NodeEntries::Leaf(records) => {
+                        for rec in records {
+                            stats.distance_computations += 1;
+                            if let Some(d) = min_dist_sq_over(&rec.seg, observer, &span) {
+                                heap.push(FrontierItem {
+                                    dist_sq: d,
+                                    what: Frontier::Object(*rec),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod moving_observer_tests {
+    use super::*;
+    use rtree::bulk::bulk_load;
+    use rtree::RTreeConfig;
+    use storage::Pager;
+    use stkit::{Interval, MotionSegment};
+
+    type R = NsiSegmentRecord<2>;
+
+    #[test]
+    fn closest_approach_ranking() {
+        // Observer drives east along y = 0; objects sit at varying y.
+        let recs: Vec<R> = (0..20)
+            .map(|i| {
+                let y = 1.0 + i as f64;
+                R::new(i, 0, Interval::new(0.0, 10.0), [50.0, y], [50.0, y])
+            })
+            .collect();
+        let tree = bulk_load(Pager::new(), RTreeConfig::default(), recs);
+        let observer =
+            MotionSegment::from_endpoints(Interval::new(0.0, 10.0), [0.0, 0.0], [100.0, 0.0]);
+        let mut stats = QueryStats::default();
+        let res = knn_moving_observer(&tree, &observer, Interval::new(0.0, 10.0), 3, &mut stats);
+        let ids: Vec<u32> = res.iter().map(|r| r.record.oid).collect();
+        assert_eq!(ids, vec![0, 1, 2], "nearest rows first");
+        assert!((res[0].dist_sq - 1.0).abs() < 1e-9);
+        assert!((res[2].dist_sq - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_changes_the_answer() {
+        // Object 0 is near the observer's path only late; object 1 early.
+        let recs = vec![
+            R::new(0, 0, Interval::new(0.0, 10.0), [90.0, 2.0], [90.0, 2.0]),
+            R::new(1, 0, Interval::new(0.0, 10.0), [10.0, 2.0], [10.0, 2.0]),
+        ];
+        let tree = bulk_load(Pager::new(), RTreeConfig::default(), recs);
+        let observer =
+            MotionSegment::from_endpoints(Interval::new(0.0, 10.0), [0.0, 0.0], [100.0, 0.0]);
+        let mut stats = QueryStats::default();
+        // Early window: observer only reaches x ∈ [0, 30].
+        let early =
+            knn_moving_observer(&tree, &observer, Interval::new(0.0, 3.0), 1, &mut stats);
+        assert_eq!(early[0].record.oid, 1);
+        // Late window: x ∈ [80, 100].
+        let late =
+            knn_moving_observer(&tree, &observer, Interval::new(8.0, 10.0), 1, &mut stats);
+        assert_eq!(late[0].record.oid, 0);
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        let recs: Vec<R> = (0..300)
+            .map(|i| {
+                let ang = i as f64 * 2.399;
+                let p = [50.0 + (i % 17) as f64 * 2.0 - 16.0, 30.0 + (i % 23) as f64];
+                R::new(
+                    i,
+                    0,
+                    Interval::new((i % 5) as f64, (i % 5) as f64 + 4.0),
+                    p,
+                    [p[0] + ang.cos(), p[1] + ang.sin()],
+                )
+            })
+            .collect();
+        let tree = bulk_load(Pager::new(), RTreeConfig::default(), recs.clone());
+        let observer =
+            MotionSegment::from_endpoints(Interval::new(0.0, 8.0), [30.0, 30.0], [70.0, 45.0]);
+        let window = Interval::new(1.0, 7.0);
+        let mut stats = QueryStats::default();
+        let got = knn_moving_observer(&tree, &observer, window, 5, &mut stats);
+        let mut brute: Vec<(f64, u32)> = recs
+            .iter()
+            .filter_map(|r| {
+                stkit::min_dist_sq_over(&r.seg, &observer, &window).map(|d| (d, r.oid))
+            })
+            .collect();
+        brute.sort_by(|a, b| a.0.total_cmp(&b.0));
+        assert_eq!(got.len(), 5);
+        for (i, res) in got.iter().enumerate() {
+            assert!(
+                (res.dist_sq - brute[i].0).abs() < 1e-9,
+                "rank {i}: {} vs {}",
+                res.dist_sq,
+                brute[i].0
+            );
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! The bridge between snapshot queries and index layouts.
+//!
+//! The paper's two index layouts — native space indexing (§3.2) and
+//! double temporal axes (§4.2 Fig. 5(b)) — differ only in how a motion
+//! segment and a snapshot query map to the R-tree's key space.
+//! [`MotionRecord`] captures that mapping, letting the NPDQ engine (and
+//! any future engine) run over either layout, which is exactly what the
+//! Fig. 5(a)-vs-5(b) ablation compares.
+
+use crate::snapshot::SnapshotQuery;
+use rtree::{DtaSegmentRecord, NsiSegmentRecord, Record};
+use stkit::MotionSegment;
+
+/// A leaf record carrying a motion segment, whose index layout knows how
+/// to express a [`SnapshotQuery`] as a key-space probe.
+pub trait MotionRecord<const D: usize>: Record {
+    /// The underlying motion segment.
+    fn segment(&self) -> &MotionSegment<D>;
+
+    /// `(object id, update sequence)` identity.
+    fn ids(&self) -> (u32, u32);
+
+    /// The key-space region a snapshot query probes in this layout.
+    fn query_key(q: &SnapshotQuery<D>) -> Self::Key;
+}
+
+impl<const D: usize> MotionRecord<D> for NsiSegmentRecord<D> {
+    fn segment(&self) -> &MotionSegment<D> {
+        &self.seg
+    }
+
+    fn ids(&self) -> (u32, u32) {
+        (self.oid, self.seq)
+    }
+
+    fn query_key(q: &SnapshotQuery<D>) -> Self::Key {
+        q.nsi_key()
+    }
+}
+
+impl<const D: usize> MotionRecord<D> for DtaSegmentRecord<D> {
+    fn segment(&self) -> &MotionSegment<D> {
+        &self.seg
+    }
+
+    fn ids(&self) -> (u32, u32) {
+        (self.oid, self.seq)
+    }
+
+    fn query_key(q: &SnapshotQuery<D>) -> Self::Key {
+        q.dta_key()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stkit::{Interval, Rect};
+
+    #[test]
+    fn layouts_agree_on_matching_segments() {
+        let q = SnapshotQuery::at_instant(Rect::from_corners([0.0, 0.0], [10.0, 10.0]), 5.0);
+        let nsi = NsiSegmentRecord::<2>::new(1, 0, Interval::new(4.0, 6.0), [5.0, 5.0], [6.0, 6.0]);
+        let dta = DtaSegmentRecord::<2>::new(1, 0, Interval::new(4.0, 6.0), [5.0, 5.0], [6.0, 6.0]);
+        assert!(NsiSegmentRecord::query_key(&q).overlaps(&nsi.key()));
+        assert!(DtaSegmentRecord::query_key(&q).overlaps(&dta.key()));
+        assert_eq!(nsi.ids(), dta.ids());
+        assert_eq!(nsi.segment(), dta.segment());
+    }
+
+    #[test]
+    fn layouts_agree_on_non_matching_segments() {
+        let q = SnapshotQuery::at_instant(Rect::from_corners([0.0, 0.0], [10.0, 10.0]), 9.0);
+        // Expired before the query instant.
+        let nsi = NsiSegmentRecord::<2>::new(1, 0, Interval::new(4.0, 6.0), [5.0, 5.0], [6.0, 6.0]);
+        let dta = DtaSegmentRecord::<2>::new(1, 0, Interval::new(4.0, 6.0), [5.0, 5.0], [6.0, 6.0]);
+        assert!(!NsiSegmentRecord::query_key(&q).overlaps(&nsi.key()));
+        assert!(!DtaSegmentRecord::query_key(&q).overlaps(&dta.key()));
+    }
+}

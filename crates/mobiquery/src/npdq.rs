@@ -1,0 +1,371 @@
+//! Non-Predictive Dynamic Queries (§4.2).
+//!
+//! The trajectory is unknown; the engine evaluates each snapshot query as
+//! it arrives but remembers the previous one (`P`). A node `R` is
+//! **discardable** for the current query `Q` iff `(Q ∩ R) ⊆ P` (Lemma 1):
+//! everything of `R` that `Q` could retrieve was already retrieved by `P`.
+//!
+//! Plain NSI makes discardability useless (consecutive snapshots never
+//! overlap temporally), so the engine runs over the **double-temporal-
+//! axes** index (Fig. 5(b)): motion validity start/end are independent
+//! axes, data lives above the 45° line, and a snapshot query is a
+//! quadrant-shaped region — consecutive quadrants genuinely contain each
+//! other's overlap.
+//!
+//! Update management uses node timestamps (§4.2): every insertion stamps
+//! its path; when a visited node's timestamp is newer than the time the
+//! previous query ran, the previous query's result can no longer be
+//! trusted for that subtree and the engine falls back to the plain
+//! overlap test there.
+
+use crate::layout::MotionRecord;
+use crate::snapshot::SnapshotQuery;
+use crate::stats::QueryStats;
+use rtree::{Key, NodeEntries, RTree};
+use storage::{PageId, PageStore};
+
+/// The NPDQ query processor: one instance per dynamic query session.
+///
+/// ```
+/// use mobiquery::{NpdqEngine, SnapshotQuery};
+/// use rtree::{DtaSegmentRecord, RTree, RTreeConfig};
+/// use storage::Pager;
+/// use stkit::{Interval, Rect};
+///
+/// let mut tree = RTree::new(Pager::new(), RTreeConfig::default());
+/// tree.insert(
+///     DtaSegmentRecord::new(1, 0, Interval::new(0.0, 100.0), [3.0, 3.0], [3.0, 3.0]),
+///     0.0,
+/// );
+/// let mut npdq = NpdqEngine::new();
+/// let window = Rect::from_corners([0.0, 0.0], [5.0, 5.0]);
+/// // First snapshot returns the object…
+/// let mut got = Vec::new();
+/// npdq.execute(&tree, &SnapshotQuery::open_from(window, 1.0), 0.5, |r| got.push(r.oid));
+/// assert_eq!(got, vec![1]);
+/// // …the next (unchanged) snapshot returns nothing new.
+/// got.clear();
+/// npdq.execute(&tree, &SnapshotQuery::open_from(window, 1.1), 0.5, |r| got.push(r.oid));
+/// assert!(got.is_empty());
+/// ```
+#[derive(Clone, Debug)]
+pub struct NpdqEngine<const D: usize> {
+    /// Previous snapshot query and the logical time at which it ran.
+    prev: Option<(SnapshotQuery<D>, f64)>,
+    /// Disable the discardability optimization entirely (then every
+    /// snapshot is evaluated naively) — lets benches measure the no-harm
+    /// property at 0 % overlap.
+    pub use_discard: bool,
+}
+
+impl<const D: usize> Default for NpdqEngine<D> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<const D: usize> NpdqEngine<D> {
+    /// A fresh session: the first query runs as a plain snapshot query.
+    pub fn new() -> Self {
+        NpdqEngine {
+            prev: None,
+            use_discard: true,
+        }
+    }
+
+    /// Forget the previous query (e.g. after the observer teleports).
+    pub fn reset(&mut self) {
+        self.prev = None;
+    }
+
+    /// True iff a previous query is available for discarding.
+    pub fn has_previous(&self) -> bool {
+        self.prev.is_some()
+    }
+
+    /// Evaluate snapshot `q`, emitting only objects **not** returned by
+    /// the previous snapshot. `now` is the logical clock used to compare
+    /// against node modification timestamps (use the tree's insertion
+    /// clock; any monotone scalar works).
+    ///
+    /// Generic over the index layout ([`MotionRecord`]): run it over the
+    /// double-temporal-axes tree (the paper's choice, Fig. 5(b)) or the
+    /// plain NSI tree with open-ended queries (Fig. 5(a)).
+    pub fn execute<R: MotionRecord<D>, S: PageStore>(
+        &mut self,
+        tree: &RTree<R, S>,
+        q: &SnapshotQuery<D>,
+        now: f64,
+        mut emit: impl FnMut(&R),
+    ) -> QueryStats {
+        let mut stats = QueryStats::default();
+        let qkey = R::query_key(q);
+        let prev = if self.use_discard { self.prev } else { None };
+        let pkey = prev.map(|(p, clock)| (p, R::query_key(&p), clock));
+
+        // Depth-first traversal with explicit stack.
+        let mut stack: Vec<PageId> = vec![tree.root_page()];
+        while let Some(page) = stack.pop() {
+            let node = tree.load(page);
+            stats.disk_accesses += 1;
+            if node.level == 0 {
+                stats.leaf_accesses += 1;
+            }
+            // §4.2 timestamp check: if this node was modified after the
+            // previous query ran, its children may contain unseen data —
+            // the previous query cannot be used to discard them.
+            let clean = match &pkey {
+                Some((_, _, pclock)) => node.timestamp <= *pclock,
+                None => false,
+            };
+            match &node.entries {
+                NodeEntries::Internal(entries) => {
+                    for (key, child) in entries {
+                        stats.distance_computations += 1;
+                        if !key.overlaps(&qkey) {
+                            continue;
+                        }
+                        if clean {
+                            if let Some((_, pk, _)) = &pkey {
+                                if discardable(pk, &qkey, key) {
+                                    continue; // pruned without loading
+                                }
+                            }
+                        }
+                        stack.push(*child);
+                    }
+                }
+                NodeEntries::Leaf(records) => {
+                    for rec in records {
+                        stats.distance_computations += 1;
+                        if !rec.key().overlaps(&qkey) || !q.matches_segment(rec.segment()) {
+                            continue;
+                        }
+                        // Already returned by the previous query?
+                        if clean {
+                            if let Some((p, _)) = &prev {
+                                if p.matches_segment(rec.segment()) {
+                                    continue;
+                                }
+                            }
+                        }
+                        stats.results += 1;
+                        emit(rec);
+                    }
+                }
+            }
+        }
+        self.prev = Some((*q, now));
+        stats
+    }
+}
+
+/// Lemma 1: `R` is discardable iff `(Q ∩ R) ⊆ P`, for any key layout.
+pub fn discardable<K: Key>(p: &K, q: &K, r: &K) -> bool {
+    p.contains(&q.intersect(r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtree::bulk::bulk_load;
+    use rtree::{DtaSegmentRecord, RTreeConfig};
+    use storage::Pager;
+    use stkit::{Interval, Rect, StBox};
+
+    type R = DtaSegmentRecord<2>;
+
+    /// Stationary grid: object (i, j) at (i+0.5, j+0.5), alive [0, 100].
+    fn grid_tree(n: u32) -> RTree<R, Pager> {
+        let recs: Vec<R> = (0..n * n)
+            .map(|k| {
+                let x = (k % n) as f64 + 0.5;
+                let y = (k / n) as f64 + 0.5;
+                R::new(k, 0, Interval::new(0.0, 100.0), [x, y], [x, y])
+            })
+            .collect();
+        bulk_load(Pager::new(), RTreeConfig::default(), recs)
+    }
+
+    fn win(x: f64, y: f64, w: f64) -> Rect<2> {
+        Rect::from_corners([x, y], [x + w, y + w])
+    }
+
+    #[test]
+    fn discardable_lemma_basics() {
+        let bx = |x0: f64, x1: f64| {
+            StBox::<2, 2>::new(
+                Rect::from_corners([x0, 0.0], [x1, 1.0]),
+                Rect::new([Interval::new(0.0, 1.0), Interval::new(0.0, 1.0)]),
+            )
+        };
+        let p = bx(0.0, 5.0);
+        let q = bx(3.0, 8.0);
+        // R inside Q∩P region ⇒ discardable.
+        assert!(discardable(&p, &q, &bx(3.5, 4.5)));
+        // R sticking beyond P ⇒ not discardable.
+        assert!(!discardable(&p, &q, &bx(4.0, 7.0)));
+        // R disjoint from Q ⇒ Q∩R empty ⊆ P ⇒ discardable (it wouldn't be
+        // visited anyway because the overlap test fails first).
+        assert!(discardable(&p, &q, &bx(20.0, 30.0)));
+    }
+
+    #[test]
+    fn first_query_returns_everything() {
+        let tree = grid_tree(20);
+        let mut eng = NpdqEngine::new();
+        let q = SnapshotQuery::at_instant(win(2.0, 2.0, 4.0), 1.0);
+        let mut got = Vec::new();
+        let stats = eng.execute(&tree, &q, 0.0, |r| got.push(r.oid));
+        assert_eq!(got.len(), 16, "4×4 cells");
+        assert_eq!(stats.results, 16);
+        assert!(eng.has_previous());
+    }
+
+    #[test]
+    fn second_query_returns_only_delta() {
+        let tree = grid_tree(20);
+        let mut eng = NpdqEngine::new();
+        let q1 = SnapshotQuery::at_instant(win(2.0, 2.0, 4.0), 1.0);
+        let q2 = SnapshotQuery::at_instant(win(3.0, 2.0, 4.0), 1.1); // shifted 1 in x
+        let mut first = Vec::new();
+        eng.execute(&tree, &q1, 0.0, |r| first.push(r.oid));
+        let mut second = Vec::new();
+        let s2 = eng.execute(&tree, &q2, 0.0, |r| second.push(r.oid));
+        // New column x ∈ [6, 7): 4 objects.
+        assert_eq!(second.len(), 4, "only the newly visible column");
+        assert!(second.iter().all(|o| !first.contains(o)));
+        assert!(s2.results == 4);
+    }
+
+    #[test]
+    fn high_overlap_costs_less_io() {
+        let tree = grid_tree(40);
+        // Large window stepping slightly (99 % overlap) vs jumping fully.
+        let mut eng_hi = NpdqEngine::new();
+        let mut eng_lo = NpdqEngine::new();
+        let q0 = SnapshotQuery::at_instant(win(5.0, 5.0, 20.0), 1.0);
+        let hi_first = eng_hi.execute(&tree, &q0, 0.0, |_| {});
+        let lo_first = eng_lo.execute(&tree, &q0, 0.0, |_| {});
+        assert_eq!(hi_first.disk_accesses, lo_first.disk_accesses);
+        let q_hi = SnapshotQuery::at_instant(win(5.2, 5.0, 20.0), 1.1);
+        let q_lo = SnapshotQuery::at_instant(win(30.0, 30.0, 8.0), 1.1);
+        let hi = eng_hi.execute(&tree, &q_hi, 0.0, |_| {});
+        let lo = eng_lo.execute(&tree, &q_lo, 0.0, |_| {});
+        assert!(
+            hi.leaf_accesses < lo_first.leaf_accesses,
+            "99% overlap must prune leaf I/O: {} vs first {}",
+            hi.leaf_accesses,
+            lo_first.leaf_accesses
+        );
+        assert!(lo.disk_accesses > 0);
+    }
+
+    #[test]
+    fn no_overlap_same_as_naive() {
+        let tree = grid_tree(40);
+        let q1 = SnapshotQuery::at_instant(win(0.0, 0.0, 8.0), 1.0);
+        let q2 = SnapshotQuery::at_instant(win(25.0, 25.0, 8.0), 1.1);
+        // NPDQ with a useless previous query…
+        let mut eng = NpdqEngine::new();
+        eng.execute(&tree, &q1, 0.0, |_| {});
+        let mut with_prev = Vec::new();
+        let npdq_stats = eng.execute(&tree, &q2, 0.0, |r| with_prev.push(r.oid));
+        // …vs a fresh evaluation of q2.
+        let mut fresh_eng = NpdqEngine::new();
+        let mut fresh = Vec::new();
+        let fresh_stats = fresh_eng.execute(&tree, &q2, 0.0, |r| fresh.push(r.oid));
+        with_prev.sort_unstable();
+        fresh.sort_unstable();
+        assert_eq!(with_prev, fresh, "no overlap ⇒ identical results");
+        // "Neither does it cause harm": leaf I/O identical. (Internal
+        // nodes whose region spans both windows may still be pruned or
+        // kept identically.)
+        assert_eq!(npdq_stats.disk_accesses, fresh_stats.disk_accesses);
+    }
+
+    #[test]
+    fn union_over_session_equals_naive_per_frame() {
+        // Sliding window: union of NPDQ deltas == union of naive results.
+        let tree = grid_tree(30);
+        let mut eng = NpdqEngine::new();
+        let mut npdq_all = std::collections::HashSet::new();
+        let mut naive_all = std::collections::HashSet::new();
+        let naive = crate::naive::NaiveEngine::new();
+        for k in 0..40 {
+            let t = 1.0 + k as f64 * 0.1;
+            let q = SnapshotQuery::at_instant(win(2.0 + k as f64 * 0.5, 10.0, 6.0), t);
+            eng.execute(&tree, &q, 0.0, |r| {
+                npdq_all.insert(r.oid);
+            });
+            naive.query_dta(&tree, &q, |r| {
+                naive_all.insert(r.oid);
+            });
+        }
+        assert_eq!(npdq_all, naive_all);
+    }
+
+    #[test]
+    fn updates_invalidate_previous_query() {
+        // Insert an object inside the overlap region after P ran: the
+        // timestamp mechanism must prevent discarding it.
+        let mut tree = grid_tree(20);
+        let mut eng = NpdqEngine::new();
+        let q1 = SnapshotQuery::at_instant(win(2.0, 2.0, 6.0), 1.0);
+        eng.execute(&tree, &q1, /*now=*/ 0.0, |_| {});
+        // New object in the middle of the already-covered region, with a
+        // validity that starts after q1's instant so q1 never saw it.
+        let rec = R::new(9999, 0, Interval::new(1.05, 100.0), [4.0, 4.0], [4.0, 4.0]);
+        tree.insert(rec, /*timestamp=*/ 1.0);
+        let q2 = SnapshotQuery::at_instant(win(2.0, 2.0, 6.0), 1.2);
+        let mut got = Vec::new();
+        eng.execute(&tree, &q2, 1.0, |r| got.push(r.oid));
+        assert!(
+            got.contains(&9999),
+            "timestamped update must defeat discardability: {got:?}"
+        );
+    }
+
+    #[test]
+    fn without_updates_identical_region_returns_nothing() {
+        let tree = grid_tree(20);
+        let mut eng = NpdqEngine::new();
+        let q1 = SnapshotQuery::at_instant(win(2.0, 2.0, 6.0), 1.0);
+        let q2 = SnapshotQuery::at_instant(win(2.0, 2.0, 6.0), 1.1);
+        eng.execute(&tree, &q1, 0.0, |_| {});
+        let mut got = Vec::new();
+        let stats = eng.execute(&tree, &q2, 0.0, |r| got.push(r.oid));
+        assert!(got.is_empty(), "fully covered query returns nothing new");
+        // And it touches almost nothing below the root.
+        assert!(stats.leaf_accesses == 0, "leaf I/O should be fully pruned");
+    }
+
+    #[test]
+    fn reset_forgets_previous_query() {
+        let tree = grid_tree(20);
+        let mut eng = NpdqEngine::new();
+        let q1 = SnapshotQuery::at_instant(win(2.0, 2.0, 6.0), 1.0);
+        eng.execute(&tree, &q1, 0.0, |_| {});
+        assert!(eng.has_previous());
+        eng.reset();
+        assert!(!eng.has_previous());
+        // After reset the same window returns everything again (like a
+        // first query) — the teleport semantics.
+        let mut got = 0;
+        eng.execute(&tree, &q1, 0.0, |_| got += 1);
+        assert_eq!(got, 36, "6×6 grid cells re-delivered after reset");
+    }
+
+    #[test]
+    fn disabling_discard_reverts_to_naive() {
+        let tree = grid_tree(20);
+        let mut eng = NpdqEngine::new();
+        eng.use_discard = false;
+        let q1 = SnapshotQuery::at_instant(win(2.0, 2.0, 6.0), 1.0);
+        let q2 = SnapshotQuery::at_instant(win(2.0, 2.0, 6.0), 1.1);
+        let s1 = eng.execute(&tree, &q1, 0.0, |_| {});
+        let s2 = eng.execute(&tree, &q2, 0.0, |_| {});
+        assert_eq!(s1.results, s2.results, "same window, same objects");
+        assert_eq!(s1.disk_accesses, s2.disk_accesses);
+    }
+}

@@ -1,0 +1,219 @@
+//! High-level visualization session: PDQ + client cache, framed.
+//!
+//! The paper's system picture (§1, §4.1) is a renderer posing 15–30
+//! snapshot queries per second while the database streams each object
+//! once, with its visibility interval, into a client cache keyed on
+//! disappearance time. [`FlightSession`] packages that loop: one call per
+//! frame returns what appeared, what is visible, and what was evicted —
+//! the exact contract a rendering front-end needs.
+
+use crate::cache::ClientCache;
+use crate::pdq::PdqEngine;
+use crate::trajectory::Trajectory;
+use rtree::{NsiSegmentRecord, RTree, Record};
+use storage::PageStore;
+
+/// What one rendered frame sees.
+#[derive(Clone, Debug)]
+pub struct FrameView<const D: usize> {
+    /// Frame time.
+    pub t: f64,
+    /// Records that entered the view since the previous frame (newly
+    /// fetched from the database — the only ones that cost I/O).
+    pub appeared: Vec<NsiSegmentRecord<D>>,
+    /// Object ids currently visible (from the client cache).
+    pub visible: Vec<u32>,
+    /// Number of cache entries evicted at this frame (their
+    /// disappearance time passed).
+    pub evicted: usize,
+}
+
+/// A fly-through session over a predictive trajectory.
+///
+/// Owns the PDQ engine and the client cache; borrows the tree per frame
+/// so concurrent insertions remain possible between frames (forward the
+/// reports through [`FlightSession::notify`]).
+///
+/// ```
+/// use mobiquery::{FlightSession, Trajectory};
+/// use rtree::{NsiSegmentRecord, RTree, RTreeConfig};
+/// use storage::Pager;
+/// use stkit::{Interval, Rect};
+///
+/// let mut tree = RTree::new(Pager::new(), RTreeConfig::default());
+/// tree.insert(
+///     NsiSegmentRecord::new(7, 0, Interval::new(0.0, 100.0), [3.5, 0.5], [3.5, 0.5]),
+///     0.0);
+/// let traj = Trajectory::linear(
+///     Rect::from_corners([0.0, 0.0], [1.0, 1.0]),
+///     [1.0, 0.0], Interval::new(0.0, 10.0), 2);
+/// let mut session = FlightSession::start(&tree, traj);
+/// // Window [3,4] covers the object at t = 3.2.
+/// let frame = session.frame(&tree, 3.2);
+/// assert_eq!(frame.visible, vec![7]);
+/// // By t = 4.0 the window has moved past: the cache evicts it.
+/// let frame = session.frame(&tree, 4.0);
+/// assert!(frame.visible.is_empty());
+/// ```
+#[derive(Debug)]
+pub struct FlightSession<const D: usize> {
+    engine: PdqEngine<D>,
+    cache: ClientCache<NsiSegmentRecord<D>>,
+    prev_t: f64,
+    finished_t: f64,
+}
+
+impl<const D: usize> FlightSession<D> {
+    /// Start a session over `trajectory`.
+    pub fn start<S: PageStore>(
+        tree: &RTree<NsiSegmentRecord<D>, S>,
+        trajectory: Trajectory<D>,
+    ) -> Self {
+        let start = trajectory.span().lo;
+        let end = trajectory.span().hi;
+        FlightSession {
+            engine: PdqEngine::start(tree, trajectory),
+            cache: ClientCache::new(),
+            prev_t: start,
+            finished_t: end,
+        }
+    }
+
+    /// Render one frame at time `t` (monotone across calls): drains the
+    /// engine up to `t`, feeds the cache, advances eviction.
+    pub fn frame<S: PageStore>(
+        &mut self,
+        tree: &RTree<NsiSegmentRecord<D>, S>,
+        t: f64,
+    ) -> FrameView<D> {
+        debug_assert!(t >= self.prev_t, "frames must advance");
+        let mut appeared = Vec::new();
+        for r in self.engine.drain_window(tree, self.prev_t, t) {
+            self.cache.insert(r.record.oid, r.record, r.visibility);
+            appeared.push(r.record);
+        }
+        let evicted = self.cache.advance(t);
+        self.prev_t = t;
+        FrameView {
+            t,
+            appeared,
+            visible: self.cache.visible_now().map(|(oid, _)| oid).collect(),
+            evicted,
+        }
+    }
+
+    /// Forward a concurrent insertion to the running query (§4.1).
+    pub fn notify<S: PageStore>(
+        &mut self,
+        tree: &RTree<NsiSegmentRecord<D>, S>,
+        report: &rtree::InsertReport<<NsiSegmentRecord<D> as Record>::Key, NsiSegmentRecord<D>>,
+    ) {
+        self.engine.notify(tree, report);
+    }
+
+    /// True iff the trajectory has been fully traversed.
+    pub fn finished(&self) -> bool {
+        self.prev_t >= self.finished_t
+    }
+
+    /// Accumulated query cost.
+    pub fn stats(&self) -> crate::stats::QueryStats {
+        self.engine.stats()
+    }
+
+    /// The client cache (inspection).
+    pub fn cache(&self) -> &ClientCache<NsiSegmentRecord<D>> {
+        &self.cache
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtree::bulk::bulk_load;
+    use rtree::RTreeConfig;
+    use storage::Pager;
+    use stkit::{Interval, Rect};
+
+    type R = NsiSegmentRecord<2>;
+
+    fn line_tree(n: u32) -> RTree<R, Pager> {
+        let recs: Vec<R> = (0..n)
+            .map(|i| {
+                let x = i as f64 + 0.5;
+                R::new(i, 0, Interval::new(0.0, 100.0), [x, 0.5], [x, 0.5])
+            })
+            .collect();
+        bulk_load(Pager::new(), RTreeConfig::default(), recs)
+    }
+
+    fn slide(span: f64) -> Trajectory<2> {
+        Trajectory::linear(
+            Rect::from_corners([0.0, 0.0], [2.0, 1.0]),
+            [1.0, 0.0],
+            Interval::new(0.0, span),
+            2,
+        )
+    }
+
+    #[test]
+    fn frames_track_visibility() {
+        let tree = line_tree(30);
+        let mut s = FlightSession::start(&tree, slide(20.0));
+        // Frame at t=0: window [0,2] covers objects 0 (x=0.5) and 1 (x=1.5).
+        let f0 = s.frame(&tree, 0.0);
+        let mut vis = f0.visible.clone();
+        vis.sort_unstable();
+        assert_eq!(vis, vec![0, 1]);
+        // Advance to t=5: window [5,7] covers objects 5 and 6.
+        let f5 = s.frame(&tree, 5.0);
+        let mut vis = f5.visible.clone();
+        vis.sort_unstable();
+        assert_eq!(vis, vec![5, 6]);
+        assert!(f5.evicted > 0, "passed objects must be evicted");
+        assert!(!s.finished());
+        let _ = s.frame(&tree, 20.0);
+        assert!(s.finished());
+    }
+
+    #[test]
+    fn appeared_objects_are_new_each_frame() {
+        let tree = line_tree(30);
+        let mut s = FlightSession::start(&tree, slide(20.0));
+        let mut seen = std::collections::HashSet::new();
+        let mut t = 0.0;
+        while t <= 20.0 {
+            let f = s.frame(&tree, t);
+            for r in &f.appeared {
+                assert!(seen.insert((r.oid, r.seq)), "re-delivered {:?}", r.oid);
+            }
+            t += 0.5;
+        }
+        assert_eq!(seen.len(), 22, "objects 0..=21 enter the sliding window");
+    }
+
+    #[test]
+    fn live_insert_appears_in_later_frame() {
+        let recs: Vec<R> = (0..10)
+            .map(|i| {
+                let x = i as f64 + 0.5;
+                R::new(i, 0, Interval::new(0.0, 100.0), [x, 0.5], [x, 0.5])
+            })
+            .collect();
+        let mut tree = bulk_load(Pager::new(), RTreeConfig::default(), recs);
+        let mut s = FlightSession::start(&tree, slide(20.0));
+        let _ = s.frame(&tree, 1.0);
+        // Insert an object ahead of the window.
+        let rec = R::new(99, 0, Interval::new(1.0, 100.0), [15.5, 0.5], [15.5, 0.5]);
+        let report = tree.insert(rec, 1.0);
+        s.notify(&tree, &report);
+        let mut found = false;
+        let mut t = 1.5;
+        while t <= 20.0 {
+            let f = s.frame(&tree, t);
+            found |= f.appeared.iter().any(|r| r.oid == 99);
+            t += 0.5;
+        }
+        assert!(found, "live insertion must surface");
+    }
+}

@@ -1,0 +1,152 @@
+//! Snapshot queries (Definition 3).
+
+use stkit::{Interval, MotionSegment, Rect, StBox};
+
+/// A snapshot query: "retrieve all objects that were in `window`, within
+/// `time`" (Definition 3). Visualization uses the degenerate case where
+/// `time` is a single instant (one rendered frame).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SnapshotQuery<const D: usize> {
+    /// Spatial range of the query.
+    pub window: Rect<D>,
+    /// Temporal extent (may be a single instant).
+    pub time: Interval,
+}
+
+impl<const D: usize> SnapshotQuery<D> {
+    /// A query with temporal extent.
+    pub fn new(window: Rect<D>, time: Interval) -> Self {
+        SnapshotQuery { window, time }
+    }
+
+    /// The visualization special case: a query at one instant.
+    pub fn at_instant(window: Rect<D>, t: f64) -> Self {
+        SnapshotQuery {
+            window,
+            time: Interval::point(t),
+        }
+    }
+
+    /// The open-ended query of §4.2 Fig. 5(a): "all objects which satisfy
+    /// the spatial range of the query either now or in the future"
+    /// (time `[t, ∞)`).
+    ///
+    /// This is the query shape that makes NPDQ discardability effective:
+    /// with instant queries, consecutive snapshots never overlap
+    /// temporally, and any node holding a currently-alive motion segment
+    /// also holds freshly-started ones, so `(Q ∩ R) ⊆ P` can never hold
+    /// on the start-time axis. With open-ended queries the temporal
+    /// containment is trivial and the previous query prunes every node
+    /// interior to its window.
+    pub fn open_from(window: Rect<D>, t: f64) -> Self {
+        SnapshotQuery {
+            window,
+            time: Interval::new(t, f64::INFINITY),
+        }
+    }
+
+    /// The query box in the native-space-indexing layout (§3.2).
+    pub fn nsi_key(&self) -> StBox<D, 1> {
+        StBox::new(self.window, Rect::new([self.time]))
+    }
+
+    /// The query region in the double-temporal-axes layout (§4.2,
+    /// Fig. 5(b)): a motion with validity `[t_l, t_h]` overlaps the query
+    /// time iff `t_l ≤ time.hi ∧ t_h ≥ time.lo`, i.e. the quadrant-shaped
+    /// box `⟨(−∞, time.hi], [time.lo, +∞)⟩` on the (start, end) plane.
+    pub fn dta_key(&self) -> StBox<D, 2> {
+        StBox::new(
+            self.window,
+            Rect::new([
+                Interval::new(f64::NEG_INFINITY, self.time.hi),
+                Interval::new(self.time.lo, f64::INFINITY),
+            ]),
+        )
+    }
+
+    /// Exact test (§3.2): does this motion segment actually pass through
+    /// the window during the query's time extent?
+    pub fn matches_segment(&self, seg: &MotionSegment<D>) -> bool {
+        !seg.intersect_query(&self.window, &self.time).is_empty()
+    }
+
+    /// True iff this query starts strictly after `other` ends — the
+    /// ordering Definition 4 requires of a dynamic query's snapshots.
+    pub fn follows(&self, other: &SnapshotQuery<D>) -> bool {
+        other.time.precedes(&self.time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q() -> SnapshotQuery<2> {
+        SnapshotQuery::new(
+            Rect::from_corners([0.0, 0.0], [10.0, 10.0]),
+            Interval::new(5.0, 6.0),
+        )
+    }
+
+    #[test]
+    fn nsi_key_shape() {
+        let k = q().nsi_key();
+        assert_eq!(k.space, q().window);
+        assert_eq!(k.time.extent(0), Interval::new(5.0, 6.0));
+    }
+
+    #[test]
+    fn dta_key_is_quadrant() {
+        let k = q().dta_key();
+        assert_eq!(k.time.extent(0).hi, 6.0);
+        assert_eq!(k.time.extent(0).lo, f64::NEG_INFINITY);
+        assert_eq!(k.time.extent(1).lo, 5.0);
+        assert_eq!(k.time.extent(1).hi, f64::INFINITY);
+    }
+
+    #[test]
+    fn dta_key_overlap_agrees_with_interval_overlap() {
+        let query = q();
+        // Segment alive during [2, 5.5]: overlaps [5,6] ⇒ both keys agree.
+        let seg = MotionSegment::from_endpoints(Interval::new(2.0, 5.5), [1.0, 1.0], [2.0, 2.0]);
+        assert!(query.dta_key().overlaps(&seg.dta_box()));
+        assert!(query.nsi_key().overlaps(&seg.nsi_box()));
+        // Segment dead before the query: neither overlaps.
+        let old = MotionSegment::from_endpoints(Interval::new(2.0, 4.9), [1.0, 1.0], [2.0, 2.0]);
+        assert!(!query.dta_key().overlaps(&old.dta_box()));
+        assert!(!query.nsi_key().overlaps(&old.nsi_box()));
+    }
+
+    #[test]
+    fn exact_test_detects_miss() {
+        let query = q();
+        // Alive during query time but spatially outside the window.
+        let seg =
+            MotionSegment::from_endpoints(Interval::new(5.0, 6.0), [20.0, 20.0], [30.0, 30.0]);
+        assert!(!query.matches_segment(&seg));
+        // Passing through the window.
+        let through =
+            MotionSegment::from_endpoints(Interval::new(4.0, 7.0), [-5.0, 5.0], [15.0, 5.0]);
+        assert!(query.matches_segment(&through));
+    }
+
+    #[test]
+    fn instant_query() {
+        let query = SnapshotQuery::at_instant(Rect::from_corners([0.0, 0.0], [4.0, 4.0]), 2.0);
+        assert_eq!(query.time, Interval::point(2.0));
+        let seg = MotionSegment::from_endpoints(Interval::new(0.0, 10.0), [0.0, 2.0], [10.0, 2.0]);
+        // At t=2 the object is at (2, 2) — inside.
+        assert!(query.matches_segment(&seg));
+        let late = SnapshotQuery::at_instant(Rect::from_corners([0.0, 0.0], [1.0, 4.0]), 9.0);
+        // At t=9 the object is at (9, 2) — outside the 1-wide window.
+        assert!(!late.matches_segment(&seg));
+    }
+
+    #[test]
+    fn ordering_per_definition_4() {
+        let a = SnapshotQuery::at_instant(Rect::from_corners([0.0, 0.0], [1.0, 1.0]), 1.0);
+        let b = SnapshotQuery::at_instant(Rect::from_corners([0.0, 0.0], [1.0, 1.0]), 2.0);
+        assert!(b.follows(&a));
+        assert!(!a.follows(&b));
+    }
+}

@@ -1,0 +1,211 @@
+//! Semi-Predictive Dynamic Queries (§4).
+//!
+//! "In SPDQ, the trajectory of the user is allowed to deviate from the
+//! predicted trajectory by some δ(t) … SPDQ can be easily implemented
+//! using the PDQ algorithms, but it will result in each snapshot query
+//! being 'larger' than the corresponding simple PDQ one."
+//!
+//! The engine is literally [`crate::PdqEngine`] over the δ-inflated
+//! trajectory; what this module adds is the bookkeeping that makes the
+//! deviation bound *checkable*: given the observer's actual window at
+//! time `t`, [`SpdqSession::covers`] verifies it is still within the
+//! inflated window, i.e. the PDQ run remains a superset of the truth and
+//! results can be filtered client-side rather than re-queried.
+
+use crate::pdq::{PdqEngine, PdqResult};
+use crate::trajectory::Trajectory;
+use rtree::{NsiSegmentRecord, RTree};
+use storage::PageStore;
+use stkit::{Rect, Scalar};
+
+/// A running semi-predictive dynamic query.
+#[derive(Debug)]
+pub struct SpdqSession<const D: usize> {
+    /// The predicted (un-inflated) trajectory.
+    predicted: Trajectory<D>,
+    /// Deviation allowance δ.
+    delta: Scalar,
+    /// PDQ engine over the inflated trajectory.
+    engine: PdqEngine<D>,
+}
+
+impl<const D: usize> SpdqSession<D> {
+    /// Start an SPDQ: PDQ over `predicted.inflate(delta)`.
+    pub fn start<S: PageStore>(
+        tree: &RTree<NsiSegmentRecord<D>, S>,
+        predicted: Trajectory<D>,
+        delta: Scalar,
+    ) -> Self {
+        assert!(delta >= 0.0, "deviation bound must be non-negative");
+        let engine = PdqEngine::start(tree, predicted.inflate(delta));
+        SpdqSession {
+            predicted,
+            delta,
+            engine,
+        }
+    }
+
+    /// The deviation allowance δ.
+    pub fn delta(&self) -> Scalar {
+        self.delta
+    }
+
+    /// The predicted trajectory (before inflation).
+    pub fn predicted(&self) -> &Trajectory<D> {
+        &self.predicted
+    }
+
+    /// Access the underlying PDQ engine (stats, notify, …).
+    pub fn engine_mut(&mut self) -> &mut PdqEngine<D> {
+        &mut self.engine
+    }
+
+    /// True iff an observer whose *actual* window at time `t` is
+    /// `actual` is still covered by this session: every point of the
+    /// actual window lies in the inflated window, so the PDQ stream is a
+    /// superset of the objects actually visible. When this returns false
+    /// the session must be restarted (the NPDQ hand-off of §4).
+    pub fn covers(&self, t: Scalar, actual: &Rect<D>) -> bool {
+        self.predicted
+            .window_at(t)
+            .inflate(self.delta)
+            .contains_rect(actual)
+    }
+
+    /// Fetch everything becoming visible in `[t_start, t_end]` under the
+    /// inflated window, then filter to the observer's *actual* window at
+    /// `t_end` — the client-side refinement step. Objects in the inflated
+    /// margin but not currently visible are returned in the second list
+    /// (the client keeps them cached; they may become visible).
+    #[allow(clippy::type_complexity)]
+    pub fn frame<S: PageStore>(
+        &mut self,
+        tree: &RTree<NsiSegmentRecord<D>, S>,
+        t_start: Scalar,
+        t_end: Scalar,
+        actual: &Rect<D>,
+    ) -> (Vec<PdqResult<D>>, Vec<PdqResult<D>>) {
+        let all = self.engine.drain_window(tree, t_start, t_end);
+        let mut visible = Vec::new();
+        let mut margin = Vec::new();
+        for r in all {
+            let pos = r.record.seg.position_clamped(t_end);
+            if actual.contains_point(&pos) {
+                visible.push(r);
+            } else {
+                margin.push(r);
+            }
+        }
+        (visible, margin)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtree::bulk::bulk_load;
+    use rtree::RTreeConfig;
+    use storage::Pager;
+    use stkit::Interval;
+
+    type R = NsiSegmentRecord<2>;
+
+    fn line_tree(n: u32) -> RTree<R, Pager> {
+        let recs: Vec<R> = (0..n)
+            .map(|i| {
+                let x = i as f64 + 0.5;
+                R::new(i, 0, Interval::new(0.0, 100.0), [x, 0.5], [x, 0.5])
+            })
+            .collect();
+        bulk_load(Pager::new(), RTreeConfig::default(), recs)
+    }
+
+    fn slide(span: f64) -> Trajectory<2> {
+        Trajectory::linear(
+            Rect::from_corners([0.0, 0.0], [1.0, 1.0]),
+            [1.0, 0.0],
+            Interval::new(0.0, span),
+            2,
+        )
+    }
+
+    #[test]
+    fn spdq_superset_of_pdq() {
+        let tree = line_tree(50);
+        let mut pdq = PdqEngine::start(&tree, slide(50.0));
+        let mut spdq = SpdqSession::start(&tree, slide(50.0), 1.0);
+        let p: Vec<u32> = pdq
+            .drain_window(&tree, 0.0, 50.0)
+            .iter()
+            .map(|r| r.record.oid)
+            .collect();
+        let s: Vec<u32> = spdq
+            .engine_mut()
+            .drain_window(&tree, 0.0, 50.0)
+            .iter()
+            .map(|r| r.record.oid)
+            .collect();
+        assert!(s.len() >= p.len(), "inflated window sees at least as much");
+        for oid in &p {
+            assert!(s.contains(oid));
+        }
+    }
+
+    #[test]
+    fn covers_checks_deviation_bound() {
+        let tree = line_tree(10);
+        let spdq = SpdqSession::start(&tree, slide(10.0), 0.5);
+        // Predicted window at t=2 is [2,3]×[0,1]; actual deviated by 0.4.
+        let ok = Rect::from_corners([2.4, 0.0], [3.4, 1.0]);
+        assert!(spdq.covers(2.0, &ok));
+        // Deviation 0.9 > δ: not covered.
+        let bad = Rect::from_corners([2.9, 0.0], [3.9, 1.0]);
+        assert!(!spdq.covers(2.0, &bad));
+    }
+
+    #[test]
+    fn frame_splits_visible_and_margin() {
+        let tree = line_tree(50);
+        let mut spdq = SpdqSession::start(&tree, slide(50.0), 2.0);
+        // At t = 5 the actual window deviates by +1 from the prediction.
+        let actual = Rect::from_corners([6.0, 0.0], [7.0, 1.0]);
+        let (visible, margin) = spdq.frame(&tree, 0.0, 5.0, &actual);
+        // Object 6 is at x = 6.5 — inside the actual window.
+        assert!(visible.iter().any(|r| r.record.oid == 6));
+        // Everything in visible really is inside the actual window now.
+        for r in &visible {
+            let p = r.record.seg.position_clamped(5.0);
+            assert!(actual.contains_point(&p));
+        }
+        // Margin objects were fetched but are not currently visible.
+        for r in &margin {
+            let p = r.record.seg.position_clamped(5.0);
+            assert!(!actual.contains_point(&p));
+        }
+        assert!(!margin.is_empty(), "inflation must fetch margin objects");
+    }
+
+    #[test]
+    fn spdq_cost_grows_with_delta() {
+        let tree = line_tree(200);
+        let run = |delta: f64| {
+            let mut s = SpdqSession::start(&tree, slide(100.0), delta);
+            let _ = s.engine_mut().drain_window(&tree, 0.0, 100.0);
+            s.engine_mut().stats()
+        };
+        let small = run(0.1);
+        let big = run(10.0);
+        assert!(
+            big.results > small.results,
+            "larger δ retrieves more objects"
+        );
+        assert!(big.distance_computations >= small.distance_computations);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_delta_rejected() {
+        let tree = line_tree(5);
+        let _ = SpdqSession::start(&tree, slide(5.0), -1.0);
+    }
+}

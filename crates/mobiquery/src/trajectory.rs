@@ -1,0 +1,293 @@
+//! Predictive query trajectories — sequences of key snapshots (§4.1).
+
+use crate::snapshot::SnapshotQuery;
+use stkit::{Interval, MotionSegment, MovingWindow, Rect, Scalar, StBox, TimeSet};
+
+/// One key snapshot `K^j = ⟨t, x̄₁, …, x̄_d⟩`: the query window at a point
+/// of the observer's trajectory (Eq. 2).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KeySnapshot<const D: usize> {
+    /// Time of this key snapshot.
+    pub t: Scalar,
+    /// Query window at that time.
+    pub window: Rect<D>,
+}
+
+/// A predictive dynamic query's trajectory: key snapshots with strictly
+/// increasing times; between consecutive keys the window interpolates
+/// linearly (the trapezoid segments `S^j` of Fig. 3).
+///
+/// ```
+/// use mobiquery::Trajectory;
+/// use stkit::{Interval, Rect};
+///
+/// // A 2×2 window sliding right at speed 2 over t ∈ [0, 10].
+/// let traj = Trajectory::linear(
+///     Rect::from_corners([0.0, 0.0], [2.0, 2.0]),
+///     [2.0, 0.0], Interval::new(0.0, 10.0), 5);
+/// assert_eq!(traj.window_at(5.0), Rect::from_corners([10.0, 0.0], [12.0, 2.0]));
+/// // Eq. 3: when does the moving window overlap a static box?
+/// let hit = traj.overlap_rect(
+///     &Rect::from_corners([6.0, 0.0], [7.0, 2.0]),
+///     &Interval::new(0.0, 10.0));
+/// assert_eq!(hit.hull(), Interval::new(2.0, 3.5));
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Trajectory<const D: usize> {
+    keys: Vec<KeySnapshot<D>>,
+    segments: Vec<MovingWindow<D>>,
+}
+
+impl<const D: usize> Trajectory<D> {
+    /// Build a trajectory from ≥ 2 key snapshots with strictly increasing
+    /// times and non-empty windows.
+    pub fn new(keys: Vec<KeySnapshot<D>>) -> Self {
+        assert!(keys.len() >= 2, "a trajectory needs at least two keys");
+        for w in keys.windows(2) {
+            assert!(
+                w[0].t < w[1].t,
+                "key snapshot times must strictly increase"
+            );
+        }
+        assert!(
+            keys.iter().all(|k| !k.window.is_empty()),
+            "key windows must be non-empty"
+        );
+        let segments = keys
+            .windows(2)
+            .map(|w| {
+                MovingWindow::between(Interval::new(w[0].t, w[1].t), &w[0].window, &w[1].window)
+            })
+            .collect();
+        Trajectory { keys, segments }
+    }
+
+    /// A straight-line trajectory: `window` translating at constant
+    /// `velocity` over `span`, sampled into `nkeys` key snapshots. The
+    /// common case for both benchmarks and fly-through navigation.
+    pub fn linear(
+        window: Rect<D>,
+        velocity: [Scalar; D],
+        span: Interval,
+        nkeys: usize,
+    ) -> Self {
+        assert!(nkeys >= 2, "need at least two keys");
+        assert!(!span.is_empty() && span.length() > 0.0, "span must have extent");
+        let keys = (0..nkeys)
+            .map(|i| {
+                let f = i as Scalar / (nkeys - 1) as Scalar;
+                let t = span.lo + f * span.length();
+                let dt = t - span.lo;
+                let mut dims = [Interval::EMPTY; D];
+                for d in 0..D {
+                    dims[d] = window.extent(d).shift(velocity[d] * dt);
+                }
+                KeySnapshot {
+                    t,
+                    window: Rect::new(dims),
+                }
+            })
+            .collect();
+        Trajectory::new(keys)
+    }
+
+    /// The key snapshots.
+    pub fn keys(&self) -> &[KeySnapshot<D>] {
+        &self.keys
+    }
+
+    /// The interpolated trapezoid segments (one fewer than keys).
+    pub fn segments(&self) -> &[MovingWindow<D>] {
+        &self.segments
+    }
+
+    /// Temporal span `[K¹.t, Kⁿ.t]` of the trajectory.
+    pub fn span(&self) -> Interval {
+        Interval::new(self.keys[0].t, self.keys[self.keys.len() - 1].t)
+    }
+
+    /// The query window at time `t` (clamped into the span).
+    pub fn window_at(&self, t: Scalar) -> Rect<D> {
+        let t = self.span().clamp(t);
+        // Find the segment covering t (last segment covers its end).
+        let idx = self
+            .segments
+            .partition_point(|s| s.span.hi < t)
+            .min(self.segments.len() - 1);
+        self.segments[idx].window_at(t)
+    }
+
+    /// The snapshot query a renderer would pose at instant `t`.
+    pub fn snapshot_at(&self, t: Scalar) -> SnapshotQuery<D> {
+        SnapshotQuery::at_instant(self.window_at(t), t)
+    }
+
+    /// Eq. 3 generalized to the full trajectory: the (possibly
+    /// disconnected) set of times at which the moving window overlaps the
+    /// static space-time box `⟨time, space⟩`. Each trapezoid segment
+    /// contributes one interval `T^j`; the result is their union.
+    pub fn overlap_rect(&self, space: &Rect<D>, time: &Interval) -> TimeSet {
+        let mut out = TimeSet::empty();
+        for s in &self.segments {
+            out.insert(s.overlap_time_rect(space, time));
+        }
+        out
+    }
+
+    /// Overlap-time set for an NSI bounding box key.
+    pub fn overlap_nsi_box(&self, key: &StBox<D, 1>) -> TimeSet {
+        self.overlap_rect(&key.space, &key.time.extent(0))
+    }
+
+    /// Exact overlap-time set for a motion segment: the times at which
+    /// the *object* (not its bounding box) is inside the moving window —
+    /// the leaf-level exact test for dynamic queries, and the visibility
+    /// set handed to the client cache ("how long the object stays in
+    /// view").
+    pub fn overlap_segment(&self, seg: &MotionSegment<D>) -> TimeSet {
+        let mut out = TimeSet::empty();
+        for s in &self.segments {
+            out.insert(s.overlap_time_segment(seg));
+        }
+        out
+    }
+
+    /// SPDQ (§4): inflate every key window by `delta` to tolerate an
+    /// observer deviating up to `‖x_p(t) − x(t)‖ ≤ δ` from the predicted
+    /// path.
+    pub fn inflate(&self, delta: Scalar) -> Trajectory<D> {
+        Trajectory::new(
+            self.keys
+                .iter()
+                .map(|k| KeySnapshot {
+                    t: k.t,
+                    window: k.window.inflate(delta),
+                })
+                .collect(),
+        )
+    }
+
+    /// Conservative spatial bounds of the whole swept trajectory.
+    pub fn swept_bounds(&self) -> Rect<D> {
+        self.segments
+            .iter()
+            .fold(Rect::EMPTY, |acc, s| acc.cover(&s.swept_bounds()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn win(x: f64, y: f64, w: f64) -> Rect<2> {
+        Rect::from_corners([x, y], [x + w, y + w])
+    }
+
+    fn slide_right() -> Trajectory<2> {
+        // 2×2 window sliding right from x=0 to x=20 over t ∈ [0, 10].
+        Trajectory::linear(
+            win(0.0, 0.0, 2.0),
+            [2.0, 0.0],
+            Interval::new(0.0, 10.0),
+            6,
+        )
+    }
+
+    #[test]
+    fn linear_constructor_interpolates() {
+        let tr = slide_right();
+        assert_eq!(tr.keys().len(), 6);
+        assert_eq!(tr.segments().len(), 5);
+        assert_eq!(tr.span(), Interval::new(0.0, 10.0));
+        assert_eq!(tr.window_at(0.0), win(0.0, 0.0, 2.0));
+        assert_eq!(tr.window_at(5.0), win(10.0, 0.0, 2.0));
+        assert_eq!(tr.window_at(10.0), win(20.0, 0.0, 2.0));
+        // Clamping beyond the span.
+        assert_eq!(tr.window_at(99.0), win(20.0, 0.0, 2.0));
+    }
+
+    #[test]
+    fn overlap_rect_matches_hand_computation() {
+        let tr = slide_right();
+        // Box at x ∈ [6, 7], all y, alive the whole time: window's right
+        // edge (2 + 2t) reaches 6 at t = 2; left edge (2t) passes 7 at 3.5.
+        let ts = tr.overlap_rect(
+            &Rect::from_corners([6.0, 0.0], [7.0, 2.0]),
+            &Interval::new(0.0, 10.0),
+        );
+        assert_eq!(ts.hull(), Interval::new(2.0, 3.5));
+        assert_eq!(ts.len(), 1);
+    }
+
+    #[test]
+    fn overlap_respects_box_validity() {
+        let tr = slide_right();
+        let ts = tr.overlap_rect(
+            &Rect::from_corners([6.0, 0.0], [7.0, 2.0]),
+            &Interval::new(3.0, 10.0),
+        );
+        assert_eq!(ts.hull(), Interval::new(3.0, 3.5));
+    }
+
+    #[test]
+    fn overlap_segment_exact() {
+        let tr = slide_right();
+        // Object moving left through the window's path.
+        let seg =
+            MotionSegment::from_endpoints(Interval::new(0.0, 10.0), [20.0, 1.0], [0.0, 1.0]);
+        let ts = tr.overlap_segment(&seg);
+        // Object at 20−2t, window [2t, 2+2t]: inside while 2t ≤ 20−2t ≤ 2+2t
+        // ⇒ t ∈ [4.5, 5].
+        assert_eq!(ts.hull(), Interval::new(4.5, 5.0));
+    }
+
+    #[test]
+    fn disconnected_overlap_possible() {
+        // Window moves right then back left over a static box: two visits.
+        let tr = Trajectory::new(vec![
+            KeySnapshot { t: 0.0, window: win(0.0, 0.0, 2.0) },
+            KeySnapshot { t: 10.0, window: win(20.0, 0.0, 2.0) },
+            KeySnapshot { t: 20.0, window: win(0.0, 0.0, 2.0) },
+        ]);
+        let ts = tr.overlap_rect(
+            &Rect::from_corners([10.0, 0.0], [11.0, 2.0]),
+            &Interval::new(0.0, 20.0),
+        );
+        assert_eq!(ts.len(), 2, "expected two disjoint visibility windows");
+    }
+
+    #[test]
+    fn snapshot_at_matches_window() {
+        let tr = slide_right();
+        let q = tr.snapshot_at(5.0);
+        assert_eq!(q.window, win(10.0, 0.0, 2.0));
+        assert_eq!(q.time, Interval::point(5.0));
+    }
+
+    #[test]
+    fn inflation_grows_windows() {
+        let tr = slide_right().inflate(1.0);
+        assert_eq!(tr.window_at(0.0), Rect::from_corners([-1.0, -1.0], [3.0, 3.0]));
+    }
+
+    #[test]
+    fn swept_bounds_cover_path() {
+        let b = slide_right().swept_bounds();
+        assert_eq!(b, Rect::from_corners([0.0, 0.0], [22.0, 2.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increase")]
+    fn non_monotone_keys_rejected() {
+        let _ = Trajectory::new(vec![
+            KeySnapshot { t: 1.0, window: win(0.0, 0.0, 1.0) },
+            KeySnapshot { t: 1.0, window: win(1.0, 1.0, 1.0) },
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn single_key_rejected() {
+        let _ = Trajectory::new(vec![KeySnapshot { t: 1.0, window: win(0.0, 0.0, 1.0) }]);
+    }
+}

@@ -1,0 +1,158 @@
+//! Location imprecision (§3.1): bounded-error query semantics.
+//!
+//! With threshold-based updates the database position of an object is
+//! only accurate to the dead-reckoning threshold ε: the object's true
+//! location lies within an ε-ball of the stored linear motion. §3.1:
+//! "allowing for imprecision entails retrieving objects that in reality
+//! do not fall within the query region. However, no objects will be
+//! missed."
+//!
+//! This module makes that contract explicit with three-valued answers:
+//!
+//! * [`Containment::Must`] — inside the window even in the worst case
+//!   (the stored position is ≥ ε interior to the window);
+//! * [`Containment::May`] — possibly inside (within ε of the window);
+//! * (not reported) — definitely outside even inflated by ε.
+//!
+//! [`uncertain_query`] evaluates a snapshot query under these semantics
+//! over the NSI tree, using ε-inflated bounding boxes for the index probe
+//! so no possibly-matching object is missed.
+
+use crate::snapshot::SnapshotQuery;
+use crate::stats::QueryStats;
+use rtree::{NsiSegmentRecord, RTree};
+use storage::PageStore;
+use stkit::{Rect, StBox};
+
+/// Three-valued membership under ε-bounded location error.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Containment {
+    /// Inside the window for *every* admissible true location.
+    Must,
+    /// Inside for *some* admissible true location.
+    May,
+}
+
+/// One uncertain answer.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct UncertainHit<const D: usize> {
+    /// The record.
+    pub record: NsiSegmentRecord<D>,
+    /// Whether the object is certainly or only possibly in the window.
+    pub containment: Containment,
+}
+
+/// Evaluate `q` when every stored location may err by up to `epsilon`
+/// (L∞, per axis — the box form of the dead-reckoning bound).
+///
+/// Guarantee (the §3.1 contract): every object whose true position could
+/// be inside the window is reported (as `May` at least); every object
+/// reported `Must` is inside regardless of the error realization.
+pub fn uncertain_query<const D: usize, S: PageStore>(
+    tree: &RTree<NsiSegmentRecord<D>, S>,
+    q: &SnapshotQuery<D>,
+    epsilon: f64,
+    mut emit: impl FnMut(UncertainHit<D>),
+) -> QueryStats {
+    assert!(epsilon >= 0.0, "error bound must be non-negative");
+    // Probe with the ε-inflated window so no candidate is missed even
+    // though stored keys are built from the imprecise positions.
+    let probe: StBox<D, 1> = StBox::new(
+        q.window.inflate(epsilon),
+        stkit::Rect::new([q.time]),
+    );
+    let may_window: Rect<D> = q.window.inflate(epsilon);
+    let must_window: Rect<D> = q.window.inflate(-epsilon);
+    tree.range_search(
+        &probe,
+        |r| !r.seg.intersect_query(&may_window, &q.time).is_empty(),
+        |r| {
+            let must = !must_window.is_empty()
+                && !r.seg.intersect_query(&must_window, &q.time).is_empty();
+            emit(UncertainHit {
+                record: *r,
+                containment: if must {
+                    Containment::Must
+                } else {
+                    Containment::May
+                },
+            });
+        },
+    )
+    .into()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtree::bulk::bulk_load;
+    use rtree::RTreeConfig;
+    use storage::Pager;
+    use stkit::Interval;
+
+    type R = NsiSegmentRecord<2>;
+
+    fn tree_with(points: &[(u32, f64, f64)]) -> RTree<R, Pager> {
+        let recs: Vec<R> = points
+            .iter()
+            .map(|&(oid, x, y)| R::new(oid, 0, Interval::new(0.0, 10.0), [x, y], [x, y]))
+            .collect();
+        bulk_load(Pager::new(), RTreeConfig::default(), recs)
+    }
+
+    #[test]
+    fn classification_matches_distance_to_border() {
+        // Window [10, 20]²; ε = 1.
+        let tree = tree_with(&[
+            (1, 15.0, 15.0), // deep inside  → Must
+            (2, 10.5, 15.0), // 0.5 from the border → May
+            (3, 20.8, 15.0), // 0.8 outside → May (could truly be inside)
+            (4, 22.0, 15.0), // 2.0 outside → not reported
+        ]);
+        let q = SnapshotQuery::at_instant(Rect::from_corners([10.0, 10.0], [20.0, 20.0]), 5.0);
+        let mut hits = std::collections::HashMap::new();
+        uncertain_query(&tree, &q, 1.0, |h| {
+            hits.insert(h.record.oid, h.containment);
+        });
+        assert_eq!(hits.get(&1), Some(&Containment::Must));
+        assert_eq!(hits.get(&2), Some(&Containment::May));
+        assert_eq!(hits.get(&3), Some(&Containment::May));
+        assert_eq!(hits.get(&4), None);
+    }
+
+    #[test]
+    fn zero_epsilon_is_exact() {
+        let tree = tree_with(&[(1, 15.0, 15.0), (2, 25.0, 15.0)]);
+        let q = SnapshotQuery::at_instant(Rect::from_corners([10.0, 10.0], [20.0, 20.0]), 5.0);
+        let mut hits = Vec::new();
+        uncertain_query(&tree, &q, 0.0, |h| hits.push(h));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].record.oid, 1);
+        assert_eq!(hits[0].containment, Containment::Must);
+    }
+
+    #[test]
+    fn no_possible_match_is_missed() {
+        // Ground truth: the true position deviates from the stored one by
+        // exactly ε towards the window — the contract says we must still
+        // report the object.
+        let eps = 2.0;
+        let stored = [22.0, 15.0]; // stored 2.0 outside the window
+        let tree = tree_with(&[(7, stored[0], stored[1])]);
+        let q = SnapshotQuery::at_instant(Rect::from_corners([10.0, 10.0], [20.0, 20.0]), 5.0);
+        let mut found = false;
+        uncertain_query(&tree, &q, eps, |h| found |= h.record.oid == 7);
+        assert!(found, "object at the ε boundary must be reported");
+    }
+
+    #[test]
+    fn large_epsilon_degrades_everything_to_may() {
+        let tree = tree_with(&[(1, 15.0, 15.0)]);
+        let q = SnapshotQuery::at_instant(Rect::from_corners([10.0, 10.0], [20.0, 20.0]), 5.0);
+        let mut hits = Vec::new();
+        // ε bigger than half the window: nothing can be certain.
+        uncertain_query(&tree, &q, 6.0, |h| hits.push(h));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].containment, Containment::May);
+    }
+}

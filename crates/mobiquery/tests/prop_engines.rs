@@ -1,0 +1,226 @@
+//! Property-based tests for the query engines: PDQ and NPDQ are checked
+//! against brute force over randomly generated data and trajectories.
+
+use proptest::prelude::*;
+use rtree::bulk::bulk_load;
+use rtree::{DtaSegmentRecord, NsiSegmentRecord, RTree, RTreeConfig};
+use std::collections::BTreeSet;
+use storage::Pager;
+use stkit::{Interval, Rect, TimeSet};
+
+use mobiquery::{KeySnapshot, NaiveEngine, NpdqEngine, PdqEngine, SnapshotQuery, Trajectory};
+
+#[derive(Clone, Debug)]
+struct RawSeg {
+    t0: f64,
+    dur: f64,
+    a: [f64; 2],
+    b: [f64; 2],
+}
+
+fn raw_seg() -> impl Strategy<Value = RawSeg> {
+    (
+        0.0f64..20.0,
+        0.2f64..4.0,
+        (0.0f64..100.0, 0.0f64..100.0),
+        (0.0f64..100.0, 0.0f64..100.0),
+    )
+        .prop_map(|(t0, dur, a, b)| RawSeg {
+            t0,
+            dur,
+            a: [a.0, a.1],
+            b: [b.0, b.1],
+        })
+}
+
+fn segments(n: usize) -> impl Strategy<Value = Vec<RawSeg>> {
+    proptest::collection::vec(raw_seg(), 10..n)
+}
+
+/// A random 2–4-key trajectory within the space and a matching span.
+fn trajectory() -> impl Strategy<Value = Trajectory<2>> {
+    (
+        1.0f64..15.0,             // start time
+        1.0f64..6.0,              // duration
+        2.0f64..15.0,             // window side
+        proptest::collection::vec((5.0f64..85.0, 5.0f64..85.0), 2..5),
+    )
+        .prop_map(|(t0, dur, side, centers)| {
+            let n = centers.len();
+            let keys = centers
+                .iter()
+                .enumerate()
+                .map(|(i, &(cx, cy))| KeySnapshot {
+                    t: t0 + dur * i as f64 / (n - 1) as f64,
+                    window: Rect::from_corners([cx, cy], [cx + side, cy + side]),
+                })
+                .collect();
+            Trajectory::new(keys)
+        })
+}
+
+fn nsi_tree(raws: &[RawSeg]) -> (Vec<NsiSegmentRecord<2>>, RTree<NsiSegmentRecord<2>, Pager>) {
+    let recs: Vec<NsiSegmentRecord<2>> = raws
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            NsiSegmentRecord::new(i as u32, 0, Interval::new(r.t0, r.t0 + r.dur), r.a, r.b)
+        })
+        .collect();
+    let tree = bulk_load(Pager::new(), RTreeConfig::default(), recs.clone());
+    (recs, tree)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn pdq_equals_brute_force(raws in segments(250), traj in trajectory()) {
+        let (recs, tree) = nsi_tree(&raws);
+        let span = traj.span();
+        // Brute force: records with non-empty overlap-time.
+        let expected: BTreeSet<u32> = recs
+            .iter()
+            .filter(|r| !traj.overlap_segment(&r.seg).is_empty())
+            .map(|r| r.oid)
+            .collect();
+        let mut pdq = PdqEngine::start(&tree, traj.clone());
+        let results = pdq.drain_window(&tree, span.lo, span.hi);
+        let got: BTreeSet<u32> = results.iter().map(|r| r.record.oid).collect();
+        prop_assert_eq!(got.len(), results.len(), "no duplicates");
+        prop_assert_eq!(&got, &expected);
+        // Visibility sets must equal the trajectory's exact overlap.
+        for r in &results {
+            let expect_vis: TimeSet = traj.overlap_segment(&r.record.seg);
+            prop_assert_eq!(&r.visibility, &expect_vis);
+        }
+    }
+
+    #[test]
+    fn pdq_results_arrive_sorted_by_entry_time(raws in segments(250), traj in trajectory()) {
+        let (_, tree) = nsi_tree(&raws);
+        let span = traj.span();
+        let mut pdq = PdqEngine::start(&tree, traj);
+        let results = pdq.drain_window(&tree, span.lo, span.hi);
+        for w in results.windows(2) {
+            prop_assert!(
+                w[0].visibility.start().unwrap() <= w[1].visibility.start().unwrap() + 1e-12,
+                "entry order violated"
+            );
+        }
+    }
+
+    #[test]
+    fn pdq_chunked_equals_single_drain(raws in segments(200), traj in trajectory(), chunks in 2usize..20) {
+        let (_, tree) = nsi_tree(&raws);
+        let span = traj.span();
+        let mut one = PdqEngine::start(&tree, traj.clone());
+        let all: BTreeSet<u32> = one
+            .drain_window(&tree, span.lo, span.hi)
+            .iter()
+            .map(|r| r.record.oid)
+            .collect();
+        let mut many = PdqEngine::start(&tree, traj);
+        let mut chunked = BTreeSet::new();
+        let dt = span.length() / chunks as f64;
+        for k in 0..chunks {
+            for r in many.drain_window(&tree, span.lo + k as f64 * dt, span.lo + (k + 1) as f64 * dt) {
+                chunked.insert(r.record.oid);
+            }
+        }
+        prop_assert_eq!(chunked, all);
+        // Same I/O either way.
+        prop_assert_eq!(one.stats().disk_accesses, many.stats().disk_accesses);
+    }
+
+    #[test]
+    fn npdq_open_session_equals_naive(raws in segments(250), traj in trajectory()) {
+        let recs: Vec<DtaSegmentRecord<2>> = raws
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                DtaSegmentRecord::new(i as u32, 0, Interval::new(r.t0, r.t0 + r.dur), r.a, r.b)
+            })
+            .collect();
+        let cfg = RTreeConfig { bulk_leading_axes: Some(2), ..RTreeConfig::default() };
+        let tree = bulk_load(Pager::new(), cfg, recs);
+        let span = traj.span();
+        let naive = NaiveEngine::new();
+        let mut eng = NpdqEngine::new();
+        let mut union_npdq = BTreeSet::new();
+        let mut union_naive = BTreeSet::new();
+        let frames = 12;
+        for k in 0..frames {
+            let t = span.lo + span.length() * k as f64 / (frames - 1) as f64;
+            let q = SnapshotQuery::open_from(traj.window_at(t), t);
+            eng.execute(&tree, &q, f64::INFINITY, |r| { union_npdq.insert(r.oid); });
+            naive.query_dta(&tree, &q, |r| { union_naive.insert(r.oid); });
+        }
+        prop_assert_eq!(union_npdq, union_naive);
+    }
+
+    #[test]
+    fn npdq_instant_session_equals_naive(raws in segments(250), traj in trajectory()) {
+        // Same property under instant query semantics.
+        let recs: Vec<DtaSegmentRecord<2>> = raws
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                DtaSegmentRecord::new(i as u32, 0, Interval::new(r.t0, r.t0 + r.dur), r.a, r.b)
+            })
+            .collect();
+        let tree = bulk_load(Pager::new(), RTreeConfig::default(), recs);
+        let span = traj.span();
+        let naive = NaiveEngine::new();
+        let mut eng = NpdqEngine::new();
+        let mut union_npdq = BTreeSet::new();
+        let mut union_naive = BTreeSet::new();
+        let frames = 12;
+        for k in 0..frames {
+            let t = span.lo + span.length() * k as f64 / (frames - 1) as f64;
+            let q = SnapshotQuery::at_instant(traj.window_at(t), t);
+            eng.execute(&tree, &q, f64::INFINITY, |r| { union_npdq.insert((r.oid, r.seq)); });
+            naive.query_dta(&tree, &q, |r| { union_naive.insert((r.oid, r.seq)); });
+        }
+        prop_assert_eq!(union_npdq, union_naive);
+    }
+
+    #[test]
+    fn spdq_is_superset_of_pdq(raws in segments(200), traj in trajectory(), delta in 0.0f64..5.0) {
+        let (_, tree) = nsi_tree(&raws);
+        let span = traj.span();
+        let mut pdq = PdqEngine::start(&tree, traj.clone());
+        let plain: BTreeSet<u32> = pdq
+            .drain_window(&tree, span.lo, span.hi)
+            .iter()
+            .map(|r| r.record.oid)
+            .collect();
+        let mut spdq = mobiquery::SpdqSession::start(&tree, traj, delta);
+        let fat: BTreeSet<u32> = spdq
+            .engine_mut()
+            .drain_window(&tree, span.lo, span.hi)
+            .iter()
+            .map(|r| r.record.oid)
+            .collect();
+        prop_assert!(fat.is_superset(&plain));
+    }
+
+    #[test]
+    fn knn_matches_brute_force(raws in segments(250), px in 0.0f64..100.0, py in 0.0f64..100.0, t in 1.0f64..20.0, k in 1usize..8) {
+        let (recs, tree) = nsi_tree(&raws);
+        let mut stats = mobiquery::QueryStats::default();
+        let got = mobiquery::knn_at(&tree, [px, py], t, k, f64::INFINITY, &mut stats);
+        // Brute force.
+        let mut alive: Vec<(f64, u32)> = recs
+            .iter()
+            .filter(|r| r.seg.t.contains(t))
+            .map(|r| (r.seg.dist_sq_at(t, &[px, py]), r.oid))
+            .collect();
+        alive.sort_by(|a, b| a.0.total_cmp(&b.0));
+        prop_assert_eq!(got.len(), k.min(alive.len()));
+        for (i, res) in got.iter().enumerate() {
+            prop_assert!((res.dist_sq - alive[i].0).abs() < 1e-9,
+                "rank {i}: {} vs {}", res.dist_sq, alive[i].0);
+        }
+    }
+}

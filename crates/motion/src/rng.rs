@@ -1,0 +1,120 @@
+//! Small sampling helpers over any [`rand::Rng`].
+//!
+//! The paper's generator draws normally-distributed update intervals and
+//! speeds; Box–Muller keeps this crate's dependency set to `rand` alone.
+
+use rand::Rng;
+
+/// One standard-normal sample via the Box–Muller transform.
+pub fn std_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Guard u1 away from 0 so ln() stays finite.
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// A normal sample with the given mean and standard deviation.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64) -> f64 {
+    mean + sd * std_normal(rng)
+}
+
+/// A normal sample truncated below at `min` (resampled, not clamped, so
+/// the distribution keeps its shape above the floor).
+pub fn truncated_normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64, min: f64) -> f64 {
+    debug_assert!(min < mean + 6.0 * sd, "truncation point too extreme");
+    loop {
+        let x = normal(rng, mean, sd);
+        if x >= min {
+            return x;
+        }
+    }
+}
+
+/// A uniformly random unit vector in `D` dimensions (Gaussian
+/// normalization, correct for any `D`).
+pub fn unit_vector<const D: usize, R: Rng + ?Sized>(rng: &mut R) -> [f64; D] {
+    loop {
+        let mut v = [0.0; D];
+        let mut norm2 = 0.0;
+        for c in v.iter_mut() {
+            *c = std_normal(rng);
+            norm2 += *c * *c;
+        }
+        if norm2 > 1e-12 {
+            let inv = norm2.sqrt().recip();
+            for c in v.iter_mut() {
+                *c *= inv;
+            }
+            return v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut r, 5.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn truncation_floor_holds() {
+        let mut r = rng();
+        for _ in 0..5_000 {
+            assert!(truncated_normal(&mut r, 1.0, 0.5, 0.05) >= 0.05);
+        }
+    }
+
+    #[test]
+    fn unit_vectors_have_unit_norm() {
+        let mut r = rng();
+        for _ in 0..1_000 {
+            let v: [f64; 3] = unit_vector(&mut r);
+            let norm: f64 = v.iter().map(|c| c * c).sum::<f64>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn unit_vectors_cover_directions() {
+        // Mean of many unit vectors should be near the origin.
+        let mut r = rng();
+        let n = 10_000;
+        let mut acc = [0.0; 2];
+        for _ in 0..n {
+            let v: [f64; 2] = unit_vector(&mut r);
+            acc[0] += v[0];
+            acc[1] += v[1];
+        }
+        assert!((acc[0].abs() / n as f64) < 0.02);
+        assert!((acc[1].abs() / n as f64) < 0.02);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a: Vec<f64> = {
+            let mut r = rng();
+            (0..10).map(|_| std_normal(&mut r)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut r = rng();
+            (0..10).map(|_| std_normal(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

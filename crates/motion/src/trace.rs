@@ -1,0 +1,140 @@
+//! Per-object motion histories.
+
+use crate::update::MotionUpdate;
+use stkit::{Rect, Scalar};
+
+/// The full motion history of one object: a gap-free chain of motion
+/// segments covering one time range.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ObjectTrace<const D: usize> {
+    /// Object id.
+    pub oid: u32,
+    /// Updates in `seq` order; consecutive segments meet in time and
+    /// space (validated by [`Self::validate`]).
+    pub updates: Vec<MotionUpdate<D>>,
+}
+
+impl<const D: usize> ObjectTrace<D> {
+    /// Time at which the trace starts.
+    pub fn start_time(&self) -> Scalar {
+        self.updates.first().map_or(0.0, |u| u.seg.t.lo)
+    }
+
+    /// Time at which the trace ends.
+    pub fn end_time(&self) -> Scalar {
+        self.updates.last().map_or(0.0, |u| u.seg.t.hi)
+    }
+
+    /// The object's position at time `t`, if the trace covers `t`.
+    pub fn position_at(&self, t: Scalar) -> Option<[Scalar; D]> {
+        // Binary search over segment start times.
+        let idx = self
+            .updates
+            .partition_point(|u| u.seg.t.lo <= t)
+            .checked_sub(1)?;
+        let seg = &self.updates[idx].seg;
+        seg.t.contains(t).then(|| seg.position(t))
+    }
+
+    /// Check the trace's invariants: ascending `seq`, temporally abutting
+    /// validity intervals, and spatial continuity (each segment starts
+    /// where the previous one ended, within `tol`).
+    pub fn validate(&self, tol: Scalar) -> Result<(), String> {
+        for (i, w) in self.updates.windows(2).enumerate() {
+            let (a, b) = (&w[0], &w[1]);
+            if b.seq != a.seq + 1 {
+                return Err(format!("oid {}: seq gap at {}", self.oid, i));
+            }
+            if (a.seg.t.hi - b.seg.t.lo).abs() > tol {
+                return Err(format!(
+                    "oid {}: temporal gap {} → {}",
+                    self.oid, a.seg.t.hi, b.seg.t.lo
+                ));
+            }
+            let end = a.seg.end_position();
+            let start = b.seg.x0;
+            for d in 0..D {
+                if (end[d] - start[d]).abs() > tol {
+                    return Err(format!(
+                        "oid {}: spatial jump at seq {} dim {d}: {} vs {}",
+                        self.oid, b.seq, end[d], start[d]
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// True iff every segment stays inside `space`.
+    pub fn stays_inside(&self, space: &Rect<D>) -> bool {
+        self.updates.iter().all(|u| {
+            space.contains_point(&u.seg.x0) && space.contains_point(&u.seg.end_position())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stkit::{Interval, MotionSegment};
+
+    fn trace() -> ObjectTrace<2> {
+        let mk = |seq: u32, t0: f64, a: [f64; 2], b: [f64; 2]| MotionUpdate {
+            oid: 1,
+            seq,
+            seg: MotionSegment::from_endpoints(Interval::new(t0, t0 + 1.0), a, b),
+        };
+        ObjectTrace {
+            oid: 1,
+            updates: vec![
+                mk(0, 0.0, [0.0, 0.0], [1.0, 0.0]),
+                mk(1, 1.0, [1.0, 0.0], [1.0, 2.0]),
+                mk(2, 2.0, [1.0, 2.0], [3.0, 2.0]),
+            ],
+        }
+    }
+
+    #[test]
+    fn position_lookup() {
+        let tr = trace();
+        assert_eq!(tr.position_at(0.5), Some([0.5, 0.0]));
+        assert_eq!(tr.position_at(1.5), Some([1.0, 1.0]));
+        assert_eq!(tr.position_at(3.0), Some([3.0, 2.0]));
+        assert_eq!(tr.position_at(-0.1), None);
+        assert_eq!(tr.position_at(3.1), None);
+    }
+
+    #[test]
+    fn continuity_validates() {
+        trace().validate(1e-9).unwrap();
+    }
+
+    #[test]
+    fn discontinuity_detected() {
+        let mut tr = trace();
+        tr.updates[2].seg.x0 = [9.0, 9.0];
+        assert!(tr.validate(1e-9).is_err());
+    }
+
+    #[test]
+    fn seq_gap_detected() {
+        let mut tr = trace();
+        tr.updates[2].seq = 5;
+        let err = tr.validate(1e-9).unwrap_err();
+        assert!(err.contains("seq gap"), "{err}");
+    }
+
+    #[test]
+    fn bounds_check() {
+        let tr = trace();
+        assert!(tr.stays_inside(&Rect::from_corners([0.0, 0.0], [5.0, 5.0])));
+        assert!(!tr.stays_inside(&Rect::from_corners([0.0, 0.0], [2.0, 2.0])));
+    }
+
+    #[test]
+    fn trace_time_range() {
+        let tr = trace();
+        assert_eq!(tr.start_time(), 0.0);
+        assert_eq!(tr.end_time(), 3.0);
+    }
+}

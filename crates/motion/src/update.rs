@@ -1,0 +1,66 @@
+//! Motion update events.
+
+use stkit::MotionSegment;
+
+/// One motion update of one object: "from `t.lo` until `t.hi` I moved
+/// linearly from `x0` at velocity `v`" (§3.1). This is the unit the NSI
+/// index ingests — one leaf record per update.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MotionUpdate<const D: usize> {
+    /// Object the update belongs to.
+    pub oid: u32,
+    /// Sequence number within the object's history (0-based).
+    pub seq: u32,
+    /// The motion segment.
+    pub seg: MotionSegment<D>,
+}
+
+impl<const D: usize> MotionUpdate<D> {
+    /// Order updates by their start time (for replaying a stream of
+    /// updates against a live index in the update-management experiments).
+    pub fn by_start_time(a: &Self, b: &Self) -> std::cmp::Ordering {
+        a.seg
+            .t
+            .lo
+            .partial_cmp(&b.seg.t.lo)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.oid.cmp(&b.oid))
+            .then(a.seq.cmp(&b.seq))
+    }
+}
+
+/// Flatten per-object traces into one stream sorted by update start time.
+pub fn interleave_by_time<const D: usize>(
+    traces: impl IntoIterator<Item = Vec<MotionUpdate<D>>>,
+) -> Vec<MotionUpdate<D>> {
+    let mut all: Vec<MotionUpdate<D>> = traces.into_iter().flatten().collect();
+    all.sort_by(MotionUpdate::by_start_time);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stkit::Interval;
+
+    fn upd(oid: u32, seq: u32, t0: f64) -> MotionUpdate<2> {
+        MotionUpdate {
+            oid,
+            seq,
+            seg: MotionSegment::from_endpoints(
+                Interval::new(t0, t0 + 1.0),
+                [0.0, 0.0],
+                [1.0, 1.0],
+            ),
+        }
+    }
+
+    #[test]
+    fn interleaving_sorts_by_time_then_id() {
+        let a = vec![upd(0, 0, 0.0), upd(0, 1, 2.0)];
+        let b = vec![upd(1, 0, 1.0), upd(1, 1, 2.0)];
+        let merged = interleave_by_time([a, b]);
+        let order: Vec<(u32, u32)> = merged.iter().map(|u| (u.oid, u.seq)).collect();
+        assert_eq!(order, vec![(0, 0), (1, 0), (0, 1), (1, 1)]);
+    }
+}

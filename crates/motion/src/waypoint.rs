@@ -1,0 +1,197 @@
+//! Random-waypoint mobility model (extension beyond the paper's workload).
+//!
+//! Objects repeatedly pick a uniform waypoint in the space, travel to it
+//! in a straight line at a random speed, optionally pause, then pick the
+//! next waypoint. Compared with the random-direction walk this produces
+//! longer coherent segments and center-biased density — a useful second
+//! workload for checking that the dynamic-query algorithms don't depend
+//! on the walk's statistics.
+
+use crate::rng::truncated_normal;
+use crate::trace::ObjectTrace;
+use crate::update::MotionUpdate;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use stkit::{Interval, MotionSegment, Rect, Scalar};
+
+/// Parameters of the random-waypoint model.
+#[derive(Clone, Copy, Debug)]
+pub struct RandomWaypointConfig<const D: usize> {
+    /// Number of objects.
+    pub objects: u32,
+    /// The space objects roam.
+    pub space: Rect<D>,
+    /// Simulated duration in time units.
+    pub duration: Scalar,
+    /// Mean speed while travelling.
+    pub speed_mean: Scalar,
+    /// Standard deviation of the speed.
+    pub speed_sd: Scalar,
+    /// Mean pause at each waypoint (0 = no pausing).
+    pub pause_mean: Scalar,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomWaypointConfig<2> {
+    fn default() -> Self {
+        RandomWaypointConfig {
+            objects: 1000,
+            space: Rect::from_corners([0.0, 0.0], [100.0, 100.0]),
+            duration: 100.0,
+            speed_mean: 1.0,
+            speed_sd: 0.2,
+            pause_mean: 0.5,
+            seed: 0x52_57_50,
+        }
+    }
+}
+
+/// Deterministic random-waypoint generator.
+#[derive(Clone, Debug)]
+pub struct RandomWaypoint<const D: usize> {
+    config: RandomWaypointConfig<D>,
+}
+
+impl<const D: usize> RandomWaypoint<D> {
+    /// Create a generator from a config.
+    pub fn new(config: RandomWaypointConfig<D>) -> Self {
+        assert!(config.objects > 0, "need at least one object");
+        assert!(!config.space.is_empty(), "space must be non-empty");
+        RandomWaypoint { config }
+    }
+
+    /// The generator's configuration.
+    pub fn config(&self) -> &RandomWaypointConfig<D> {
+        &self.config
+    }
+
+    /// Generate every object's trace.
+    pub fn generate(&self) -> Vec<ObjectTrace<D>> {
+        (0..self.config.objects)
+            .map(|oid| self.generate_object(oid))
+            .collect()
+    }
+
+    /// Generate one object's trace.
+    pub fn generate_object(&self, oid: u32) -> ObjectTrace<D> {
+        let c = &self.config;
+        let mut rng = ChaCha8Rng::seed_from_u64(c.seed ^ ((oid as u64) << 20 | 0x57A9));
+        let mut pos = random_point(&mut rng, &c.space);
+        let mut t = 0.0;
+        let mut seq = 0;
+        let mut updates = Vec::new();
+        while t < c.duration {
+            let target = random_point(&mut rng, &c.space);
+            let dist: Scalar = pos
+                .iter()
+                .zip(&target)
+                .map(|(a, b)| (b - a) * (b - a))
+                .sum::<Scalar>()
+                .sqrt();
+            let speed = truncated_normal(&mut rng, c.speed_mean, c.speed_sd, c.speed_mean * 0.1);
+            let travel = dist / speed;
+            let t_end = (t + travel).min(c.duration);
+            // Clip the segment if the simulation ends mid-travel.
+            let frac = if travel > 0.0 { (t_end - t) / travel } else { 0.0 };
+            let mut endpoint = [0.0; D];
+            for i in 0..D {
+                endpoint[i] = pos[i] + (target[i] - pos[i]) * frac;
+            }
+            updates.push(MotionUpdate {
+                oid,
+                seq,
+                seg: MotionSegment::from_endpoints(Interval::new(t, t_end), pos, endpoint),
+            });
+            seq += 1;
+            pos = endpoint;
+            t = t_end;
+            if t >= c.duration {
+                break;
+            }
+            // Pause at the waypoint (a stationary segment), if configured.
+            if c.pause_mean > 0.0 {
+                let pause = truncated_normal(&mut rng, c.pause_mean, c.pause_mean * 0.3, 0.0);
+                let t_end = (t + pause).min(c.duration);
+                if t_end > t {
+                    updates.push(MotionUpdate {
+                        oid,
+                        seq,
+                        seg: MotionSegment::from_endpoints(Interval::new(t, t_end), pos, pos),
+                    });
+                    seq += 1;
+                    t = t_end;
+                }
+            }
+        }
+        ObjectTrace { oid, updates }
+    }
+}
+
+fn random_point<const D: usize, R: Rng>(rng: &mut R, space: &Rect<D>) -> [Scalar; D] {
+    let mut p = [0.0; D];
+    for i in 0..D {
+        let e = space.extent(i);
+        p[i] = rng.gen_range(e.lo..=e.hi);
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> RandomWaypointConfig<2> {
+        RandomWaypointConfig {
+            objects: 20,
+            duration: 30.0,
+            ..RandomWaypointConfig::default()
+        }
+    }
+
+    #[test]
+    fn traces_valid_and_bounded() {
+        let gen = RandomWaypoint::new(small());
+        for tr in gen.generate() {
+            tr.validate(1e-9).unwrap();
+            assert!(tr.stays_inside(&gen.config().space));
+            assert_eq!(tr.end_time(), 30.0);
+        }
+    }
+
+    #[test]
+    fn pauses_produce_stationary_segments() {
+        let gen = RandomWaypoint::new(small());
+        let traces = gen.generate();
+        let stationary = traces
+            .iter()
+            .flat_map(|t| &t.updates)
+            .filter(|u| u.seg.v.iter().all(|&v| v == 0.0))
+            .count();
+        assert!(stationary > 0, "expected some pause segments");
+    }
+
+    #[test]
+    fn no_pause_config_has_no_stationary_segments() {
+        let cfg = RandomWaypointConfig {
+            pause_mean: 0.0,
+            ..small()
+        };
+        let traces = RandomWaypoint::new(cfg).generate();
+        // Every segment is a real move (zero-velocity only possible if a
+        // waypoint coincides with the position — measure-zero event).
+        let stationary = traces
+            .iter()
+            .flat_map(|t| &t.updates)
+            .filter(|u| u.seg.v.iter().all(|&v| v == 0.0))
+            .count();
+        assert_eq!(stationary, 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = RandomWaypoint::new(small()).generate();
+        let b = RandomWaypoint::new(small()).generate();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,211 @@
+//! Sort-Tile-Recursive (STR) bulk loading.
+//!
+//! The paper builds its index over ≈502 k motion segments before running
+//! queries, at a 0.5 fill factor (§5). STR packs records into leaves by
+//! recursively sorting on successive axes and tiling; upper levels are
+//! packed the same way from the level below. With the paper's parameters
+//! this yields exactly the reported height of 3.
+
+use crate::node::{Node, NodeEntries};
+use crate::traits::{Key, Record};
+use crate::tree::{RTree, RTreeConfig};
+use storage::{PageId, PageStore};
+
+/// Build a tree from `records` by STR packing at `config.bulk_fill`.
+pub fn bulk_load<R: Record, S: PageStore>(
+    store: S,
+    config: RTreeConfig,
+    records: Vec<R>,
+) -> RTree<R, S> {
+    let len = records.len() as u64;
+    let mut tree = RTree::new(store, config);
+    if records.is_empty() {
+        return tree;
+    }
+
+    let page_size = tree.store().page_size();
+    let leaf_cap = Node::<R::Key, R>::leaf_capacity(page_size);
+    let internal_cap = Node::<R::Key, R>::internal_capacity(page_size);
+    let leaf_fill = effective_fill(leaf_cap, config.bulk_fill);
+    let internal_fill = effective_fill(internal_cap, config.bulk_fill);
+
+    // The initial empty-leaf root from RTree::new is recycled below.
+    let spare_root = tree.root_page();
+    tree.store().free(spare_root);
+
+    // Pack leaves.
+    let axes = match config.bulk_leading_axes {
+        Some(k) => k.clamp(1, R::Key::AXES),
+        None => R::Key::AXES,
+    };
+    let mut items: Vec<(R::Key, R)> = records.into_iter().map(|r| (r.key(), r)).collect();
+    let tiles = str_tiles(&mut items, 0, axes, leaf_fill);
+    let mut level_entries: Vec<(R::Key, PageId)> = Vec::with_capacity(tiles.len());
+    for tile in tiles {
+        let node = Node {
+            level: 0,
+            timestamp: f64::NEG_INFINITY,
+            entries: NodeEntries::Leaf(tile.iter().map(|(_, r)| *r).collect()),
+        };
+        let page = tree.store().alloc();
+        tree.store().write(page, &node.serialize(page_size));
+        level_entries.push((node.bounding_key(), page));
+    }
+
+    // Pack upper levels until one node remains.
+    let mut level = 0u32;
+    while level_entries.len() > 1 {
+        level += 1;
+        type Keyed<K> = Vec<(K, (K, PageId))>;
+        let mut items: Keyed<R::Key> = level_entries.iter().map(|e| (e.0, *e)).collect();
+        let tiles = str_tiles(&mut items, 0, axes, internal_fill);
+        let mut next: Vec<(R::Key, PageId)> = Vec::with_capacity(tiles.len());
+        for tile in tiles {
+            let node = Node::<R::Key, R> {
+                level,
+                timestamp: f64::NEG_INFINITY,
+                entries: NodeEntries::Internal(tile.iter().map(|(_, e)| *e).collect()),
+            };
+            let page = tree.store().alloc();
+            tree.store().write(page, &node.serialize(page_size));
+            next.push((node.bounding_key(), page));
+        }
+        level_entries = next;
+    }
+
+    let root = level_entries[0].1;
+    tree.set_root(root, level + 1, len);
+    tree
+}
+
+/// Number of entries to pack per node: `capacity · fill`, at least 1.
+fn effective_fill(capacity: usize, fill: f64) -> usize {
+    ((capacity as f64 * fill).floor() as usize).clamp(1, capacity)
+}
+
+/// Recursively tile `items` (sorted in place) into groups of ≤ `cap`,
+/// sorting on `axis`, slicing into slabs, then recursing on the next axis.
+fn str_tiles<K: Key, T: Copy>(
+    items: &mut [(K, T)],
+    axis: usize,
+    axes: usize,
+    cap: usize,
+) -> Vec<Vec<(K, T)>> {
+    if items.len() <= cap {
+        return vec![items.to_vec()];
+    }
+    items.sort_by(|a, b| {
+        a.0.center(axis)
+            .partial_cmp(&b.0.center(axis))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    if axis == axes - 1 {
+        return items.chunks(cap).map(<[_]>::to_vec).collect();
+    }
+    // Number of tiles still needed, spread over the remaining axes.
+    let tiles_needed = items.len().div_ceil(cap);
+    let remaining_axes = axes - axis;
+    let slabs = (tiles_needed as f64)
+        .powf(1.0 / remaining_axes as f64)
+        .ceil() as usize;
+    let slab_size = items.len().div_ceil(slabs.max(1));
+    let mut out = Vec::new();
+    for slab in items.chunks_mut(slab_size) {
+        out.extend(str_tiles(slab, axis + 1, axes, cap));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::NsiSegmentRecord;
+    use storage::Pager;
+    use stkit::Interval;
+
+    type R = NsiSegmentRecord<2>;
+
+    fn records(n: usize) -> Vec<R> {
+        (0..n)
+            .map(|i| {
+                let x = (i % 100) as f64;
+                let y = (i / 100) as f64;
+                let t = (i % 50) as f64 * 0.1;
+                R::new(
+                    i as u32,
+                    0,
+                    Interval::new(t, t + 1.0),
+                    [x, y],
+                    [x + 0.5, y + 0.5],
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_bulk_load() {
+        let tree = bulk_load(Pager::new(), RTreeConfig::default(), Vec::<R>::new());
+        assert!(tree.is_empty());
+        assert_eq!(tree.height(), 1);
+        tree.validate().unwrap();
+    }
+
+    #[test]
+    fn single_record() {
+        let tree = bulk_load(Pager::new(), RTreeConfig::default(), records(1));
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree.height(), 1);
+        tree.validate().unwrap();
+    }
+
+    #[test]
+    fn one_leaf_worth() {
+        let tree = bulk_load(Pager::new(), RTreeConfig::default(), records(63));
+        assert_eq!(tree.height(), 1, "63 records fit one half-filled leaf");
+        let inv = tree.validate().unwrap();
+        assert_eq!(inv.records, 63);
+    }
+
+    #[test]
+    fn multi_level_build() {
+        let tree = bulk_load(Pager::new(), RTreeConfig::default(), records(10_000));
+        assert_eq!(tree.len(), 10_000);
+        let inv = tree.validate().unwrap();
+        assert_eq!(inv.records, 10_000);
+        // 10 000 / 63 ≈ 159 leaves → needs 3 levels at fill 72.
+        assert_eq!(inv.height, 3);
+        // Fill factor near the requested 0.5 · 127 = 63.
+        let fill = inv.avg_leaf_fill();
+        assert!((55.0..=63.5).contains(&fill), "leaf fill {fill}");
+    }
+
+    #[test]
+    fn full_fill_build() {
+        let cfg = RTreeConfig {
+            bulk_fill: 1.0,
+            ..RTreeConfig::default()
+        };
+        let tree = bulk_load(Pager::new(), cfg, records(1000));
+        let inv = tree.validate().unwrap();
+        // 1000 / 127 = 7.9 → 8 leaves, one root.
+        assert_eq!(inv.nodes_per_level[0], 8);
+        assert_eq!(inv.height, 2);
+    }
+
+    #[test]
+    fn bulk_then_insert_coexist() {
+        let mut tree = bulk_load(Pager::new(), RTreeConfig::default(), records(500));
+        for i in 0..500 {
+            let r = R::new(
+                10_000 + i,
+                0,
+                Interval::new(0.0, 1.0),
+                [i as f64 * 0.1, 50.0],
+                [i as f64 * 0.1 + 1.0, 51.0],
+            );
+            tree.insert(r, i as f64);
+        }
+        assert_eq!(tree.len(), 1000);
+        tree.validate().unwrap();
+    }
+}

@@ -1,0 +1,306 @@
+//! On-page node representation and (de)serialization.
+//!
+//! One node occupies exactly one page. Layout (little-endian):
+//!
+//! ```text
+//! offset  size  field
+//! 0       2     magic 0x5254 ("RT")
+//! 2       1     node kind: 0 = leaf, 1 = internal
+//! 3       1     reserved
+//! 4       4     entry count (u32)
+//! 8       8     modification timestamp (f64) — §4.2 update management
+//! 16      4     level (u32): 0 at leaves, increasing towards the root
+//! 20      12    reserved
+//! 32      …     entries
+//! ```
+//!
+//! Internal entries are `key ‖ child-page-id(u32)`; leaf entries are
+//! encoded records. With 4 KiB pages, 2-d NSI keys (24 B) and 32-byte
+//! segment records this yields the paper's fanout: 145 internal, 127 leaf.
+
+use crate::traits::{Key, Record};
+use storage::PageId;
+
+/// Size of the fixed node header, in bytes.
+pub const NODE_HEADER_LEN: usize = 32;
+
+const MAGIC: u16 = 0x5254;
+const KIND_LEAF: u8 = 0;
+const KIND_INTERNAL: u8 = 1;
+
+/// Entries of a node: child pointers with bounding keys, or data records.
+#[derive(Clone, Debug, PartialEq)]
+pub enum NodeEntries<K, R> {
+    /// An internal node's `(bounding key, child page)` entries.
+    Internal(Vec<(K, PageId)>),
+    /// A leaf node's data records.
+    Leaf(Vec<R>),
+}
+
+/// An R-tree node decoded into memory.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Node<K, R> {
+    /// Height above the leaf level (0 = leaf).
+    pub level: u32,
+    /// Logical time of the last modification of this node (insertion path
+    /// stamping, §4.2). `-∞` for never-modified bulk-loaded nodes.
+    pub timestamp: f64,
+    /// The node's entries.
+    pub entries: NodeEntries<K, R>,
+}
+
+impl<K: Key, R: Record<Key = K>> Node<K, R> {
+    /// A fresh empty leaf.
+    pub fn empty_leaf() -> Self {
+        Node {
+            level: 0,
+            timestamp: f64::NEG_INFINITY,
+            entries: NodeEntries::Leaf(Vec::new()),
+        }
+    }
+
+    /// A fresh internal node at `level` (≥ 1).
+    pub fn internal(level: u32, entries: Vec<(K, PageId)>) -> Self {
+        debug_assert!(level >= 1);
+        Node {
+            level,
+            timestamp: f64::NEG_INFINITY,
+            entries: NodeEntries::Internal(entries),
+        }
+    }
+
+    /// True iff this is a leaf node.
+    pub fn is_leaf(&self) -> bool {
+        matches!(self.entries, NodeEntries::Leaf(_))
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        match &self.entries {
+            NodeEntries::Internal(v) => v.len(),
+            NodeEntries::Leaf(v) => v.len(),
+        }
+    }
+
+    /// True iff the node has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Minimum bounding key over all entries (empty key for empty nodes).
+    pub fn bounding_key(&self) -> K {
+        match &self.entries {
+            NodeEntries::Internal(v) => v
+                .iter()
+                .fold(K::empty(), |acc, (k, _)| acc.cover(k)),
+            NodeEntries::Leaf(v) => v
+                .iter()
+                .fold(K::empty(), |acc, r| acc.cover(&r.key())),
+        }
+    }
+
+    /// Maximum number of entries that fit a page of `page_size` bytes for
+    /// this node's kind.
+    pub fn capacity(&self, page_size: usize) -> usize {
+        if self.is_leaf() {
+            Self::leaf_capacity(page_size)
+        } else {
+            Self::internal_capacity(page_size)
+        }
+    }
+
+    /// Leaf fanout for a given page size.
+    pub fn leaf_capacity(page_size: usize) -> usize {
+        (page_size - NODE_HEADER_LEN) / R::ENCODED_LEN
+    }
+
+    /// Internal fanout for a given page size.
+    pub fn internal_capacity(page_size: usize) -> usize {
+        (page_size - NODE_HEADER_LEN) / (K::ENCODED_LEN + 4)
+    }
+
+    /// Serialize into a page image of at most `page_size` bytes.
+    ///
+    /// Panics if the node exceeds its capacity — callers split first.
+    pub fn serialize(&self, page_size: usize) -> Vec<u8> {
+        assert!(
+            self.len() <= self.capacity(page_size),
+            "node overflow: {} entries > capacity {}",
+            self.len(),
+            self.capacity(page_size)
+        );
+        let mut buf = Vec::with_capacity(page_size);
+        buf.extend_from_slice(&MAGIC.to_le_bytes());
+        buf.push(if self.is_leaf() { KIND_LEAF } else { KIND_INTERNAL });
+        buf.push(0);
+        buf.extend_from_slice(&(self.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&self.timestamp.to_le_bytes());
+        buf.extend_from_slice(&self.level.to_le_bytes());
+        buf.resize(NODE_HEADER_LEN, 0);
+        match &self.entries {
+            NodeEntries::Internal(v) => {
+                for (k, child) in v {
+                    k.encode(&mut buf);
+                    buf.extend_from_slice(&child.0.to_le_bytes());
+                }
+            }
+            NodeEntries::Leaf(v) => {
+                for r in v {
+                    r.encode(&mut buf);
+                }
+            }
+        }
+        debug_assert!(buf.len() <= page_size);
+        buf
+    }
+
+    /// Decode a node from a page image.
+    pub fn deserialize(buf: &[u8]) -> Self {
+        let magic = u16::from_le_bytes(buf[0..2].try_into().unwrap());
+        assert_eq!(magic, MAGIC, "not an R-tree node page");
+        let kind = buf[2];
+        let count = u32::from_le_bytes(buf[4..8].try_into().unwrap()) as usize;
+        let timestamp = f64::from_le_bytes(buf[8..16].try_into().unwrap());
+        let level = u32::from_le_bytes(buf[16..20].try_into().unwrap());
+        let mut off = NODE_HEADER_LEN;
+        let entries = match kind {
+            KIND_LEAF => {
+                let mut v = Vec::with_capacity(count);
+                for _ in 0..count {
+                    v.push(R::decode(&buf[off..off + R::ENCODED_LEN]));
+                    off += R::ENCODED_LEN;
+                }
+                NodeEntries::Leaf(v)
+            }
+            KIND_INTERNAL => {
+                let mut v = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let k = K::decode(&buf[off..off + K::ENCODED_LEN]);
+                    off += K::ENCODED_LEN;
+                    let child =
+                        PageId(u32::from_le_bytes(buf[off..off + 4].try_into().unwrap()));
+                    off += 4;
+                    v.push((k, child));
+                }
+                NodeEntries::Internal(v)
+            }
+            other => panic!("corrupt node kind byte {other}"),
+        };
+        Node {
+            level,
+            timestamp,
+            entries,
+        }
+    }
+
+    /// Internal entries, panicking on leaves (programming error).
+    pub fn internal_entries(&self) -> &[(K, PageId)] {
+        match &self.entries {
+            NodeEntries::Internal(v) => v,
+            NodeEntries::Leaf(_) => panic!("expected internal node"),
+        }
+    }
+
+    /// Leaf records, panicking on internal nodes (programming error).
+    pub fn leaf_records(&self) -> &[R] {
+        match &self.entries {
+            NodeEntries::Leaf(v) => v,
+            NodeEntries::Internal(_) => panic!("expected leaf node"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::NsiSegmentRecord;
+    use stkit::{Interval, StBox};
+
+    type R = NsiSegmentRecord<2>;
+    type K = StBox<2, 1>;
+    type N = Node<K, R>;
+
+    fn rec(oid: u32, x: f64) -> R {
+        R::new(oid, 0, Interval::new(0.0, 1.0), [x, 0.0], [x + 1.0, 1.0])
+    }
+
+    #[test]
+    fn leaf_roundtrip() {
+        let mut n = N::empty_leaf();
+        n.timestamp = 17.5;
+        if let NodeEntries::Leaf(v) = &mut n.entries {
+            v.push(rec(1, 0.0));
+            v.push(rec(2, 5.0));
+        }
+        let page = n.serialize(4096);
+        assert!(page.len() <= 4096);
+        let back = N::deserialize(&page);
+        assert_eq!(back, n);
+        assert_eq!(back.level, 0);
+        assert_eq!(back.timestamp, 17.5);
+        assert_eq!(back.leaf_records().len(), 2);
+    }
+
+    #[test]
+    fn internal_roundtrip() {
+        let k1 = rec(1, 0.0).key();
+        let k2 = rec(2, 5.0).key();
+        let mut n = N::internal(2, vec![(k1, PageId(7)), (k2, PageId(9))]);
+        n.timestamp = -3.25;
+        let page = n.serialize(4096);
+        let back = N::deserialize(&page);
+        assert_eq!(back, n);
+        assert_eq!(back.internal_entries()[1].1, PageId(9));
+    }
+
+    #[test]
+    fn capacities_match_paper() {
+        assert_eq!(N::leaf_capacity(4096), 127);
+        assert_eq!(N::internal_capacity(4096), 145);
+    }
+
+    #[test]
+    fn bounding_key_covers_entries() {
+        let mut n = N::empty_leaf();
+        if let NodeEntries::Leaf(v) = &mut n.entries {
+            v.push(rec(1, 0.0));
+            v.push(rec(2, 5.0));
+        }
+        let bk = n.bounding_key();
+        assert!(bk.contains(&rec(1, 0.0).key()));
+        assert!(bk.contains(&rec(2, 5.0).key()));
+        assert!(N::empty_leaf().bounding_key().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "node overflow")]
+    fn oversized_node_panics() {
+        let mut n = N::empty_leaf();
+        if let NodeEntries::Leaf(v) = &mut n.entries {
+            for i in 0..200 {
+                v.push(rec(i, i as f64));
+            }
+        }
+        n.serialize(4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an R-tree node")]
+    fn garbage_page_rejected() {
+        let buf = vec![0u8; 4096];
+        let _ = N::deserialize(&buf);
+    }
+
+    #[test]
+    fn full_leaf_fits_exactly() {
+        let mut n = N::empty_leaf();
+        if let NodeEntries::Leaf(v) = &mut n.entries {
+            for i in 0..127 {
+                v.push(rec(i, i as f64));
+            }
+        }
+        let page = n.serialize(4096);
+        assert!(page.len() <= 4096);
+        assert_eq!(N::deserialize(&page).len(), 127);
+    }
+}

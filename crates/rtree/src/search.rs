@@ -1,0 +1,282 @@
+//! Range search — the building block of snapshot queries and the paper's
+//! *naive* baseline.
+//!
+//! The tree descends into every child whose bounding key overlaps the
+//! query key (`R ≬ Q`, §3.2); at the leaf level an `accept` predicate is
+//! applied to the *record* so callers can use the exact segment-vs-query
+//! test instead of the record's bounding box (the optimization of \[13\],
+//! \[14, 15\] discussed in §3.2 — toggleable for the ablation bench).
+
+use crate::node::NodeEntries;
+use crate::traits::{Key, Record};
+use crate::tree::RTree;
+use storage::PageStore;
+
+/// Cost counters for one search.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Nodes loaded (= disk accesses).
+    pub nodes_visited: u64,
+    /// Of those, leaf nodes.
+    pub leaf_nodes_visited: u64,
+    /// Key/record comparisons — the paper's "distance computations"
+    /// CPU metric (§5): one per child examined.
+    pub comparisons: u64,
+    /// Records emitted.
+    pub results: u64,
+}
+
+impl std::ops::AddAssign for SearchStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.nodes_visited += rhs.nodes_visited;
+        self.leaf_nodes_visited += rhs.leaf_nodes_visited;
+        self.comparisons += rhs.comparisons;
+        self.results += rhs.results;
+    }
+}
+
+/// A range query over the tree's key space.
+#[derive(Clone, Copy, Debug)]
+pub struct RangeQuery<K> {
+    /// The query box.
+    pub key: K,
+}
+
+impl<R: Record, S: PageStore> RTree<R, S> {
+    /// Range search: emit every record whose key overlaps `query` *and*
+    /// that passes `accept` (the exact geometric test). Uses an explicit
+    /// stack; every node load is one disk access.
+    pub fn range_search(
+        &self,
+        query: &R::Key,
+        mut accept: impl FnMut(&R) -> bool,
+        mut emit: impl FnMut(&R),
+    ) -> SearchStats {
+        let mut stats = SearchStats::default();
+        if query.is_empty() {
+            return stats;
+        }
+        let mut stack = vec![self.root_page()];
+        while let Some(page) = stack.pop() {
+            let node = self.load(page);
+            stats.nodes_visited += 1;
+            match &node.entries {
+                NodeEntries::Internal(entries) => {
+                    for (k, child) in entries {
+                        stats.comparisons += 1;
+                        if k.overlaps(query) {
+                            stack.push(*child);
+                        }
+                    }
+                }
+                NodeEntries::Leaf(recs) => {
+                    stats.leaf_nodes_visited += 1;
+                    for r in recs {
+                        stats.comparisons += 1;
+                        if r.key().overlaps(query) && accept(r) {
+                            stats.results += 1;
+                            emit(r);
+                        }
+                    }
+                }
+            }
+        }
+        stats
+    }
+
+    /// Convenience: collect all accepted records.
+    pub fn range_collect(
+        &self,
+        query: &R::Key,
+        accept: impl FnMut(&R) -> bool,
+    ) -> (Vec<R>, SearchStats) {
+        let mut out = Vec::new();
+        let stats = self.range_search(query, accept, |r| out.push(*r));
+        (out, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::bulk::bulk_load;
+    use crate::records::NsiSegmentRecord;
+    use crate::tree::{RTree, RTreeConfig};
+    use storage::{PageStore, Pager};
+    use stkit::{Interval, Rect, StBox};
+
+    type R = NsiSegmentRecord<2>;
+    type K = StBox<2, 1>;
+
+    fn query(x: (f64, f64), y: (f64, f64), t: (f64, f64)) -> K {
+        StBox::new(
+            Rect::from_corners([x.0, y.0], [x.1, y.1]),
+            Rect::new([Interval::new(t.0, t.1)]),
+        )
+    }
+
+    /// A grid of stationary unit segments, one per integer cell.
+    fn grid_records(n: usize) -> Vec<R> {
+        (0..n * n)
+            .map(|i| {
+                let x = (i % n) as f64;
+                let y = (i / n) as f64;
+                R::new(
+                    i as u32,
+                    0,
+                    Interval::new(0.0, 10.0),
+                    [x + 0.25, y + 0.25],
+                    [x + 0.75, y + 0.75],
+                )
+            })
+            .collect()
+    }
+
+    fn build(records: Vec<R>) -> RTree<R, Pager> {
+        bulk_load(Pager::new(), RTreeConfig::default(), records)
+    }
+
+    #[test]
+    fn finds_expected_grid_cells() {
+        let tree = build(grid_records(30));
+        // Query covering cells x ∈ [10, 12], y ∈ [20, 21] fully.
+        let q = query((10.0, 13.0), (20.0, 22.0), (0.0, 10.0));
+        let (hits, stats) = tree.range_collect(&q, |_| true);
+        assert_eq!(hits.len(), 6, "3×2 cells expected");
+        assert_eq!(stats.results, 6);
+        assert!(stats.nodes_visited >= 1);
+        for r in &hits {
+            let c = r.seg.x0;
+            assert!((10.0..13.0).contains(&c[0]));
+            assert!((20.0..22.0).contains(&c[1]));
+        }
+    }
+
+    #[test]
+    fn temporal_restriction_excludes() {
+        let tree = build(grid_records(10));
+        let q = query((0.0, 10.0), (0.0, 10.0), (20.0, 30.0));
+        let (hits, _) = tree.range_collect(&q, |_| true);
+        assert!(hits.is_empty(), "all segments end at t=10");
+    }
+
+    #[test]
+    fn empty_query_is_free() {
+        let tree = build(grid_records(10));
+        let before = tree.store().io();
+        let stats = tree.range_search(&K::EMPTY, |_| true, |_| {});
+        assert_eq!(stats.nodes_visited, 0);
+        assert_eq!((tree.store().io() - before).reads, 0);
+    }
+
+    #[test]
+    fn accept_filter_rejects() {
+        let tree = build(grid_records(10));
+        let q = query((0.0, 10.0), (0.0, 10.0), (0.0, 10.0));
+        let (hits, stats) = tree.range_collect(&q, |r| r.oid % 2 == 0);
+        assert_eq!(hits.len(), 50);
+        assert!(hits.iter().all(|r| r.oid % 2 == 0));
+        assert_eq!(stats.results, 50);
+    }
+
+    #[test]
+    fn exact_segment_test_rejects_bbox_false_positive() {
+        // Diagonal mover whose bbox covers the whole square; query sits in
+        // the off-diagonal corner.
+        let diag = R::new(0, 0, Interval::new(0.0, 10.0), [0.0, 0.0], [10.0, 10.0]);
+        let tree = build(vec![diag]);
+        let q = query((8.0, 10.0), (0.0, 2.0), (0.0, 10.0));
+        // Without the exact test: false admission.
+        let (naive, _) = tree.range_collect(&q, |_| true);
+        assert_eq!(naive.len(), 1);
+        // With the exact test (§3.2): rejected.
+        let (exact, _) = tree.range_collect(&q, |r| {
+            !r.seg
+                .intersect_query(&q.space, &q.time.extent(0))
+                .is_empty()
+        });
+        assert!(exact.is_empty());
+    }
+
+    #[test]
+    fn io_matches_nodes_visited() {
+        let tree = build(grid_records(40));
+        let before = tree.store().io();
+        let q = query((0.0, 5.0), (0.0, 5.0), (0.0, 10.0));
+        let stats = tree.range_search(&q, |_| true, |_| {});
+        let delta = tree.store().io() - before;
+        assert_eq!(delta.reads, stats.nodes_visited);
+        assert_eq!(delta.writes, 0);
+    }
+
+    #[test]
+    fn search_after_incremental_inserts() {
+        let mut tree = RTree::new(Pager::new(), RTreeConfig::default());
+        for r in grid_records(20) {
+            tree.insert(r, 0.0);
+        }
+        tree.validate().unwrap();
+        let q = query((5.0, 7.0), (5.0, 7.0), (0.0, 10.0));
+        let (hits, _) = tree.range_collect(&q, |_| true);
+        assert_eq!(hits.len(), 4, "2×2 cells");
+    }
+}
+
+impl<R: Record, S: PageStore> RTree<R, S> {
+    /// Visit every record in the tree (full scan, in node order). Returns
+    /// the number of records visited; each node load is one disk access.
+    pub fn scan(&self, mut visit: impl FnMut(&R)) -> u64 {
+        let mut n = 0;
+        let mut stack = vec![self.root_page()];
+        while let Some(page) = stack.pop() {
+            let node = self.load(page);
+            match &node.entries {
+                NodeEntries::Internal(entries) => {
+                    for (_, child) in entries {
+                        stack.push(*child);
+                    }
+                }
+                NodeEntries::Leaf(recs) => {
+                    for r in recs {
+                        visit(r);
+                        n += 1;
+                    }
+                }
+            }
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod scan_tests {
+    use crate::bulk::bulk_load;
+    use crate::records::NsiSegmentRecord;
+    use crate::tree::RTreeConfig;
+    use storage::Pager;
+    use stkit::Interval;
+
+    #[test]
+    fn scan_visits_every_record_once() {
+        let recs: Vec<NsiSegmentRecord<2>> = (0..1000)
+            .map(|i| {
+                let x = (i % 40) as f64;
+                let y = (i / 40) as f64;
+                NsiSegmentRecord::new(i, 0, Interval::new(0.0, 1.0), [x, y], [x + 1.0, y])
+            })
+            .collect();
+        let tree = bulk_load(Pager::new(), RTreeConfig::default(), recs);
+        let mut seen = std::collections::HashSet::new();
+        let n = tree.scan(|r| {
+            assert!(seen.insert(r.oid), "record {} visited twice", r.oid);
+        });
+        assert_eq!(n, 1000);
+        assert_eq!(seen.len(), 1000);
+    }
+
+    #[test]
+    fn scan_of_empty_tree() {
+        let tree: crate::tree::RTree<NsiSegmentRecord<2>, Pager> =
+            crate::tree::RTree::new(Pager::new(), RTreeConfig::default());
+        assert_eq!(tree.scan(|_| {}), 0);
+    }
+}

@@ -1,0 +1,95 @@
+//! The key and leaf-record abstractions the tree is generic over.
+
+/// A bounding key stored in R-tree entries.
+///
+/// Keys must support the box algebra the tree's maintenance and search
+/// algorithms need, plus a *fixed-width* byte encoding so node capacity is
+/// a static function of the page size.
+///
+/// # Encoding contract
+///
+/// `encode` must append exactly `ENCODED_LEN` bytes and `decode` must
+/// invert it **conservatively**: the decoded key must *contain* the
+/// original (lossy narrowing, e.g. `f64 → f32`, has to round bounds
+/// outward). Keys derived from already-quantized data round-trip exactly.
+pub trait Key: Copy + std::fmt::Debug + PartialEq {
+    /// Exact number of bytes appended by [`Self::encode`].
+    const ENCODED_LEN: usize;
+
+    /// Number of axes, for bulk-load sorting.
+    const AXES: usize;
+
+    /// A key containing nothing; the identity of [`Self::cover`].
+    fn empty() -> Self;
+
+    /// True iff the key covers no point.
+    fn is_empty(&self) -> bool;
+
+    /// Minimum bounding key of both operands (empty operands ignored).
+    fn cover(&self, other: &Self) -> Self;
+
+    /// Componentwise intersection of both operands.
+    fn intersect(&self, other: &Self) -> Self;
+
+    /// True iff the keys share at least one point.
+    fn overlaps(&self, other: &Self) -> bool;
+
+    /// True iff `other` is fully inside `self`.
+    fn contains(&self, other: &Self) -> bool;
+
+    /// Measure (volume) of the key; 0 when empty.
+    fn volume(&self) -> f64;
+
+    /// Sum of extent lengths, the R*-style margin.
+    fn margin(&self) -> f64;
+
+    /// Volume growth of `self ⊎ other` over `self` — Guttman's
+    /// least-enlargement criterion.
+    fn enlargement(&self, other: &Self) -> f64;
+
+    /// Lower bound along `axis ∈ 0..AXES` (spatial axes first).
+    fn axis_lo(&self, axis: usize) -> f64;
+
+    /// Upper bound along `axis ∈ 0..AXES` (spatial axes first).
+    fn axis_hi(&self, axis: usize) -> f64;
+
+    /// Center coordinate along `axis ∈ 0..AXES`, for STR bulk loading and
+    /// the linear split's separation heuristic.
+    fn center(&self, axis: usize) -> f64 {
+        0.5 * (self.axis_lo(axis) + self.axis_hi(axis))
+    }
+
+    /// Append exactly [`Self::ENCODED_LEN`] bytes to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+
+    /// Decode from the first [`Self::ENCODED_LEN`] bytes of `buf`.
+    fn decode(buf: &[u8]) -> Self;
+}
+
+/// A data record stored at the leaf level.
+///
+/// Records carry the *exact* geometry (e.g. a motion segment's endpoints)
+/// rather than just a bounding box — the §3.2 optimization that lets
+/// queries reject false admissions without extra I/O.
+///
+/// # Encoding contract
+///
+/// Fixed width, and `decode(encode(r)) == r` **exactly** — callers must
+/// quantize coordinates to the on-page precision (`f32`) before
+/// constructing records (see `mobiquery`'s ingest path).
+pub trait Record: Copy + std::fmt::Debug + PartialEq {
+    /// Bounding-key type this record is indexed under.
+    type Key: Key;
+
+    /// Exact number of bytes appended by [`Self::encode`].
+    const ENCODED_LEN: usize;
+
+    /// The bounding key under which the record is indexed.
+    fn key(&self) -> Self::Key;
+
+    /// Append exactly [`Self::ENCODED_LEN`] bytes to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+
+    /// Decode from the first [`Self::ENCODED_LEN`] bytes of `buf`.
+    fn decode(buf: &[u8]) -> Self;
+}

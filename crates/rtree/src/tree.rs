@@ -1,0 +1,853 @@
+//! The paginated R-tree: construction, insertion, node access.
+
+use crate::node::{Node, NodeEntries};
+use crate::split::{split, SplitPolicy};
+use crate::traits::{Key, Record};
+use storage::{PageId, PageStore};
+
+/// Tuning knobs; defaults reproduce the paper's setup (§5).
+#[derive(Clone, Copy, Debug)]
+pub struct RTreeConfig {
+    /// Minimum node fill on split, as a fraction of capacity. The paper
+    /// uses 0.5.
+    pub min_fill: f64,
+    /// Split heuristic on overflow.
+    pub split_policy: SplitPolicy,
+    /// Target node fill for bulk loading (paper: 0.5).
+    pub bulk_fill: f64,
+    /// When `Some(k)`, STR bulk loading tiles only over the first `k`
+    /// axes (spatial axes come first in `StBox` keys): pass `Some(2)` for
+    /// 2-d data to get purely *spatial* clustering, the layout that makes
+    /// NPDQ discardability effective for open-ended queries (§4.2).
+    /// `None` tiles over all axes (balanced space-time clustering).
+    pub bulk_leading_axes: Option<usize>,
+}
+
+impl Default for RTreeConfig {
+    fn default() -> Self {
+        RTreeConfig {
+            min_fill: 0.5,
+            split_policy: SplitPolicy::Quadratic,
+            bulk_fill: 0.5,
+            bulk_leading_axes: None,
+        }
+    }
+}
+
+/// What an insertion created, for notifying running dynamic queries
+/// (§4.1 "Update Management").
+#[derive(Clone, Debug, PartialEq)]
+pub enum Inserted<K, R> {
+    /// No node was split: only this record is new. Running queries check
+    /// it against their trajectory directly.
+    Record(R),
+    /// Splits occurred; `page` is the lowest common ancestor of every
+    /// newly created node (the first ancestor that absorbed a split
+    /// without splitting itself, or the new root). Running queries
+    /// re-enqueue this subtree.
+    Subtree {
+        /// Page of the LCA node.
+        page: PageId,
+        /// Bounding key of the LCA at insertion time.
+        key: K,
+        /// Level of the LCA (0 = leaf).
+        level: u32,
+    },
+}
+
+/// Outcome of one insertion.
+#[derive(Clone, Debug, PartialEq)]
+pub struct InsertReport<K, R> {
+    /// What to forward to running dynamic queries.
+    pub notify: Inserted<K, R>,
+    /// True iff the root split (queries may prefer to rebuild their
+    /// queues, §4.1).
+    pub root_split: bool,
+}
+
+/// Outcome of a recursive delete step.
+enum DeleteOutcome<K> {
+    /// The record was not in this subtree.
+    NotFound,
+    /// Deleted; the subtree's new bounding key.
+    Deleted { new_key: K },
+    /// Deleted, and this node dissolved (underflow); its contents were
+    /// added to the orphan lists and its page freed.
+    Dissolved,
+}
+
+/// A paginated R-tree over records of type `R`, stored in `S`.
+///
+/// Every node occupies one page; loading a node through [`RTree::load`]
+/// costs exactly one [`PageStore::read`], which is the paper's disk-access
+/// metric.
+///
+/// ```
+/// use rtree::{NsiSegmentRecord, RTree, RTreeConfig};
+/// use storage::Pager;
+/// use stkit::{Interval, Rect, StBox};
+///
+/// let mut tree = RTree::new(Pager::new(), RTreeConfig::default());
+/// for i in 0..500u32 {
+///     let x = (i % 25) as f64;
+///     let y = (i / 25) as f64;
+///     let rec = NsiSegmentRecord::new(
+///         i, 0, Interval::new(0.0, 1.0), [x, y], [x + 0.5, y + 0.5]);
+///     tree.insert(rec, i as f64); // the f64 is the §4.2 timestamp
+/// }
+/// assert_eq!(tree.len(), 500);
+/// // Range search with the exact leaf test (§3.2).
+/// let q = StBox::new(
+///     Rect::from_corners([5.0, 5.0], [9.0, 9.0]),
+///     Rect::new([Interval::new(0.0, 1.0)]),
+/// );
+/// let (hits, stats) = tree.range_collect(&q, |_| true);
+/// assert!(!hits.is_empty());
+/// assert!(stats.nodes_visited > 0); // every node load = one disk access
+/// ```
+pub struct RTree<R: Record, S: PageStore> {
+    store: S,
+    config: RTreeConfig,
+    root: PageId,
+    height: u32,
+    len: u64,
+    _records: std::marker::PhantomData<fn() -> R>,
+}
+
+impl<R: Record, S: PageStore> RTree<R, S> {
+    /// Create an empty tree (a single empty leaf as root).
+    pub fn new(store: S, config: RTreeConfig) -> Self {
+        let root = store.alloc();
+        let node = Node::<R::Key, R>::empty_leaf();
+        let page_size = store.page_size();
+        store.write(root, &node.serialize(page_size));
+        RTree {
+            store,
+            config,
+            root,
+            height: 1,
+            len: 0,
+            _records: std::marker::PhantomData,
+        }
+    }
+
+    /// Re-open a tree whose pages already live in `store` (e.g. loaded
+    /// from a persisted page file): the caller supplies the metadata that
+    /// [`RTree::metadata`] returned when the tree was saved.
+    pub fn reopen(store: S, config: RTreeConfig, root: PageId, height: u32, len: u64) -> Self {
+        RTree {
+            store,
+            config,
+            root,
+            height,
+            len,
+            _records: std::marker::PhantomData,
+        }
+    }
+
+    /// The metadata needed to [`RTree::reopen`] this tree later:
+    /// `(root page, height, record count)`.
+    pub fn metadata(&self) -> (PageId, u32, u64) {
+        (self.root, self.height, self.len)
+    }
+
+    /// The page id of the root node.
+    pub fn root_page(&self) -> PageId {
+        self.root
+    }
+
+    /// Number of levels (1 = the root is a leaf). The paper's tree of
+    /// ~500 k segments has height 3.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Number of records stored.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True iff no records are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The underlying page store (for I/O snapshots).
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    /// The tree's configuration.
+    pub fn config(&self) -> &RTreeConfig {
+        &self.config
+    }
+
+    /// Leaf fanout under the store's page size.
+    pub fn leaf_capacity(&self) -> usize {
+        Node::<R::Key, R>::leaf_capacity(self.store.page_size())
+    }
+
+    /// Internal fanout under the store's page size.
+    pub fn internal_capacity(&self) -> usize {
+        Node::<R::Key, R>::internal_capacity(self.store.page_size())
+    }
+
+    /// Load a node — **one simulated disk access**.
+    pub fn load(&self, page: PageId) -> Node<R::Key, R> {
+        Node::deserialize(&self.store.read(page))
+    }
+
+    /// Write a node image back to its page.
+    pub(crate) fn write_node(&self, page: PageId, node: &Node<R::Key, R>) {
+        self.store.write(page, &node.serialize(self.store.page_size()));
+    }
+
+    pub(crate) fn set_root(&mut self, root: PageId, height: u32, len: u64) {
+        self.root = root;
+        self.height = height;
+        self.len = len;
+    }
+
+    fn min_fill_count(&self, capacity: usize) -> usize {
+        // At least 1, at most half of (capacity + 1) so a split of
+        // capacity+1 entries is always feasible.
+        let m = (capacity as f64 * self.config.min_fill).floor() as usize;
+        m.clamp(1, capacity.div_ceil(2))
+    }
+
+    /// Insert one record, stamping every touched node with logical time
+    /// `now` (§4.2 update management) and reporting what running dynamic
+    /// queries must be told (§4.1 update management).
+    pub fn insert(&mut self, rec: R, now: f64) -> InsertReport<R::Key, R> {
+        // Page-domain key: what the record's key becomes after one trip
+        // through the f32 page encoding.
+        let key = {
+            let mut buf = Vec::with_capacity(R::Key::ENCODED_LEN);
+            rec.key().encode(&mut buf);
+            R::Key::decode(&buf)
+        };
+
+        // ChooseLeaf: descend by least enlargement, remembering the path.
+        struct Step<K, R> {
+            page: PageId,
+            node: Node<K, R>,
+            chosen: usize,
+        }
+        let mut path: Vec<Step<R::Key, R>> = Vec::with_capacity(self.height as usize);
+        let mut cur = self.root;
+        let (leaf_page, mut leaf) = loop {
+            let node = self.load(cur);
+            if node.is_leaf() {
+                break (cur, node);
+            }
+            let chosen = choose_subtree(node.internal_entries(), &key);
+            let next = node.internal_entries()[chosen].1;
+            path.push(Step {
+                page: cur,
+                node,
+                chosen,
+            });
+            cur = next;
+        };
+
+        let leaf_cap = self.leaf_capacity();
+        let internal_cap = self.internal_capacity();
+
+        leaf.timestamp = now;
+        let NodeEntries::Leaf(recs) = &mut leaf.entries else {
+            unreachable!()
+        };
+        recs.push(rec);
+
+        let mut notify: Option<Inserted<R::Key, R>> = None;
+        // Entry that still has to be added to the next node up.
+        let mut pending: Option<(R::Key, PageId)> = None;
+        // Updated bounding key of the child we descended into.
+        let mut child_key;
+
+        if leaf.len() <= leaf_cap {
+            child_key = leaf.bounding_key();
+            self.write_node(leaf_page, &leaf);
+            notify = Some(Inserted::Record(rec));
+        } else {
+            let (old_node, new_node) = self.split_node(&leaf, leaf.len() - 1);
+            child_key = old_node.bounding_key();
+            let new_page = self.store.alloc();
+            self.write_node(leaf_page, &old_node);
+            self.write_node(new_page, &new_node);
+            pending = Some((new_node.bounding_key(), new_page));
+        }
+
+        while let Some(Step {
+            page,
+            mut node,
+            chosen,
+        }) = path.pop()
+        {
+            node.timestamp = now;
+            let NodeEntries::Internal(entries) = &mut node.entries else {
+                unreachable!()
+            };
+            entries[chosen].0 = child_key;
+            if let Some((nk, np)) = pending.take() {
+                entries.push((nk, np));
+                if node.len() > internal_cap {
+                    let (old_node, new_node) = self.split_node(&node, node.len() - 1);
+                    child_key = old_node.bounding_key();
+                    let new_page = self.store.alloc();
+                    self.write_node(page, &old_node);
+                    self.write_node(new_page, &new_node);
+                    pending = Some((new_node.bounding_key(), new_page));
+                } else {
+                    child_key = node.bounding_key();
+                    self.write_node(page, &node);
+                    if notify.is_none() {
+                        // First ancestor that absorbed the split chain:
+                        // the LCA of all newly created nodes (§4.1).
+                        notify = Some(Inserted::Subtree {
+                            page,
+                            key: child_key,
+                            level: node.level,
+                        });
+                    }
+                }
+            } else {
+                child_key = node.bounding_key();
+                self.write_node(page, &node);
+            }
+        }
+
+        let mut root_split = false;
+        if let Some((nk, np)) = pending {
+            // The old root split: grow the tree.
+            let new_root = self.store.alloc();
+            let mut root_node =
+                Node::<R::Key, R>::internal(self.height, vec![(child_key, self.root), (nk, np)]);
+            root_node.timestamp = now;
+            self.write_node(new_root, &root_node);
+            self.root = new_root;
+            self.height += 1;
+            root_split = true;
+            notify = Some(Inserted::Subtree {
+                page: new_root,
+                key: root_node.bounding_key(),
+                level: root_node.level,
+            });
+        }
+
+        self.len += 1;
+        InsertReport {
+            notify: notify.expect("notify always set"),
+            root_split,
+        }
+    }
+
+    /// Delete one record (matched by full equality), condensing the tree
+    /// à la Guttman: nodes that underflow are dissolved and their
+    /// contents reinserted at the appropriate level; the root is shrunk
+    /// when it is an internal node with a single child. Returns `true`
+    /// iff the record was found.
+    ///
+    /// Deletion is an index-maintenance operation (e.g. expiring old
+    /// motion history); the paper's update-management protocol covers
+    /// *insertions* only, so dynamic queries running concurrently with
+    /// deletes should be rebuilt afterwards.
+    pub fn delete(&mut self, rec: &R, now: f64) -> bool {
+        let key = rec.key();
+        let mut orphan_records: Vec<R> = Vec::new();
+        let mut orphan_subtrees: Vec<(R::Key, PageId, u32)> = Vec::new();
+        let root = self.root;
+        let outcome = self.delete_rec(
+            root,
+            &key,
+            rec,
+            now,
+            &mut orphan_records,
+            &mut orphan_subtrees,
+        );
+        if !matches!(outcome, DeleteOutcome::Deleted { .. }) {
+            return false;
+        }
+        self.len -= 1;
+
+        // Reinsert orphans: subtrees at their own level first (deepest
+        // first so the tree height is adequate), then records.
+        orphan_subtrees.sort_by_key(|&(_, _, level)| std::cmp::Reverse(level));
+        for (k, page, level) in orphan_subtrees {
+            self.insert_subtree(k, page, level, now);
+        }
+        for r in orphan_records {
+            self.insert(r, now);
+            self.len -= 1; // insert() counted it again
+        }
+
+        // Shrink the root while it is an internal node with one child.
+        loop {
+            let root_node = self.load(self.root);
+            match &root_node.entries {
+                NodeEntries::Internal(entries) if entries.len() == 1 => {
+                    let child = entries[0].1;
+                    self.store.free(self.root);
+                    self.root = child;
+                    self.height -= 1;
+                }
+                _ => break,
+            }
+        }
+        true
+    }
+
+    fn delete_rec(
+        &mut self,
+        page: PageId,
+        key: &R::Key,
+        rec: &R,
+        now: f64,
+        orphan_records: &mut Vec<R>,
+        orphan_subtrees: &mut Vec<(R::Key, PageId, u32)>,
+    ) -> DeleteOutcome<R::Key> {
+        let mut node = self.load(page);
+        let is_root = page == self.root;
+        let cap = node.capacity(self.store.page_size());
+        let min_fill = if is_root { 1 } else { self.min_fill_count(cap) };
+        match &mut node.entries {
+            NodeEntries::Leaf(recs) => {
+                let Some(pos) = recs.iter().position(|r| r == rec) else {
+                    return DeleteOutcome::NotFound;
+                };
+                recs.remove(pos);
+                node.timestamp = now;
+                let underfull = node.len() < min_fill && !is_root;
+                if underfull {
+                    // Dissolve: all remaining records get reinserted.
+                    orphan_records.extend_from_slice(node.leaf_records());
+                    self.store.free(page);
+                    DeleteOutcome::Dissolved
+                } else {
+                    let k = node.bounding_key();
+                    self.write_node(page, &node);
+                    DeleteOutcome::Deleted { new_key: k }
+                }
+            }
+            NodeEntries::Internal(entries) => {
+                let mut hit: Option<(usize, DeleteOutcome<R::Key>)> = None;
+                for (i, (k, child)) in entries.iter().enumerate() {
+                    if !k.overlaps(key) {
+                        continue;
+                    }
+                    let out = self.delete_rec(
+                        *child,
+                        key,
+                        rec,
+                        now,
+                        orphan_records,
+                        orphan_subtrees,
+                    );
+                    if !matches!(out, DeleteOutcome::NotFound) {
+                        hit = Some((i, out));
+                        break;
+                    }
+                }
+                let Some((idx, out)) = hit else {
+                    return DeleteOutcome::NotFound;
+                };
+                // Re-borrow mutably after the recursive calls.
+                let NodeEntries::Internal(entries) = &mut node.entries else {
+                    unreachable!()
+                };
+                match out {
+                    DeleteOutcome::Deleted { new_key } => {
+                        entries[idx].0 = new_key;
+                    }
+                    DeleteOutcome::Dissolved => {
+                        entries.remove(idx);
+                    }
+                    DeleteOutcome::NotFound => unreachable!(),
+                }
+                node.timestamp = now;
+                let underfull = node.len() < min_fill && !is_root;
+                if underfull {
+                    // Dissolve this node too: its remaining children are
+                    // orphan subtrees at the level below.
+                    for (k, child) in node.internal_entries() {
+                        orphan_subtrees.push((*k, *child, node.level - 1));
+                    }
+                    self.store.free(page);
+                    DeleteOutcome::Dissolved
+                } else {
+                    let k = node.bounding_key();
+                    self.write_node(page, &node);
+                    DeleteOutcome::Deleted { new_key: k }
+                }
+            }
+        }
+    }
+
+    /// Reinsert a whole subtree (root `page` at `level`, bounding `key`)
+    /// during condensation: descend by least enlargement to the node at
+    /// `level + 1` and add the entry there, splitting upward as usual.
+    fn insert_subtree(&mut self, key: R::Key, page: PageId, level: u32, now: f64) {
+        // If the tree shrank below the subtree's level, grow it by
+        // making a new root (rare; happens when the old root dissolved).
+        if level + 1 >= self.height {
+            let new_root = self.store.alloc();
+            let old_root_key = self.load(self.root).bounding_key();
+            let mut root_node = Node::<R::Key, R>::internal(
+                self.height.max(level + 1),
+                vec![(old_root_key, self.root), (key, page)],
+            );
+            root_node.timestamp = now;
+            self.write_node(new_root, &root_node);
+            self.root = new_root;
+            self.height = root_node.level + 1;
+            return;
+        }
+        struct Step<K, R> {
+            page: PageId,
+            node: Node<K, R>,
+            chosen: usize,
+        }
+        let mut path: Vec<Step<R::Key, R>> = Vec::new();
+        let mut cur = self.root;
+        loop {
+            let node = self.load(cur);
+            if node.level == level + 1 {
+                path.push(Step {
+                    page: cur,
+                    node,
+                    chosen: usize::MAX,
+                });
+                break;
+            }
+            let chosen = choose_subtree(node.internal_entries(), &key);
+            let next = node.internal_entries()[chosen].1;
+            path.push(Step {
+                page: cur,
+                node,
+                chosen,
+            });
+            cur = next;
+        }
+        let internal_cap = self.internal_capacity();
+        let mut pending: Option<(R::Key, PageId)> = Some((key, page));
+        let mut child_key = R::Key::empty();
+        let mut first = true;
+        while let Some(Step {
+            page,
+            mut node,
+            chosen,
+        }) = path.pop()
+        {
+            node.timestamp = now;
+            let NodeEntries::Internal(entries) = &mut node.entries else {
+                unreachable!()
+            };
+            if !first && chosen != usize::MAX {
+                entries[chosen].0 = child_key;
+            } else if !first {
+                unreachable!("only the target node lacks a chosen child");
+            }
+            if let Some((nk, np)) = pending.take() {
+                entries.push((nk, np));
+                if node.len() > internal_cap {
+                    let (old_node, new_node) = self.split_node(&node, node.len() - 1);
+                    child_key = old_node.bounding_key();
+                    let new_page = self.store.alloc();
+                    self.write_node(page, &old_node);
+                    self.write_node(new_page, &new_node);
+                    pending = Some((new_node.bounding_key(), new_page));
+                } else {
+                    child_key = node.bounding_key();
+                    self.write_node(page, &node);
+                }
+            } else {
+                child_key = node.bounding_key();
+                self.write_node(page, &node);
+            }
+            first = false;
+        }
+        if let Some((nk, np)) = pending {
+            let new_root = self.store.alloc();
+            let mut root_node =
+                Node::<R::Key, R>::internal(self.height, vec![(child_key, self.root), (nk, np)]);
+            root_node.timestamp = now;
+            self.write_node(new_root, &root_node);
+            self.root = new_root;
+            self.height += 1;
+        }
+    }
+
+    /// Split an overflowing node. `new_entry_idx` is the position of the
+    /// entry whose arrival caused the overflow; per §4.1, the group
+    /// containing it becomes the *new* node so that cascading splits stay
+    /// on one path (the old page keeps the other group).
+    fn split_node(
+        &self,
+        node: &Node<R::Key, R>,
+        new_entry_idx: usize,
+    ) -> (Node<R::Key, R>, Node<R::Key, R>) {
+        let capacity = node.capacity(self.store.page_size()) ;
+        let min_fill = self.min_fill_count(capacity);
+        match &node.entries {
+            NodeEntries::Leaf(recs) => {
+                let keys: Vec<R::Key> = recs.iter().map(Record::key).collect();
+                let part = split(self.config.split_policy, &keys, min_fill);
+                let (a, b) = if part.a.contains(&new_entry_idx) {
+                    (&part.b, &part.a)
+                } else {
+                    (&part.a, &part.b)
+                };
+                let mk = |idx: &[usize]| Node {
+                    level: node.level,
+                    timestamp: node.timestamp,
+                    entries: NodeEntries::Leaf(idx.iter().map(|&i| recs[i]).collect()),
+                };
+                (mk(a), mk(b))
+            }
+            NodeEntries::Internal(entries) => {
+                let keys: Vec<R::Key> = entries.iter().map(|(k, _)| *k).collect();
+                let part = split(self.config.split_policy, &keys, min_fill);
+                let (a, b) = if part.a.contains(&new_entry_idx) {
+                    (&part.b, &part.a)
+                } else {
+                    (&part.a, &part.b)
+                };
+                let mk = |idx: &[usize]| Node {
+                    level: node.level,
+                    timestamp: node.timestamp,
+                    entries: NodeEntries::Internal(idx.iter().map(|&i| entries[i]).collect()),
+                };
+                (mk(a), mk(b))
+            }
+        }
+    }
+
+    /// Walk the whole tree checking structural invariants; returns a
+    /// description of the first violation. Test/debug aid — I/O counted.
+    pub fn validate(&self) -> Result<TreeInventory, String> {
+        let mut inv = TreeInventory {
+            height: self.height,
+            ..TreeInventory::default()
+        };
+        let root = self.load(self.root);
+        if root.level + 1 != self.height {
+            return Err(format!(
+                "root level {} inconsistent with height {}",
+                root.level, self.height
+            ));
+        }
+        self.validate_node(self.root, &root, None, true, &mut inv)?;
+        if inv.records != self.len {
+            return Err(format!(
+                "record count mismatch: counted {}, tree says {}",
+                inv.records, self.len
+            ));
+        }
+        Ok(inv)
+    }
+
+    fn validate_node(
+        &self,
+        page: PageId,
+        node: &Node<R::Key, R>,
+        parent_key: Option<&R::Key>,
+        is_root: bool,
+        inv: &mut TreeInventory,
+    ) -> Result<(), String> {
+        let cap = node.capacity(self.store.page_size());
+        let min_fill = self.min_fill_count(cap);
+        if node.len() > cap {
+            return Err(format!("node {page} over capacity: {}", node.len()));
+        }
+        if !is_root && node.len() < min_fill.min(cap / 2) && self.len > 0 {
+            // Bulk-loaded trees may have one underfull node per level
+            // (the remainder tile); tolerate but record it.
+            inv.underfull_nodes += 1;
+        }
+        if let Some(pk) = parent_key {
+            let bk = node.bounding_key();
+            if !pk.contains(&bk) {
+                return Err(format!(
+                    "parent key does not contain node {page}: {pk:?} vs {bk:?}"
+                ));
+            }
+        }
+        inv.nodes += 1;
+        let lvl = node.level as usize;
+        if inv.nodes_per_level.len() <= lvl {
+            inv.nodes_per_level.resize(lvl + 1, 0);
+            inv.entries_per_level.resize(lvl + 1, 0);
+        }
+        inv.nodes_per_level[lvl] += 1;
+        inv.entries_per_level[lvl] += node.len() as u64;
+        match &node.entries {
+            NodeEntries::Leaf(recs) => {
+                inv.records += recs.len() as u64;
+            }
+            NodeEntries::Internal(entries) => {
+                for (k, child_page) in entries {
+                    let child = self.load(*child_page);
+                    if child.level + 1 != node.level {
+                        return Err(format!(
+                            "level discontinuity: node {page} level {} child {child_page} level {}",
+                            node.level, child.level
+                        ));
+                    }
+                    self.validate_node(*child_page, &child, Some(k), false, inv)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Structural statistics gathered by [`RTree::validate`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TreeInventory {
+    /// Total node count.
+    pub nodes: u64,
+    /// Total record count.
+    pub records: u64,
+    /// Tree height.
+    pub height: u32,
+    /// Nodes per level, index 0 = leaves.
+    pub nodes_per_level: Vec<u64>,
+    /// Entries per level, index 0 = leaves.
+    pub entries_per_level: Vec<u64>,
+    /// Nodes below the configured minimum fill (informational).
+    pub underfull_nodes: u64,
+}
+
+impl TreeInventory {
+    /// Average fill of leaf nodes (entries per node).
+    pub fn avg_leaf_fill(&self) -> f64 {
+        if self.nodes_per_level.is_empty() || self.nodes_per_level[0] == 0 {
+            return 0.0;
+        }
+        self.entries_per_level[0] as f64 / self.nodes_per_level[0] as f64
+    }
+}
+
+/// Guttman's ChooseLeaf criterion: least enlargement, ties by smaller
+/// volume, then by position.
+pub(crate) fn choose_subtree<K: Key>(entries: &[(K, PageId)], key: &K) -> usize {
+    debug_assert!(!entries.is_empty());
+    let mut best = 0;
+    let mut best_enl = f64::INFINITY;
+    let mut best_vol = f64::INFINITY;
+    for (i, (k, _)) in entries.iter().enumerate() {
+        let enl = k.enlargement(key);
+        let vol = k.volume();
+        if enl < best_enl || (enl == best_enl && vol < best_vol) {
+            best = i;
+            best_enl = enl;
+            best_vol = vol;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::NsiSegmentRecord;
+    use storage::Pager;
+    use stkit::Interval;
+
+    type R = NsiSegmentRecord<2>;
+
+    fn rec(i: u32) -> R {
+        let x = (i % 40) as f64 * 2.0;
+        let y = (i / 40) as f64 * 2.0;
+        R::new(
+            i,
+            0,
+            Interval::new((i % 10) as f64, (i % 10) as f64 + 1.0),
+            [x, y],
+            [x + 1.0, y + 1.0],
+        )
+    }
+
+    fn build(n: u32) -> RTree<R, Pager> {
+        let mut tree = RTree::new(Pager::new(), RTreeConfig::default());
+        for i in 0..n {
+            tree.insert(rec(i), i as f64);
+        }
+        tree
+    }
+
+    #[test]
+    fn delete_missing_record_is_noop() {
+        let mut tree = build(100);
+        let ghost = R::new(9999, 0, Interval::new(0.0, 1.0), [1.0, 1.0], [2.0, 2.0]);
+        assert!(!tree.delete(&ghost, 100.0));
+        assert_eq!(tree.len(), 100);
+        tree.validate().unwrap();
+    }
+
+    #[test]
+    fn delete_single_record() {
+        let mut tree = build(100);
+        assert!(tree.delete(&rec(42), 100.0));
+        assert_eq!(tree.len(), 99);
+        tree.validate().unwrap();
+        let (hits, _) = tree.range_collect(&rec(42).key(), |r| r == &rec(42));
+        assert!(hits.is_empty(), "deleted record still findable");
+        // Deleting it again fails.
+        assert!(!tree.delete(&rec(42), 101.0));
+    }
+
+    #[test]
+    fn delete_everything_shrinks_to_empty_root() {
+        let mut tree = build(400);
+        assert!(tree.height() >= 2);
+        for i in 0..400 {
+            assert!(tree.delete(&rec(i), 1000.0 + i as f64), "record {i}");
+        }
+        assert_eq!(tree.len(), 0);
+        assert_eq!(tree.height(), 1, "tree must shrink back to a leaf root");
+        tree.validate().unwrap();
+    }
+
+    #[test]
+    fn delete_half_keeps_other_half_searchable() {
+        let mut tree = build(500);
+        for i in (0..500).step_by(2) {
+            assert!(tree.delete(&rec(i), 1000.0 + i as f64));
+        }
+        assert_eq!(tree.len(), 250);
+        tree.validate().unwrap();
+        for i in 0..500u32 {
+            let target = rec(i);
+            let (hits, _) = tree.range_collect(&target.key(), |r| r == &target);
+            if i % 2 == 0 {
+                assert!(hits.is_empty(), "record {i} should be gone");
+            } else {
+                assert_eq!(hits.len(), 1, "record {i} should remain");
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_insert_delete() {
+        let mut tree = build(200);
+        for round in 0..5u32 {
+            for i in 0..50 {
+                assert!(tree.delete(&rec(i), 2000.0 + round as f64));
+            }
+            for i in 0..50 {
+                tree.insert(rec(i), 3000.0 + round as f64);
+            }
+            tree.validate().unwrap();
+        }
+        assert_eq!(tree.len(), 200);
+    }
+
+    #[test]
+    fn delete_updates_timestamps() {
+        let mut tree = build(300);
+        tree.delete(&rec(7), 777.0);
+        let root = tree.load(tree.root_page());
+        assert_eq!(root.timestamp, 777.0, "delete path must be stamped");
+    }
+}

@@ -1,0 +1,237 @@
+//! Property-based tests for the R-tree: structural invariants after
+//! arbitrary build sequences, search equivalence with brute force, and
+//! page-encoding conservatism.
+
+use proptest::prelude::*;
+use rtree::bulk::bulk_load;
+use rtree::{Key, NsiSegmentRecord, RTree, RTreeConfig, Record, SplitPolicy};
+use storage::Pager;
+use stkit::{Interval, Rect, StBox};
+
+type R = NsiSegmentRecord<2>;
+
+#[derive(Clone, Debug)]
+struct RawSeg {
+    t0: f64,
+    dur: f64,
+    a: [f64; 2],
+    b: [f64; 2],
+}
+
+fn raw_seg() -> impl Strategy<Value = RawSeg> {
+    (
+        0.0f64..100.0,
+        0.05f64..5.0,
+        (-100.0f64..100.0, -100.0f64..100.0),
+        (-100.0f64..100.0, -100.0f64..100.0),
+    )
+        .prop_map(|(t0, dur, a, b)| RawSeg {
+            t0,
+            dur,
+            a: [a.0, a.1],
+            b: [b.0, b.1],
+        })
+}
+
+fn records(max: usize) -> impl Strategy<Value = Vec<R>> {
+    proptest::collection::vec(raw_seg(), 1..max).prop_map(|raws| {
+        raws.iter()
+            .enumerate()
+            .map(|(i, r)| {
+                R::new(
+                    i as u32,
+                    0,
+                    Interval::new(r.t0, r.t0 + r.dur),
+                    r.a,
+                    r.b,
+                )
+            })
+            .collect()
+    })
+}
+
+fn query_key() -> impl Strategy<Value = StBox<2, 1>> {
+    (
+        -100.0f64..100.0,
+        0.0f64..80.0,
+        -100.0f64..100.0,
+        0.0f64..80.0,
+        0.0f64..100.0,
+        0.0f64..20.0,
+    )
+        .prop_map(|(x, w, y, h, t, dt)| {
+            StBox::new(
+                Rect::from_corners([x, y], [x + w, y + h]),
+                Rect::new([Interval::new(t, t + dt)]),
+            )
+        })
+}
+
+fn brute<'a>(recs: &'a [R], q: &'a StBox<2, 1>) -> Vec<u32> {
+    let mut v: Vec<u32> = recs
+        .iter()
+        .filter(|r| r.key().overlaps(q))
+        .map(|r| r.oid)
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn inserted_tree_is_valid_and_complete(recs in records(400), q in query_key()) {
+        let mut tree: RTree<R, Pager> = RTree::new(Pager::new(), RTreeConfig::default());
+        for (i, r) in recs.iter().enumerate() {
+            tree.insert(*r, i as f64);
+        }
+        let inv = tree.validate().unwrap();
+        prop_assert_eq!(inv.records as usize, recs.len());
+        let (mut hits, _) = tree.range_collect(&q, |_| true);
+        let mut got: Vec<u32> = hits.drain(..).map(|r| r.oid).collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, brute(&recs, &q));
+    }
+
+    #[test]
+    fn bulk_tree_is_valid_and_complete(recs in records(600), q in query_key()) {
+        let tree = bulk_load(Pager::new(), RTreeConfig::default(), recs.clone());
+        tree.validate().unwrap();
+        let (mut hits, _) = tree.range_collect(&q, |_| true);
+        let mut got: Vec<u32> = hits.drain(..).map(|r| r.oid).collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, brute(&recs, &q));
+    }
+
+    #[test]
+    fn spatial_bulk_tree_matches_brute_force(recs in records(600), q in query_key()) {
+        let cfg = RTreeConfig { bulk_leading_axes: Some(2), ..RTreeConfig::default() };
+        let tree = bulk_load(Pager::new(), cfg, recs.clone());
+        tree.validate().unwrap();
+        let (mut hits, _) = tree.range_collect(&q, |_| true);
+        let mut got: Vec<u32> = hits.drain(..).map(|r| r.oid).collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, brute(&recs, &q));
+    }
+
+    #[test]
+    fn linear_split_tree_matches_brute_force(recs in records(300), q in query_key()) {
+        let cfg = RTreeConfig { split_policy: SplitPolicy::Linear, ..RTreeConfig::default() };
+        let mut tree: RTree<R, Pager> = RTree::new(Pager::new(), cfg);
+        for (i, r) in recs.iter().enumerate() {
+            tree.insert(*r, i as f64);
+        }
+        tree.validate().unwrap();
+        let (mut hits, _) = tree.range_collect(&q, |_| true);
+        let mut got: Vec<u32> = hits.drain(..).map(|r| r.oid).collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, brute(&recs, &q));
+    }
+
+    #[test]
+    fn rstar_split_tree_matches_brute_force(recs in records(300), q in query_key()) {
+        let cfg = RTreeConfig { split_policy: SplitPolicy::RStar, ..RTreeConfig::default() };
+        let mut tree: RTree<R, Pager> = RTree::new(Pager::new(), cfg);
+        for (i, r) in recs.iter().enumerate() {
+            tree.insert(*r, i as f64);
+        }
+        tree.validate().unwrap();
+        let (mut hits, _) = tree.range_collect(&q, |_| true);
+        let mut got: Vec<u32> = hits.drain(..).map(|r| r.oid).collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, brute(&recs, &q));
+    }
+
+    #[test]
+    fn mixed_bulk_then_insert_matches_brute_force(
+        base in records(300),
+        extra in records(100),
+        q in query_key(),
+    ) {
+        // Re-id the extras so oids stay unique.
+        let extra: Vec<R> = extra
+            .iter()
+            .enumerate()
+            .map(|(i, r)| R { oid: 10_000 + i as u32, ..*r })
+            .collect();
+        let mut tree = bulk_load(Pager::new(), RTreeConfig::default(), base.clone());
+        for (i, r) in extra.iter().enumerate() {
+            tree.insert(*r, i as f64);
+        }
+        tree.validate().unwrap();
+        let mut all = base;
+        all.extend_from_slice(&extra);
+        let (mut hits, _) = tree.range_collect(&q, |_| true);
+        let mut got: Vec<u32> = hits.drain(..).map(|r| r.oid).collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, brute(&all, &q));
+    }
+
+    #[test]
+    fn key_encoding_is_conservative(
+        x0 in -1.0e6f64..1.0e6, w in 0.0f64..1.0e3,
+        y0 in -1.0e6f64..1.0e6, h in 0.0f64..1.0e3,
+        t in 0.0f64..1.0e6, dt in 0.0f64..1.0e3,
+    ) {
+        let k: StBox<2, 1> = StBox::new(
+            Rect::from_corners([x0, y0], [x0 + w, y0 + h]),
+            Rect::new([Interval::new(t, t + dt)]),
+        );
+        let mut buf = Vec::new();
+        k.encode(&mut buf);
+        let d = <StBox<2, 1> as Key>::decode(&buf);
+        prop_assert!(d.contains(&k), "decoded {d:?} must contain {k:?}");
+    }
+
+    #[test]
+    fn record_roundtrip_exact(raw in raw_seg()) {
+        let r = R::new(7, 3, Interval::new(raw.t0, raw.t0 + raw.dur), raw.a, raw.b);
+        let mut buf = Vec::new();
+        r.encode(&mut buf);
+        prop_assert_eq!(R::decode(&buf), r);
+    }
+
+    #[test]
+    fn delete_random_subset_matches_brute_force(
+        recs in records(250),
+        keep_mod in 2usize..5,
+        q in query_key(),
+    ) {
+        let mut tree: RTree<R, Pager> = RTree::new(Pager::new(), RTreeConfig::default());
+        for (i, r) in recs.iter().enumerate() {
+            tree.insert(*r, i as f64);
+        }
+        let mut remaining = Vec::new();
+        for (i, r) in recs.iter().enumerate() {
+            if i % keep_mod == 0 {
+                prop_assert!(tree.delete(r, 1_000.0 + i as f64), "delete {i}");
+            } else {
+                remaining.push(*r);
+            }
+        }
+        tree.validate().unwrap();
+        prop_assert_eq!(tree.len() as usize, remaining.len());
+        let (mut hits, _) = tree.range_collect(&q, |_| true);
+        let mut got: Vec<u32> = hits.drain(..).map(|r| r.oid).collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, brute(&remaining, &q));
+    }
+
+    #[test]
+    fn insert_reports_cover_the_record(recs in records(300)) {
+        // Every InsertReport's notification must cover the inserted record:
+        // Record(r) trivially, Subtree's key must contain the record's key.
+        let mut tree: RTree<R, Pager> = RTree::new(Pager::new(), RTreeConfig::default());
+        for (i, r) in recs.iter().enumerate() {
+            let report = tree.insert(*r, i as f64);
+            match &report.notify {
+                rtree::Inserted::Record(rec) => prop_assert_eq!(rec, r),
+                rtree::Inserted::Subtree { key, .. } => {
+                    prop_assert!(key.contains(&r.key()),
+                        "LCA key {key:?} must contain inserted {:?}", r.key());
+                }
+            }
+        }
+    }
+}

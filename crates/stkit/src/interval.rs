@@ -1,0 +1,268 @@
+//! Closed intervals with the paper's Definition 1 algebra.
+//!
+//! An interval `[l, h]` is *empty* iff `l > h`. Intersection, coverage
+//! (`⊎`, the convex hull), overlap (`≬`) and precedes (`⪯`) follow the
+//! definitions of the paper verbatim.
+
+use crate::Scalar;
+
+/// A closed interval `[lo, hi]` of scalars (paper Definition 1).
+///
+/// The interval is empty iff `lo > hi`; a single value `v` is `[v, v]`.
+/// All operations treat empty intervals uniformly (any empty interval is
+/// equal to any other empty interval).
+///
+/// ```
+/// use stkit::Interval;
+/// let j = Interval::new(0.0, 5.0);
+/// let k = Interval::new(3.0, 8.0);
+/// assert_eq!(j.intersect(&k), Interval::new(3.0, 5.0));
+/// assert_eq!(j.cover(&k), Interval::new(0.0, 8.0));
+/// assert!(j.overlaps(&k));
+/// assert!(Interval::new(9.0, 1.0).is_empty()); // inverted ⇒ empty
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Interval {
+    /// Lower endpoint `l`.
+    pub lo: Scalar,
+    /// Upper endpoint `h`.
+    pub hi: Scalar,
+}
+
+impl Interval {
+    /// The canonical empty interval.
+    pub const EMPTY: Interval = Interval {
+        lo: Scalar::INFINITY,
+        hi: Scalar::NEG_INFINITY,
+    };
+
+    /// The interval covering the whole real line.
+    pub const ALL: Interval = Interval {
+        lo: Scalar::NEG_INFINITY,
+        hi: Scalar::INFINITY,
+    };
+
+    /// Create `[lo, hi]`. If `lo > hi` the result is empty.
+    #[inline]
+    pub fn new(lo: Scalar, hi: Scalar) -> Self {
+        Interval { lo, hi }
+    }
+
+    /// The degenerate interval `[v, v]`.
+    #[inline]
+    pub fn point(v: Scalar) -> Self {
+        Interval { lo: v, hi: v }
+    }
+
+    /// True iff the interval contains no value (`lo > hi`, or a NaN bound).
+    #[inline]
+    #[allow(clippy::neg_cmp_op_on_partial_ord)] // `!(lo <= hi)` is NaN-aware on purpose
+    pub fn is_empty(&self) -> bool {
+        !(self.lo <= self.hi)
+    }
+
+    /// Length `hi − lo`, or 0 for empty intervals.
+    #[inline]
+    pub fn length(&self) -> Scalar {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.hi - self.lo
+        }
+    }
+
+    /// Intersection `J ∩ K = [max(J_l, K_l), min(J_h, K_h)]`.
+    #[inline]
+    pub fn intersect(&self, other: &Interval) -> Interval {
+        Interval {
+            lo: self.lo.max(other.lo),
+            hi: self.hi.min(other.hi),
+        }
+    }
+
+    /// Coverage `J ⊎ K = [min(J_l, K_l), max(J_h, K_h)]` — the convex hull.
+    ///
+    /// Empty operands are ignored (the hull of `∅` and `K` is `K`).
+    #[inline]
+    pub fn cover(&self, other: &Interval) -> Interval {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Overlap `J ≬ K ⇔ J ∩ K ≠ ∅` (closed intervals: touching counts).
+    #[inline]
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        !self.intersect(other).is_empty()
+    }
+
+    /// Precedes `I ⪯ J ⇔ ∀P ∈ I : P ≤ J_l`.
+    ///
+    /// An empty interval vacuously precedes everything.
+    #[inline]
+    pub fn precedes(&self, other: &Interval) -> bool {
+        self.is_empty() || self.hi <= other.lo
+    }
+
+    /// True iff `v ∈ [lo, hi]`.
+    #[inline]
+    pub fn contains(&self, v: Scalar) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// True iff `other ⊆ self`. Every interval contains the empty interval.
+    #[inline]
+    pub fn contains_interval(&self, other: &Interval) -> bool {
+        other.is_empty() || (!self.is_empty() && self.lo <= other.lo && other.hi <= self.hi)
+    }
+
+    /// Clamp `v` into the interval. Panics in debug builds if empty.
+    #[inline]
+    pub fn clamp(&self, v: Scalar) -> Scalar {
+        debug_assert!(!self.is_empty(), "clamp on empty interval");
+        v.max(self.lo).min(self.hi)
+    }
+
+    /// Midpoint of the interval (undefined for empty intervals).
+    #[inline]
+    pub fn mid(&self) -> Scalar {
+        0.5 * (self.lo + self.hi)
+    }
+
+    /// Grow the interval by `delta` on both sides (shrinks if negative).
+    #[inline]
+    pub fn inflate(&self, delta: Scalar) -> Interval {
+        if self.is_empty() {
+            *self
+        } else {
+            Interval {
+                lo: self.lo - delta,
+                hi: self.hi + delta,
+            }
+        }
+    }
+
+    /// Translate the interval by `delta`.
+    #[inline]
+    pub fn shift(&self, delta: Scalar) -> Interval {
+        if self.is_empty() {
+            *self
+        } else {
+            Interval {
+                lo: self.lo + delta,
+                hi: self.hi + delta,
+            }
+        }
+    }
+}
+
+impl PartialEq for Interval {
+    /// Two intervals are equal iff both are empty or both endpoints match.
+    fn eq(&self, other: &Self) -> bool {
+        (self.is_empty() && other.is_empty()) || (self.lo == other.lo && self.hi == other.hi)
+    }
+}
+
+impl Default for Interval {
+    fn default() -> Self {
+        Interval::EMPTY
+    }
+}
+
+impl std::fmt::Display for Interval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_empty() {
+            write!(f, "∅")
+        } else {
+            write!(f, "[{}, {}]", self.lo, self.hi)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_semantics() {
+        assert!(Interval::EMPTY.is_empty());
+        assert!(Interval::new(1.0, 0.0).is_empty());
+        assert!(!Interval::point(3.0).is_empty());
+        assert_eq!(Interval::new(2.0, 1.0), Interval::EMPTY);
+        assert_eq!(Interval::EMPTY.length(), 0.0);
+    }
+
+    #[test]
+    fn intersection_follows_definition_1() {
+        let j = Interval::new(0.0, 5.0);
+        let k = Interval::new(3.0, 8.0);
+        assert_eq!(j.intersect(&k), Interval::new(3.0, 5.0));
+        // Disjoint ⇒ empty.
+        let l = Interval::new(6.0, 9.0);
+        assert!(j.intersect(&l).is_empty());
+        // Touching endpoints intersect in a single point (closed intervals).
+        let m = Interval::new(5.0, 7.0);
+        assert_eq!(j.intersect(&m), Interval::point(5.0));
+    }
+
+    #[test]
+    fn coverage_is_convex_hull() {
+        let j = Interval::new(0.0, 2.0);
+        let k = Interval::new(5.0, 8.0);
+        assert_eq!(j.cover(&k), Interval::new(0.0, 8.0));
+        assert_eq!(Interval::EMPTY.cover(&k), k);
+        assert_eq!(k.cover(&Interval::EMPTY), k);
+    }
+
+    #[test]
+    fn overlap_predicate() {
+        let j = Interval::new(0.0, 5.0);
+        assert!(j.overlaps(&Interval::new(5.0, 9.0)));
+        assert!(!j.overlaps(&Interval::new(5.1, 9.0)));
+        assert!(!j.overlaps(&Interval::EMPTY));
+    }
+
+    #[test]
+    fn precedes_predicate() {
+        let i = Interval::new(0.0, 3.0);
+        assert!(i.precedes(&Interval::new(3.0, 9.0)));
+        assert!(!i.precedes(&Interval::new(2.9, 9.0)));
+        assert!(Interval::EMPTY.precedes(&i));
+    }
+
+    #[test]
+    fn containment() {
+        let j = Interval::new(0.0, 5.0);
+        assert!(j.contains(0.0) && j.contains(5.0) && j.contains(2.5));
+        assert!(!j.contains(-0.001));
+        assert!(j.contains_interval(&Interval::new(1.0, 4.0)));
+        assert!(j.contains_interval(&j));
+        assert!(j.contains_interval(&Interval::EMPTY));
+        assert!(!j.contains_interval(&Interval::new(-1.0, 4.0)));
+        assert!(!Interval::EMPTY.contains_interval(&j));
+    }
+
+    #[test]
+    fn inflate_and_shift() {
+        let j = Interval::new(1.0, 3.0);
+        assert_eq!(j.inflate(0.5), Interval::new(0.5, 3.5));
+        assert_eq!(j.shift(2.0), Interval::new(3.0, 5.0));
+        assert!(Interval::EMPTY.inflate(10.0).is_empty());
+        assert!(Interval::EMPTY.shift(10.0).is_empty());
+        // Deflating past emptiness yields empty.
+        assert!(j.inflate(-2.0).is_empty());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", Interval::new(1.0, 2.0)), "[1, 2]");
+        assert_eq!(format!("{}", Interval::EMPTY), "∅");
+    }
+}

@@ -1,0 +1,219 @@
+//! Scalar linear functions of time and exact inequality solving.
+//!
+//! Every overlap-time computation in the paper (Eq. 3, the "four cases" of
+//! Fig. 3, and leaf-level segment intersection) reduces to intersecting
+//! solution sets of inequalities of the form `a + b·t ≤ c` or `a + b·t ≥ c`
+//! over `t`. Solving them exactly once here keeps the higher-level geometry
+//! free of case analysis.
+
+use crate::{Interval, Scalar};
+
+/// A linear function of time: `value(t) = a + b·t`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinearForm {
+    /// Constant coefficient.
+    pub a: Scalar,
+    /// Slope (rate of change per unit time).
+    pub b: Scalar,
+}
+
+impl LinearForm {
+    /// The constant function `value(t) = c`.
+    #[inline]
+    pub fn constant(c: Scalar) -> Self {
+        LinearForm { a: c, b: 0.0 }
+    }
+
+    /// Build from a point on the line: value `v0` at time `t0`, slope `b`.
+    #[inline]
+    pub fn through(t0: Scalar, v0: Scalar, b: Scalar) -> Self {
+        LinearForm { a: v0 - b * t0, b }
+    }
+
+    /// Build the line through `(t0, v0)` and `(t1, v1)`.
+    ///
+    /// If `t0 == t1` the result is the constant `v0` (the degenerate
+    /// trajectory segment of two coincident key snapshots).
+    #[inline]
+    pub fn between(t0: Scalar, v0: Scalar, t1: Scalar, v1: Scalar) -> Self {
+        if t1 == t0 {
+            LinearForm::constant(v0)
+        } else {
+            let b = (v1 - v0) / (t1 - t0);
+            LinearForm::through(t0, v0, b)
+        }
+    }
+
+    /// Evaluate at time `t`.
+    #[inline]
+    pub fn eval(&self, t: Scalar) -> Scalar {
+        self.a + self.b * t
+    }
+
+    /// Sum of two linear forms.
+    #[inline]
+    pub fn add(&self, other: &LinearForm) -> LinearForm {
+        LinearForm {
+            a: self.a + other.a,
+            b: self.b + other.b,
+        }
+    }
+
+    /// Difference `self − other`.
+    #[inline]
+    pub fn sub(&self, other: &LinearForm) -> LinearForm {
+        LinearForm {
+            a: self.a - other.a,
+            b: self.b - other.b,
+        }
+    }
+
+    /// Shift the whole line by a constant offset.
+    #[inline]
+    pub fn offset(&self, delta: Scalar) -> LinearForm {
+        LinearForm {
+            a: self.a + delta,
+            b: self.b,
+        }
+    }
+
+    /// Solution set of `a + b·t ≤ c` as a (possibly unbounded) interval.
+    #[inline]
+    pub fn solve_le(&self, c: Scalar) -> Interval {
+        if self.b > 0.0 {
+            Interval::new(Scalar::NEG_INFINITY, (c - self.a) / self.b)
+        } else if self.b < 0.0 {
+            Interval::new((c - self.a) / self.b, Scalar::INFINITY)
+        } else if self.a <= c {
+            Interval::ALL
+        } else {
+            Interval::EMPTY
+        }
+    }
+
+    /// Solution set of `a + b·t ≥ c` as a (possibly unbounded) interval.
+    #[inline]
+    pub fn solve_ge(&self, c: Scalar) -> Interval {
+        if self.b > 0.0 {
+            Interval::new((c - self.a) / self.b, Scalar::INFINITY)
+        } else if self.b < 0.0 {
+            Interval::new(Scalar::NEG_INFINITY, (c - self.a) / self.b)
+        } else if self.a >= c {
+            Interval::ALL
+        } else {
+            Interval::EMPTY
+        }
+    }
+
+    /// Solution set of `lo ≤ a + b·t ≤ hi`.
+    #[inline]
+    pub fn solve_within(&self, range: &Interval) -> Interval {
+        if range.is_empty() {
+            return Interval::EMPTY;
+        }
+        self.solve_ge(range.lo).intersect(&self.solve_le(range.hi))
+    }
+
+    /// Times at which `self(t) ≤ other(t)`.
+    #[inline]
+    pub fn solve_le_form(&self, other: &LinearForm) -> Interval {
+        self.sub(other).solve_le(0.0)
+    }
+
+    /// Times at which `self(t) ≥ other(t)`.
+    #[inline]
+    pub fn solve_ge_form(&self, other: &LinearForm) -> Interval {
+        self.sub(other).solve_ge(0.0)
+    }
+
+    /// Range of values taken over the time interval `span`.
+    #[inline]
+    pub fn range_over(&self, span: &Interval) -> Interval {
+        if span.is_empty() {
+            return Interval::EMPTY;
+        }
+        let v0 = self.eval(span.lo);
+        let v1 = self.eval(span.hi);
+        Interval::new(v0.min(v1), v0.max(v1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_eval() {
+        let f = LinearForm::through(2.0, 10.0, 3.0);
+        assert_eq!(f.eval(2.0), 10.0);
+        assert_eq!(f.eval(4.0), 16.0);
+        let g = LinearForm::between(0.0, 0.0, 2.0, 4.0);
+        assert_eq!(g.b, 2.0);
+        assert_eq!(g.eval(1.5), 3.0);
+        // Degenerate: coincident times fall back to a constant.
+        let h = LinearForm::between(1.0, 7.0, 1.0, 9.0);
+        assert_eq!(h, LinearForm::constant(7.0));
+    }
+
+    #[test]
+    fn solve_le_positive_slope() {
+        let f = LinearForm { a: 0.0, b: 2.0 }; // 2t ≤ 6 ⇔ t ≤ 3
+        let s = f.solve_le(6.0);
+        assert_eq!(s.hi, 3.0);
+        assert!(s.lo.is_infinite() && s.lo < 0.0);
+    }
+
+    #[test]
+    fn solve_le_negative_slope() {
+        let f = LinearForm { a: 10.0, b: -2.0 }; // 10−2t ≤ 6 ⇔ t ≥ 2
+        let s = f.solve_le(6.0);
+        assert_eq!(s.lo, 2.0);
+        assert!(s.hi.is_infinite());
+    }
+
+    #[test]
+    fn solve_constant_cases() {
+        let f = LinearForm::constant(5.0);
+        assert_eq!(f.solve_le(6.0), Interval::ALL);
+        assert!(f.solve_le(4.0).is_empty());
+        assert_eq!(f.solve_ge(4.0), Interval::ALL);
+        assert!(f.solve_ge(6.0).is_empty());
+    }
+
+    #[test]
+    fn solve_within_band() {
+        // position p(t) = 1 + t must be within [3, 5] ⇔ t ∈ [2, 4]
+        let f = LinearForm { a: 1.0, b: 1.0 };
+        let s = f.solve_within(&Interval::new(3.0, 5.0));
+        assert_eq!(s, Interval::new(2.0, 4.0));
+        assert!(f.solve_within(&Interval::EMPTY).is_empty());
+    }
+
+    #[test]
+    fn form_vs_form() {
+        // f(t)=t, g(t)=4−t ⇒ f ≤ g for t ≤ 2
+        let f = LinearForm { a: 0.0, b: 1.0 };
+        let g = LinearForm { a: 4.0, b: -1.0 };
+        assert_eq!(f.solve_le_form(&g).hi, 2.0);
+        assert_eq!(f.solve_ge_form(&g).lo, 2.0);
+    }
+
+    #[test]
+    fn range_over_span() {
+        let f = LinearForm { a: 0.0, b: -1.0 };
+        assert_eq!(
+            f.range_over(&Interval::new(1.0, 3.0)),
+            Interval::new(-3.0, -1.0)
+        );
+        assert!(f.range_over(&Interval::EMPTY).is_empty());
+    }
+
+    #[test]
+    fn add_sub_offset() {
+        let f = LinearForm { a: 1.0, b: 2.0 };
+        let g = LinearForm { a: 3.0, b: -1.0 };
+        assert_eq!(f.add(&g), LinearForm { a: 4.0, b: 1.0 });
+        assert_eq!(f.sub(&g), LinearForm { a: -2.0, b: 3.0 });
+        assert_eq!(f.offset(5.0), LinearForm { a: 6.0, b: 2.0 });
+    }
+}

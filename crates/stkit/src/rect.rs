@@ -1,0 +1,317 @@
+//! Const-generic `N`-dimensional boxes (paper Definition 2).
+//!
+//! A box is the cartesian product of `N` intervals. Operations mirror the
+//! interval algebra componentwise. The R-tree stores space-time boxes
+//! (`N = d + 1` for NSI, `N = d + 2` for the double-temporal-axes layout of
+//! §4.2), so this type is generic over `N`.
+
+use crate::{Interval, Scalar};
+
+/// An axis-aligned `N`-dimensional box `⟨I₁, …, I_N⟩` (paper Definition 2).
+///
+/// The box is empty iff any of its extents is an empty interval.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Rect<const N: usize> {
+    /// Per-dimension extents.
+    pub dims: [Interval; N],
+}
+
+impl<const N: usize> Rect<N> {
+    /// The canonical empty box (every extent empty).
+    pub const EMPTY: Rect<N> = Rect {
+        dims: [Interval::EMPTY; N],
+    };
+
+    /// The box covering all of `ℝ^N`.
+    pub const ALL: Rect<N> = Rect {
+        dims: [Interval::ALL; N],
+    };
+
+    /// Build from per-dimension extents.
+    #[inline]
+    pub fn new(dims: [Interval; N]) -> Self {
+        Rect { dims }
+    }
+
+    /// Build from separate lower/upper corner points.
+    #[inline]
+    pub fn from_corners(lo: [Scalar; N], hi: [Scalar; N]) -> Self {
+        let mut dims = [Interval::EMPTY; N];
+        for i in 0..N {
+            dims[i] = Interval::new(lo[i], hi[i]);
+        }
+        Rect { dims }
+    }
+
+    /// The degenerate box equal to a point (Definition 2's point-as-box).
+    #[inline]
+    pub fn from_point(p: [Scalar; N]) -> Self {
+        Self::from_corners(p, p)
+    }
+
+    /// True iff any extent is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.dims.iter().any(Interval::is_empty)
+    }
+
+    /// Extent along dimension `i` (`□B.I_i` in the paper).
+    #[inline]
+    pub fn extent(&self, i: usize) -> Interval {
+        self.dims[i]
+    }
+
+    /// Componentwise intersection.
+    #[inline]
+    pub fn intersect(&self, other: &Rect<N>) -> Rect<N> {
+        let mut dims = [Interval::EMPTY; N];
+        for i in 0..N {
+            dims[i] = self.dims[i].intersect(&other.dims[i]);
+        }
+        Rect { dims }
+    }
+
+    /// Componentwise coverage (the minimum bounding box of both operands).
+    ///
+    /// An empty operand is ignored, so this is the `⊎` used to grow R-tree
+    /// node boxes during insertion.
+    #[inline]
+    pub fn cover(&self, other: &Rect<N>) -> Rect<N> {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        let mut dims = [Interval::EMPTY; N];
+        for i in 0..N {
+            dims[i] = self.dims[i].cover(&other.dims[i]);
+        }
+        Rect { dims }
+    }
+
+    /// Overlap predicate `≬` — true iff the intersection is non-empty.
+    #[inline]
+    pub fn overlaps(&self, other: &Rect<N>) -> bool {
+        for i in 0..N {
+            if !self.dims[i].overlaps(&other.dims[i]) {
+                return false;
+            }
+        }
+        !self.is_empty() && !other.is_empty()
+    }
+
+    /// True iff `other ⊆ self`; every box contains the empty box.
+    #[inline]
+    pub fn contains_rect(&self, other: &Rect<N>) -> bool {
+        if other.is_empty() {
+            return true;
+        }
+        for i in 0..N {
+            if !self.dims[i].contains_interval(&other.dims[i]) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// True iff the point lies inside the box (boundary inclusive).
+    #[inline]
+    pub fn contains_point(&self, p: &[Scalar; N]) -> bool {
+        for i in 0..N {
+            if !self.dims[i].contains(p[i]) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Volume (product of extent lengths); 0 for empty boxes.
+    #[inline]
+    pub fn volume(&self) -> Scalar {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.dims.iter().map(Interval::length).product()
+    }
+
+    /// Sum of extent lengths — the *margin* used by R*-style heuristics.
+    #[inline]
+    pub fn margin(&self) -> Scalar {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.dims.iter().map(Interval::length).sum()
+    }
+
+    /// Volume increase of `self ⊎ other` relative to `self` — Guttman's
+    /// least-enlargement criterion for ChooseLeaf.
+    #[inline]
+    pub fn enlargement(&self, other: &Rect<N>) -> Scalar {
+        self.cover(other).volume() - self.volume()
+    }
+
+    /// Center point of the box (undefined components for empty extents).
+    #[inline]
+    pub fn center(&self) -> [Scalar; N] {
+        let mut c = [0.0; N];
+        for i in 0..N {
+            c[i] = self.dims[i].mid();
+        }
+        c
+    }
+
+    /// Grow every extent by `delta` on both sides (SPDQ window inflation).
+    #[inline]
+    pub fn inflate(&self, delta: Scalar) -> Rect<N> {
+        let mut dims = [Interval::EMPTY; N];
+        for i in 0..N {
+            dims[i] = self.dims[i].inflate(delta);
+        }
+        Rect { dims }
+    }
+
+    /// Squared minimum Euclidean distance between two boxes (0 if they
+    /// overlap) — the dual-tree pruning bound for distance joins.
+    #[inline]
+    pub fn min_dist_sq_rect(&self, other: &Rect<N>) -> Scalar {
+        let mut d2 = 0.0;
+        for i in 0..N {
+            let (a, b) = (&self.dims[i], &other.dims[i]);
+            let gap = if a.hi < b.lo {
+                b.lo - a.hi
+            } else if b.hi < a.lo {
+                a.lo - b.hi
+            } else {
+                0.0
+            };
+            d2 += gap * gap;
+        }
+        d2
+    }
+
+    /// Squared Euclidean distance from a point to the box (0 if inside).
+    ///
+    /// Used by the incremental nearest-neighbour extension (paper future
+    /// work (i), after Roussopoulos et al.'s MINDIST).
+    #[inline]
+    pub fn min_dist_sq(&self, p: &[Scalar; N]) -> Scalar {
+        let mut d2 = 0.0;
+        for i in 0..N {
+            let ext = &self.dims[i];
+            let d = if p[i] < ext.lo {
+                ext.lo - p[i]
+            } else if p[i] > ext.hi {
+                p[i] - ext.hi
+            } else {
+                0.0
+            };
+            d2 += d * d;
+        }
+        d2
+    }
+}
+
+impl<const N: usize> Default for Rect<N> {
+    fn default() -> Self {
+        Rect::EMPTY
+    }
+}
+
+impl<const N: usize> std::fmt::Display for Rect<N> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "⟨")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rect2(x: (Scalar, Scalar), y: (Scalar, Scalar)) -> Rect<2> {
+        Rect::new([Interval::new(x.0, x.1), Interval::new(y.0, y.1)])
+    }
+
+    #[test]
+    fn emptiness() {
+        assert!(Rect::<3>::EMPTY.is_empty());
+        // One inverted extent empties the whole box.
+        let r = rect2((0.0, 1.0), (5.0, 4.0));
+        assert!(r.is_empty());
+        assert_eq!(r.volume(), 0.0);
+    }
+
+    #[test]
+    fn intersect_and_cover() {
+        let a = rect2((0.0, 4.0), (0.0, 4.0));
+        let b = rect2((2.0, 6.0), (3.0, 9.0));
+        assert_eq!(a.intersect(&b), rect2((2.0, 4.0), (3.0, 4.0)));
+        assert_eq!(a.cover(&b), rect2((0.0, 6.0), (0.0, 9.0)));
+        assert_eq!(Rect::<2>::EMPTY.cover(&a), a);
+    }
+
+    #[test]
+    fn overlap_requires_all_dims() {
+        let a = rect2((0.0, 4.0), (0.0, 4.0));
+        // Overlaps in x but not in y.
+        let b = rect2((1.0, 2.0), (5.0, 6.0));
+        assert!(!a.overlaps(&b));
+        let c = rect2((4.0, 8.0), (4.0, 8.0)); // corner touch
+        assert!(a.overlaps(&c));
+        assert!(!a.overlaps(&Rect::EMPTY));
+    }
+
+    #[test]
+    fn containment() {
+        let a = rect2((0.0, 10.0), (0.0, 10.0));
+        let b = rect2((1.0, 9.0), (2.0, 3.0));
+        assert!(a.contains_rect(&b));
+        assert!(!b.contains_rect(&a));
+        assert!(a.contains_rect(&Rect::EMPTY));
+        assert!(a.contains_point(&[0.0, 10.0]));
+        assert!(!a.contains_point(&[10.1, 5.0]));
+    }
+
+    #[test]
+    fn measures() {
+        let a = rect2((0.0, 2.0), (0.0, 3.0));
+        assert_eq!(a.volume(), 6.0);
+        assert_eq!(a.margin(), 5.0);
+        let b = rect2((0.0, 4.0), (0.0, 3.0));
+        assert_eq!(a.enlargement(&b), 6.0); // grows to 4×3=12, from 6
+        assert_eq!(a.center(), [1.0, 1.5]);
+    }
+
+    #[test]
+    fn inflate() {
+        let a = rect2((2.0, 4.0), (2.0, 4.0));
+        assert_eq!(a.inflate(1.0), rect2((1.0, 5.0), (1.0, 5.0)));
+    }
+
+    #[test]
+    fn min_dist_rect_to_rect() {
+        let a = rect2((0.0, 2.0), (0.0, 2.0));
+        let b = rect2((5.0, 6.0), (0.0, 2.0));
+        assert_eq!(a.min_dist_sq_rect(&b), 9.0);
+        let c = rect2((1.0, 3.0), (1.0, 3.0));
+        assert_eq!(a.min_dist_sq_rect(&c), 0.0); // overlapping
+        let d = rect2((5.0, 6.0), (6.0, 7.0));
+        assert_eq!(a.min_dist_sq_rect(&d), 9.0 + 16.0);
+        assert_eq!(a.min_dist_sq_rect(&d), d.min_dist_sq_rect(&a));
+    }
+
+    #[test]
+    fn min_dist() {
+        let a = rect2((0.0, 2.0), (0.0, 2.0));
+        assert_eq!(a.min_dist_sq(&[1.0, 1.0]), 0.0);
+        assert_eq!(a.min_dist_sq(&[5.0, 2.0]), 9.0);
+        assert_eq!(a.min_dist_sq(&[3.0, 3.0]), 2.0);
+    }
+}

@@ -1,0 +1,255 @@
+//! Property-based tests for the geometry kit: the overlap-time solvers
+//! are checked against dense time sampling, and the interval/box algebra
+//! against its defining predicates.
+
+use proptest::prelude::*;
+use stkit::{Interval, LinearForm, MotionSegment, MovingWindow, Rect, TimeSet};
+
+fn iv() -> impl Strategy<Value = Interval> {
+    (-100.0f64..100.0, 0.0f64..50.0).prop_map(|(lo, len)| Interval::new(lo, lo + len))
+}
+
+fn any_iv() -> impl Strategy<Value = Interval> {
+    prop_oneof![
+        iv(),
+        (-100.0f64..100.0, -50.0f64..0.0).prop_map(|(lo, len)| Interval::new(lo, lo + len)),
+    ]
+}
+
+fn rect2() -> impl Strategy<Value = Rect<2>> {
+    (iv(), iv()).prop_map(|(x, y)| Rect::new([x, y]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn intersection_is_contained_in_both(a in any_iv(), b in any_iv()) {
+        let i = a.intersect(&b);
+        prop_assert!(a.contains_interval(&i));
+        prop_assert!(b.contains_interval(&i));
+    }
+
+    #[test]
+    fn coverage_contains_both(a in any_iv(), b in any_iv()) {
+        let c = a.cover(&b);
+        prop_assert!(c.contains_interval(&a));
+        prop_assert!(c.contains_interval(&b));
+    }
+
+    #[test]
+    fn coverage_is_minimal_on_nonempty(a in iv(), b in iv()) {
+        // Any interval containing both must contain the cover.
+        let c = a.cover(&b);
+        let bigger = Interval::new(a.lo.min(b.lo) - 1.0, a.hi.max(b.hi) + 1.0);
+        prop_assert!(bigger.contains_interval(&c));
+        prop_assert!(c.lo == a.lo.min(b.lo) && c.hi == a.hi.max(b.hi));
+    }
+
+    #[test]
+    fn overlap_matches_pointwise(a in iv(), b in iv()) {
+        // Sampled witness: if a point is in both, they overlap.
+        let witness = 0.5 * (a.lo.max(b.lo) + a.hi.min(b.hi));
+        if a.contains(witness) && b.contains(witness) {
+            prop_assert!(a.overlaps(&b));
+        }
+        if a.overlaps(&b) {
+            let w = a.intersect(&b).mid();
+            prop_assert!(a.contains(w) && b.contains(w));
+        }
+    }
+
+    #[test]
+    fn precedes_is_order_consistent(a in iv(), b in iv()) {
+        if a.precedes(&b) && b.precedes(&a) {
+            // Only possible when both degenerate at the same point.
+            prop_assert!(a.length() == 0.0 && b.length() == 0.0);
+        }
+    }
+
+    #[test]
+    fn timeset_normalization(ivs in proptest::collection::vec(any_iv(), 0..12)) {
+        let ts = TimeSet::from_intervals(ivs.clone());
+        // Invariants: sorted, disjoint, non-empty members.
+        for w in ts.intervals().windows(2) {
+            prop_assert!(w[0].hi < w[1].lo, "members must not touch: {ts}");
+        }
+        for m in ts.intervals() {
+            prop_assert!(!m.is_empty());
+        }
+        // Membership equivalence at sampled points.
+        for iv in &ivs {
+            if !iv.is_empty() {
+                prop_assert!(ts.contains(iv.mid()));
+                prop_assert!(ts.contains(iv.lo));
+                prop_assert!(ts.contains(iv.hi));
+            }
+        }
+        // Measure is bounded by sum of inputs and by the hull.
+        let sum: f64 = ivs.iter().map(Interval::length).sum();
+        prop_assert!(ts.measure() <= sum + 1e-9);
+        prop_assert!(ts.measure() <= ts.hull().length() + 1e-9);
+    }
+
+    #[test]
+    fn timeset_union_intersect_pointwise(
+        xs in proptest::collection::vec(iv(), 1..8),
+        ys in proptest::collection::vec(iv(), 1..8),
+        probe in -120.0f64..120.0,
+    ) {
+        let a = TimeSet::from_intervals(xs);
+        let b = TimeSet::from_intervals(ys);
+        let u = a.union(&b);
+        let i = a.intersect(&b);
+        prop_assert_eq!(u.contains(probe), a.contains(probe) || b.contains(probe));
+        prop_assert_eq!(i.contains(probe), a.contains(probe) && b.contains(probe));
+    }
+
+    #[test]
+    fn linear_solver_matches_evaluation(
+        a in -50.0f64..50.0,
+        b in -10.0f64..10.0,
+        c in -50.0f64..50.0,
+        t in -100.0f64..100.0,
+    ) {
+        let f = LinearForm { a, b };
+        let le = f.solve_le(c);
+        // Exclude boundary-noise: test strictly inside/outside.
+        let v = f.eval(t);
+        if v < c - 1e-9 {
+            prop_assert!(le.contains(t), "t={t} f={v} should satisfy ≤ {c}");
+        }
+        if v > c + 1e-9 {
+            prop_assert!(!le.contains(t));
+        }
+        let ge = f.solve_ge(c);
+        if v > c + 1e-9 {
+            prop_assert!(ge.contains(t));
+        }
+        if v < c - 1e-9 {
+            prop_assert!(!ge.contains(t));
+        }
+    }
+
+    #[test]
+    fn rect_algebra_consistency(a in rect2(), b in rect2()) {
+        let i = a.intersect(&b);
+        let c = a.cover(&b);
+        prop_assert!(c.contains_rect(&a) && c.contains_rect(&b));
+        prop_assert!(a.contains_rect(&i) && b.contains_rect(&i));
+        prop_assert_eq!(a.overlaps(&b), !i.is_empty());
+        prop_assert!(c.volume() + 1e-9 >= a.volume().max(b.volume()));
+        prop_assert!(i.volume() <= a.volume().min(b.volume()) + 1e-9);
+    }
+
+    #[test]
+    fn min_dist_zero_iff_inside(r in rect2(), px in -150.0f64..150.0, py in -150.0f64..150.0) {
+        let p = [px, py];
+        if r.contains_point(&p) {
+            prop_assert_eq!(r.min_dist_sq(&p), 0.0);
+        } else {
+            prop_assert!(r.min_dist_sq(&p) > 0.0);
+        }
+    }
+
+    #[test]
+    fn segment_query_interval_matches_sampling(
+        t0 in 0.0f64..50.0,
+        dur in 0.1f64..10.0,
+        ax in -50.0f64..50.0, ay in -50.0f64..50.0,
+        bx in -50.0f64..50.0, by in -50.0f64..50.0,
+        q in rect2(),
+    ) {
+        let seg = MotionSegment::from_endpoints(
+            Interval::new(t0, t0 + dur), [ax, ay], [bx, by]);
+        let hit = seg.intersect_query(&q, &Interval::new(t0, t0 + dur));
+        // Sample 32 instants across validity; strict membership must agree.
+        for k in 0..=32 {
+            let t = t0 + dur * k as f64 / 32.0;
+            let p = seg.position(t);
+            let inside = q.contains_point(&p);
+            if hit.contains(t) {
+                // Boundary tolerance: point must be within q inflated.
+                prop_assert!(q.inflate(1e-6).contains_point(&p),
+                    "t={t} claimed inside but at {p:?} vs {q:?}");
+            } else if inside {
+                // Point strictly interior must be covered by the interval.
+                let strictly = q.inflate(-1e-6);
+                if !strictly.is_empty() && strictly.contains_point(&p) {
+                    prop_assert!(hit.contains(t), "t={t} at {p:?} missed by {hit}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn moving_window_overlap_matches_sampling(
+        span_lo in 0.0f64..20.0,
+        span_len in 0.5f64..10.0,
+        a in rect2(),
+        b in rect2(),
+        target in rect2(),
+    ) {
+        let span = Interval::new(span_lo, span_lo + span_len);
+        let w = MovingWindow::between(span, &a, &b);
+        let hit = w.overlap_time_rect(&target, &Interval::ALL);
+        for k in 0..=32 {
+            let t = span.lo + span.length() * k as f64 / 32.0;
+            let win = w.window_at(t);
+            if hit.contains(t) {
+                prop_assert!(win.inflate(1e-6).overlaps(&target),
+                    "t={t}: window {win:?} vs {target:?}");
+            } else {
+                let shrunk = win.inflate(-1e-6);
+                if !shrunk.is_empty() && shrunk.overlaps(&target.inflate(-1e-6)) {
+                    prop_assert!(hit.contains(t), "t={t} missed by {hit}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn moving_window_segment_overlap_matches_sampling(
+        span_lo in 0.0f64..20.0,
+        span_len in 0.5f64..10.0,
+        a in rect2(),
+        b in rect2(),
+        sx in -50.0f64..50.0, sy in -50.0f64..50.0,
+        ex in -50.0f64..50.0, ey in -50.0f64..50.0,
+    ) {
+        let span = Interval::new(span_lo, span_lo + span_len);
+        let w = MovingWindow::between(span, &a, &b);
+        let seg = MotionSegment::from_endpoints(span, [sx, sy], [ex, ey]);
+        let hit = w.overlap_time_segment(&seg);
+        for k in 0..=32 {
+            let t = span.lo + span.length() * k as f64 / 32.0;
+            let p = seg.position(t);
+            let win = w.window_at(t);
+            if hit.contains(t) {
+                prop_assert!(win.inflate(1e-6).contains_point(&p));
+            } else {
+                let shrunk = win.inflate(-1e-6);
+                if !shrunk.is_empty() && shrunk.contains_point(&p) {
+                    prop_assert!(hit.contains(t), "t={t}: {p:?} inside {win:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spdq_inflation_is_superset(
+        span_lo in 0.0f64..20.0,
+        span_len in 0.5f64..10.0,
+        a in rect2(),
+        b in rect2(),
+        target in rect2(),
+        delta in 0.0f64..5.0,
+    ) {
+        let span = Interval::new(span_lo, span_lo + span_len);
+        let w = MovingWindow::between(span, &a, &b);
+        let plain = w.overlap_time_rect(&target, &Interval::ALL);
+        let fat = w.inflate(delta).overlap_time_rect(&target, &Interval::ALL);
+        prop_assert!(fat.contains_interval(&plain),
+            "inflated overlap {fat} must contain {plain}");
+    }
+}

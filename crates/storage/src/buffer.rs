@@ -1,0 +1,352 @@
+//! LRU buffer pool over any [`PageStore`].
+//!
+//! §4 of the paper argues that an LRU buffer at the server cannot replace
+//! dynamic-query processing: buffering happens per session and a server
+//! holding per-session buffers for many clients cannot scale. The pool
+//! exists so the `ablation_buffer` bench can quantify that argument — how
+//! much of the naive approach's repeated I/O an LRU of a given size
+//! actually absorbs, compared to the PDQ/NPDQ algorithms which need none.
+
+use crate::{IoSnapshot, PageId, PageStore};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// One resident page plus its position in the intrusive LRU list.
+struct Frame {
+    data: Vec<u8>,
+    dirty: bool,
+    prev: Option<PageId>,
+    next: Option<PageId>,
+}
+
+struct PoolState {
+    frames: HashMap<PageId, Frame>,
+    /// Most recently used page.
+    head: Option<PageId>,
+    /// Least recently used page (eviction candidate).
+    tail: Option<PageId>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl PoolState {
+    /// Unlink `id` from the LRU list (must be resident).
+    fn unlink(&mut self, id: PageId) {
+        let (prev, next) = {
+            let f = &self.frames[&id];
+            (f.prev, f.next)
+        };
+        match prev {
+            Some(p) => self.frames.get_mut(&p).unwrap().next = next,
+            None => self.head = next,
+        }
+        match next {
+            Some(n) => self.frames.get_mut(&n).unwrap().prev = prev,
+            None => self.tail = prev,
+        }
+        let f = self.frames.get_mut(&id).unwrap();
+        f.prev = None;
+        f.next = None;
+    }
+
+    /// Push `id` to the head (most recently used) position.
+    fn push_front(&mut self, id: PageId) {
+        let old_head = self.head;
+        {
+            let f = self.frames.get_mut(&id).unwrap();
+            f.prev = None;
+            f.next = old_head;
+        }
+        if let Some(h) = old_head {
+            self.frames.get_mut(&h).unwrap().prev = Some(id);
+        }
+        self.head = Some(id);
+        if self.tail.is_none() {
+            self.tail = Some(id);
+        }
+    }
+
+    fn touch(&mut self, id: PageId) {
+        if self.head == Some(id) {
+            return;
+        }
+        self.unlink(id);
+        self.push_front(id);
+    }
+}
+
+/// Cache statistics reported by [`BufferPool::cache_stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Reads served from the pool.
+    pub hits: u64,
+    /// Reads that went to the underlying store.
+    pub misses: u64,
+    /// Pages evicted to make room.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio in `[0, 1]`; 0 when no reads were made.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A fixed-capacity LRU page cache in front of a [`PageStore`].
+///
+/// Write-back: dirty pages are flushed when evicted or on [`Self::flush`].
+/// Reads served from the pool do **not** touch the underlying device, so
+/// `io()` (which delegates to the device) reports only true disk accesses.
+pub struct BufferPool<S> {
+    inner: S,
+    capacity: usize,
+    state: Mutex<PoolState>,
+}
+
+impl<S: PageStore> BufferPool<S> {
+    /// Wrap `inner` with an LRU cache holding up to `capacity` pages.
+    pub fn new(inner: S, capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer pool capacity must be positive");
+        BufferPool {
+            inner,
+            capacity,
+            state: Mutex::new(PoolState {
+                frames: HashMap::new(),
+                head: None,
+                tail: None,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+        }
+    }
+
+    /// Current cache statistics.
+    pub fn cache_stats(&self) -> CacheStats {
+        let st = self.state.lock();
+        CacheStats {
+            hits: st.hits,
+            misses: st.misses,
+            evictions: st.evictions,
+        }
+    }
+
+    /// Write all dirty pages back to the underlying store.
+    pub fn flush(&self) {
+        let mut st = self.state.lock();
+        let ids: Vec<PageId> = st.frames.keys().copied().collect();
+        for id in ids {
+            let f = st.frames.get_mut(&id).unwrap();
+            if f.dirty {
+                let data = std::mem::take(&mut f.data);
+                f.dirty = false;
+                self.inner.write(id, &data);
+                st.frames.get_mut(&id).unwrap().data = data;
+            }
+        }
+    }
+
+    /// Drop every cached page (flushing dirty ones) — used between bench
+    /// runs to measure cold-cache behaviour.
+    pub fn clear(&self) {
+        self.flush();
+        let mut st = self.state.lock();
+        st.frames.clear();
+        st.head = None;
+        st.tail = None;
+    }
+
+    /// Access the wrapped store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    fn evict_if_full(&self, st: &mut PoolState) {
+        while st.frames.len() >= self.capacity {
+            let victim = st.tail.expect("non-empty pool must have a tail");
+            st.unlink(victim);
+            let frame = st.frames.remove(&victim).unwrap();
+            if frame.dirty {
+                self.inner.write(victim, &frame.data);
+            }
+            st.evictions += 1;
+        }
+    }
+}
+
+impl<S: PageStore> PageStore for BufferPool<S> {
+    fn page_size(&self) -> usize {
+        self.inner.page_size()
+    }
+
+    fn read(&self, id: PageId) -> Vec<u8> {
+        let mut st = self.state.lock();
+        if st.frames.contains_key(&id) {
+            st.hits += 1;
+            st.touch(id);
+            return st.frames[&id].data.clone();
+        }
+        st.misses += 1;
+        let data = self.inner.read(id);
+        self.evict_if_full(&mut st);
+        st.frames.insert(
+            id,
+            Frame {
+                data: data.clone(),
+                dirty: false,
+                prev: None,
+                next: None,
+            },
+        );
+        st.push_front(id);
+        data
+    }
+
+    fn write(&self, id: PageId, data: &[u8]) {
+        assert!(data.len() <= self.page_size(), "page overflow");
+        let mut st = self.state.lock();
+        if st.frames.contains_key(&id) {
+            let size = self.page_size();
+            let f = st.frames.get_mut(&id).unwrap();
+            f.data.resize(size, 0);
+            f.data[..data.len()].copy_from_slice(data);
+            f.dirty = true;
+            st.touch(id);
+            return;
+        }
+        self.evict_if_full(&mut st);
+        let mut buf = vec![0u8; self.page_size()];
+        buf[..data.len()].copy_from_slice(data);
+        st.frames.insert(
+            id,
+            Frame {
+                data: buf,
+                dirty: true,
+                prev: None,
+                next: None,
+            },
+        );
+        st.push_front(id);
+    }
+
+    fn alloc(&self) -> PageId {
+        self.inner.alloc()
+    }
+
+    fn free(&self, id: PageId) {
+        let mut st = self.state.lock();
+        if st.frames.contains_key(&id) {
+            st.unlink(id);
+            st.frames.remove(&id);
+        }
+        drop(st);
+        self.inner.free(id);
+    }
+
+    fn io(&self) -> IoSnapshot {
+        self.inner.io()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Pager;
+
+    fn pool(cap: usize) -> BufferPool<Pager> {
+        BufferPool::new(Pager::with_page_size(32), cap)
+    }
+
+    #[test]
+    fn repeated_reads_hit_cache() {
+        let p = pool(4);
+        let id = p.alloc();
+        p.write(id, &[7]);
+        p.clear(); // start cold
+        let before = p.io();
+        for _ in 0..10 {
+            assert_eq!(p.read(id)[0], 7);
+        }
+        let delta = p.io() - before;
+        assert_eq!(delta.reads, 1); // only the first read hits the disk
+        let cs = p.cache_stats();
+        assert_eq!(cs.hits, 9);
+        assert_eq!(cs.misses, 1);
+        assert!(cs.hit_ratio() > 0.89);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let p = pool(2);
+        let a = p.alloc();
+        let b = p.alloc();
+        let c = p.alloc();
+        for id in [a, b, c] {
+            p.write(id, &[id.0 as u8]);
+        }
+        p.flush();
+        p.clear();
+        p.read(a); // resident: [a]
+        p.read(b); // resident: [b, a]
+        p.read(a); // touch a:  [a, b]
+        p.read(c); // evicts b: [c, a]
+        let before = p.io();
+        p.read(a); // hit
+        p.read(c); // hit
+        assert_eq!((p.io() - before).reads, 0);
+        p.read(b); // miss — was evicted
+        assert_eq!((p.io() - before).reads, 1);
+        assert!(p.cache_stats().evictions >= 1);
+    }
+
+    #[test]
+    fn dirty_pages_written_back_on_eviction() {
+        let p = pool(1);
+        let a = p.alloc();
+        let b = p.alloc();
+        p.write(a, &[42]); // dirty, resident
+        p.read(b); // evicts a ⇒ must flush
+        // Bypass the pool: the underlying pager must have the new bytes.
+        assert_eq!(p.inner().read(a)[0], 42);
+    }
+
+    #[test]
+    fn flush_writes_all_dirty() {
+        let p = pool(8);
+        let ids: Vec<PageId> = (0..4).map(|_| p.alloc()).collect();
+        for (i, id) in ids.iter().enumerate() {
+            p.write(*id, &[i as u8 + 1]);
+        }
+        p.flush();
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(p.inner().read(*id)[0], i as u8 + 1);
+        }
+    }
+
+    #[test]
+    fn free_drops_cached_frame() {
+        let p = pool(4);
+        let a = p.alloc();
+        p.write(a, &[1]);
+        p.free(a);
+        let b = p.alloc(); // recycles the id
+        assert_eq!(b, a);
+        // Cached frame from the old life must not leak into the new page.
+        assert_eq!(p.read(b), vec![0u8; 32]);
+    }
+
+    #[test]
+    fn write_through_cache_roundtrip() {
+        let p = pool(4);
+        let a = p.alloc();
+        p.write(a, &[1, 2, 3]);
+        assert_eq!(&p.read(a)[..3], &[1, 2, 3]); // served before any flush
+    }
+}

@@ -1,0 +1,56 @@
+//! # storage — simulated disk for the EDBT 2002 reproduction
+//!
+//! The paper measures query cost in *number of disk accesses*, with a 4 KiB
+//! page size and R-tree nodes mapped one-to-one onto pages. This crate
+//! provides that substrate:
+//!
+//! * [`Pager`] — an in-memory simulated disk of fixed-size pages with a
+//!   free-list allocator and atomic I/O counters. Every [`PageStore::read`]
+//!   is one simulated disk access.
+//! * [`BufferPool`] — an LRU page cache layered over any [`PageStore`].
+//!   The paper argues (§4) that per-session server-side buffering is not a
+//!   substitute for dynamic-query processing; the pool exists so the bench
+//!   suite can test that claim (`ablation_buffer`).
+//! * [`IoStats`] — cheap, thread-safe counters snapshotted by the query
+//!   engines before/after each query to report per-query page accesses.
+//!
+//! The [`PageStore`] trait lets the R-tree run over a raw pager (counting
+//! every node visit, as the paper does) or a buffered one, without caring
+//! which.
+
+pub mod buffer;
+pub mod pager;
+pub mod snapshotfile;
+pub mod stats;
+
+pub use buffer::BufferPool;
+pub use pager::{PageId, Pager};
+pub use snapshotfile::{load_pager, save_pager};
+pub use stats::{IoSnapshot, IoStats};
+
+/// Abstraction over a page-granular storage device.
+///
+/// Implemented by the raw simulated disk ([`Pager`]) and by the LRU cache
+/// ([`BufferPool`]). All methods take `&self`; implementations use interior
+/// mutability so a single store can be shared by an index and several
+/// concurrent readers.
+pub trait PageStore {
+    /// Size in bytes of every page in this store.
+    fn page_size(&self) -> usize;
+
+    /// Read a page. Counts as one (possibly cached) access.
+    fn read(&self, id: PageId) -> Vec<u8>;
+
+    /// Write a page; `data` must not exceed [`Self::page_size`].
+    fn write(&self, id: PageId, data: &[u8]);
+
+    /// Allocate a fresh (zeroed) page.
+    fn alloc(&self) -> PageId;
+
+    /// Return a page to the free list.
+    fn free(&self, id: PageId);
+
+    /// Snapshot of the I/O counters of the *underlying device* — i.e. the
+    /// number of simulated disk accesses, after any caching.
+    fn io(&self) -> IoSnapshot;
+}

@@ -1,0 +1,118 @@
+//! Property-based tests: the buffer pool is observationally equivalent
+//! to the raw pager under arbitrary operation sequences, and the pager's
+//! allocator never hands out a live page twice.
+
+use proptest::prelude::*;
+use storage::{BufferPool, PageStore, Pager};
+
+#[derive(Clone, Debug)]
+enum Op {
+    Alloc,
+    /// Write to the i-th live page (mod live count) with this fill byte.
+    Write(usize, u8),
+    /// Read the i-th live page and compare.
+    Read(usize),
+    /// Free the i-th live page.
+    Free(usize),
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::Alloc),
+        (0usize..64, any::<u8>()).prop_map(|(i, b)| Op::Write(i, b)),
+        (0usize..64).prop_map(Op::Read),
+        (0usize..64).prop_map(Op::Free),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn buffer_pool_equivalent_to_pager(ops in proptest::collection::vec(op(), 1..120), cap in 1usize..16) {
+        let raw = Pager::with_page_size(64);
+        let pool = BufferPool::new(Pager::with_page_size(64), cap);
+        let mut raw_pages = Vec::new();
+        let mut pool_pages = Vec::new();
+        for op in &ops {
+            match op {
+                Op::Alloc => {
+                    raw_pages.push(raw.alloc());
+                    pool_pages.push(pool.alloc());
+                }
+                Op::Write(i, b) => {
+                    if raw_pages.is_empty() { continue; }
+                    let i = i % raw_pages.len();
+                    let data = vec![*b; 17];
+                    raw.write(raw_pages[i], &data);
+                    pool.write(pool_pages[i], &data);
+                }
+                Op::Read(i) => {
+                    if raw_pages.is_empty() { continue; }
+                    let i = i % raw_pages.len();
+                    prop_assert_eq!(raw.read(raw_pages[i]), pool.read(pool_pages[i]));
+                }
+                Op::Free(i) => {
+                    if raw_pages.is_empty() { continue; }
+                    let i = i % raw_pages.len();
+                    raw.free(raw_pages.swap_remove(i));
+                    pool.free(pool_pages.swap_remove(i));
+                }
+            }
+        }
+        // Final sweep: every live page identical through both paths.
+        for (r, p) in raw_pages.iter().zip(&pool_pages) {
+            prop_assert_eq!(raw.read(*r), pool.read(*p));
+        }
+        // Flush and compare against the pool's *underlying* pager too.
+        pool.flush();
+        for p in &pool_pages {
+            prop_assert_eq!(pool.read(*p), pool.inner().read(*p));
+        }
+    }
+
+    #[test]
+    fn allocator_never_double_allocates(ops in proptest::collection::vec(op(), 1..200)) {
+        let pager = Pager::with_page_size(16);
+        let mut live = Vec::new();
+        for op in &ops {
+            match op {
+                Op::Alloc => {
+                    let id = pager.alloc();
+                    prop_assert!(!live.contains(&id), "page {id} allocated twice");
+                    live.push(id);
+                }
+                Op::Free(i) if !live.is_empty() => {
+                    let i = i % live.len();
+                    pager.free(live.swap_remove(i));
+                }
+                _ => {}
+            }
+        }
+        prop_assert_eq!(pager.live_pages(), live.len());
+    }
+
+    #[test]
+    fn pool_hit_ratio_reflects_capacity(n_pages in 2usize..20, cap in 1usize..32) {
+        // Sequential cyclic scans: with cap ≥ n_pages everything after the
+        // first round hits; with cap < n_pages an LRU on a cyclic scan
+        // always misses.
+        let pool = BufferPool::new(Pager::with_page_size(32), cap);
+        let pages: Vec<_> = (0..n_pages).map(|_| pool.alloc()).collect();
+        for p in &pages {
+            pool.write(*p, &[1]);
+        }
+        pool.clear();
+        for _round in 0..4 {
+            for p in &pages {
+                pool.read(*p);
+            }
+        }
+        let cs = pool.cache_stats();
+        if cap >= n_pages {
+            prop_assert_eq!(cs.misses as usize, n_pages, "only cold misses");
+        } else {
+            prop_assert_eq!(cs.hits, 0, "cyclic scan through a smaller LRU never hits");
+        }
+    }
+}

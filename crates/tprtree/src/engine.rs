@@ -1,0 +1,401 @@
+//! Dynamic queries over the TPR-tree — future work (iii) realized.
+//!
+//! The §4.1 best-first algorithm transfers unchanged: a priority queue
+//! ordered by overlap-start time, nodes expanded lazily, each object
+//! returned once with its visibility time set. The only new geometry is
+//! the overlap time of a linearly-moving query window with a linearly-
+//! moving bounding rectangle ([`overlap_window_tpbox`]) — still a
+//! conjunction of linear inequalities.
+
+use crate::record::TprRecord;
+use crate::tpbox::TpBox;
+use mobiquery::{QueryStats, Trajectory};
+use rtree::{Inserted, NodeEntries, RTree};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+use storage::{PageId, PageStore};
+use stkit::{Interval, MovingWindow, TimeSet};
+
+/// Overlap time of one trapezoid trajectory segment with a
+/// time-parameterized box: `window.hi_i(t) ≥ box.lo_i(t)` and
+/// `window.lo_i(t) ≤ box.hi_i(t)` for both axes, within both validities.
+pub fn overlap_window_tpbox(w: &MovingWindow<2>, b: &TpBox) -> Interval {
+    let mut t = w.span.intersect(&b.active);
+    for i in 0..2 {
+        if t.is_empty() {
+            return Interval::EMPTY;
+        }
+        t = t.intersect(&w.hi[i].solve_ge_form(&b.axes[i].lo_form()));
+        t = t.intersect(&w.lo[i].solve_le_form(&b.axes[i].hi_form()));
+    }
+    t
+}
+
+/// Overlap time set of a whole trajectory with a time-parameterized box.
+pub fn overlap_trajectory_tpbox(traj: &Trajectory<2>, b: &TpBox) -> TimeSet {
+    let mut out = TimeSet::empty();
+    for s in traj.segments() {
+        out.insert(overlap_window_tpbox(s, b));
+    }
+    out
+}
+
+/// One answer: the moving point plus its visibility time set.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TprResult {
+    /// The record.
+    pub record: TprRecord,
+    /// Times the object is inside the moving window.
+    pub visibility: TimeSet,
+}
+
+enum ItemKind {
+    Node { page: PageId, level: u32 },
+    Object(Box<TprResult>),
+}
+
+struct QueueItem {
+    start: f64,
+    end: f64,
+    kind: ItemKind,
+}
+
+impl PartialEq for QueueItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.start == other.start
+    }
+}
+impl Eq for QueueItem {}
+impl PartialOrd for QueueItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueueItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.start.total_cmp(&self.start)
+    }
+}
+
+/// A running dynamic query over a TPR-tree.
+pub struct TprDynamicQuery {
+    trajectory: Trajectory<2>,
+    queue: BinaryHeap<QueueItem>,
+    expanded: HashSet<PageId>,
+    returned: HashSet<(u32, u32)>,
+    stats: QueryStats,
+}
+
+impl TprDynamicQuery {
+    /// Start the query: seed with the root over the trajectory span.
+    pub fn start<S: PageStore>(tree: &RTree<TprRecord, S>, trajectory: Trajectory<2>) -> Self {
+        let span = trajectory.span();
+        let mut q = TprDynamicQuery {
+            trajectory,
+            queue: BinaryHeap::new(),
+            expanded: HashSet::new(),
+            returned: HashSet::new(),
+            stats: QueryStats::default(),
+        };
+        q.queue.push(QueueItem {
+            start: span.lo,
+            end: span.hi,
+            kind: ItemKind::Node {
+                page: tree.root_page(),
+                level: tree.height() - 1,
+            },
+        });
+        q
+    }
+
+    /// Accumulated cost.
+    pub fn stats(&self) -> QueryStats {
+        self.stats
+    }
+
+    /// Take and reset the accumulated cost.
+    pub fn take_stats(&mut self) -> QueryStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    /// `getNext(t_start, t_end)` over the TPR-tree.
+    pub fn get_next<S: PageStore>(
+        &mut self,
+        tree: &RTree<TprRecord, S>,
+        t_start: f64,
+        t_end: f64,
+    ) -> Option<TprResult> {
+        loop {
+            let head = self.queue.peek()?;
+            if head.start > t_end {
+                return None;
+            }
+            let item = self.queue.pop().expect("peeked");
+            if item.end < t_start {
+                continue;
+            }
+            match item.kind {
+                ItemKind::Object(r) => {
+                    if self.returned.insert((r.record.oid, r.record.seq)) {
+                        self.stats.results += 1;
+                        return Some(*r);
+                    }
+                    self.stats.duplicates_skipped += 1;
+                }
+                ItemKind::Node { page, level } => {
+                    if !self.expanded.insert(page) {
+                        self.stats.duplicates_skipped += 1;
+                        continue;
+                    }
+                    let node = tree.load(page);
+                    self.stats.disk_accesses += 1;
+                    if level == 0 {
+                        self.stats.leaf_accesses += 1;
+                    }
+                    match &node.entries {
+                        NodeEntries::Internal(entries) => {
+                            for (key, child) in entries {
+                                self.stats.distance_computations += 1;
+                                let ts = overlap_trajectory_tpbox(&self.trajectory, key);
+                                if let (Some(s), Some(e)) = (ts.start(), ts.end()) {
+                                    if e >= t_start {
+                                        self.queue.push(QueueItem {
+                                            start: s,
+                                            end: e,
+                                            kind: ItemKind::Node {
+                                                page: *child,
+                                                level: node.level - 1,
+                                            },
+                                        });
+                                    }
+                                }
+                            }
+                        }
+                        NodeEntries::Leaf(records) => {
+                            for rec in records {
+                                self.stats.distance_computations += 1;
+                                if self.returned.contains(&(rec.oid, rec.seq)) {
+                                    continue;
+                                }
+                                let ts =
+                                    overlap_trajectory_tpbox(&self.trajectory, &rec.tpbox());
+                                if let (Some(s), Some(e)) = (ts.start(), ts.end()) {
+                                    if e >= t_start {
+                                        self.queue.push(QueueItem {
+                                            start: s,
+                                            end: e,
+                                            kind: ItemKind::Object(Box::new(TprResult {
+                                                record: *rec,
+                                                visibility: ts,
+                                            })),
+                                        });
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drain every object visible during `[t_start, t_end]`.
+    pub fn drain_window<S: PageStore>(
+        &mut self,
+        tree: &RTree<TprRecord, S>,
+        t_start: f64,
+        t_end: f64,
+    ) -> Vec<TprResult> {
+        let mut out = Vec::new();
+        while let Some(r) = self.get_next(tree, t_start, t_end) {
+            out.push(r);
+        }
+        out
+    }
+
+    /// §4.1 update management: forward insertion reports from
+    /// `tree.insert` (a motion update of an object).
+    pub fn notify<S: PageStore>(
+        &mut self,
+        _tree: &RTree<TprRecord, S>,
+        report: &rtree::InsertReport<TpBox, TprRecord>,
+    ) {
+        match &report.notify {
+            Inserted::Record(rec) => {
+                if self.returned.contains(&(rec.oid, rec.seq)) {
+                    return;
+                }
+                let ts = overlap_trajectory_tpbox(&self.trajectory, &rec.tpbox());
+                if let (Some(s), Some(e)) = (ts.start(), ts.end()) {
+                    self.queue.push(QueueItem {
+                        start: s,
+                        end: e,
+                        kind: ItemKind::Object(Box::new(TprResult {
+                            record: *rec,
+                            visibility: ts,
+                        })),
+                    });
+                }
+            }
+            Inserted::Subtree { page, key, level } => {
+                let ts = overlap_trajectory_tpbox(&self.trajectory, key);
+                if let (Some(s), Some(e)) = (ts.start(), ts.end()) {
+                    self.expanded.remove(page);
+                    self.queue.push(QueueItem {
+                        start: s,
+                        end: e,
+                        kind: ItemKind::Node {
+                            page: *page,
+                            level: *level,
+                        },
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtree::{RTree, RTreeConfig};
+    use storage::Pager;
+    use stkit::Rect;
+
+    /// n objects moving right at speed 1, object i starting at (i, 0.5).
+    fn tree(n: u32) -> RTree<TprRecord, Pager> {
+        let mut t = RTree::new(Pager::new(), RTreeConfig::default());
+        for i in 0..n {
+            t.insert(
+                TprRecord::new(
+                    i,
+                    0,
+                    Interval::new(0.0, 100.0),
+                    [i as f64, 0.5],
+                    [1.0, 0.0],
+                ),
+                0.0,
+            );
+        }
+        t
+    }
+
+    #[test]
+    fn stationary_window_sees_passers_by() {
+        // Window fixed at x ∈ [10, 11]: object i (at i + t) is inside
+        // during t ∈ [10 − i, 11 − i].
+        let tr = tree(10);
+        let traj = Trajectory::linear(
+            Rect::from_corners([10.0, 0.0], [11.0, 1.0]),
+            [0.0, 0.0],
+            Interval::new(0.0, 12.0),
+            2,
+        );
+        let mut q = TprDynamicQuery::start(&tr, traj);
+        let results = q.drain_window(&tr, 0.0, 12.0);
+        assert_eq!(results.len(), 10);
+        // Object 9 (starting at x=9) arrives first, then 8, 7, …
+        let oids: Vec<u32> = results.iter().map(|r| r.record.oid).collect();
+        assert_eq!(oids[0], 9);
+        assert_eq!(
+            results[0].visibility.hull(),
+            Interval::new(1.0, 2.0),
+            "object 9 inside during [1, 2]"
+        );
+        let mut sorted = oids.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(oids, sorted, "arrival in reverse id order");
+    }
+
+    #[test]
+    fn co_moving_window_keeps_one_object() {
+        // Window moving right at speed 1 starting around object 5.
+        let tr = tree(10);
+        let traj = Trajectory::linear(
+            Rect::from_corners([4.6, 0.0], [5.4, 1.0]),
+            [1.0, 0.0],
+            Interval::new(0.0, 50.0),
+            2,
+        );
+        let mut q = TprDynamicQuery::start(&tr, traj);
+        let results = q.drain_window(&tr, 0.0, 50.0);
+        assert_eq!(results.len(), 1, "only the co-moving object stays");
+        assert_eq!(results[0].record.oid, 5);
+        assert_eq!(results[0].visibility.hull(), Interval::new(0.0, 50.0));
+    }
+
+    #[test]
+    fn io_bounded_and_no_duplicates() {
+        let tr = tree(2000);
+        let inv = tr.validate().unwrap();
+        let traj = Trajectory::linear(
+            Rect::from_corners([500.0, 0.0], [510.0, 1.0]),
+            [0.0, 0.0],
+            Interval::new(0.0, 20.0),
+            2,
+        );
+        let mut q = TprDynamicQuery::start(&tr, traj);
+        let mut seen = HashSet::new();
+        let mut t = 0.0;
+        while t < 20.0 {
+            for r in q.drain_window(&tr, t, t + 0.5) {
+                assert!(seen.insert((r.record.oid, r.record.seq)));
+            }
+            t += 0.5;
+        }
+        assert!(q.stats().disk_accesses <= inv.nodes);
+        assert!(!seen.is_empty());
+    }
+
+    #[test]
+    fn live_motion_update_found() {
+        let mut tr = tree(5);
+        let traj = Trajectory::linear(
+            Rect::from_corners([50.0, 0.0], [52.0, 1.0]),
+            [0.0, 0.0],
+            Interval::new(0.0, 60.0),
+            2,
+        );
+        let mut q = TprDynamicQuery::start(&tr, traj);
+        let _ = q.drain_window(&tr, 0.0, 5.0);
+        // A new object appears at t=5, heading for the window.
+        let rec = TprRecord::new(99, 0, Interval::new(5.0, 100.0), [45.0, 0.5], [1.0, 0.0]);
+        let report = tr.insert(rec, 5.0);
+        q.notify(&tr, &report);
+        let later = q.drain_window(&tr, 5.0, 60.0);
+        assert!(later.iter().any(|r| r.record.oid == 99));
+    }
+
+    #[test]
+    fn brute_force_agreement() {
+        // Random-ish fan of headings; compare against direct evaluation.
+        let mut tr: RTree<TprRecord, Pager> = RTree::new(Pager::new(), RTreeConfig::default());
+        let mut recs = Vec::new();
+        for i in 0..500u32 {
+            let ang = i as f64 * 2.399;
+            let p = [50.0 + (i % 40) as f64 - 20.0, 50.0 + (i / 40) as f64 - 6.0];
+            let v = [0.8 * ang.cos(), 0.8 * ang.sin()];
+            let r = TprRecord::new(i, 0, Interval::new(0.0, 30.0), p, v);
+            recs.push(r);
+            tr.insert(r, 0.0);
+        }
+        let traj = Trajectory::linear(
+            Rect::from_corners([45.0, 45.0], [55.0, 55.0]),
+            [0.5, 0.2],
+            Interval::new(2.0, 20.0),
+            4,
+        );
+        let expected: HashSet<u32> = recs
+            .iter()
+            .filter(|r| !overlap_trajectory_tpbox(&traj, &r.tpbox()).is_empty())
+            .map(|r| r.oid)
+            .collect();
+        let mut q = TprDynamicQuery::start(&tr, traj);
+        let got: HashSet<u32> = q
+            .drain_window(&tr, 2.0, 20.0)
+            .iter()
+            .map(|r| r.record.oid)
+            .collect();
+        assert_eq!(got, expected);
+    }
+}

@@ -1,0 +1,121 @@
+//! Leaf records of the TPR-tree: moving points.
+
+use crate::tpbox::TpBox;
+use rtree::stbox_key::quantize;
+use rtree::Record;
+use stkit::{Interval, Scalar};
+
+/// A moving point: the *current motion* of one object — position `p` at
+/// `active.lo`, constant velocity `v`, expected to be replaced by the
+/// object's next update at or before `active.hi`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TprRecord {
+    /// Position at `active.lo`.
+    pub p: [Scalar; 2],
+    /// Velocity.
+    pub v: [Scalar; 2],
+    /// Time window this motion is assumed valid.
+    pub active: Interval,
+    /// Object id.
+    pub oid: u32,
+    /// Update sequence.
+    pub seq: u32,
+}
+
+impl TprRecord {
+    /// Build a record, quantizing to page precision so encoding
+    /// round-trips exactly.
+    pub fn new(oid: u32, seq: u32, active: Interval, p: [Scalar; 2], v: [Scalar; 2]) -> Self {
+        TprRecord {
+            p: p.map(quantize),
+            v: v.map(quantize),
+            active: Interval::new(quantize(active.lo), quantize(active.hi)),
+            oid,
+            seq,
+        }
+    }
+
+    /// Position at time `t` (clamped into the active window).
+    pub fn position_at(&self, t: Scalar) -> [Scalar; 2] {
+        let t = self.active.clamp(t);
+        [
+            self.p[0] + self.v[0] * (t - self.active.lo),
+            self.p[1] + self.v[1] * (t - self.active.lo),
+        ]
+    }
+
+    /// The motion as a time-parameterized (degenerate) box.
+    pub fn tpbox(&self) -> TpBox {
+        TpBox::moving_point(self.p, self.v, self.active)
+    }
+}
+
+impl Record for TprRecord {
+    type Key = TpBox;
+
+    // p (2×f32) ‖ v (2×f32) ‖ active (2×f32) ‖ oid ‖ seq.
+    const ENCODED_LEN: usize = 32;
+
+    fn key(&self) -> TpBox {
+        self.tpbox()
+    }
+
+    fn encode(&self, buf: &mut Vec<u8>) {
+        for c in self.p.iter().chain(&self.v) {
+            buf.extend_from_slice(&(*c as f32).to_le_bytes());
+        }
+        buf.extend_from_slice(&(self.active.lo as f32).to_le_bytes());
+        buf.extend_from_slice(&(self.active.hi as f32).to_le_bytes());
+        buf.extend_from_slice(&self.oid.to_le_bytes());
+        buf.extend_from_slice(&self.seq.to_le_bytes());
+    }
+
+    fn decode(buf: &[u8]) -> Self {
+        let f = |o: usize| f32::from_le_bytes(buf[o..o + 4].try_into().unwrap()) as f64;
+        TprRecord {
+            p: [f(0), f(4)],
+            v: [f(8), f(12)],
+            active: Interval::new(f(16), f(20)),
+            oid: u32::from_le_bytes(buf[24..28].try_into().unwrap()),
+            seq: u32::from_le_bytes(buf[28..32].try_into().unwrap()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_exact() {
+        let r = TprRecord::new(9, 2, Interval::new(1.25, 7.5), [0.1, 0.2], [-0.3, 0.4]);
+        let mut buf = Vec::new();
+        r.encode(&mut buf);
+        assert_eq!(buf.len(), TprRecord::ENCODED_LEN);
+        assert_eq!(TprRecord::decode(&buf), r);
+    }
+
+    #[test]
+    fn fanout_on_4k_pages() {
+        use rtree::Key;
+        assert_eq!((4096 - 32) / TprRecord::ENCODED_LEN, 127);
+        assert_eq!((4096 - 32) / (<TpBox as Key>::ENCODED_LEN + 4), 92);
+    }
+
+    #[test]
+    fn position_clamps_to_active() {
+        let r = TprRecord::new(1, 0, Interval::new(2.0, 4.0), [0.0, 0.0], [1.0, 2.0]);
+        assert_eq!(r.position_at(2.0), [0.0, 0.0]);
+        assert_eq!(r.position_at(3.0), [1.0, 2.0]);
+        assert_eq!(r.position_at(100.0), [2.0, 4.0]);
+    }
+
+    #[test]
+    fn key_covers_whole_motion() {
+        let r = TprRecord::new(1, 0, Interval::new(0.0, 5.0), [1.0, 1.0], [2.0, -1.0]);
+        let k = r.key();
+        for t in [0.0, 2.5, 5.0] {
+            assert!(k.rect_at(t).contains_point(&r.position_at(t)));
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Quickstart: index some mobile objects and run a predictive dynamic
+//! query over them.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use dq_repro::mobiquery::{PdqEngine, Trajectory};
+use dq_repro::motion::{RandomWalk, RandomWalkConfig};
+use dq_repro::rtree::{NsiSegmentRecord, RTree, RTreeConfig};
+use dq_repro::stkit::{Interval, Rect};
+use dq_repro::storage::{PageStore, Pager};
+
+fn main() {
+    // 1. Simulate 500 mobile objects wandering a 100×100 space for 20
+    //    time units (≈1 motion update per object per time unit).
+    let walk = RandomWalk::new(RandomWalkConfig {
+        objects: 500,
+        duration: 20.0,
+        ..RandomWalkConfig::default()
+    });
+
+    // 2. Index every motion update in a paginated R-tree (one node = one
+    //    4 KiB page; `insert` stamps nodes for NPDQ update management).
+    let mut tree = RTree::new(Pager::new(), RTreeConfig::default());
+    for trace in walk.generate() {
+        for u in &trace.updates {
+            let rec =
+                NsiSegmentRecord::new(u.oid, u.seq, u.seg.t, u.seg.x0, u.seg.end_position());
+            tree.insert(rec, u.seg.t.lo);
+        }
+    }
+    println!(
+        "indexed {} motion segments in an R-tree of height {}",
+        tree.len(),
+        tree.height()
+    );
+
+    // 3. An observer flies a 10×10 window across the space from t=2 to
+    //    t=12 — a predictive dynamic query.
+    let trajectory = Trajectory::linear(
+        Rect::from_corners([0.0, 45.0], [10.0, 55.0]),
+        [8.0, 0.0], // 8 units per time unit, heading east
+        Interval::new(2.0, 12.0),
+        5,
+    );
+
+    // 4. Stream the answers: each object is returned exactly once, the
+    //    moment it enters the view, with its full visibility time set.
+    let before = tree.store().io();
+    let mut pdq = PdqEngine::start(&tree, trajectory);
+    let mut count = 0;
+    let mut t = 2.0;
+    while t < 12.0 {
+        for r in pdq.drain_window(&tree, t, t + 0.5) {
+            if count < 5 {
+                println!(
+                    "  t≈{t:>4.1}  object {:>3} enters view, visible {}",
+                    r.record.oid, r.visibility
+                );
+            }
+            count += 1;
+        }
+        t += 0.5;
+    }
+    let io = tree.store().io() - before;
+    println!("…{count} objects delivered using {} disk accesses total", io.reads);
+    println!(
+        "(a naive per-frame approach at 20 fps would run {} snapshot queries)",
+        (10.0_f64 / 0.05) as u64
+    );
+}

@@ -1,0 +1,9 @@
+//! Umbrella crate: re-exports the workspace libraries so examples and
+//! integration tests can use a single dependency.
+pub use mobiquery;
+pub use motion;
+pub use rtree;
+pub use stkit;
+pub use storage;
+pub use tprtree;
+pub use workload;

@@ -1,0 +1,108 @@
+//! Persistence integration: build an index, persist the page store to a
+//! byte stream (or file), reload, and query identically.
+
+use dq_repro::mobiquery::{NaiveEngine, PdqEngine, SnapshotQuery, Trajectory};
+use dq_repro::rtree::{NsiSegmentRecord, RTree, RTreeConfig};
+use dq_repro::storage::{load_pager, save_pager};
+use dq_repro::stkit::{Interval, Rect};
+use dq_repro::workload::{Dataset, DatasetConfig};
+
+fn build() -> (Dataset, RTree<NsiSegmentRecord<2>, dq_repro::storage::Pager>) {
+    let ds = Dataset::generate(DatasetConfig {
+        objects: 300,
+        duration: 10.0,
+        space_side: 100.0,
+        seed: 0x9E55,
+    });
+    let tree = ds.build_nsi_tree();
+    (ds, tree)
+}
+
+#[test]
+fn saved_tree_reloads_and_answers_identically() {
+    let (_ds, tree) = build();
+    let meta = tree.metadata();
+
+    let mut bytes = Vec::new();
+    save_pager(tree.store(), &mut bytes).unwrap();
+
+    let pager = load_pager(&bytes[..]).unwrap();
+    let reopened: RTree<NsiSegmentRecord<2>, _> =
+        RTree::reopen(pager, RTreeConfig::default(), meta.0, meta.1, meta.2);
+    reopened.validate().unwrap();
+    assert_eq!(reopened.len(), tree.len());
+    assert_eq!(reopened.height(), tree.height());
+
+    let naive = NaiveEngine::new();
+    for k in 0..10 {
+        let q = SnapshotQuery::at_instant(
+            Rect::from_corners([k as f64 * 8.0, 20.0], [k as f64 * 8.0 + 10.0, 35.0]),
+            1.0 + k as f64 * 0.8,
+        );
+        let mut a: Vec<(u32, u32)> = Vec::new();
+        let mut b: Vec<(u32, u32)> = Vec::new();
+        naive.query_nsi(&tree, &q, |r| a.push((r.oid, r.seq)));
+        naive.query_nsi(&reopened, &q, |r| b.push((r.oid, r.seq)));
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "query {k}");
+    }
+}
+
+#[test]
+fn reloaded_tree_supports_pdq_and_further_inserts() {
+    let (_ds, tree) = build();
+    let meta = tree.metadata();
+    let mut bytes = Vec::new();
+    save_pager(tree.store(), &mut bytes).unwrap();
+
+    let mut reopened: RTree<NsiSegmentRecord<2>, _> = RTree::reopen(
+        load_pager(&bytes[..]).unwrap(),
+        RTreeConfig::default(),
+        meta.0,
+        meta.1,
+        meta.2,
+    );
+    // Keep inserting after reload.
+    for i in 0..200u32 {
+        let x = (i % 50) as f64 * 2.0;
+        reopened.insert(
+            NsiSegmentRecord::new(5000 + i, 0, Interval::new(0.0, 10.0), [x, 50.0], [x, 50.0]),
+            0.0,
+        );
+    }
+    reopened.validate().unwrap();
+    assert_eq!(reopened.len(), tree.len() + 200);
+
+    // And run a dynamic query over it.
+    let traj = Trajectory::linear(
+        Rect::from_corners([0.0, 45.0], [10.0, 55.0]),
+        [5.0, 0.0],
+        Interval::new(0.0, 8.0),
+        3,
+    );
+    let mut pdq = PdqEngine::start(&reopened, traj);
+    let results = pdq.drain_window(&reopened, 0.0, 8.0);
+    assert!(
+        results.iter().filter(|r| r.record.oid >= 5000).count() > 10,
+        "post-reload inserts must be visible to queries"
+    );
+}
+
+#[test]
+fn file_roundtrip() {
+    let (_ds, tree) = build();
+    let meta = tree.metadata();
+    let path = std::env::temp_dir().join("dq_repro_persistence_test.dqpg");
+    {
+        let f = std::fs::File::create(&path).unwrap();
+        save_pager(tree.store(), std::io::BufWriter::new(f)).unwrap();
+    }
+    let f = std::fs::File::open(&path).unwrap();
+    let pager = load_pager(std::io::BufReader::new(f)).unwrap();
+    let reopened: RTree<NsiSegmentRecord<2>, _> =
+        RTree::reopen(pager, RTreeConfig::default(), meta.0, meta.1, meta.2);
+    reopened.validate().unwrap();
+    assert_eq!(reopened.len(), tree.len());
+    let _ = std::fs::remove_file(&path);
+}
