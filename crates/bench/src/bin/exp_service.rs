@@ -1,0 +1,142 @@
+//! Serving experiment: `DqServer` throughput and buffer hit-rate vs
+//! shared pool size.
+//!
+//! The paper's setting (§2) is a server evaluating many concurrent
+//! dynamic-query sessions over one index while updates stream in. This
+//! bench stands that server up: N mixed PDQ/NPDQ sessions plus a live
+//! writer, all over ONE tree behind a [`ShardedBufferPool`], sweeping
+//! the pool's page budget. Reported per configuration: wall-clock
+//! throughput (frames and delivered objects per second), true disk reads
+//! behind the cache, and the pool's hit ratio — demonstrating how a
+//! *shared* (not per-session, cf. `ablation_buffer`) pool amortises the
+//! sessions' overlapping working sets.
+//!
+//! `DQ_SCALE=paper` for the full configuration, `DQ_SESSIONS` to
+//! override the session count (default 8).
+
+use bench::{f2, FigureTable, Scale};
+use mobiquery::{DqServer, SessionKind, SessionSpec};
+use rtree::{NsiSegmentRecord, RTree, RTreeConfig};
+use storage::{PageStore, Pager, ShardedBufferPool};
+use workload::QueryWorkload;
+
+const FRAMES: usize = 20;
+const SHARDS: usize = 4;
+
+fn sessions(scale: Scale) -> Vec<SessionSpec<2>> {
+    let count = std::env::var("DQ_SESSIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    let cfg = workload::QueryWorkloadConfig {
+        count,
+        subsequent_frames: FRAMES,
+        ..scale.query_config(0.8, 8.0)
+    };
+    QueryWorkload::new(cfg)
+        .generate()
+        .into_iter()
+        .enumerate()
+        .map(|(i, q)| SessionSpec {
+            kind: if i % 2 == 0 {
+                SessionKind::Pdq
+            } else {
+                SessionKind::Npdq
+            },
+            trajectory: q.trajectory,
+            frame_times: q.frame_times,
+        })
+        .collect()
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let ds = bench::build_dataset(scale);
+    let specs = sessions(scale);
+
+    // 80 % of the updates pre-loaded, 20 % arriving live per frame.
+    let records = ds.nsi_records();
+    let split = records.len() * 8 / 10;
+    let (preload, live) = records.split_at(split);
+    let inserts: Vec<Vec<(NsiSegmentRecord<2>, f64)>> = live
+        .chunks(live.len().div_ceil(FRAMES).max(1))
+        .map(|c| c.iter().map(|r| (*r, r.seg.t.lo)).collect())
+        .collect();
+    eprintln!(
+        "# serving {} sessions ({} frames), {} preloaded + {} live records",
+        specs.len(),
+        FRAMES,
+        preload.len(),
+        live.len()
+    );
+
+    let mut table = FigureTable::new(
+        "exp_service",
+        "DqServer: mixed PDQ/NPDQ sessions + writer over one shared sharded pool",
+        &[
+            "mode",
+            "pool pages",
+            "frames/s",
+            "results/s",
+            "disk reads",
+            "hits",
+            "misses",
+            "hit ratio",
+        ],
+    );
+
+    let build = |store: ShardedBufferPool<Pager>| {
+        let mut tree = RTree::new(store, RTreeConfig::default());
+        for r in preload {
+            tree.insert(*r, r.seg.t.lo);
+        }
+        tree
+    };
+
+    for &(mode, pool_pages) in &[
+        ("serial", 64usize),
+        ("concurrent", 16),
+        ("concurrent", 64),
+        ("concurrent", 256),
+        ("concurrent", 1024),
+    ] {
+        let tree = build(ShardedBufferPool::new(Pager::new(), pool_pages, SHARDS));
+        tree.store().clear(); // serve from a cold cache
+        let build_stats = tree.store().cache_stats();
+        let io_before = tree.store().io();
+        let server = DqServer::new(tree);
+
+        let t0 = std::time::Instant::now();
+        let report = if mode == "serial" {
+            server.serve_serial(&specs, &inserts)
+        } else {
+            server.serve(&specs, &inserts)
+        };
+        let secs = t0.elapsed().as_secs_f64();
+
+        let (reads, cs) = server.with_tree(|t| ((t.store().io() - io_before).reads, {
+            let mut cs = t.store().cache_stats();
+            // Counters accumulated during the tree build don't belong to
+            // the serving run.
+            cs.hits -= build_stats.hits;
+            cs.misses -= build_stats.misses;
+            cs.evictions -= build_stats.evictions;
+            cs
+        }));
+        assert!(cs.hits > 0 && cs.misses > 0, "pool counters must be live");
+        let frames = (report.frames * specs.len()) as f64;
+        table.row(vec![
+            mode.into(),
+            pool_pages.to_string(),
+            f2(frames / secs),
+            f2(report.total_results() as f64 / secs),
+            reads.to_string(),
+            cs.hits.to_string(),
+            cs.misses.to_string(),
+            format!("{:.1}%", cs.hit_ratio() * 100.0),
+        ]);
+    }
+
+    table.print();
+    table.write_json();
+}

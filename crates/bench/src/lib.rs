@@ -13,7 +13,6 @@
 //! * `DQ_TRAJECTORIES=N` — dynamic queries per point (default 100;
 //!   paper: 1000).
 
-use serde::Serialize;
 use std::io::Write as _;
 use workload::{Dataset, DatasetConfig, QueryWorkload, QueryWorkloadConfig};
 
@@ -99,7 +98,7 @@ pub fn build_queries(
 pub use workload::queries::{PAPER_OVERLAPS, PAPER_WINDOW_SIDES};
 
 /// A printable results table (one per figure).
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct FigureTable {
     /// Figure identifier, e.g. `"fig06"`.
     pub figure: String,
@@ -163,9 +162,51 @@ impl FigureTable {
         }
         let path = dir.join(format!("{}.json", self.figure));
         if let Ok(mut f) = std::fs::File::create(&path) {
-            let _ = writeln!(f, "{}", serde_json::to_string_pretty(self).unwrap());
+            let _ = writeln!(f, "{}", self.to_json());
             eprintln!("# wrote {}", path.display());
         }
+    }
+
+    /// Render the table as pretty-printed JSON (strings only, so no
+    /// external serializer is needed).
+    pub fn to_json(&self) -> String {
+        fn escape(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+            out
+        }
+        fn string_array(items: &[String], indent: &str) -> String {
+            let cells: Vec<String> = items.iter().map(|s| escape(s)).collect();
+            format!("{indent}[{}]", cells.join(", "))
+        }
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"figure\": {},\n", escape(&self.figure)));
+        out.push_str(&format!("  \"title\": {},\n", escape(&self.title)));
+        out.push_str(&format!(
+            "  \"columns\": {},\n",
+            string_array(&self.columns, "").trim_start()
+        ));
+        let rows: Vec<String> = self.rows.iter().map(|r| string_array(r, "    ")).collect();
+        if rows.is_empty() {
+            out.push_str("  \"rows\": []\n");
+        } else {
+            out.push_str(&format!("  \"rows\": [\n{}\n  ]\n", rows.join(",\n")));
+        }
+        out.push('}');
+        out
     }
 }
 

@@ -44,6 +44,7 @@ pub mod naive;
 pub mod npdq;
 pub mod pdq;
 pub mod psi;
+pub mod service;
 pub mod session;
 pub mod snapshot;
 pub mod spdq;
@@ -61,6 +62,7 @@ pub use naive::NaiveEngine;
 pub use npdq::NpdqEngine;
 pub use pdq::{PdqEngine, PdqResult};
 pub use psi::{psi_query, psi_query_key, PsiBounds, PsiSegmentRecord};
+pub use service::{DqServer, ServeReport, SessionKind, SessionOutput, SessionSpec};
 pub use session::{FlightSession, FrameView};
 pub use snapshot::SnapshotQuery;
 pub use spdq::SpdqSession;

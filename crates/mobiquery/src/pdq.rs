@@ -61,6 +61,17 @@ impl<const D: usize> QueueItem<D> {
             ItemKind::Object(r) => ItemId::Object(r.record.oid, r.record.seq),
         }
     }
+
+    /// Deterministic tie-break key for items sharing a `start`: objects
+    /// pop before nodes (an answer due now beats speculative expansion),
+    /// then ascending identity. Without this, `BinaryHeap`'s arbitrary
+    /// tie order makes result order depend on insertion history.
+    fn tie_key(&self) -> (u8, u64) {
+        match &self.kind {
+            ItemKind::Object(r) => (0, ((r.record.oid as u64) << 32) | r.record.seq as u64),
+            ItemKind::Node { page, .. } => (1, page.0 as u64),
+        }
+    }
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -71,7 +82,7 @@ enum ItemId {
 
 impl<const D: usize> PartialEq for QueueItem<D> {
     fn eq(&self, other: &Self) -> bool {
-        self.start == other.start
+        self.cmp(other) == Ordering::Equal
     }
 }
 impl<const D: usize> Eq for QueueItem<D> {}
@@ -82,8 +93,12 @@ impl<const D: usize> PartialOrd for QueueItem<D> {
 }
 impl<const D: usize> Ord for QueueItem<D> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; reverse for earliest-start-first.
-        other.start.total_cmp(&self.start)
+        // BinaryHeap is a max-heap; reverse for earliest-start-first,
+        // with a total tie-break so pop order is deterministic.
+        other
+            .start
+            .total_cmp(&self.start)
+            .then_with(|| other.tie_key().cmp(&self.tie_key()))
     }
 }
 
@@ -129,6 +144,10 @@ pub struct PdqEngine<const D: usize> {
     /// processed twice even if a duplicate resurfaces at a later priority.
     expanded: HashSet<PageId>,
     returned: HashSet<(u32, u32)>,
+    /// Latest `t_start` the application has asked for, so [`Self::notify`]
+    /// can discard reports whose overlap lies entirely in the past instead
+    /// of growing the queue without bound.
+    last_t_start: f64,
     stats: QueryStats,
     /// Levels-from-root threshold for the §4.1 rebuild heuristic: if an
     /// update's LCA is at distance < `rebuild_depth` from the root, drop
@@ -150,6 +169,7 @@ impl<const D: usize> PdqEngine<D> {
             recent_priority: f64::NAN,
             expanded: HashSet::new(),
             returned: HashSet::new(),
+            last_t_start: f64::NEG_INFINITY,
             stats: QueryStats::default(),
             rebuild_depth: 1,
         };
@@ -203,6 +223,9 @@ impl<const D: usize> PdqEngine<D> {
         t_start: f64,
         t_end: f64,
     ) -> Option<PdqResult<D>> {
+        if t_start > self.last_t_start {
+            self.last_t_start = t_start;
+        }
         loop {
             let head_start = self.queue.peek()?.start;
             if head_start > t_end {
@@ -342,22 +365,26 @@ impl<const D: usize> PdqEngine<D> {
         tree: &RTree<NsiSegmentRecord<D>, S>,
         report: &rtree::InsertReport<<NsiSegmentRecord<D> as Record>::Key, NsiSegmentRecord<D>>,
     ) {
+        // Reports whose overlap ended before the latest requested t_start
+        // go through the same staleness filter as expansion: the
+        // application will never ask for them, so enqueueing them would
+        // only grow the queue without bound under a sustained insert load.
+        let t_start = self.last_t_start;
         match &report.notify {
             Inserted::Record(rec) => {
                 if self.returned.contains(&(rec.oid, rec.seq)) {
                     return;
                 }
                 let ts = self.trajectory.overlap_segment(&rec.seg);
-                if !ts.is_empty() {
-                    self.queue.push(QueueItem {
-                        start: ts.start().unwrap(),
-                        end: ts.end().unwrap(),
-                        kind: ItemKind::Object(Box::new(PdqResult {
-                            record: *rec,
-                            visibility: ts,
-                        })),
-                    });
-                }
+                let rec = *rec;
+                self.enqueue_timeset(ts, t_start, |ts| QueueItem {
+                    start: ts.start().unwrap(),
+                    end: ts.end().unwrap(),
+                    kind: ItemKind::Object(Box::new(PdqResult {
+                        record: rec,
+                        visibility: ts.clone(),
+                    })),
+                });
             }
             Inserted::Subtree { page, key, level } => {
                 let root_distance = tree.height().saturating_sub(1 + *level);
@@ -368,7 +395,7 @@ impl<const D: usize> PdqEngine<D> {
                     return;
                 }
                 let ts = self.trajectory.overlap_nsi_box(key);
-                if !ts.is_empty() {
+                if !ts.is_empty() && ts.end().unwrap() >= t_start {
                     // The subtree's contents changed: allow re-expansion.
                     self.expanded.remove(page);
                     self.queue.push(QueueItem {
@@ -674,6 +701,86 @@ mod tests {
         // Everything whose position gets swept must arrive; the window
         // reaches x = 101 by t = 100, so all inserted objects qualify.
         assert_eq!(got.len(), expected, "losses with rebuild disabled");
+    }
+
+    #[test]
+    fn simultaneous_entries_pop_in_id_order() {
+        // Five objects stacked at the same position enter the view at the
+        // same instant; pop order must be their id order regardless of
+        // heap insertion history. Insert in descending id order to make
+        // an insertion-order-dependent heap fail.
+        let recs: Vec<R> = (0..5)
+            .rev()
+            .map(|i| R::new(i, 0, Interval::new(0.0, 100.0), [10.5, 0.5], [10.5, 0.5]))
+            .collect();
+        let tree = bulk_load(Pager::new(), RTreeConfig::default(), recs);
+        let mut pdq = PdqEngine::start(&tree, slide(50.0));
+        let oids: Vec<u32> = pdq
+            .drain_window(&tree, 0.0, 50.0)
+            .iter()
+            .map(|r| r.record.oid)
+            .collect();
+        assert_eq!(oids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn tie_break_is_stable_across_runs() {
+        // Many coincident entries: two independent engines over the same
+        // tree must produce the identical sequence.
+        let recs: Vec<R> = (0..40)
+            .map(|i| {
+                let x = (i % 8) as f64 + 0.5;
+                R::new(i, 0, Interval::new(0.0, 100.0), [x, 0.5], [x, 0.5])
+            })
+            .collect();
+        let tree = bulk_load(Pager::new(), RTreeConfig::default(), recs);
+        let run = || {
+            let mut pdq = PdqEngine::start(&tree, slide(20.0));
+            pdq.drain_window(&tree, 0.0, 20.0)
+                .iter()
+                .map(|r| (r.record.oid, r.record.seq))
+                .collect::<Vec<_>>()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "pop order must be deterministic");
+        assert_eq!(a.len(), 40);
+    }
+
+    #[test]
+    fn stale_notifications_do_not_grow_queue() {
+        let mut tree = line_tree(50);
+        let mut pdq = PdqEngine::start(&tree, slide(50.0));
+        // Advance the query frame by frame to t = 30.
+        let mut t = 0.0;
+        while t < 30.0 {
+            let _ = pdq.drain_window(&tree, t, t + 1.0);
+            t += 1.0;
+        }
+        let before = pdq.queue_len();
+        // A sustained stream of inserts whose overlap with the trajectory
+        // ended long before t = 30: every `Inserted::Record` report must
+        // be filtered out in notify; only split (subtree) reports — whose
+        // LCA box legitimately covers live data — may enqueue anything.
+        let mut subtree_reports = 0usize;
+        for i in 0..200u32 {
+            let x = 5.5 + (i % 10) as f64; // swept around t ∈ [5, 15]
+            let rec = R::new(20_000 + i, 0, Interval::new(0.0, 20.0), [x, 0.5], [x, 0.5]);
+            let report = tree.insert(rec, 30.0);
+            if matches!(report.notify, Inserted::Subtree { .. }) {
+                subtree_reports += 1;
+            }
+            pdq.notify(&tree, &report);
+        }
+        let after = pdq.queue_len();
+        assert!(
+            after <= before + subtree_reports,
+            "queue grew from {before} to {after} with only {subtree_reports} splits: \
+             stale records were enqueued"
+        );
+        // And none of them is ever returned.
+        let rest = pdq.drain_window(&tree, 30.0, 50.0);
+        assert!(rest.iter().all(|r| r.record.oid < 20_000));
     }
 
     #[test]

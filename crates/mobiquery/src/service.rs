@@ -1,0 +1,454 @@
+//! Concurrent query service: many dynamic-query sessions over one tree.
+//!
+//! The paper's system picture (§2, Fig. 1) is a *server* evaluating many
+//! clients' dynamic queries against one shared index while updates keep
+//! arriving. [`DqServer`] realises that picture: it owns a single NSI
+//! tree behind a [`parking_lot::RwLock`], runs N PDQ/NPDQ sessions on a
+//! scoped thread pool with per-frame batching, and broadcasts every
+//! [`rtree::InsertReport`] produced by the writer to all live PDQ
+//! engines (the §4.1 update-management protocol), while NPDQ sessions
+//! pick updates up through node timestamps (§4.2).
+//!
+//! Frames are synchronised with a [`std::sync::Barrier`]: each frame,
+//! the writer applies that frame's insert batch under the write lock and
+//! broadcasts the reports, then every session processes the frame under
+//! a read lock. All sessions therefore observe identical tree states,
+//! which makes the concurrent run *bitwise deterministic*: its
+//! per-session result sequences equal [`DqServer::serve_serial`]'s (the
+//! single-threaded reference executing the same protocol), which the
+//! `service` integration test checks.
+
+use crate::layout::MotionRecord;
+use crate::npdq::NpdqEngine;
+use crate::pdq::PdqEngine;
+use crate::snapshot::SnapshotQuery;
+use crate::stats::QueryStats;
+use crate::trajectory::Trajectory;
+use parking_lot::{Mutex, RwLock};
+use rtree::{InsertReport, NsiSegmentRecord, RTree, Record};
+use std::sync::Barrier;
+use storage::PageStore;
+
+/// The insert report the writer broadcasts to PDQ sessions.
+pub type NsiReport<const D: usize> =
+    InsertReport<<NsiSegmentRecord<D> as Record>::Key, NsiSegmentRecord<D>>;
+
+/// Which §4 algorithm a session runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SessionKind {
+    /// Predictive: trajectory known ahead, one tree traversal (§4.1).
+    Pdq,
+    /// Non-predictive: per-frame snapshot queries with previous-query
+    /// discarding (§4.2), here over the shared NSI layout.
+    Npdq,
+}
+
+/// One client's dynamic query: the trajectory it follows and the frame
+/// times at which it asks for results.
+#[derive(Clone, Debug)]
+pub struct SessionSpec<const D: usize> {
+    /// Algorithm to serve this session with.
+    pub kind: SessionKind,
+    /// The moving window.
+    pub trajectory: Trajectory<D>,
+    /// Monotone frame schedule. A PDQ session drains the window between
+    /// consecutive times; an NPDQ session evaluates a snapshot at each.
+    pub frame_times: Vec<f64>,
+}
+
+impl<const D: usize> SessionSpec<D> {
+    /// Frame steps this session needs.
+    fn steps(&self) -> usize {
+        match self.kind {
+            SessionKind::Pdq => self.frame_times.len().saturating_sub(1),
+            SessionKind::Npdq => self.frame_times.len(),
+        }
+    }
+}
+
+/// What one session produced over the whole run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SessionOutput {
+    /// `(oid, seq)` of every delivered object, in delivery order —
+    /// deterministic for both engines, so runs are comparable exactly.
+    pub results: Vec<(u32, u32)>,
+    /// Accumulated query cost.
+    pub stats: QueryStats,
+}
+
+/// Outcome of one [`DqServer::serve`] / [`DqServer::serve_serial`] run.
+#[derive(Clone, Debug, Default)]
+pub struct ServeReport {
+    /// Per-session outputs, in spec order.
+    pub sessions: Vec<SessionOutput>,
+    /// Global frame steps executed.
+    pub frames: usize,
+    /// Records the writer inserted.
+    pub inserts_applied: usize,
+}
+
+impl ServeReport {
+    /// Aggregate cost over all sessions.
+    pub fn total_stats(&self) -> QueryStats {
+        let mut total = QueryStats::default();
+        for s in &self.sessions {
+            total += s.stats;
+        }
+        total
+    }
+
+    /// Total objects delivered across sessions.
+    pub fn total_results(&self) -> usize {
+        self.sessions.iter().map(|s| s.results.len()).sum()
+    }
+}
+
+/// One session's engine state while the run is in flight.
+enum Engine<const D: usize> {
+    // Boxed: a PdqEngine (queue + trajectory) is an order of magnitude
+    // bigger than an NpdqEngine, and there is one Engine per session.
+    Pdq(Box<PdqEngine<D>>),
+    Npdq(NpdqEngine<D>),
+}
+
+struct SessionRun<'a, const D: usize> {
+    spec: &'a SessionSpec<D>,
+    engine: Engine<D>,
+    out: SessionOutput,
+}
+
+impl<'a, const D: usize> SessionRun<'a, D> {
+    fn start<S: PageStore>(spec: &'a SessionSpec<D>, tree: &RTree<NsiSegmentRecord<D>, S>) -> Self {
+        let engine = match spec.kind {
+            SessionKind::Pdq => Engine::Pdq(Box::new(PdqEngine::start(tree, spec.trajectory.clone()))),
+            SessionKind::Npdq => Engine::Npdq(NpdqEngine::new()),
+        };
+        SessionRun {
+            spec,
+            engine,
+            out: SessionOutput::default(),
+        }
+    }
+
+    /// Apply this frame's broadcast insert reports (PDQ only — NPDQ
+    /// sessions learn about updates from node timestamps instead).
+    fn absorb<S: PageStore>(
+        &mut self,
+        tree: &RTree<NsiSegmentRecord<D>, S>,
+        reports: &[NsiReport<D>],
+    ) {
+        if let Engine::Pdq(pdq) = &mut self.engine {
+            for report in reports {
+                pdq.notify(tree, report);
+            }
+        }
+    }
+
+    /// Process global frame step `k` (no-op once this session's own
+    /// schedule is exhausted).
+    fn step<S: PageStore>(&mut self, tree: &RTree<NsiSegmentRecord<D>, S>, k: usize) {
+        match &mut self.engine {
+            Engine::Pdq(pdq) => {
+                if k + 1 < self.spec.frame_times.len() {
+                    let (t0, t1) = (self.spec.frame_times[k], self.spec.frame_times[k + 1]);
+                    for r in pdq.drain_window(tree, t0, t1) {
+                        self.out.results.push((r.record.oid, r.record.seq));
+                    }
+                    self.out.stats += pdq.take_stats();
+                }
+            }
+            Engine::Npdq(npdq) => {
+                if k < self.spec.frame_times.len() {
+                    let t = self.spec.frame_times[k];
+                    let q = SnapshotQuery::at_instant(self.spec.trajectory.window_at(t), t);
+                    let results = &mut self.out.results;
+                    self.out.stats += npdq.execute(tree, &q, t, |r: &NsiSegmentRecord<D>| {
+                        results.push(r.ids());
+                    });
+                }
+            }
+        }
+    }
+
+    fn finish(self) -> SessionOutput {
+        self.out
+    }
+}
+
+/// A serving instance owning one shared NSI tree.
+///
+/// ```
+/// use mobiquery::{DqServer, SessionKind, SessionSpec, Trajectory};
+/// use rtree::{NsiSegmentRecord, RTree, RTreeConfig};
+/// use storage::Pager;
+/// use stkit::{Interval, Rect};
+///
+/// let mut tree = RTree::new(Pager::new(), RTreeConfig::default());
+/// tree.insert(
+///     NsiSegmentRecord::new(7, 0, Interval::new(0.0, 100.0), [5.5, 0.5], [5.5, 0.5]),
+///     0.0,
+/// );
+/// let server = DqServer::new(tree);
+/// let spec = SessionSpec {
+///     kind: SessionKind::Pdq,
+///     trajectory: Trajectory::linear(
+///         Rect::from_corners([0.0, 0.0], [1.0, 1.0]),
+///         [1.0, 0.0], Interval::new(0.0, 10.0), 2),
+///     frame_times: (0..=10).map(f64::from).collect(),
+/// };
+/// let report = server.serve(&[spec], &[]);
+/// assert_eq!(report.sessions[0].results, vec![(7, 0)]);
+/// ```
+pub struct DqServer<const D: usize, S: PageStore> {
+    tree: RwLock<RTree<NsiSegmentRecord<D>, S>>,
+}
+
+impl<const D: usize, S: PageStore> DqServer<D, S> {
+    /// Take ownership of a (possibly pre-loaded) tree.
+    pub fn new(tree: RTree<NsiSegmentRecord<D>, S>) -> Self {
+        DqServer {
+            tree: RwLock::new(tree),
+        }
+    }
+
+    /// Tear the server down, returning the tree.
+    pub fn into_tree(self) -> RTree<NsiSegmentRecord<D>, S> {
+        self.tree.into_inner()
+    }
+
+    /// Records currently indexed.
+    pub fn len(&self) -> u64 {
+        self.tree.read().len()
+    }
+
+    /// True iff the tree holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Run a value out of the shared tree under the read lock (e.g. I/O
+    /// counters or buffer statistics of the backing store).
+    pub fn with_tree<T>(&self, f: impl FnOnce(&RTree<NsiSegmentRecord<D>, S>) -> T) -> T {
+        f(&self.tree.read())
+    }
+
+    /// Global frame steps for a run: enough for every session's schedule
+    /// and every insert batch.
+    fn step_count(&self, specs: &[SessionSpec<D>], inserts: &[Vec<(NsiSegmentRecord<D>, f64)>]) -> usize {
+        specs
+            .iter()
+            .map(SessionSpec::steps)
+            .max()
+            .unwrap_or(0)
+            .max(inserts.len())
+    }
+
+    /// Serve every session concurrently — one scoped thread per session
+    /// plus a writer thread — with per-frame batching.
+    ///
+    /// `inserts[k]` is the batch of `(record, timestamp)` the writer
+    /// applies at the start of frame `k`, before any session processes
+    /// that frame; its [`rtree::InsertReport`]s are broadcast to all PDQ
+    /// sessions. Result sequences are deterministic and equal to
+    /// [`Self::serve_serial`] on an identically prepared server.
+    pub fn serve(
+        &self,
+        specs: &[SessionSpec<D>],
+        inserts: &[Vec<(NsiSegmentRecord<D>, f64)>],
+    ) -> ServeReport
+    where
+        S: Sync + Send,
+    {
+        let steps = self.step_count(specs, inserts);
+        let is_pdq: Vec<bool> = specs.iter().map(|s| s.kind == SessionKind::Pdq).collect();
+        // Writer + one thread per session meet at the barrier twice per
+        // frame: once before the batch is applied, once after.
+        let barrier = Barrier::new(specs.len() + 1);
+        let mailboxes: Vec<Mutex<Vec<NsiReport<D>>>> =
+            specs.iter().map(|_| Mutex::new(Vec::new())).collect();
+        let mut inserts_applied = 0;
+
+        let sessions = std::thread::scope(|scope| {
+            let handles: Vec<_> = specs
+                .iter()
+                .enumerate()
+                .map(|(i, spec)| {
+                    let barrier = &barrier;
+                    let mailboxes = &mailboxes;
+                    let tree = &self.tree;
+                    scope.spawn(move || {
+                        let mut run = SessionRun::start(spec, &tree.read());
+                        for k in 0..steps {
+                            barrier.wait(); // frame k opens; writer works
+                            barrier.wait(); // frame k batch is visible
+                            let guard = tree.read();
+                            let reports = std::mem::take(&mut *mailboxes[i].lock());
+                            run.absorb(&guard, &reports);
+                            run.step(&guard, k);
+                        }
+                        run.finish()
+                    })
+                })
+                .collect();
+
+            // This thread is the writer.
+            for k in 0..steps {
+                barrier.wait();
+                if let Some(batch) = inserts.get(k) {
+                    let mut tree = self.tree.write();
+                    for (rec, now) in batch {
+                        let report = tree.insert(*rec, *now);
+                        inserts_applied += 1;
+                        for (mb, &pdq) in mailboxes.iter().zip(&is_pdq) {
+                            if pdq {
+                                mb.lock().push(report.clone());
+                            }
+                        }
+                    }
+                }
+                barrier.wait();
+            }
+
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("session thread panicked"))
+                .collect()
+        });
+
+        ServeReport {
+            sessions,
+            frames: steps,
+            inserts_applied,
+        }
+    }
+
+    /// The single-threaded reference: identical protocol, identical
+    /// results, no threads — the oracle for the concurrency tests and a
+    /// baseline for the serving bench.
+    pub fn serve_serial(
+        &self,
+        specs: &[SessionSpec<D>],
+        inserts: &[Vec<(NsiSegmentRecord<D>, f64)>],
+    ) -> ServeReport {
+        let steps = self.step_count(specs, inserts);
+        let mut inserts_applied = 0;
+        let mut runs: Vec<SessionRun<'_, D>> = {
+            let tree = self.tree.read();
+            specs.iter().map(|s| SessionRun::start(s, &tree)).collect()
+        };
+        for k in 0..steps {
+            let mut reports = Vec::new();
+            if let Some(batch) = inserts.get(k) {
+                let mut tree = self.tree.write();
+                for (rec, now) in batch {
+                    reports.push(tree.insert(*rec, *now));
+                    inserts_applied += 1;
+                }
+            }
+            let tree = self.tree.read();
+            for run in &mut runs {
+                run.absorb(&tree, &reports);
+                run.step(&tree, k);
+            }
+        }
+        ServeReport {
+            sessions: runs.into_iter().map(SessionRun::finish).collect(),
+            frames: steps,
+            inserts_applied,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtree::bulk::bulk_load;
+    use rtree::RTreeConfig;
+    use stkit::{Interval, Rect};
+    use storage::Pager;
+
+    type R = NsiSegmentRecord<2>;
+
+    fn line_tree(n: u32) -> RTree<R, Pager> {
+        let recs: Vec<R> = (0..n)
+            .map(|i| {
+                let x = i as f64 + 0.5;
+                R::new(i, 0, Interval::new(0.0, 100.0), [x, 0.5], [x, 0.5])
+            })
+            .collect();
+        bulk_load(Pager::new(), RTreeConfig::default(), recs)
+    }
+
+    fn slide_spec(kind: SessionKind, frames: usize, span: f64) -> SessionSpec<2> {
+        SessionSpec {
+            kind,
+            trajectory: Trajectory::linear(
+                Rect::from_corners([0.0, 0.0], [1.0, 1.0]),
+                [1.0, 0.0],
+                Interval::new(0.0, span),
+                2,
+            ),
+            frame_times: (0..=frames).map(|k| span * k as f64 / frames as f64).collect(),
+        }
+    }
+
+    #[test]
+    fn single_pdq_session_matches_direct_engine() {
+        let server = DqServer::new(line_tree(30));
+        let spec = slide_spec(SessionKind::Pdq, 10, 30.0);
+        let report = server.serve(std::slice::from_ref(&spec), &[]);
+        let tree = server.into_tree();
+        let mut direct = PdqEngine::start(&tree, spec.trajectory.clone());
+        let expect: Vec<(u32, u32)> = spec
+            .frame_times
+            .windows(2)
+            .flat_map(|w| direct.drain_window(&tree, w[0], w[1]))
+            .map(|r| (r.record.oid, r.record.seq))
+            .collect();
+        assert_eq!(report.sessions[0].results, expect);
+        assert!(report.sessions[0].stats.disk_accesses > 0);
+    }
+
+    #[test]
+    fn parallel_equals_serial_with_writer() {
+        let specs: Vec<SessionSpec<2>> = vec![
+            slide_spec(SessionKind::Pdq, 20, 40.0),
+            slide_spec(SessionKind::Npdq, 20, 40.0),
+            slide_spec(SessionKind::Pdq, 10, 40.0),
+            slide_spec(SessionKind::Npdq, 10, 40.0),
+        ];
+        // Writer: two objects per frame dropped ahead of the window.
+        let inserts: Vec<Vec<(R, f64)>> = (0..20)
+            .map(|k| {
+                let t = 40.0 * k as f64 / 20.0;
+                (0..2)
+                    .map(|j| {
+                        let x = (t + 5.0 + j as f64) % 39.0;
+                        (
+                            R::new(1000 + 2 * k + j, 0, Interval::new(t, 100.0), [x, 0.5], [x, 0.5]),
+                            t,
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        let parallel = DqServer::new(line_tree(40)).serve(&specs, &inserts);
+        let serial = DqServer::new(line_tree(40)).serve_serial(&specs, &inserts);
+        assert_eq!(parallel.inserts_applied, 40);
+        assert_eq!(serial.inserts_applied, 40);
+        for (p, s) in parallel.sessions.iter().zip(&serial.sessions) {
+            assert_eq!(p.results, s.results, "concurrent run must be deterministic");
+        }
+        assert!(parallel.total_results() > 0);
+    }
+
+    #[test]
+    fn empty_run_is_empty() {
+        let server: DqServer<2, Pager> = DqServer::new(line_tree(5));
+        assert!(!server.is_empty());
+        assert_eq!(server.len(), 5);
+        let report = server.serve(&[], &[]);
+        assert_eq!(report.frames, 0);
+        assert_eq!(report.sessions.len(), 0);
+    }
+}

@@ -12,25 +12,91 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 
 /// One resident page plus its position in the intrusive LRU list.
-struct Frame {
-    data: Vec<u8>,
-    dirty: bool,
+pub(crate) struct Frame {
+    pub(crate) data: Vec<u8>,
+    pub(crate) dirty: bool,
     prev: Option<PageId>,
     next: Option<PageId>,
 }
 
-struct PoolState {
-    frames: HashMap<PageId, Frame>,
+impl Frame {
+    pub(crate) fn resident(data: Vec<u8>, dirty: bool) -> Frame {
+        Frame {
+            data,
+            dirty,
+            prev: None,
+            next: None,
+        }
+    }
+}
+
+/// One LRU domain: the whole pool for [`BufferPool`], one shard for
+/// [`crate::ShardedBufferPool`].
+pub(crate) struct PoolState {
+    pub(crate) frames: HashMap<PageId, Frame>,
     /// Most recently used page.
     head: Option<PageId>,
     /// Least recently used page (eviction candidate).
     tail: Option<PageId>,
-    hits: u64,
-    misses: u64,
-    evictions: u64,
+    pub(crate) hits: u64,
+    pub(crate) misses: u64,
+    pub(crate) evictions: u64,
 }
 
 impl PoolState {
+    pub(crate) fn empty() -> PoolState {
+        PoolState {
+            frames: HashMap::new(),
+            head: None,
+            tail: None,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Drop all frames, keeping the counters.
+    pub(crate) fn reset(&mut self) {
+        self.frames.clear();
+        self.head = None;
+        self.tail = None;
+    }
+
+    /// Evict least-recently-used frames until `capacity` leaves room for
+    /// one more, writing dirty victims back to `device`.
+    pub(crate) fn evict_if_full<S: PageStore>(&mut self, device: &S, capacity: usize) {
+        while self.frames.len() >= capacity {
+            let victim = self.tail.expect("non-empty pool must have a tail");
+            self.unlink(victim);
+            let frame = self.frames.remove(&victim).unwrap();
+            if frame.dirty {
+                device.write(victim, &frame.data);
+            }
+            self.evictions += 1;
+        }
+    }
+
+    /// Write every dirty frame back to `device`.
+    pub(crate) fn flush_to<S: PageStore>(&mut self, device: &S) {
+        let ids: Vec<PageId> = self.frames.keys().copied().collect();
+        for id in ids {
+            let f = self.frames.get_mut(&id).unwrap();
+            if f.dirty {
+                let data = std::mem::take(&mut f.data);
+                f.dirty = false;
+                device.write(id, &data);
+                self.frames.get_mut(&id).unwrap().data = data;
+            }
+        }
+    }
+
+    /// Drop `id`'s frame if resident (without write-back).
+    pub(crate) fn forget(&mut self, id: PageId) {
+        if self.frames.contains_key(&id) {
+            self.unlink(id);
+            self.frames.remove(&id);
+        }
+    }
     /// Unlink `id` from the LRU list (must be resident).
     fn unlink(&mut self, id: PageId) {
         let (prev, next) = {
@@ -51,7 +117,7 @@ impl PoolState {
     }
 
     /// Push `id` to the head (most recently used) position.
-    fn push_front(&mut self, id: PageId) {
+    pub(crate) fn push_front(&mut self, id: PageId) {
         let old_head = self.head;
         {
             let f = self.frames.get_mut(&id).unwrap();
@@ -67,7 +133,7 @@ impl PoolState {
         }
     }
 
-    fn touch(&mut self, id: PageId) {
+    pub(crate) fn touch(&mut self, id: PageId) {
         if self.head == Some(id) {
             return;
         }
@@ -117,14 +183,7 @@ impl<S: PageStore> BufferPool<S> {
         BufferPool {
             inner,
             capacity,
-            state: Mutex::new(PoolState {
-                frames: HashMap::new(),
-                head: None,
-                tail: None,
-                hits: 0,
-                misses: 0,
-                evictions: 0,
-            }),
+            state: Mutex::new(PoolState::empty()),
         }
     }
 
@@ -140,44 +199,20 @@ impl<S: PageStore> BufferPool<S> {
 
     /// Write all dirty pages back to the underlying store.
     pub fn flush(&self) {
-        let mut st = self.state.lock();
-        let ids: Vec<PageId> = st.frames.keys().copied().collect();
-        for id in ids {
-            let f = st.frames.get_mut(&id).unwrap();
-            if f.dirty {
-                let data = std::mem::take(&mut f.data);
-                f.dirty = false;
-                self.inner.write(id, &data);
-                st.frames.get_mut(&id).unwrap().data = data;
-            }
-        }
+        self.state.lock().flush_to(&self.inner);
     }
 
     /// Drop every cached page (flushing dirty ones) — used between bench
     /// runs to measure cold-cache behaviour.
     pub fn clear(&self) {
-        self.flush();
         let mut st = self.state.lock();
-        st.frames.clear();
-        st.head = None;
-        st.tail = None;
+        st.flush_to(&self.inner);
+        st.reset();
     }
 
     /// Access the wrapped store.
     pub fn inner(&self) -> &S {
         &self.inner
-    }
-
-    fn evict_if_full(&self, st: &mut PoolState) {
-        while st.frames.len() >= self.capacity {
-            let victim = st.tail.expect("non-empty pool must have a tail");
-            st.unlink(victim);
-            let frame = st.frames.remove(&victim).unwrap();
-            if frame.dirty {
-                self.inner.write(victim, &frame.data);
-            }
-            st.evictions += 1;
-        }
     }
 }
 
@@ -195,16 +230,8 @@ impl<S: PageStore> PageStore for BufferPool<S> {
         }
         st.misses += 1;
         let data = self.inner.read(id);
-        self.evict_if_full(&mut st);
-        st.frames.insert(
-            id,
-            Frame {
-                data: data.clone(),
-                dirty: false,
-                prev: None,
-                next: None,
-            },
-        );
+        st.evict_if_full(&self.inner, self.capacity);
+        st.frames.insert(id, Frame::resident(data.clone(), false));
         st.push_front(id);
         data
     }
@@ -221,18 +248,10 @@ impl<S: PageStore> PageStore for BufferPool<S> {
             st.touch(id);
             return;
         }
-        self.evict_if_full(&mut st);
+        st.evict_if_full(&self.inner, self.capacity);
         let mut buf = vec![0u8; self.page_size()];
         buf[..data.len()].copy_from_slice(data);
-        st.frames.insert(
-            id,
-            Frame {
-                data: buf,
-                dirty: true,
-                prev: None,
-                next: None,
-            },
-        );
+        st.frames.insert(id, Frame::resident(buf, true));
         st.push_front(id);
     }
 
@@ -241,12 +260,7 @@ impl<S: PageStore> PageStore for BufferPool<S> {
     }
 
     fn free(&self, id: PageId) {
-        let mut st = self.state.lock();
-        if st.frames.contains_key(&id) {
-            st.unlink(id);
-            st.frames.remove(&id);
-        }
-        drop(st);
+        self.state.lock().forget(id);
         self.inner.free(id);
     }
 

@@ -11,6 +11,9 @@
 //!   The paper argues (§4) that per-session server-side buffering is not a
 //!   substitute for dynamic-query processing; the pool exists so the bench
 //!   suite can test that claim (`ablation_buffer`).
+//! * [`ShardedBufferPool`] — the same cache split into independently
+//!   locked shards, for the concurrent query service where many sessions
+//!   read one shared tree.
 //! * [`IoStats`] — cheap, thread-safe counters snapshotted by the query
 //!   engines before/after each query to report per-query page accesses.
 //!
@@ -20,11 +23,13 @@
 
 pub mod buffer;
 pub mod pager;
+pub mod sharded;
 pub mod snapshotfile;
 pub mod stats;
 
-pub use buffer::BufferPool;
+pub use buffer::{BufferPool, CacheStats};
 pub use pager::{PageId, Pager};
+pub use sharded::ShardedBufferPool;
 pub use snapshotfile::{load_pager, save_pager};
 pub use stats::{IoSnapshot, IoStats};
 
@@ -53,4 +58,27 @@ pub trait PageStore {
     /// Snapshot of the I/O counters of the *underlying device* — i.e. the
     /// number of simulated disk accesses, after any caching.
     fn io(&self) -> IoSnapshot;
+}
+
+/// A shared handle is itself a store: lets an index own `Arc<pool>` while
+/// the serving layer keeps a second handle for cache statistics.
+impl<S: PageStore + ?Sized> PageStore for std::sync::Arc<S> {
+    fn page_size(&self) -> usize {
+        (**self).page_size()
+    }
+    fn read(&self, id: PageId) -> Vec<u8> {
+        (**self).read(id)
+    }
+    fn write(&self, id: PageId, data: &[u8]) {
+        (**self).write(id, data)
+    }
+    fn alloc(&self) -> PageId {
+        (**self).alloc()
+    }
+    fn free(&self, id: PageId) {
+        (**self).free(id)
+    }
+    fn io(&self) -> IoSnapshot {
+        (**self).io()
+    }
 }

@@ -139,3 +139,45 @@ proptest! {
         prop_assert_eq!(got, expected);
     }
 }
+
+/// Historical proptest shrink (recorded in `prop_tpr.proptest-regressions`),
+/// promoted to a deterministic case since the offline harness does not
+/// replay regression files: a stationary record and a slow mover whose
+/// active intervals are ~12 time units apart stress the cover's
+/// extrapolation outside both validity windows.
+#[test]
+fn cover_regression_disjoint_active_intervals() {
+    let a = TprRecord::new(
+        0,
+        0,
+        Interval::new(4.136654853820801, 5.136654853820801),
+        [0.0, 0.0],
+        [0.0, 0.0],
+    );
+    let b = TprRecord::new(
+        0,
+        0,
+        Interval::new(16.95756721496582, 17.95756721496582),
+        [72.91514587402344, 0.0],
+        [0.11966397613286972, 0.0],
+    );
+    let c = Key::cover(&a.key(), &b.key());
+    for r in [&a, &b] {
+        for k in 0..=10 {
+            let t = r.active.lo + r.active.length() * k as f64 / 10.0;
+            let p = r.position_at(t);
+            assert!(
+                c.rect_at(t).inflate(1e-9).contains_point(&p),
+                "cover must contain {p:?} at t={t}"
+            );
+            for (axis, &x) in p.iter().enumerate() {
+                let lo = c.axes[axis].lo_form().eval(t);
+                let hi = c.axes[axis].hi_form().eval(t);
+                assert!(
+                    lo <= x + 1e-6 && x - 1e-6 <= hi,
+                    "axis {axis} t={t}: [{lo}, {hi}] vs {x}"
+                );
+            }
+        }
+    }
+}

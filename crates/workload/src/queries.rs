@@ -374,7 +374,7 @@ pub fn follow_object(
     // Key snapshot at every motion-update boundary inside the span…
     for u in &trace.updates {
         for t in [u.seg.t.lo, u.seg.t.hi] {
-            if span.contains(t) && keys.last().map_or(true, |k: &KeySnapshot<2>| k.t < t) {
+            if span.contains(t) && keys.last().is_none_or(|k: &KeySnapshot<2>| k.t < t) {
                 if let Some(p) = trace.position_at(t) {
                     keys.push(KeySnapshot {
                         t,

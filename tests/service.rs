@@ -1,0 +1,124 @@
+//! End-to-end serving: [`DqServer`] running mixed PDQ/NPDQ sessions
+//! concurrently over ONE shared tree backed by a sharded buffer pool,
+//! with a writer inserting live updates between frames. The concurrent
+//! run must be *exactly* deterministic: per-session result sequences
+//! equal the single-threaded reference protocol on an identically
+//! prepared server.
+
+use dq_repro::mobiquery::{DqServer, SessionKind, SessionSpec};
+use dq_repro::rtree::{NsiSegmentRecord, RTree, RTreeConfig};
+use dq_repro::storage::{PageStore, Pager, ShardedBufferPool};
+use dq_repro::workload::{Dataset, DatasetConfig, QueryWorkload, QueryWorkloadConfig};
+
+const FRAMES: usize = 20;
+
+/// Workload: 400 random-walk objects, 80 % pre-loaded, 20 % arriving
+/// live in per-frame batches; 6 sessions alternating PDQ/NPDQ.
+struct Fixture {
+    preload: Vec<NsiSegmentRecord<2>>,
+    inserts: Vec<Vec<(NsiSegmentRecord<2>, f64)>>,
+    specs: Vec<SessionSpec<2>>,
+}
+
+fn fixture() -> Fixture {
+    let ds = Dataset::generate(DatasetConfig {
+        objects: 400,
+        duration: 15.0,
+        space_side: 100.0,
+        seed: 0xD1CE,
+    });
+    let records = ds.nsi_records(); // time-ordered
+    let split = records.len() * 8 / 10;
+    let (preload, live) = records.split_at(split);
+    let batch = live.len().div_ceil(FRAMES);
+    let inserts = live
+        .chunks(batch)
+        .map(|c| c.iter().map(|r| (*r, r.seg.t.lo)).collect())
+        .collect();
+    let specs = QueryWorkload::new(QueryWorkloadConfig {
+        count: 6,
+        data_duration: 15.0,
+        subsequent_frames: FRAMES,
+        ..QueryWorkloadConfig::paper(0.8)
+    })
+    .generate()
+    .into_iter()
+    .enumerate()
+    .map(|(i, q)| SessionSpec {
+        kind: if i % 2 == 0 {
+            SessionKind::Pdq
+        } else {
+            SessionKind::Npdq
+        },
+        trajectory: q.trajectory,
+        frame_times: q.frame_times,
+    })
+    .collect();
+    Fixture {
+        preload: preload.to_vec(),
+        inserts,
+        specs,
+    }
+}
+
+fn build_tree<S: PageStore>(store: S, preload: &[NsiSegmentRecord<2>]) -> RTree<NsiSegmentRecord<2>, S> {
+    let mut tree = RTree::new(store, RTreeConfig::default());
+    for r in preload {
+        tree.insert(*r, r.seg.t.lo);
+    }
+    tree
+}
+
+#[test]
+fn concurrent_serving_matches_serial_reference() {
+    let fx = fixture();
+    assert!(fx.specs.len() >= 4, "need at least 4 mixed sessions");
+
+    // Concurrent server over a sharded buffer pool (64 frames, 4 shards).
+    let pool = ShardedBufferPool::new(Pager::new(), 64, 4);
+    let server = DqServer::new(build_tree(pool, &fx.preload));
+    let parallel = server.serve(&fx.specs, &fx.inserts);
+
+    // Serial reference over an identically prepared plain-pager tree.
+    let reference = DqServer::new(build_tree(Pager::new(), &fx.preload));
+    let serial = reference.serve_serial(&fx.specs, &fx.inserts);
+
+    let live_total: usize = fx.inserts.iter().map(Vec::len).sum();
+    assert_eq!(parallel.inserts_applied, live_total);
+    assert_eq!(serial.inserts_applied, live_total);
+    assert_eq!(parallel.frames, serial.frames);
+
+    for (i, (p, s)) in parallel.sessions.iter().zip(&serial.sessions).enumerate() {
+        assert_eq!(
+            p.results, s.results,
+            "session {i} ({:?}) diverged from the serial reference",
+            fx.specs[i].kind
+        );
+    }
+    // The workload actually exercises the sessions and the pool.
+    assert!(parallel.total_results() > 0, "no session returned anything");
+    assert!(parallel.total_stats().disk_accesses > 0);
+    let cs = server.with_tree(|t| t.store().cache_stats());
+    assert!(cs.hits > 0, "buffer pool never hit");
+    assert!(cs.misses > 0, "buffer pool never missed");
+}
+
+#[test]
+fn serving_twice_is_reproducible() {
+    let fx = fixture();
+    let run = |threads: bool| {
+        let pool = ShardedBufferPool::new(Pager::new(), 32, 2);
+        let server = DqServer::new(build_tree(pool, &fx.preload));
+        if threads {
+            server.serve(&fx.specs, &fx.inserts)
+        } else {
+            server.serve_serial(&fx.specs, &fx.inserts)
+        }
+        .sessions
+        .into_iter()
+        .map(|s| s.results)
+        .collect::<Vec<_>>()
+    };
+    assert_eq!(run(true), run(true), "two concurrent runs diverged");
+    assert_eq!(run(true), run(false), "concurrent vs serial diverged");
+}

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Repo check: tier-1 build + tests, then the full workspace and clippy.
+#
+# The environment has no registry access; all external deps are vendored
+# path crates under crates/shims/, so --offline always works (and guards
+# against accidental network resolution).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo test -q --offline
+cargo test -q --offline --workspace
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "OK: build, tests, and clippy all green."
