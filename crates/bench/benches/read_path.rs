@@ -1,0 +1,255 @@
+//! Read-path microbench: decode-per-visit (the pre-zero-copy path:
+//! `read() -> Vec<u8>` + `Node::deserialize`, one page copy and one
+//! entry-vector materialization per node visit) against view-per-visit
+//! (`read_node() -> NodeRef`, a refcount bump and lazy entry decoding).
+//!
+//! Both paths walk the *entire* tree over a warm buffer pool, so every
+//! visit is a cache hit and the measured difference is pure read-path
+//! overhead. Bytes copied across the store API are counted by a wrapper
+//! `PageStore` — the view path must copy none; the bench exits non-zero
+//! if it ever copies at least as much as the decode path, so CI can run
+//! it tiny as a regression tripwire.
+//!
+//! Knobs: `DQ_READ_PATH_OBJECTS` (dataset size, default 5000),
+//! `DQ_READ_PATH_MS` (per-path measuring window, default 300),
+//! `DQ_READ_PATH_OUT` (output JSON path, default the repo-root
+//! `BENCH_read_path.json`).
+
+use bench::FigureTable;
+use rtree::bulk::bulk_load;
+use rtree::{Node, NodeEntries, NsiSegmentRecord, RTree, RTreeConfig};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+use storage::{BufferPool, IoSnapshot, PageId, PageRef, PageStore, Pager};
+use stkit::StBox;
+use workload::{Dataset, DatasetConfig};
+
+type R = NsiSegmentRecord<2>;
+type K = StBox<2, 1>;
+
+/// Counts every byte that crosses the copying `read()` API; `read_page`
+/// is the zero-copy lane and counts nothing.
+struct CountingStore<S> {
+    inner: S,
+    copied: AtomicU64,
+}
+
+impl<S> CountingStore<S> {
+    fn new(inner: S) -> Self {
+        CountingStore {
+            inner,
+            copied: AtomicU64::new(0),
+        }
+    }
+
+    fn copied_bytes(&self) -> u64 {
+        self.copied.load(Ordering::Relaxed)
+    }
+
+    fn reset_copied(&self) {
+        self.copied.store(0, Ordering::Relaxed);
+    }
+}
+
+impl<S: PageStore> PageStore for CountingStore<S> {
+    fn page_size(&self) -> usize {
+        self.inner.page_size()
+    }
+    fn read_page(&self, id: PageId) -> PageRef {
+        self.inner.read_page(id)
+    }
+    fn read(&self, id: PageId) -> Vec<u8> {
+        let buf = self.inner.read(id);
+        self.copied.fetch_add(buf.len() as u64, Ordering::Relaxed);
+        buf
+    }
+    fn write(&self, id: PageId, data: &[u8]) {
+        self.inner.write(id, data)
+    }
+    fn alloc(&self) -> PageId {
+        self.inner.alloc()
+    }
+    fn free(&self, id: PageId) {
+        self.inner.free(id)
+    }
+    fn io(&self) -> IoSnapshot {
+        self.inner.io()
+    }
+}
+
+type Store = CountingStore<BufferPool<Pager>>;
+
+/// The pre-refactor read path: copy the page into a `Vec`, materialize
+/// every entry into an owned `Node`, then iterate.
+fn traverse_decode(tree: &RTree<R, Store>) -> (u64, u64) {
+    let (mut visits, mut checksum) = (0u64, 0u64);
+    let mut stack = vec![tree.root_page()];
+    while let Some(page) = stack.pop() {
+        let bytes = tree.store().read(page);
+        let node: Node<K, R> = Node::deserialize(&bytes);
+        visits += 1;
+        match &node.entries {
+            NodeEntries::Internal(es) => {
+                for (_, c) in es {
+                    stack.push(*c);
+                }
+            }
+            NodeEntries::Leaf(rs) => {
+                for r in rs {
+                    checksum = checksum.wrapping_add(u64::from(r.oid));
+                }
+            }
+        }
+    }
+    (visits, checksum)
+}
+
+/// The zero-copy read path: borrow the resident page, decode entries
+/// lazily straight out of the page bytes.
+fn traverse_view(tree: &RTree<R, Store>) -> (u64, u64) {
+    let (mut visits, mut checksum) = (0u64, 0u64);
+    let mut stack = vec![tree.root_page()];
+    while let Some(page) = stack.pop() {
+        let node = tree.read_node(page);
+        visits += 1;
+        if node.is_leaf() {
+            for r in node.leaf_records() {
+                checksum = checksum.wrapping_add(u64::from(r.oid));
+            }
+        } else {
+            for (_, c) in node.internal_entries() {
+                stack.push(c);
+            }
+        }
+    }
+    (visits, checksum)
+}
+
+struct Measured {
+    traversals: u64,
+    elapsed: Duration,
+    bytes_per_traversal: u64,
+}
+
+fn measure(
+    tree: &RTree<R, Store>,
+    window: Duration,
+    f: impl Fn(&RTree<R, Store>) -> (u64, u64),
+) -> Measured {
+    // Warm-up probe sizes the batch (and warms the pool on first use).
+    let t0 = Instant::now();
+    black_box(f(tree));
+    let probe = t0.elapsed().max(Duration::from_nanos(100));
+    let traversals = (window.as_nanos() / probe.as_nanos()).clamp(1, 1_000_000) as u64;
+    tree.store().reset_copied();
+    let t1 = Instant::now();
+    for _ in 0..traversals {
+        black_box(f(tree));
+    }
+    let elapsed = t1.elapsed();
+    let bytes_per_traversal = tree.store().copied_bytes() / traversals;
+    Measured {
+        traversals,
+        elapsed,
+        bytes_per_traversal,
+    }
+}
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let objects = env_u64("DQ_READ_PATH_OBJECTS", 5_000) as u32;
+    let window = Duration::from_millis(env_u64("DQ_READ_PATH_MS", 300));
+
+    let ds = Dataset::generate(DatasetConfig {
+        objects,
+        duration: 10.0,
+        space_side: 1000.0,
+        seed: 7,
+    });
+    let recs = ds.nsi_records();
+    let n_records = recs.len();
+    // Capacity far above the tree size: the whole tree stays resident,
+    // so every timed visit is a pool hit.
+    let store = CountingStore::new(BufferPool::new(Pager::new(), 1 << 16));
+    let tree = bulk_load(store, RTreeConfig::default(), recs);
+
+    // Warm the pool and agree on the answer before timing anything.
+    let (nodes, sum_view) = traverse_view(&tree);
+    let (nodes_d, sum_decode) = traverse_decode(&tree);
+    assert_eq!(nodes, nodes_d, "paths must visit the same nodes");
+    assert_eq!(sum_view, sum_decode, "paths must see the same records");
+
+    let hits0 = tree.store().inner.cache_stats();
+    let decode = measure(&tree, window, traverse_decode);
+    let view = measure(&tree, window, traverse_view);
+    let hits1 = tree.store().inner.cache_stats();
+    assert_eq!(
+        hits1.misses, hits0.misses,
+        "timed traversals must run on a warm pool"
+    );
+
+    let rate = |m: &Measured| (nodes * m.traversals) as f64 / m.elapsed.as_secs_f64();
+    let per_visit_ns = |m: &Measured| m.elapsed.as_secs_f64() * 1e9 / (nodes * m.traversals) as f64;
+
+    let mut table = FigureTable::new(
+        "read_path",
+        &format!(
+            "Warm-pool full-tree traversal: {objects} objects, {n_records} records, \
+             {nodes} nodes (one visit = one cache hit)"
+        ),
+        &[
+            "path",
+            "node_visits",
+            "traversals",
+            "visits_per_sec",
+            "ns_per_visit",
+            "bytes_copied_per_traversal",
+        ],
+    );
+    for (name, m) in [("decode", &decode), ("view", &view)] {
+        table.row(vec![
+            name.to_string(),
+            nodes.to_string(),
+            m.traversals.to_string(),
+            format!("{:.0}", rate(m)),
+            format!("{:.1}", per_visit_ns(m)),
+            m.bytes_per_traversal.to_string(),
+        ]);
+    }
+    table.row(vec![
+        "view/decode speedup".to_string(),
+        String::new(),
+        String::new(),
+        format!("{:.2}x", rate(&view) / rate(&decode)),
+        String::new(),
+        String::new(),
+    ]);
+    table.print();
+
+    let out = std::env::var("DQ_READ_PATH_OUT").unwrap_or_else(|_| {
+        format!("{}/../../BENCH_read_path.json", env!("CARGO_MANIFEST_DIR"))
+    });
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&out, format!("{}\n", table.to_json())).expect("write bench JSON");
+    eprintln!("# wrote {out}");
+
+    // Regression tripwire: the zero-copy path must actually be zero-copy
+    // (strictly fewer bytes than the decode path, which copies one full
+    // page per visit).
+    if view.bytes_per_traversal >= decode.bytes_per_traversal {
+        eprintln!(
+            "FAIL: view path copied {} bytes/traversal, decode path {} — zero-copy regressed",
+            view.bytes_per_traversal, decode.bytes_per_traversal
+        );
+        std::process::exit(1);
+    }
+}

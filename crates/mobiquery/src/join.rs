@@ -15,7 +15,7 @@
 //! vehicles that pass within 1 km of each other today").
 
 use crate::stats::QueryStats;
-use rtree::{NodeEntries, NsiSegmentRecord, RTree};
+use rtree::{NsiSegmentRecord, RTree};
 use storage::PageStore;
 use stkit::{within_distance, Interval, TimeSet};
 
@@ -44,47 +44,54 @@ pub fn distance_join<const D: usize, SA: PageStore, SB: PageStore>(
     let mut stack = vec![(left.root_page(), right.root_page())];
     let delta_sq = delta * delta;
     while let Some((pa, pb)) = stack.pop() {
-        let na = left.load(pa);
-        let nb = right.load(pb);
+        // Zero-copy visits: both nodes stay as borrowed views over their
+        // pages; entries decode lazily.
+        let na = left.read_node(pa);
+        let nb = right.read_node(pb);
         stats.disk_accesses += 2;
-        if na.level == 0 {
+        if na.is_leaf() {
             stats.leaf_accesses += 1;
         }
-        if nb.level == 0 {
+        if nb.is_leaf() {
             stats.leaf_accesses += 1;
         }
-        match (&na.entries, &nb.entries) {
-            (NodeEntries::Internal(ea), NodeEntries::Internal(eb)) => {
-                for (ka, ca) in ea {
-                    for (kb, cb) in eb {
+        match (na.is_leaf(), nb.is_leaf()) {
+            (false, false) => {
+                for (ka, ca) in na.internal_entries() {
+                    for (kb, cb) in nb.internal_entries() {
                         stats.distance_computations += 1;
-                        if compatible(ka, kb, delta_sq, &window) {
-                            stack.push((*ca, *cb));
+                        if compatible(&ka, &kb, delta_sq, &window) {
+                            stack.push((ca, cb));
                         }
                     }
                 }
             }
-            (NodeEntries::Internal(ea), NodeEntries::Leaf(_)) => {
+            (false, true) => {
                 // Descend the left side only; the right node re-loads per
                 // matching child (counted — the naive dual traversal).
-                for (ka, ca) in ea {
+                let kb = nb.bounding_key();
+                for (ka, ca) in na.internal_entries() {
                     stats.distance_computations += 1;
-                    if compatible(ka, &nb.bounding_key(), delta_sq, &window) {
-                        stack.push((*ca, pb));
+                    if compatible(&ka, &kb, delta_sq, &window) {
+                        stack.push((ca, pb));
                     }
                 }
             }
-            (NodeEntries::Leaf(_), NodeEntries::Internal(eb)) => {
-                for (kb, cb) in eb {
+            (true, false) => {
+                let ka = na.bounding_key();
+                for (kb, cb) in nb.internal_entries() {
                     stats.distance_computations += 1;
-                    if compatible(&na.bounding_key(), kb, delta_sq, &window) {
-                        stack.push((pa, *cb));
+                    if compatible(&ka, &kb, delta_sq, &window) {
+                        stack.push((pa, cb));
                     }
                 }
             }
-            (NodeEntries::Leaf(ra), NodeEntries::Leaf(rb)) => {
-                for a in ra {
-                    for b in rb {
+            (true, true) => {
+                // Materialize the inner side once per node pair; the outer
+                // side streams straight off the page.
+                let inner: Vec<_> = nb.leaf_records().collect();
+                for a in na.leaf_records() {
+                    for &b in &inner {
                         stats.distance_computations += 1;
                         use rtree::Record;
                         if !compatible(&a.key(), &b.key(), delta_sq, &window) {
@@ -94,11 +101,7 @@ pub fn distance_join<const D: usize, SA: PageStore, SB: PageStore>(
                             within_distance(&a.seg, &b.seg, delta).intersect_interval(&window);
                         if !meeting.is_empty() {
                             stats.results += 1;
-                            emit(JoinPair {
-                                a: *a,
-                                b: *b,
-                                meeting,
-                            });
+                            emit(JoinPair { a, b, meeting });
                         }
                     }
                 }

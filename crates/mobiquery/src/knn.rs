@@ -12,7 +12,7 @@
 //! result-reuse idea the paper applies to range queries.
 
 use crate::stats::QueryStats;
-use rtree::{NodeEntries, NsiSegmentRecord, RTree};
+use rtree::{NsiSegmentRecord, RTree};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use storage::{PageId, PageStore};
@@ -87,40 +87,36 @@ pub fn knn_at<const D: usize, S: PageStore>(
                 }
             }
             Frontier::Node(page) => {
-                let node = tree.load(page);
+                // Zero-copy visit: entries decode lazily out of the page.
+                let node = tree.read_node(page);
                 stats.disk_accesses += 1;
-                if node.level == 0 {
+                if node.is_leaf() {
                     stats.leaf_accesses += 1;
-                }
-                match &node.entries {
-                    NodeEntries::Internal(entries) => {
-                        for (key, child) in entries {
-                            stats.distance_computations += 1;
-                            if !key.time.extent(0).contains(t) {
-                                continue;
-                            }
-                            let d = key.space.min_dist_sq(&p);
-                            if d <= bound {
-                                heap.push(FrontierItem {
-                                    dist_sq: d,
-                                    what: Frontier::Node(*child),
-                                });
-                            }
+                    for rec in node.leaf_records() {
+                        stats.distance_computations += 1;
+                        if !rec.seg.t.contains(t) {
+                            continue;
+                        }
+                        let d = rec.seg.dist_sq_at(t, &p);
+                        if d <= bound {
+                            heap.push(FrontierItem {
+                                dist_sq: d,
+                                what: Frontier::Object(rec),
+                            });
                         }
                     }
-                    NodeEntries::Leaf(records) => {
-                        for rec in records {
-                            stats.distance_computations += 1;
-                            if !rec.seg.t.contains(t) {
-                                continue;
-                            }
-                            let d = rec.seg.dist_sq_at(t, &p);
-                            if d <= bound {
-                                heap.push(FrontierItem {
-                                    dist_sq: d,
-                                    what: Frontier::Object(*rec),
-                                });
-                            }
+                } else {
+                    for (key, child) in node.internal_entries() {
+                        stats.distance_computations += 1;
+                        if !key.time.extent(0).contains(t) {
+                            continue;
+                        }
+                        let d = key.space.min_dist_sq(&p);
+                        if d <= bound {
+                            heap.push(FrontierItem {
+                                dist_sq: d,
+                                what: Frontier::Node(child),
+                            });
                         }
                     }
                 }
@@ -348,35 +344,30 @@ pub fn knn_moving_observer<const D: usize, S: PageStore>(
                 }
             }
             Frontier::Node(page) => {
-                let node = tree.load(page);
+                let node = tree.read_node(page);
                 stats.disk_accesses += 1;
-                if node.level == 0 {
+                if node.is_leaf() {
                     stats.leaf_accesses += 1;
-                }
-                match &node.entries {
-                    NodeEntries::Internal(entries) => {
-                        for (key, child) in entries {
-                            stats.distance_computations += 1;
-                            if !key.time.extent(0).overlaps(&span) {
-                                continue;
-                            }
-                            let d = key.space.min_dist_sq_rect(&swept);
+                    for rec in node.leaf_records() {
+                        stats.distance_computations += 1;
+                        if let Some(d) = min_dist_sq_over(&rec.seg, observer, &span) {
                             heap.push(FrontierItem {
                                 dist_sq: d,
-                                what: Frontier::Node(*child),
+                                what: Frontier::Object(rec),
                             });
                         }
                     }
-                    NodeEntries::Leaf(records) => {
-                        for rec in records {
-                            stats.distance_computations += 1;
-                            if let Some(d) = min_dist_sq_over(&rec.seg, observer, &span) {
-                                heap.push(FrontierItem {
-                                    dist_sq: d,
-                                    what: Frontier::Object(*rec),
-                                });
-                            }
+                } else {
+                    for (key, child) in node.internal_entries() {
+                        stats.distance_computations += 1;
+                        if !key.time.extent(0).overlaps(&span) {
+                            continue;
                         }
+                        let d = key.space.min_dist_sq_rect(&swept);
+                        heap.push(FrontierItem {
+                            dist_sq: d,
+                            what: Frontier::Node(child),
+                        });
                     }
                 }
             }

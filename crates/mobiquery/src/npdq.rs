@@ -21,7 +21,7 @@
 use crate::layout::MotionRecord;
 use crate::snapshot::SnapshotQuery;
 use crate::stats::QueryStats;
-use rtree::{Key, NodeEntries, RTree};
+use rtree::{Key, RTree};
 use storage::{PageId, PageStore};
 
 /// The NPDQ query processor: one instance per dynamic query session.
@@ -56,6 +56,9 @@ pub struct NpdqEngine<const D: usize> {
     /// snapshot is evaluated naively) — lets benches measure the no-harm
     /// property at 0 % overlap.
     pub use_discard: bool,
+    /// Reusable traversal stack, so per-frame executions in a serving
+    /// loop don't allocate frame over frame.
+    stack: Vec<PageId>,
 }
 
 impl<const D: usize> Default for NpdqEngine<D> {
@@ -70,6 +73,7 @@ impl<const D: usize> NpdqEngine<D> {
         NpdqEngine {
             prev: None,
             use_discard: true,
+            stack: Vec::new(),
         }
     }
 
@@ -103,58 +107,60 @@ impl<const D: usize> NpdqEngine<D> {
         let prev = if self.use_discard { self.prev } else { None };
         let pkey = prev.map(|(p, clock)| (p, R::query_key(&p), clock));
 
-        // Depth-first traversal with explicit stack.
-        let mut stack: Vec<PageId> = vec![tree.root_page()];
+        // Depth-first traversal; the stack is engine-owned scratch, reused
+        // across per-frame executions.
+        let mut stack = std::mem::take(&mut self.stack);
+        stack.clear();
+        stack.push(tree.root_page());
         while let Some(page) = stack.pop() {
-            let node = tree.load(page);
+            // Zero-copy visit: header parsed once, entries decoded lazily.
+            let node = tree.read_node(page);
             stats.disk_accesses += 1;
-            if node.level == 0 {
+            if node.level() == 0 {
                 stats.leaf_accesses += 1;
             }
             // §4.2 timestamp check: if this node was modified after the
             // previous query ran, its children may contain unseen data —
             // the previous query cannot be used to discard them.
             let clean = match &pkey {
-                Some((_, _, pclock)) => node.timestamp <= *pclock,
+                Some((_, _, pclock)) => node.timestamp() <= *pclock,
                 None => false,
             };
-            match &node.entries {
-                NodeEntries::Internal(entries) => {
-                    for (key, child) in entries {
-                        stats.distance_computations += 1;
-                        if !key.overlaps(&qkey) {
-                            continue;
-                        }
-                        if clean {
-                            if let Some((_, pk, _)) = &pkey {
-                                if discardable(pk, &qkey, key) {
-                                    continue; // pruned without loading
-                                }
+            if node.is_leaf() {
+                for rec in node.leaf_records() {
+                    stats.distance_computations += 1;
+                    if !rec.key().overlaps(&qkey) || !q.matches_segment(rec.segment()) {
+                        continue;
+                    }
+                    // Already returned by the previous query?
+                    if clean {
+                        if let Some((p, _)) = &prev {
+                            if p.matches_segment(rec.segment()) {
+                                continue;
                             }
                         }
-                        stack.push(*child);
                     }
+                    stats.results += 1;
+                    emit(&rec);
                 }
-                NodeEntries::Leaf(records) => {
-                    for rec in records {
-                        stats.distance_computations += 1;
-                        if !rec.key().overlaps(&qkey) || !q.matches_segment(rec.segment()) {
-                            continue;
-                        }
-                        // Already returned by the previous query?
-                        if clean {
-                            if let Some((p, _)) = &prev {
-                                if p.matches_segment(rec.segment()) {
-                                    continue;
-                                }
+            } else {
+                for (key, child) in node.internal_entries() {
+                    stats.distance_computations += 1;
+                    if !key.overlaps(&qkey) {
+                        continue;
+                    }
+                    if clean {
+                        if let Some((_, pk, _)) = &pkey {
+                            if discardable(pk, &qkey, &key) {
+                                continue; // pruned without loading
                             }
                         }
-                        stats.results += 1;
-                        emit(rec);
                     }
+                    stack.push(child);
                 }
             }
         }
+        self.stack = stack;
         self.prev = Some((*q, now));
         stats
     }

@@ -20,7 +20,7 @@
 
 use crate::stats::QueryStats;
 use crate::trajectory::Trajectory;
-use rtree::{Inserted, NodeEntries, NsiSegmentRecord, RTree, Record};
+use rtree::{Inserted, NsiSegmentRecord, RTree, Record};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
 use storage::{PageId, PageStore};
@@ -271,8 +271,9 @@ impl<const D: usize> PdqEngine<D> {
         }
     }
 
-    /// Load a node (one disk access) and enqueue each child whose
-    /// overlap-time set is non-empty and not entirely before `t_start`.
+    /// Read a node (one disk access, zero-copy) and enqueue each child
+    /// whose overlap-time set is non-empty and not entirely before
+    /// `t_start`. Entries are decoded lazily straight out of the page.
     fn expand<S: PageStore>(
         &mut self,
         tree: &RTree<NsiSegmentRecord<D>, S>,
@@ -280,47 +281,40 @@ impl<const D: usize> PdqEngine<D> {
         level: u32,
         t_start: f64,
     ) {
-        let node = tree.load(page);
+        let node = tree.read_node(page);
         self.stats.disk_accesses += 1;
         if level == 0 {
             self.stats.leaf_accesses += 1;
         }
-        match &node.entries {
-            NodeEntries::Internal(entries) => {
-                for (key, child) in entries {
-                    self.stats.distance_computations += 1;
-                    let ts = self.trajectory.overlap_nsi_box(key);
-                    self.enqueue_timeset(
-                        ts,
-                        t_start,
-                        |ts| QueueItem {
-                            start: ts.start().unwrap(),
-                            end: ts.end().unwrap(),
-                            kind: ItemKind::Node {
-                                page: *child,
-                                level: node.level - 1,
-                            },
-                        },
-                    );
+        if node.is_leaf() {
+            for rec in node.leaf_records() {
+                self.stats.distance_computations += 1;
+                if self.returned.contains(&(rec.oid, rec.seq)) {
+                    continue;
                 }
+                let ts = self.trajectory.overlap_segment(&rec.seg);
+                self.enqueue_timeset(ts, t_start, |ts| QueueItem {
+                    start: ts.start().unwrap(),
+                    end: ts.end().unwrap(),
+                    kind: ItemKind::Object(Box::new(PdqResult {
+                        record: rec,
+                        visibility: ts.clone(),
+                    })),
+                });
             }
-            NodeEntries::Leaf(records) => {
-                for rec in records {
-                    self.stats.distance_computations += 1;
-                    if self.returned.contains(&(rec.oid, rec.seq)) {
-                        continue;
-                    }
-                    let ts = self.trajectory.overlap_segment(&rec.seg);
-                    let rec = *rec;
-                    self.enqueue_timeset(ts, t_start, |ts| QueueItem {
-                        start: ts.start().unwrap(),
-                        end: ts.end().unwrap(),
-                        kind: ItemKind::Object(Box::new(PdqResult {
-                            record: rec,
-                            visibility: ts.clone(),
-                        })),
-                    });
-                }
+        } else {
+            let child_level = node.level() - 1;
+            for (key, child) in node.internal_entries() {
+                self.stats.distance_computations += 1;
+                let ts = self.trajectory.overlap_nsi_box(&key);
+                self.enqueue_timeset(ts, t_start, |ts| QueueItem {
+                    start: ts.start().unwrap(),
+                    end: ts.end().unwrap(),
+                    kind: ItemKind::Node {
+                        page: child,
+                        level: child_level,
+                    },
+                });
             }
         }
     }
@@ -352,10 +346,23 @@ impl<const D: usize> PdqEngine<D> {
         t_end: f64,
     ) -> Vec<PdqResult<D>> {
         let mut out = Vec::new();
+        self.drain_window_into(tree, t_start, t_end, &mut out);
+        out
+    }
+
+    /// Like [`Self::drain_window`], but appends into a caller-owned
+    /// buffer so per-frame serving loops can reuse one allocation across
+    /// frames.
+    pub fn drain_window_into<S: PageStore>(
+        &mut self,
+        tree: &RTree<NsiSegmentRecord<D>, S>,
+        t_start: f64,
+        t_end: f64,
+        out: &mut Vec<PdqResult<D>>,
+    ) {
         while let Some(r) = self.get_next(tree, t_start, t_end) {
             out.push(r);
         }
-        out
     }
 
     /// §4.1 update management: called with the report of every insertion

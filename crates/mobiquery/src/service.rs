@@ -20,7 +20,7 @@
 
 use crate::layout::MotionRecord;
 use crate::npdq::NpdqEngine;
-use crate::pdq::PdqEngine;
+use crate::pdq::{PdqEngine, PdqResult};
 use crate::snapshot::SnapshotQuery;
 use crate::stats::QueryStats;
 use crate::trajectory::Trajectory;
@@ -115,6 +115,9 @@ struct SessionRun<'a, const D: usize> {
     spec: &'a SessionSpec<D>,
     engine: Engine<D>,
     out: SessionOutput,
+    /// Per-frame result scratch (PDQ), reused across frames so the
+    /// per-frame loop doesn't allocate a fresh Vec every step.
+    scratch: Vec<PdqResult<D>>,
 }
 
 impl<'a, const D: usize> SessionRun<'a, D> {
@@ -127,6 +130,7 @@ impl<'a, const D: usize> SessionRun<'a, D> {
             spec,
             engine,
             out: SessionOutput::default(),
+            scratch: Vec::new(),
         }
     }
 
@@ -151,7 +155,9 @@ impl<'a, const D: usize> SessionRun<'a, D> {
             Engine::Pdq(pdq) => {
                 if k + 1 < self.spec.frame_times.len() {
                     let (t0, t1) = (self.spec.frame_times[k], self.spec.frame_times[k + 1]);
-                    for r in pdq.drain_window(tree, t0, t1) {
+                    self.scratch.clear();
+                    pdq.drain_window_into(tree, t0, t1, &mut self.scratch);
+                    for r in &self.scratch {
                         self.out.results.push((r.record.oid, r.record.seq));
                     }
                     self.out.stats += pdq.take_stats();

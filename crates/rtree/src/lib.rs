@@ -43,7 +43,7 @@ pub mod stbox_key;
 pub mod traits;
 pub mod tree;
 
-pub use node::{Node, NodeEntries};
+pub use node::{Node, NodeEntries, NodeRef, NodeView};
 pub use records::{DtaSegmentRecord, NsiSegmentRecord};
 pub use search::{RangeQuery, SearchStats};
 pub use split::SplitPolicy;

@@ -19,7 +19,8 @@
 //! segment records this yields the paper's fanout: 145 internal, 127 leaf.
 
 use crate::traits::{Key, Record};
-use storage::PageId;
+use std::marker::PhantomData;
+use storage::{PageId, PageRef};
 
 /// Size of the fixed node header, in bytes.
 pub const NODE_HEADER_LEN: usize = 32;
@@ -123,13 +124,24 @@ impl<K: Key, R: Record<Key = K>> Node<K, R> {
     ///
     /// Panics if the node exceeds its capacity — callers split first.
     pub fn serialize(&self, page_size: usize) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(page_size);
+        self.serialize_into(&mut buf, page_size);
+        buf
+    }
+
+    /// Serialize into a caller-provided buffer (cleared first), so the hot
+    /// write path can reuse one allocation across calls.
+    ///
+    /// Panics if the node exceeds its capacity — callers split first.
+    pub fn serialize_into(&self, buf: &mut Vec<u8>, page_size: usize) {
         assert!(
             self.len() <= self.capacity(page_size),
             "node overflow: {} entries > capacity {}",
             self.len(),
             self.capacity(page_size)
         );
-        let mut buf = Vec::with_capacity(page_size);
+        buf.clear();
+        buf.reserve(page_size);
         buf.extend_from_slice(&MAGIC.to_le_bytes());
         buf.push(if self.is_leaf() { KIND_LEAF } else { KIND_INTERNAL });
         buf.push(0);
@@ -140,57 +152,23 @@ impl<K: Key, R: Record<Key = K>> Node<K, R> {
         match &self.entries {
             NodeEntries::Internal(v) => {
                 for (k, child) in v {
-                    k.encode(&mut buf);
+                    k.encode(buf);
                     buf.extend_from_slice(&child.0.to_le_bytes());
                 }
             }
             NodeEntries::Leaf(v) => {
                 for r in v {
-                    r.encode(&mut buf);
+                    r.encode(buf);
                 }
             }
         }
         debug_assert!(buf.len() <= page_size);
-        buf
     }
 
-    /// Decode a node from a page image.
+    /// Decode a node from a page image. (Materializes entry `Vec`s; the
+    /// read path should prefer [`NodeView`] / [`NodeRef`].)
     pub fn deserialize(buf: &[u8]) -> Self {
-        let magic = u16::from_le_bytes(buf[0..2].try_into().unwrap());
-        assert_eq!(magic, MAGIC, "not an R-tree node page");
-        let kind = buf[2];
-        let count = u32::from_le_bytes(buf[4..8].try_into().unwrap()) as usize;
-        let timestamp = f64::from_le_bytes(buf[8..16].try_into().unwrap());
-        let level = u32::from_le_bytes(buf[16..20].try_into().unwrap());
-        let mut off = NODE_HEADER_LEN;
-        let entries = match kind {
-            KIND_LEAF => {
-                let mut v = Vec::with_capacity(count);
-                for _ in 0..count {
-                    v.push(R::decode(&buf[off..off + R::ENCODED_LEN]));
-                    off += R::ENCODED_LEN;
-                }
-                NodeEntries::Leaf(v)
-            }
-            KIND_INTERNAL => {
-                let mut v = Vec::with_capacity(count);
-                for _ in 0..count {
-                    let k = K::decode(&buf[off..off + K::ENCODED_LEN]);
-                    off += K::ENCODED_LEN;
-                    let child =
-                        PageId(u32::from_le_bytes(buf[off..off + 4].try_into().unwrap()));
-                    off += 4;
-                    v.push((k, child));
-                }
-                NodeEntries::Internal(v)
-            }
-            other => panic!("corrupt node kind byte {other}"),
-        };
-        Node {
-            level,
-            timestamp,
-            entries,
-        }
+        NodeView::parse(buf).to_node()
     }
 
     /// Internal entries, panicking on leaves (programming error).
@@ -207,6 +185,292 @@ impl<K: Key, R: Record<Key = K>> Node<K, R> {
             NodeEntries::Leaf(v) => v,
             NodeEntries::Internal(_) => panic!("expected leaf node"),
         }
+    }
+}
+
+/// A borrowed, zero-copy view of an on-page node.
+///
+/// Parses the 32-byte header once; entries are decoded lazily, straight
+/// out of the page bytes, as the iterators advance — no entry `Vec` is
+/// ever built. This is the node representation of the read path; the
+/// write path (insert/split/delete) keeps using the owned [`Node`].
+#[derive(Clone, Copy)]
+pub struct NodeView<'a, K, R> {
+    /// Entry region of the page (header stripped).
+    entries: &'a [u8],
+    leaf: bool,
+    count: usize,
+    timestamp: f64,
+    level: u32,
+    _marker: PhantomData<fn() -> (K, R)>,
+}
+
+impl<'a, K: Key, R: Record<Key = K>> NodeView<'a, K, R> {
+    /// Parse the header of a page image. Panics on a corrupt page, like
+    /// [`Node::deserialize`].
+    pub fn parse(buf: &'a [u8]) -> Self {
+        let magic = u16::from_le_bytes(buf[0..2].try_into().unwrap());
+        assert_eq!(magic, MAGIC, "not an R-tree node page");
+        let leaf = match buf[2] {
+            KIND_LEAF => true,
+            KIND_INTERNAL => false,
+            other => panic!("corrupt node kind byte {other}"),
+        };
+        let count = u32::from_le_bytes(buf[4..8].try_into().unwrap()) as usize;
+        let timestamp = f64::from_le_bytes(buf[8..16].try_into().unwrap());
+        let level = u32::from_le_bytes(buf[16..20].try_into().unwrap());
+        let stride = if leaf {
+            R::ENCODED_LEN
+        } else {
+            K::ENCODED_LEN + 4
+        };
+        NodeView {
+            entries: &buf[NODE_HEADER_LEN..NODE_HEADER_LEN + count * stride],
+            leaf,
+            count,
+            timestamp,
+            level,
+            _marker: PhantomData,
+        }
+    }
+
+    /// True iff this is a leaf node.
+    pub fn is_leaf(&self) -> bool {
+        self.leaf
+    }
+
+    /// Height above the leaf level (0 = leaf).
+    pub fn level(&self) -> u32 {
+        self.level
+    }
+
+    /// Logical time of the node's last modification (§4.2).
+    pub fn timestamp(&self) -> f64 {
+        self.timestamp
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// True iff the node has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Lazily decoded `(bounding key, child page)` entries. Panics on
+    /// leaves (programming error).
+    pub fn internal_entries(&self) -> InternalEntries<'a, K> {
+        assert!(!self.leaf, "expected internal node");
+        InternalEntries {
+            buf: self.entries,
+            remaining: self.count,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Random access to one internal entry (fixed stride — O(1)).
+    pub fn internal_entry(&self, i: usize) -> (K, PageId) {
+        assert!(!self.leaf, "expected internal node");
+        assert!(i < self.count, "entry index out of range");
+        let stride = K::ENCODED_LEN + 4;
+        let at = &self.entries[i * stride..(i + 1) * stride];
+        let k = K::decode(&at[..K::ENCODED_LEN]);
+        let child = PageId(u32::from_le_bytes(
+            at[K::ENCODED_LEN..].try_into().unwrap(),
+        ));
+        (k, child)
+    }
+
+    /// Lazily decoded leaf records. Panics on internal nodes.
+    pub fn leaf_records(&self) -> LeafRecords<'a, R> {
+        assert!(self.leaf, "expected leaf node");
+        LeafRecords {
+            buf: self.entries,
+            remaining: self.count,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Minimum bounding key over all entries (empty key for empty nodes).
+    pub fn bounding_key(&self) -> K {
+        if self.leaf {
+            self.leaf_records()
+                .fold(K::empty(), |acc, r| acc.cover(&r.key()))
+        } else {
+            self.internal_entries()
+                .fold(K::empty(), |acc, (k, _)| acc.cover(&k))
+        }
+    }
+
+    /// Materialize an owned [`Node`] (the write path's representation).
+    pub fn to_node(&self) -> Node<K, R> {
+        let entries = if self.leaf {
+            NodeEntries::Leaf(self.leaf_records().collect())
+        } else {
+            NodeEntries::Internal(self.internal_entries().collect())
+        };
+        Node {
+            level: self.level,
+            timestamp: self.timestamp,
+            entries,
+        }
+    }
+}
+
+/// Lazy iterator over an internal node's `(key, child)` entries.
+pub struct InternalEntries<'a, K> {
+    buf: &'a [u8],
+    remaining: usize,
+    _marker: PhantomData<fn() -> K>,
+}
+
+impl<K: Key> Iterator for InternalEntries<'_, K> {
+    type Item = (K, PageId);
+
+    fn next(&mut self) -> Option<(K, PageId)> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let k = K::decode(&self.buf[..K::ENCODED_LEN]);
+        let child = PageId(u32::from_le_bytes(
+            self.buf[K::ENCODED_LEN..K::ENCODED_LEN + 4].try_into().unwrap(),
+        ));
+        self.buf = &self.buf[K::ENCODED_LEN + 4..];
+        self.remaining -= 1;
+        Some((k, child))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl<K: Key> ExactSizeIterator for InternalEntries<'_, K> {}
+
+/// Lazy iterator over a leaf node's records.
+pub struct LeafRecords<'a, R> {
+    buf: &'a [u8],
+    remaining: usize,
+    _marker: PhantomData<fn() -> R>,
+}
+
+impl<R: Record> Iterator for LeafRecords<'_, R> {
+    type Item = R;
+
+    fn next(&mut self) -> Option<R> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let r = R::decode(&self.buf[..R::ENCODED_LEN]);
+        self.buf = &self.buf[R::ENCODED_LEN..];
+        self.remaining -= 1;
+        Some(r)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl<R: Record> ExactSizeIterator for LeafRecords<'_, R> {}
+
+/// An owned zero-copy node handle: a [`storage::PageRef`] plus the parsed
+/// header.
+///
+/// `NodeView` borrows page bytes, so it can't be returned from a method
+/// that reads the page; `NodeRef` owns the refcounted bytes (keeping them
+/// alive across eviction) and hands out views on demand.
+pub struct NodeRef<K, R> {
+    bytes: PageRef,
+    leaf: bool,
+    count: usize,
+    timestamp: f64,
+    level: u32,
+    _marker: PhantomData<fn() -> (K, R)>,
+}
+
+impl<K: Key, R: Record<Key = K>> NodeRef<K, R> {
+    /// Parse the header of `bytes` once, taking ownership of the handle.
+    pub fn parse(bytes: PageRef) -> Self {
+        let v: NodeView<'_, K, R> = NodeView::parse(&bytes);
+        let (leaf, count, timestamp, level) = (v.leaf, v.count, v.timestamp, v.level);
+        NodeRef {
+            bytes,
+            leaf,
+            count,
+            timestamp,
+            level,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Borrow the underlying page as a [`NodeView`].
+    pub fn view(&self) -> NodeView<'_, K, R> {
+        let stride = if self.leaf {
+            R::ENCODED_LEN
+        } else {
+            K::ENCODED_LEN + 4
+        };
+        NodeView {
+            entries: &self.bytes[NODE_HEADER_LEN..NODE_HEADER_LEN + self.count * stride],
+            leaf: self.leaf,
+            count: self.count,
+            timestamp: self.timestamp,
+            level: self.level,
+            _marker: PhantomData,
+        }
+    }
+
+    /// True iff this is a leaf node.
+    pub fn is_leaf(&self) -> bool {
+        self.leaf
+    }
+
+    /// Height above the leaf level (0 = leaf).
+    pub fn level(&self) -> u32 {
+        self.level
+    }
+
+    /// Logical time of the node's last modification (§4.2).
+    pub fn timestamp(&self) -> f64 {
+        self.timestamp
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// True iff the node has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Lazily decoded internal entries. Panics on leaves.
+    pub fn internal_entries(&self) -> InternalEntries<'_, K> {
+        self.view().internal_entries()
+    }
+
+    /// Random access to one internal entry.
+    pub fn internal_entry(&self, i: usize) -> (K, PageId) {
+        self.view().internal_entry(i)
+    }
+
+    /// Lazily decoded leaf records. Panics on internal nodes.
+    pub fn leaf_records(&self) -> LeafRecords<'_, R> {
+        self.view().leaf_records()
+    }
+
+    /// Minimum bounding key over all entries.
+    pub fn bounding_key(&self) -> K {
+        self.view().bounding_key()
+    }
+
+    /// Materialize an owned [`Node`] for mutation.
+    pub fn to_node(&self) -> Node<K, R> {
+        self.view().to_node()
     }
 }
 

@@ -7,7 +7,6 @@
 //! test instead of the record's bounding box (the optimization of \[13\],
 //! \[14, 15\] discussed in §3.2 — toggleable for the ablation bench).
 
-use crate::node::NodeEntries;
 use crate::traits::{Key, Record};
 use crate::tree::RTree;
 use storage::PageStore;
@@ -58,25 +57,23 @@ impl<R: Record, S: PageStore> RTree<R, S> {
         }
         let mut stack = vec![self.root_page()];
         while let Some(page) = stack.pop() {
-            let node = self.load(page);
+            // Zero-copy visit: entries decode lazily out of the page bytes.
+            let node = self.read_node(page);
             stats.nodes_visited += 1;
-            match &node.entries {
-                NodeEntries::Internal(entries) => {
-                    for (k, child) in entries {
-                        stats.comparisons += 1;
-                        if k.overlaps(query) {
-                            stack.push(*child);
-                        }
+            if node.is_leaf() {
+                stats.leaf_nodes_visited += 1;
+                for r in node.leaf_records() {
+                    stats.comparisons += 1;
+                    if r.key().overlaps(query) && accept(&r) {
+                        stats.results += 1;
+                        emit(&r);
                     }
                 }
-                NodeEntries::Leaf(recs) => {
-                    stats.leaf_nodes_visited += 1;
-                    for r in recs {
-                        stats.comparisons += 1;
-                        if r.key().overlaps(query) && accept(r) {
-                            stats.results += 1;
-                            emit(r);
-                        }
+            } else {
+                for (k, child) in node.internal_entries() {
+                    stats.comparisons += 1;
+                    if k.overlaps(query) {
+                        stack.push(child);
                     }
                 }
             }
@@ -228,18 +225,15 @@ impl<R: Record, S: PageStore> RTree<R, S> {
         let mut n = 0;
         let mut stack = vec![self.root_page()];
         while let Some(page) = stack.pop() {
-            let node = self.load(page);
-            match &node.entries {
-                NodeEntries::Internal(entries) => {
-                    for (_, child) in entries {
-                        stack.push(*child);
-                    }
+            let node = self.read_node(page);
+            if node.is_leaf() {
+                for r in node.leaf_records() {
+                    visit(&r);
+                    n += 1;
                 }
-                NodeEntries::Leaf(recs) => {
-                    for r in recs {
-                        visit(r);
-                        n += 1;
-                    }
+            } else {
+                for (_, child) in node.internal_entries() {
+                    stack.push(child);
                 }
             }
         }

@@ -1,6 +1,6 @@
 //! The paginated R-tree: construction, insertion, node access.
 
-use crate::node::{Node, NodeEntries};
+use crate::node::{Node, NodeEntries, NodeRef};
 use crate::split::{split, SplitPolicy};
 use crate::traits::{Key, Record};
 use storage::{PageId, PageStore};
@@ -111,6 +111,9 @@ pub struct RTree<R: Record, S: PageStore> {
     root: PageId,
     height: u32,
     len: u64,
+    /// Reusable serialization buffer for [`Self::write_node`], so the
+    /// write path allocates once per tree instead of once per node write.
+    scratch: Vec<u8>,
     _records: std::marker::PhantomData<fn() -> R>,
 }
 
@@ -127,6 +130,7 @@ impl<R: Record, S: PageStore> RTree<R, S> {
             root,
             height: 1,
             len: 0,
+            scratch: Vec::new(),
             _records: std::marker::PhantomData,
         }
     }
@@ -141,6 +145,7 @@ impl<R: Record, S: PageStore> RTree<R, S> {
             root,
             height,
             len,
+            scratch: Vec::new(),
             _records: std::marker::PhantomData,
         }
     }
@@ -192,14 +197,25 @@ impl<R: Record, S: PageStore> RTree<R, S> {
         Node::<R::Key, R>::internal_capacity(self.store.page_size())
     }
 
-    /// Load a node — **one simulated disk access**.
+    /// Load a node into its owned, mutation-ready form — **one simulated
+    /// disk access**. The write path (insert/split/delete) uses this; the
+    /// read path should prefer the zero-copy [`Self::read_node`].
     pub fn load(&self, page: PageId) -> Node<R::Key, R> {
-        Node::deserialize(&self.store.read(page))
+        Node::deserialize(&self.store.read_page(page))
     }
 
-    /// Write a node image back to its page.
-    pub(crate) fn write_node(&self, page: PageId, node: &Node<R::Key, R>) {
-        self.store.write(page, &node.serialize(self.store.page_size()));
+    /// Read a node zero-copy — **one simulated disk access**, no page
+    /// copy and no entry materialization; entries decode lazily as the
+    /// [`NodeRef`]'s iterators advance.
+    pub fn read_node(&self, page: PageId) -> NodeRef<R::Key, R> {
+        NodeRef::parse(self.store.read_page(page))
+    }
+
+    /// Write a node image back to its page, serializing through the
+    /// tree's reusable scratch buffer.
+    pub(crate) fn write_node(&mut self, page: PageId, node: &Node<R::Key, R>) {
+        node.serialize_into(&mut self.scratch, self.store.page_size());
+        self.store.write(page, &self.scratch);
     }
 
     pub(crate) fn set_root(&mut self, root: PageId, height: u32, len: u64) {
@@ -227,21 +243,23 @@ impl<R: Record, S: PageStore> RTree<R, S> {
             R::Key::decode(&buf)
         };
 
-        // ChooseLeaf: descend by least enlargement, remembering the path.
-        struct Step<K, R> {
+        // ChooseLeaf: descend by least enlargement through zero-copy node
+        // views, remembering the path. Nodes are materialized into their
+        // owned form only on the unwind below, where they are mutated.
+        struct Step<K: Key, R: Record<Key = K>> {
             page: PageId,
-            node: Node<K, R>,
+            node: NodeRef<K, R>,
             chosen: usize,
         }
         let mut path: Vec<Step<R::Key, R>> = Vec::with_capacity(self.height as usize);
         let mut cur = self.root;
         let (leaf_page, mut leaf) = loop {
-            let node = self.load(cur);
+            let node = self.read_node(cur);
             if node.is_leaf() {
-                break (cur, node);
+                break (cur, node.to_node());
             }
-            let chosen = choose_subtree(node.internal_entries(), &key);
-            let next = node.internal_entries()[chosen].1;
+            let chosen = choose_subtree(node.internal_entries().map(|(k, _)| k), &key);
+            let next = node.internal_entry(chosen).1;
             path.push(Step {
                 page: cur,
                 node,
@@ -278,12 +296,8 @@ impl<R: Record, S: PageStore> RTree<R, S> {
             pending = Some((new_node.bounding_key(), new_page));
         }
 
-        while let Some(Step {
-            page,
-            mut node,
-            chosen,
-        }) = path.pop()
-        {
+        while let Some(Step { page, node, chosen }) = path.pop() {
+            let mut node = node.to_node();
             node.timestamp = now;
             let NodeEntries::Internal(entries) = &mut node.entries else {
                 unreachable!()
@@ -383,16 +397,14 @@ impl<R: Record, S: PageStore> RTree<R, S> {
 
         // Shrink the root while it is an internal node with one child.
         loop {
-            let root_node = self.load(self.root);
-            match &root_node.entries {
-                NodeEntries::Internal(entries) if entries.len() == 1 => {
-                    let child = entries[0].1;
-                    self.store.free(self.root);
-                    self.root = child;
-                    self.height -= 1;
-                }
-                _ => break,
+            let root_node = self.read_node(self.root);
+            if root_node.is_leaf() || root_node.len() != 1 {
+                break;
             }
+            let child = root_node.internal_entry(0).1;
+            self.store.free(self.root);
+            self.root = child;
+            self.height -= 1;
         }
         true
     }
@@ -491,7 +503,7 @@ impl<R: Record, S: PageStore> RTree<R, S> {
         // making a new root (rare; happens when the old root dissolved).
         if level + 1 >= self.height {
             let new_root = self.store.alloc();
-            let old_root_key = self.load(self.root).bounding_key();
+            let old_root_key = self.read_node(self.root).bounding_key();
             let mut root_node = Node::<R::Key, R>::internal(
                 self.height.max(level + 1),
                 vec![(old_root_key, self.root), (key, page)],
@@ -502,16 +514,16 @@ impl<R: Record, S: PageStore> RTree<R, S> {
             self.height = root_node.level + 1;
             return;
         }
-        struct Step<K, R> {
+        struct Step<K: Key, R: Record<Key = K>> {
             page: PageId,
-            node: Node<K, R>,
+            node: NodeRef<K, R>,
             chosen: usize,
         }
         let mut path: Vec<Step<R::Key, R>> = Vec::new();
         let mut cur = self.root;
         loop {
-            let node = self.load(cur);
-            if node.level == level + 1 {
+            let node = self.read_node(cur);
+            if node.level() == level + 1 {
                 path.push(Step {
                     page: cur,
                     node,
@@ -519,8 +531,8 @@ impl<R: Record, S: PageStore> RTree<R, S> {
                 });
                 break;
             }
-            let chosen = choose_subtree(node.internal_entries(), &key);
-            let next = node.internal_entries()[chosen].1;
+            let chosen = choose_subtree(node.internal_entries().map(|(k, _)| k), &key);
+            let next = node.internal_entry(chosen).1;
             path.push(Step {
                 page: cur,
                 node,
@@ -532,12 +544,8 @@ impl<R: Record, S: PageStore> RTree<R, S> {
         let mut pending: Option<(R::Key, PageId)> = Some((key, page));
         let mut child_key = R::Key::empty();
         let mut first = true;
-        while let Some(Step {
-            page,
-            mut node,
-            chosen,
-        }) = path.pop()
-        {
+        while let Some(Step { page, node, chosen }) = path.pop() {
+            let mut node = node.to_node();
             node.timestamp = now;
             let NodeEntries::Internal(entries) = &mut node.entries else {
                 unreachable!()
@@ -729,13 +737,15 @@ impl TreeInventory {
 }
 
 /// Guttman's ChooseLeaf criterion: least enlargement, ties by smaller
-/// volume, then by position.
-pub(crate) fn choose_subtree<K: Key>(entries: &[(K, PageId)], key: &K) -> usize {
-    debug_assert!(!entries.is_empty());
+/// volume, then by position. Consumes keys lazily so callers can feed a
+/// [`NodeView`](crate::node::NodeView) iterator without materializing.
+pub(crate) fn choose_subtree<K: Key>(keys: impl Iterator<Item = K>, key: &K) -> usize {
+    let mut seen = 0usize;
     let mut best = 0;
     let mut best_enl = f64::INFINITY;
     let mut best_vol = f64::INFINITY;
-    for (i, (k, _)) in entries.iter().enumerate() {
+    for (i, k) in keys.enumerate() {
+        seen += 1;
         let enl = k.enlargement(key);
         let vol = k.volume();
         if enl < best_enl || (enl == best_enl && vol < best_vol) {
@@ -744,6 +754,7 @@ pub(crate) fn choose_subtree<K: Key>(entries: &[(K, PageId)], key: &K) -> usize 
             best_vol = vol;
         }
     }
+    debug_assert!(seen > 0);
     best
 }
 

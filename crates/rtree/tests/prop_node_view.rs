@@ -1,0 +1,140 @@
+//! Property tests: the zero-copy [`NodeView`] must be observationally
+//! identical to the materializing [`Node::deserialize`] on every
+//! round-tripped page — leaf and internal, empty through full capacity.
+
+use proptest::prelude::*;
+use rtree::{Node, NodeEntries, NodeRef, NodeView, NsiSegmentRecord, Record};
+use storage::{PageId, PageRef};
+use stkit::{Interval, StBox};
+
+type R = NsiSegmentRecord<2>;
+type K = StBox<2, 1>;
+type N = Node<K, R>;
+
+const PAGE: usize = 4096;
+const LEAF_CAP: usize = 127;
+const INTERNAL_CAP: usize = 145;
+
+fn rec() -> impl Strategy<Value = R> {
+    (
+        0u32..1_000_000,
+        0u32..64,
+        0.0f64..1000.0,
+        0.05f64..50.0,
+        (-500.0f64..500.0, -500.0f64..500.0),
+        (-500.0f64..500.0, -500.0f64..500.0),
+    )
+        .prop_map(|(oid, seq, t0, dur, a, b)| {
+            R::new(oid, seq, Interval::new(t0, t0 + dur), [a.0, a.1], [b.0, b.1])
+        })
+}
+
+fn leaf_node() -> impl Strategy<Value = N> {
+    (proptest::collection::vec(rec(), 0..LEAF_CAP + 1), -10.0f64..10.0).prop_map(
+        |(recs, ts)| Node {
+            level: 0,
+            timestamp: ts,
+            entries: NodeEntries::Leaf(recs),
+        },
+    )
+}
+
+fn internal_node() -> impl Strategy<Value = N> {
+    (
+        proptest::collection::vec((rec(), 0u32..100_000), 0..INTERNAL_CAP + 1),
+        1u32..8,
+        -10.0f64..10.0,
+    )
+        .prop_map(|(raw, level, ts)| Node {
+            level,
+            timestamp: ts,
+            entries: NodeEntries::Internal(
+                raw.into_iter().map(|(r, p)| (r.key(), PageId(p))).collect(),
+            ),
+        })
+}
+
+/// All observations through the view must match the materialized node,
+/// and materializing through the view must re-serialize bit-identically.
+fn assert_view_equivalent(node: &N) {
+    let page = node.serialize(PAGE);
+    let decoded = N::deserialize(&page);
+    let view: NodeView<'_, K, R> = NodeView::parse(&page);
+
+    assert_eq!(view.is_leaf(), decoded.is_leaf());
+    assert_eq!(view.level(), decoded.level);
+    assert_eq!(view.timestamp().to_bits(), decoded.timestamp.to_bits());
+    assert_eq!(view.len(), decoded.len());
+    assert_eq!(view.is_empty(), decoded.is_empty());
+    assert_eq!(view.bounding_key(), decoded.bounding_key());
+    if view.is_leaf() {
+        let lazy: Vec<R> = view.leaf_records().collect();
+        assert_eq!(lazy.as_slice(), decoded.leaf_records());
+    } else {
+        let lazy: Vec<(K, PageId)> = view.internal_entries().collect();
+        assert_eq!(lazy.as_slice(), decoded.internal_entries());
+        for (i, e) in decoded.internal_entries().iter().enumerate() {
+            assert_eq!(view.internal_entry(i), *e, "random access entry {i}");
+        }
+    }
+    assert_eq!(view.to_node(), decoded);
+    // Bit-identical: view → owned → page bytes reproduces the input page.
+    assert_eq!(view.to_node().serialize(PAGE), page);
+
+    // The owned handle must agree with the borrowed view.
+    let nref: NodeRef<K, R> = NodeRef::parse(PageRef::from(page.clone()));
+    assert_eq!(nref.to_node(), decoded);
+    assert_eq!(nref.len(), decoded.len());
+    assert_eq!(nref.bounding_key(), decoded.bounding_key());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn leaf_view_matches_deserialize(node in leaf_node()) {
+        assert_view_equivalent(&node);
+    }
+
+    #[test]
+    fn internal_view_matches_deserialize(node in internal_node()) {
+        assert_view_equivalent(&node);
+    }
+}
+
+#[test]
+fn empty_nodes_are_equivalent() {
+    assert_view_equivalent(&N::empty_leaf());
+    assert_view_equivalent(&N::internal(3, Vec::new()));
+}
+
+#[test]
+fn full_capacity_nodes_are_equivalent() {
+    let recs: Vec<R> = (0..LEAF_CAP as u32)
+        .map(|i| {
+            R::new(
+                i,
+                0,
+                Interval::new(i as f64, i as f64 + 1.0),
+                [i as f64, -(i as f64)],
+                [i as f64 + 0.5, -(i as f64) + 0.5],
+            )
+        })
+        .collect();
+    let leaf = Node {
+        level: 0,
+        timestamp: 42.0,
+        entries: NodeEntries::Leaf(recs.clone()),
+    };
+    assert_view_equivalent(&leaf);
+
+    let entries: Vec<(K, PageId)> = (0..INTERNAL_CAP)
+        .map(|i| (recs[i % LEAF_CAP].key(), PageId(i as u32)))
+        .collect();
+    let internal = Node {
+        level: 1,
+        timestamp: -1.5,
+        entries: NodeEntries::Internal(entries),
+    };
+    assert_view_equivalent(&internal);
+}

@@ -7,26 +7,39 @@
 //! much of the naive approach's repeated I/O an LRU of a given size
 //! actually absorbs, compared to the PDQ/NPDQ algorithms which need none.
 
-use crate::{IoSnapshot, PageId, PageStore};
+use crate::{make_mut_page, IoSnapshot, PageId, PageRef, PageStore};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// One resident page plus its position in the intrusive LRU list.
+///
+/// The payload is `Arc<[u8]>` so a cache hit is a refcount bump, not a
+/// page copy, and eviction is free even while readers hold [`PageRef`]s
+/// into the frame — the bytes outlive the frame.
 pub(crate) struct Frame {
-    pub(crate) data: Vec<u8>,
+    pub(crate) data: Arc<[u8]>,
     pub(crate) dirty: bool,
     prev: Option<PageId>,
     next: Option<PageId>,
 }
 
 impl Frame {
-    pub(crate) fn resident(data: Vec<u8>, dirty: bool) -> Frame {
+    pub(crate) fn resident(data: Arc<[u8]>, dirty: bool) -> Frame {
         Frame {
             data,
             dirty,
             prev: None,
             next: None,
         }
+    }
+
+    /// Overwrite the frame in place, copying first if a [`PageRef`] still
+    /// shares the buffer. Like the pager, the tail beyond `data` keeps its
+    /// previous contents.
+    pub(crate) fn overwrite(&mut self, data: &[u8], page_size: usize) {
+        make_mut_page(&mut self.data, page_size)[..data.len()].copy_from_slice(data);
+        self.dirty = true;
     }
 }
 
@@ -78,14 +91,10 @@ impl PoolState {
 
     /// Write every dirty frame back to `device`.
     pub(crate) fn flush_to<S: PageStore>(&mut self, device: &S) {
-        let ids: Vec<PageId> = self.frames.keys().copied().collect();
-        for id in ids {
-            let f = self.frames.get_mut(&id).unwrap();
+        for (&id, f) in self.frames.iter_mut() {
             if f.dirty {
-                let data = std::mem::take(&mut f.data);
                 f.dirty = false;
-                device.write(id, &data);
-                self.frames.get_mut(&id).unwrap().data = data;
+                device.write(id, &f.data);
             }
         }
     }
@@ -210,6 +219,11 @@ impl<S: PageStore> BufferPool<S> {
         st.reset();
     }
 
+    /// Number of pages currently resident in the cache (≤ capacity).
+    pub fn resident_frames(&self) -> usize {
+        self.state.lock().frames.len()
+    }
+
     /// Access the wrapped store.
     pub fn inner(&self) -> &S {
         &self.inner
@@ -221,19 +235,22 @@ impl<S: PageStore> PageStore for BufferPool<S> {
         self.inner.page_size()
     }
 
-    fn read(&self, id: PageId) -> Vec<u8> {
+    fn read_page(&self, id: PageId) -> PageRef {
         let mut st = self.state.lock();
         if st.frames.contains_key(&id) {
             st.hits += 1;
             st.touch(id);
-            return st.frames[&id].data.clone();
+            return PageRef::from_arc(Arc::clone(&st.frames[&id].data));
         }
         st.misses += 1;
-        let data = self.inner.read(id);
+        // The miss fill shares the device's buffer: no copy on this path
+        // either. `evict_if_full` runs *before* the insert, so the
+        // resident count never exceeds `capacity`.
+        let data = self.inner.read_page(id).into_arc();
         st.evict_if_full(&self.inner, self.capacity);
-        st.frames.insert(id, Frame::resident(data.clone(), false));
+        st.frames.insert(id, Frame::resident(Arc::clone(&data), false));
         st.push_front(id);
-        data
+        PageRef::from_arc(data)
     }
 
     fn write(&self, id: PageId, data: &[u8]) {
@@ -241,17 +258,14 @@ impl<S: PageStore> PageStore for BufferPool<S> {
         let mut st = self.state.lock();
         if st.frames.contains_key(&id) {
             let size = self.page_size();
-            let f = st.frames.get_mut(&id).unwrap();
-            f.data.resize(size, 0);
-            f.data[..data.len()].copy_from_slice(data);
-            f.dirty = true;
+            st.frames.get_mut(&id).unwrap().overwrite(data, size);
             st.touch(id);
             return;
         }
         st.evict_if_full(&self.inner, self.capacity);
         let mut buf = vec![0u8; self.page_size()];
         buf[..data.len()].copy_from_slice(data);
-        st.frames.insert(id, Frame::resident(buf, true));
+        st.frames.insert(id, Frame::resident(buf.into(), true));
         st.push_front(id);
     }
 
@@ -362,5 +376,37 @@ mod tests {
         let a = p.alloc();
         p.write(a, &[1, 2, 3]);
         assert_eq!(&p.read(a)[..3], &[1, 2, 3]); // served before any flush
+    }
+
+    #[test]
+    fn miss_heavy_scan_respects_capacity() {
+        // Regression: the read-miss fill must evict *before* inserting, so
+        // the resident count stays ≤ capacity with zero reuse in the scan.
+        let p = pool(4);
+        let ids: Vec<PageId> = (0..64).map(|_| p.alloc()).collect();
+        for id in &ids {
+            p.read(*id);
+            assert!(
+                p.resident_frames() <= 4,
+                "resident {} frames > capacity 4",
+                p.resident_frames()
+            );
+        }
+        let cs = p.cache_stats();
+        assert_eq!(cs.misses, 64);
+        assert_eq!(cs.evictions, 60);
+    }
+
+    #[test]
+    fn page_ref_survives_eviction_and_overwrite() {
+        let p = pool(1);
+        let a = p.alloc();
+        let b = p.alloc();
+        p.write(a, &[5]);
+        let snap = p.read_page(a);
+        p.read(b); // evicts `a` while `snap` is outstanding
+        p.write(a, &[6]); // rewrites `a` behind the snapshot
+        assert_eq!(snap[0], 5); // snapshot bytes unchanged
+        assert_eq!(p.read(a)[0], 6);
     }
 }

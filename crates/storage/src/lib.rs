@@ -33,6 +33,62 @@ pub use sharded::ShardedBufferPool;
 pub use snapshotfile::{load_pager, save_pager};
 pub use stats::{IoSnapshot, IoStats};
 
+use std::sync::Arc;
+
+/// A zero-copy handle to one page's bytes.
+///
+/// Cloning a `PageRef` bumps a reference count; no page data moves.
+/// The handle is a *snapshot*: it stays valid (and immutable) even if the
+/// frame it was served from is evicted or the page is rewritten — writers
+/// install a fresh `Arc`, they never mutate bytes a reader can see.
+#[derive(Clone, Debug)]
+pub struct PageRef(Arc<[u8]>);
+
+impl PageRef {
+    /// Wrap an already-shared page buffer.
+    pub fn from_arc(bytes: Arc<[u8]>) -> PageRef {
+        PageRef(bytes)
+    }
+
+    /// Take ownership of the underlying shared buffer.
+    pub fn into_arc(self) -> Arc<[u8]> {
+        self.0
+    }
+}
+
+impl std::ops::Deref for PageRef {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for PageRef {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for PageRef {
+    fn from(bytes: Vec<u8>) -> PageRef {
+        PageRef(bytes.into())
+    }
+}
+
+/// Make `page` writable in place, copying only when the buffer is shared
+/// with an outstanding [`PageRef`] (or sized differently). This is what
+/// keeps eviction-while-borrowed safe: a resident write never mutates
+/// bytes that a reader snapshot still points at.
+pub(crate) fn make_mut_page(page: &mut Arc<[u8]>, page_size: usize) -> &mut [u8] {
+    if page.len() != page_size || Arc::get_mut(page).is_none() {
+        let mut fresh = vec![0u8; page_size];
+        let keep = page.len().min(page_size);
+        fresh[..keep].copy_from_slice(&page[..keep]);
+        *page = fresh.into();
+    }
+    Arc::get_mut(page).expect("buffer was just made unique")
+}
+
 /// Abstraction over a page-granular storage device.
 ///
 /// Implemented by the raw simulated disk ([`Pager`]) and by the LRU cache
@@ -43,8 +99,16 @@ pub trait PageStore {
     /// Size in bytes of every page in this store.
     fn page_size(&self) -> usize;
 
-    /// Read a page. Counts as one (possibly cached) access.
-    fn read(&self, id: PageId) -> Vec<u8>;
+    /// Read a page without copying it: the returned [`PageRef`] shares the
+    /// resident buffer. Counts as one (possibly cached) access.
+    fn read_page(&self, id: PageId) -> PageRef;
+
+    /// Read a page into a fresh owned buffer. Compat wrapper over
+    /// [`Self::read_page`] for callers that need `Vec<u8>` (write path,
+    /// persistence); the query engines use `read_page` directly.
+    fn read(&self, id: PageId) -> Vec<u8> {
+        self.read_page(id).to_vec()
+    }
 
     /// Write a page; `data` must not exceed [`Self::page_size`].
     fn write(&self, id: PageId, data: &[u8]);
@@ -65,6 +129,9 @@ pub trait PageStore {
 impl<S: PageStore + ?Sized> PageStore for std::sync::Arc<S> {
     fn page_size(&self) -> usize {
         (**self).page_size()
+    }
+    fn read_page(&self, id: PageId) -> PageRef {
+        (**self).read_page(id)
     }
     fn read(&self, id: PageId) -> Vec<u8> {
         (**self).read(id)

@@ -1,7 +1,8 @@
 //! The in-memory simulated disk.
 
-use crate::{IoSnapshot, IoStats, PageStore};
+use crate::{make_mut_page, IoSnapshot, IoStats, PageRef, PageStore};
 use parking_lot::Mutex;
+use std::sync::Arc;
 
 /// Identifier of one fixed-size page on the simulated disk.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -17,7 +18,9 @@ impl std::fmt::Display for PageId {
 pub const DEFAULT_PAGE_SIZE: usize = 4096;
 
 struct PagerState {
-    pages: Vec<Option<Box<[u8]>>>,
+    /// Shared buffers so [`PageStore::read_page`] is a refcount bump; a
+    /// write to a page with outstanding readers copies before mutating.
+    pages: Vec<Option<Arc<[u8]>>>,
     free: Vec<u32>,
 }
 
@@ -94,15 +97,15 @@ impl PageStore for Pager {
         self.page_size
     }
 
-    fn read(&self, id: PageId) -> Vec<u8> {
+    fn read_page(&self, id: PageId) -> PageRef {
         let st = self.state.lock();
         let page = st
             .pages
             .get(id.0 as usize)
-            .and_then(|p| p.as_deref())
+            .and_then(|p| p.as_ref())
             .unwrap_or_else(|| panic!("read of unallocated page {id}"));
         self.stats.record_read();
-        page.to_vec()
+        PageRef::from_arc(Arc::clone(page))
     }
 
     fn write(&self, id: PageId, data: &[u8]) {
@@ -116,9 +119,9 @@ impl PageStore for Pager {
         let slot = st
             .pages
             .get_mut(id.0 as usize)
-            .and_then(|p| p.as_deref_mut())
+            .and_then(|p| p.as_mut())
             .unwrap_or_else(|| panic!("write of unallocated page {id}"));
-        slot[..data.len()].copy_from_slice(data);
+        make_mut_page(slot, self.page_size)[..data.len()].copy_from_slice(data);
         // The tail beyond `data` keeps its previous contents; writers
         // always serialize full logical records with explicit lengths.
         self.stats.record_write();
@@ -127,13 +130,13 @@ impl PageStore for Pager {
     fn alloc(&self) -> PageId {
         let mut st = self.state.lock();
         self.stats.record_alloc();
+        let zeroed: Arc<[u8]> = vec![0u8; self.page_size].into();
         if let Some(idx) = st.free.pop() {
-            st.pages[idx as usize] = Some(vec![0u8; self.page_size].into_boxed_slice());
+            st.pages[idx as usize] = Some(zeroed);
             return PageId(idx);
         }
         let idx = u32::try_from(st.pages.len()).expect("simulated disk full");
-        st.pages
-            .push(Some(vec![0u8; self.page_size].into_boxed_slice()));
+        st.pages.push(Some(zeroed));
         PageId(idx)
     }
 
@@ -220,6 +223,17 @@ mod tests {
         let p = Pager::with_page_size(4);
         let a = p.alloc();
         p.write(a, &[0u8; 5]);
+    }
+
+    #[test]
+    fn page_ref_is_a_stable_snapshot() {
+        let p = Pager::with_page_size(16);
+        let a = p.alloc();
+        p.write(a, &[1, 2, 3]);
+        let snap = p.read_page(a);
+        p.write(a, &[9, 9, 9]); // copies on write: `snap` still shares the old buffer
+        assert_eq!(&snap[..3], &[1, 2, 3]);
+        assert_eq!(&p.read(a)[..3], &[9, 9, 9]);
     }
 
     #[test]

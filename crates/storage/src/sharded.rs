@@ -9,8 +9,9 @@
 //! per shard; [`ShardedBufferPool::cache_stats`] aggregates them.
 
 use crate::buffer::{CacheStats, Frame, PoolState};
-use crate::{IoSnapshot, PageId, PageStore};
+use crate::{IoSnapshot, PageId, PageRef, PageStore};
 use parking_lot::Mutex;
+use std::sync::Arc;
 
 /// A fixed-capacity LRU page cache split into independently locked
 /// shards, in front of any [`PageStore`].
@@ -84,6 +85,11 @@ impl<S: PageStore> ShardedBufferPool<S> {
         }
     }
 
+    /// Number of pages currently resident across all shards.
+    pub fn resident_frames(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().frames.len()).sum()
+    }
+
     /// Access the wrapped store.
     pub fn inner(&self) -> &S {
         &self.inner
@@ -95,19 +101,21 @@ impl<S: PageStore> PageStore for ShardedBufferPool<S> {
         self.inner.page_size()
     }
 
-    fn read(&self, id: PageId) -> Vec<u8> {
+    fn read_page(&self, id: PageId) -> PageRef {
         let mut st = self.shard(id).lock();
         if st.frames.contains_key(&id) {
             st.hits += 1;
             st.touch(id);
-            return st.frames[&id].data.clone();
+            return PageRef::from_arc(Arc::clone(&st.frames[&id].data));
         }
         st.misses += 1;
-        let data = self.inner.read(id);
+        // Miss fill shares the device's buffer (no copy) and evicts
+        // *before* the insert, keeping each shard at ≤ shard_capacity.
+        let data = self.inner.read_page(id).into_arc();
         st.evict_if_full(&self.inner, self.shard_capacity);
-        st.frames.insert(id, Frame::resident(data.clone(), false));
+        st.frames.insert(id, Frame::resident(Arc::clone(&data), false));
         st.push_front(id);
-        data
+        PageRef::from_arc(data)
     }
 
     fn write(&self, id: PageId, data: &[u8]) {
@@ -115,17 +123,14 @@ impl<S: PageStore> PageStore for ShardedBufferPool<S> {
         let mut st = self.shard(id).lock();
         if st.frames.contains_key(&id) {
             let size = self.page_size();
-            let f = st.frames.get_mut(&id).unwrap();
-            f.data.resize(size, 0);
-            f.data[..data.len()].copy_from_slice(data);
-            f.dirty = true;
+            st.frames.get_mut(&id).unwrap().overwrite(data, size);
             st.touch(id);
             return;
         }
         st.evict_if_full(&self.inner, self.shard_capacity);
         let mut buf = vec![0u8; self.page_size()];
         buf[..data.len()].copy_from_slice(data);
-        st.frames.insert(id, Frame::resident(buf, true));
+        st.frames.insert(id, Frame::resident(buf.into(), true));
         st.push_front(id);
     }
 
@@ -213,6 +218,23 @@ mod tests {
         let b = p.alloc();
         assert_eq!(b, a);
         assert_eq!(p.read(b), vec![0u8; 32]);
+    }
+
+    #[test]
+    fn miss_heavy_scan_respects_capacity() {
+        // Regression: every shard must evict before a miss fill, so a scan
+        // with no reuse never pushes the pool past its total budget.
+        let p = pool(8, 4);
+        let ids: Vec<PageId> = (0..128).map(|_| p.alloc()).collect();
+        for id in &ids {
+            p.read(*id);
+            assert!(
+                p.resident_frames() <= 8,
+                "resident {} frames > capacity 8",
+                p.resident_frames()
+            );
+        }
+        assert_eq!(p.cache_stats().misses, 128);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use crate::record::TprRecord;
 use crate::tpbox::TpBox;
 use mobiquery::{QueryStats, Trajectory};
-use rtree::{Inserted, NodeEntries, RTree};
+use rtree::{Inserted, RTree};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
 use storage::{PageId, PageStore};
@@ -147,49 +147,47 @@ impl TprDynamicQuery {
                         self.stats.duplicates_skipped += 1;
                         continue;
                     }
-                    let node = tree.load(page);
+                    // Zero-copy visit: entries decode lazily off the page.
+                    let node = tree.read_node(page);
                     self.stats.disk_accesses += 1;
                     if level == 0 {
                         self.stats.leaf_accesses += 1;
                     }
-                    match &node.entries {
-                        NodeEntries::Internal(entries) => {
-                            for (key, child) in entries {
-                                self.stats.distance_computations += 1;
-                                let ts = overlap_trajectory_tpbox(&self.trajectory, key);
-                                if let (Some(s), Some(e)) = (ts.start(), ts.end()) {
-                                    if e >= t_start {
-                                        self.queue.push(QueueItem {
-                                            start: s,
-                                            end: e,
-                                            kind: ItemKind::Node {
-                                                page: *child,
-                                                level: node.level - 1,
-                                            },
-                                        });
-                                    }
+                    if node.is_leaf() {
+                        for rec in node.leaf_records() {
+                            self.stats.distance_computations += 1;
+                            if self.returned.contains(&(rec.oid, rec.seq)) {
+                                continue;
+                            }
+                            let ts = overlap_trajectory_tpbox(&self.trajectory, &rec.tpbox());
+                            if let (Some(s), Some(e)) = (ts.start(), ts.end()) {
+                                if e >= t_start {
+                                    self.queue.push(QueueItem {
+                                        start: s,
+                                        end: e,
+                                        kind: ItemKind::Object(Box::new(TprResult {
+                                            record: rec,
+                                            visibility: ts,
+                                        })),
+                                    });
                                 }
                             }
                         }
-                        NodeEntries::Leaf(records) => {
-                            for rec in records {
-                                self.stats.distance_computations += 1;
-                                if self.returned.contains(&(rec.oid, rec.seq)) {
-                                    continue;
-                                }
-                                let ts =
-                                    overlap_trajectory_tpbox(&self.trajectory, &rec.tpbox());
-                                if let (Some(s), Some(e)) = (ts.start(), ts.end()) {
-                                    if e >= t_start {
-                                        self.queue.push(QueueItem {
-                                            start: s,
-                                            end: e,
-                                            kind: ItemKind::Object(Box::new(TprResult {
-                                                record: *rec,
-                                                visibility: ts,
-                                            })),
-                                        });
-                                    }
+                    } else {
+                        let child_level = node.level() - 1;
+                        for (key, child) in node.internal_entries() {
+                            self.stats.distance_computations += 1;
+                            let ts = overlap_trajectory_tpbox(&self.trajectory, &key);
+                            if let (Some(s), Some(e)) = (ts.start(), ts.end()) {
+                                if e >= t_start {
+                                    self.queue.push(QueueItem {
+                                        start: s,
+                                        end: e,
+                                        kind: ItemKind::Node {
+                                            page: child,
+                                            level: child_level,
+                                        },
+                                    });
                                 }
                             }
                         }

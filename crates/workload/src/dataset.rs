@@ -213,7 +213,7 @@ mod tests {
 #[cfg(test)]
 mod clustering_tests {
     use super::*;
-    use rtree::{NodeEntries, Record};
+    use rtree::Record;
 
     /// Regression guard for the NPDQ reproduction finding: the DTA tree's
     /// leaves must be spatially fine (≪ the 8-unit query window), which
@@ -231,21 +231,19 @@ mod clustering_tests {
             let (mut n, mut sx) = (0u32, 0.0f64);
             let mut stack = vec![tree.root_page()];
             while let Some(pg) = stack.pop() {
-                let node = tree.load(pg);
-                match &node.entries {
-                    NodeEntries::Internal(es) => {
-                        for (_, c) in es {
-                            stack.push(*c);
-                        }
-                    }
-                    NodeEntries::Leaf(rs) => {
-                        let k = rs
-                            .iter()
-                            .fold(rtree::Key::empty(), |acc: <DtaSegmentRecord<2> as Record>::Key, r| {
-                                rtree::Key::cover(&acc, &r.key())
-                            });
-                        n += 1;
-                        sx += k.space.extent(0).length().max(k.space.extent(1).length());
+                let node = tree.read_node(pg);
+                if node.is_leaf() {
+                    let k = node.leaf_records().fold(
+                        rtree::Key::empty(),
+                        |acc: <DtaSegmentRecord<2> as Record>::Key, r| {
+                            rtree::Key::cover(&acc, &r.key())
+                        },
+                    );
+                    n += 1;
+                    sx += k.space.extent(0).length().max(k.space.extent(1).length());
+                } else {
+                    for (_, c) in node.internal_entries() {
+                        stack.push(c);
                     }
                 }
             }

@@ -4,12 +4,35 @@
 # The environment has no registry access; all external deps are vendored
 # path crates under crates/shims/, so --offline always works (and guards
 # against accidental network resolution).
+#
+# --bench-smoke additionally runs the read_path microbench at a tiny
+# size; the bench exits non-zero if the zero-copy view traversal copies
+# at least as many bytes as the decode traversal, so a read-path
+# regression fails the check. The smoke output goes to target/figures/
+# and never clobbers the committed BENCH_read_path.json baseline.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+BENCH_SMOKE=0
+for arg in "$@"; do
+  case "$arg" in
+    --bench-smoke) BENCH_SMOKE=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
 
 cargo build --release --offline
 cargo test -q --offline
 cargo test -q --offline --workspace
 cargo clippy --offline --workspace --all-targets -- -D warnings
+
+if [ "$BENCH_SMOKE" = 1 ]; then
+  # Absolute output path: cargo runs bench binaries with the package
+  # directory as cwd, not the workspace root.
+  DQ_READ_PATH_OBJECTS=300 DQ_READ_PATH_MS=50 \
+    DQ_READ_PATH_OUT="$PWD/target/figures/read_path_smoke.json" \
+    cargo bench --offline -p bench --bench read_path
+  echo "OK: read_path bench smoke passed (view path copies fewer bytes than decode)."
+fi
 
 echo "OK: build, tests, and clippy all green."
