@@ -186,6 +186,17 @@ fn main() {
     assert_eq!(nodes, nodes_d, "paths must visit the same nodes");
     assert_eq!(sum_view, sum_decode, "paths must see the same records");
 
+    // Observability cross-check: one traversal's level-counter delta must
+    // equal its visit count exactly (every visit is counted, none twice).
+    let levels_before = tree.level_counters().snapshot();
+    let (nodes_again, _) = traverse_view(&tree);
+    let levels_delta = tree.level_counters().snapshot() - levels_before;
+    assert_eq!(
+        levels_delta.total_reads(),
+        nodes_again,
+        "level counters must reconcile with traversal visits"
+    );
+
     let hits0 = tree.store().inner.cache_stats();
     let decode = measure(&tree, window, traverse_decode);
     let view = measure(&tree, window, traverse_view);
@@ -194,6 +205,13 @@ fn main() {
         hits1.misses, hits0.misses,
         "timed traversals must run on a warm pool"
     );
+
+    // Tracing overhead probe: same timed window with the global trace
+    // flag off. Reported to stderr only — the JSON schema (and the
+    // committed baseline it is compared against) stays unchanged.
+    obs::set_trace_enabled(false);
+    let view_untraced = measure(&tree, window, traverse_view);
+    obs::set_trace_enabled(true);
 
     let rate = |m: &Measured| (nodes * m.traversals) as f64 / m.elapsed.as_secs_f64();
     let per_visit_ns = |m: &Measured| m.elapsed.as_secs_f64() * 1e9 / (nodes * m.traversals) as f64;
@@ -232,6 +250,29 @@ fn main() {
         String::new(),
     ]);
     table.print();
+
+    let traced = rate(&view);
+    let untraced = rate(&view_untraced);
+    eprintln!(
+        "# trace overhead: view path {:.0} visits/s traced vs {:.0} untraced ({:+.1}%)",
+        traced,
+        untraced,
+        (untraced / traced - 1.0) * 100.0
+    );
+
+    // Registry dump: the bench publishes what a serving process would.
+    let registry = obs::MetricsRegistry::new();
+    tree.store().inner.publish_to(&registry, "pool");
+    tree.level_counters().snapshot().publish_to(&registry, "rtree");
+    registry
+        .counter("read_path.visits.decode")
+        .add(nodes * decode.traversals);
+    registry
+        .counter("read_path.visits.view")
+        .add(nodes * (view.traversals + view_untraced.traversals));
+    for line in registry.render().lines() {
+        eprintln!("# {line}");
+    }
 
     let out = std::env::var("DQ_READ_PATH_OUT").unwrap_or_else(|_| {
         format!("{}/../../BENCH_read_path.json", env!("CARGO_MANIFEST_DIR"))

@@ -17,6 +17,7 @@
 use bench::{f2, FigureTable, Scale};
 use mobiquery::{DqServer, SessionKind, SessionSpec};
 use rtree::{NsiSegmentRecord, RTree, RTreeConfig};
+use std::sync::Arc;
 use storage::{PageStore, Pager, ShardedBufferPool};
 use workload::QueryWorkload;
 
@@ -104,7 +105,9 @@ fn main() {
         tree.store().clear(); // serve from a cold cache
         let build_stats = tree.store().cache_stats();
         let io_before = tree.store().io();
-        let server = DqServer::new(tree);
+        let registry = Arc::new(obs::MetricsRegistry::new());
+        let levels_before = tree.level_counters().snapshot();
+        let server = DqServer::new(tree).with_metrics(Arc::clone(&registry));
 
         let t0 = std::time::Instant::now();
         let report = if mode == "serial" {
@@ -114,16 +117,52 @@ fn main() {
         };
         let secs = t0.elapsed().as_secs_f64();
 
-        let (reads, cs) = server.with_tree(|t| ((t.store().io() - io_before).reads, {
-            let mut cs = t.store().cache_stats();
-            // Counters accumulated during the tree build don't belong to
-            // the serving run.
-            cs.hits -= build_stats.hits;
-            cs.misses -= build_stats.misses;
-            cs.evictions -= build_stats.evictions;
-            cs
-        }));
+        let (reads, cs, levels) = server.with_tree(|t| {
+            t.store().publish_to(&registry, "pool");
+            t.level_counters().snapshot().publish_to(&registry, "rtree");
+            (
+                (t.store().io() - io_before).reads,
+                {
+                    let mut cs = t.store().cache_stats();
+                    // Counters accumulated during the tree build don't belong to
+                    // the serving run.
+                    cs.hits -= build_stats.hits;
+                    cs.misses -= build_stats.misses;
+                    cs.evictions -= build_stats.evictions;
+                    cs
+                },
+                t.level_counters().snapshot() - levels_before,
+            )
+        });
         assert!(cs.hits > 0 && cs.misses > 0, "pool counters must be live");
+
+        // Reconciliation: three independent observers of the serving
+        // run's I/O must agree exactly.
+        //  tree level counters == engine QueryStats + writer attribution
+        assert_eq!(
+            levels.total_reads(),
+            report.total_reads(),
+            "tree node reads must equal session disk accesses + writer reads"
+        );
+        //  tree level counters == buffer pool hit/miss accounting
+        assert_eq!(
+            levels.total_reads(),
+            cs.hits + cs.misses,
+            "every node read is exactly one pool access"
+        );
+        //  pool misses == true disk reads behind the cache
+        assert_eq!(cs.misses, reads, "every pool miss is exactly one disk read");
+        //  the per-frame timeline re-adds to the run totals
+        let timeline = report.timeline();
+        let tl_results: usize = timeline.iter().map(|&(_, f)| f.results).sum();
+        let tl_reads: u64 = timeline.iter().map(|&(_, f)| f.stats.disk_accesses).sum();
+        assert_eq!(tl_results, report.total_results(), "timeline results drift");
+        assert_eq!(
+            tl_reads,
+            report.total_stats().disk_accesses,
+            "timeline disk accesses drift"
+        );
+
         let frames = (report.frames * specs.len()) as f64;
         table.row(vec![
             mode.into(),
@@ -135,6 +174,29 @@ fn main() {
             cs.misses.to_string(),
             format!("{:.1}%", cs.hit_ratio() * 100.0),
         ]);
+
+        // Per-frame timeline (one line per global frame step) and the
+        // metrics registry for the largest concurrent configuration.
+        if mode == "concurrent" && pool_pages == 1024 {
+            eprintln!("# timeline ({mode}, {pool_pages} pages): frame sessions results reads max_drain_us");
+            for frame in 0..report.frames {
+                let rows: Vec<_> = timeline.iter().filter(|&&(_, f)| f.frame == frame).collect();
+                if rows.is_empty() {
+                    continue;
+                }
+                let results: usize = rows.iter().map(|&&(_, f)| f.results).sum();
+                let frame_reads: u64 = rows.iter().map(|&&(_, f)| f.stats.disk_accesses).sum();
+                let max_us = rows.iter().map(|&&(_, f)| f.latency_ns).max().unwrap_or(0) / 1000;
+                eprintln!(
+                    "#   {frame:>3} {:>8} {results:>7} {frame_reads:>5} {max_us:>12}",
+                    rows.len()
+                );
+            }
+            eprintln!("# metrics registry after the run:");
+            for line in registry.render().lines() {
+                eprintln!("#   {line}");
+            }
+        }
     }
 
     table.print();

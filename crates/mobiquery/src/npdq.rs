@@ -59,6 +59,12 @@ pub struct NpdqEngine<const D: usize> {
     /// Reusable traversal stack, so per-frame executions in a serving
     /// loop don't allocate frame over frame.
     stack: Vec<PageId>,
+    /// Internal entries pruned by Lemma 1 since the engine started — the
+    /// whole point of NPDQ; `discard_rate` is the headline number.
+    discarded_subtrees: u64,
+    /// Internal entries that overlapped the query (the discard check's
+    /// denominator).
+    candidate_subtrees: u64,
 }
 
 impl<const D: usize> Default for NpdqEngine<D> {
@@ -74,6 +80,24 @@ impl<const D: usize> NpdqEngine<D> {
             prev: None,
             use_discard: true,
             stack: Vec::new(),
+            discarded_subtrees: 0,
+            candidate_subtrees: 0,
+        }
+    }
+
+    /// Subtrees pruned by the §4.2 discardability test since the engine
+    /// started.
+    pub fn discarded_subtrees(&self) -> u64 {
+        self.discarded_subtrees
+    }
+
+    /// Fraction of query-overlapping subtrees the discardability test
+    /// pruned (0.0 when nothing has been considered yet).
+    pub fn discard_rate(&self) -> f64 {
+        if self.candidate_subtrees == 0 {
+            0.0
+        } else {
+            self.discarded_subtrees as f64 / self.candidate_subtrees as f64
         }
     }
 
@@ -149,10 +173,18 @@ impl<const D: usize> NpdqEngine<D> {
                     if !key.overlaps(&qkey) {
                         continue;
                     }
+                    self.candidate_subtrees += 1;
                     if clean {
                         if let Some((_, pk, _)) = &pkey {
                             if discardable(pk, &qkey, &key) {
-                                continue; // pruned without loading
+                                // Pruned without loading: the I/O the
+                                // previous query paid for.
+                                self.discarded_subtrees += 1;
+                                obs::trace(obs::TraceEvent::QueueOp {
+                                    op: obs::QueueOpKind::Discard,
+                                    depth: stack.len() as u32,
+                                });
+                                continue;
                             }
                         }
                     }
@@ -344,6 +376,10 @@ mod tests {
         assert!(got.is_empty(), "fully covered query returns nothing new");
         // And it touches almost nothing below the root.
         assert!(stats.leaf_accesses == 0, "leaf I/O should be fully pruned");
+        // The prunes are visible on the engine's discard counters: every
+        // overlapping subtree of q2 was discarded, none loaded.
+        assert!(eng.discarded_subtrees() > 0, "prunes must be counted");
+        assert!(eng.discard_rate() > 0.0 && eng.discard_rate() <= 1.0);
     }
 
     #[test]

@@ -148,6 +148,9 @@ pub struct PdqEngine<const D: usize> {
     /// can discard reports whose overlap lies entirely in the past instead
     /// of growing the queue without bound.
     last_t_start: f64,
+    /// Deepest the queue has ever been — the engine's memory footprint
+    /// proxy (the paper's queue-size concern in §4.1).
+    queue_hwm: usize,
     stats: QueryStats,
     /// Levels-from-root threshold for the §4.1 rebuild heuristic: if an
     /// update's LCA is at distance < `rebuild_depth` from the root, drop
@@ -170,6 +173,7 @@ impl<const D: usize> PdqEngine<D> {
             expanded: HashSet::new(),
             returned: HashSet::new(),
             last_t_start: f64::NEG_INFINITY,
+            queue_hwm: 0,
             stats: QueryStats::default(),
             rebuild_depth: 1,
         };
@@ -177,11 +181,25 @@ impl<const D: usize> PdqEngine<D> {
         engine
     }
 
+    /// All queue pushes funnel through here so the high-water mark and
+    /// trace stream stay exact.
+    fn push_item(&mut self, item: QueueItem<D>) {
+        self.queue.push(item);
+        let depth = self.queue.len();
+        if depth > self.queue_hwm {
+            self.queue_hwm = depth;
+        }
+        obs::trace(obs::TraceEvent::QueueOp {
+            op: obs::QueueOpKind::Push,
+            depth: depth as u32,
+        });
+    }
+
     fn seed_root<S: PageStore>(&mut self, tree: &RTree<NsiSegmentRecord<D>, S>) {
         // The root has no stored bounding box above it; enqueue it over
         // the whole trajectory span (it is examined precisely on first pop).
         let span = self.trajectory.span();
-        self.queue.push(QueueItem {
+        self.push_item(QueueItem {
             start: span.lo,
             end: span.hi,
             kind: ItemKind::Node {
@@ -211,6 +229,11 @@ impl<const D: usize> PdqEngine<D> {
         self.queue.len()
     }
 
+    /// Deepest the queue has ever been since the engine started.
+    pub fn queue_hwm(&self) -> usize {
+        self.queue_hwm
+    }
+
     /// The paper's `getNext(t_start, t_end)`: return the next object whose
     /// visibility overlaps `[t_start, t_end]`, or `None` if no such object
     /// exists yet (head of queue lies beyond `t_end`, or queue empty).
@@ -233,6 +256,10 @@ impl<const D: usize> PdqEngine<D> {
                 return None;
             }
             let item = self.queue.pop().expect("peeked");
+            obs::trace(obs::TraceEvent::QueueOp {
+                op: obs::QueueOpKind::Pop,
+                depth: self.queue.len() as u32,
+            });
 
             // §4.1 duplicate elimination: duplicates share a priority and
             // pop consecutively.
@@ -333,7 +360,8 @@ impl<const D: usize> PdqEngine<D> {
         if ts.end().unwrap() < t_start {
             return;
         }
-        self.queue.push(make(&ts));
+        let item = make(&ts);
+        self.push_item(item);
     }
 
     /// Drain every object whose visibility overlaps `[t_start, t_end]`.
@@ -405,7 +433,7 @@ impl<const D: usize> PdqEngine<D> {
                 if !ts.is_empty() && ts.end().unwrap() >= t_start {
                     // The subtree's contents changed: allow re-expansion.
                     self.expanded.remove(page);
-                    self.queue.push(QueueItem {
+                    self.push_item(QueueItem {
                         start: ts.start().unwrap(),
                         end: ts.end().unwrap(),
                         kind: ItemKind::Node {
@@ -788,6 +816,100 @@ mod tests {
         // And none of them is ever returned.
         let rest = pdq.drain_window(&tree, 30.0, 50.0);
         assert!(rest.iter().all(|r| r.record.oid < 20_000));
+    }
+
+    #[test]
+    fn boundary_entry_delivered_in_the_window_it_touches_first() {
+        // Objects at x = k + 1.0 become visible exactly at t = k: their
+        // overlap-time start coincides with the shared boundary of the
+        // adjacent frame windows [k−1, k] and [k, k+1]. The window
+        // predicate is inclusive at t_end (`head_start > t_end` ⇒ wait),
+        // so the object belongs to the *earlier* window — the frame
+        // rendered at t = k must already show it.
+        let recs: Vec<R> = (0..20)
+            .map(|k| {
+                let x = k as f64 + 1.0;
+                R::new(k, 0, Interval::new(0.0, 100.0), [x, 0.5], [x, 0.5])
+            })
+            .collect();
+        let tree = bulk_load(Pager::new(), RTreeConfig::default(), recs);
+        let mut pdq = PdqEngine::start(&tree, slide(50.0));
+
+        // Frame k drains window [k, k+1]. Object k enters at exactly
+        // t = k: boundary-inclusive, so it must arrive in the window
+        // whose t_end is k — i.e. frame k−1 — and never again.
+        let mut arrivals: Vec<(u32, usize)> = Vec::new();
+        for frame in 0..25usize {
+            let t0 = frame as f64;
+            for r in pdq.drain_window(&tree, t0, t0 + 1.0) {
+                arrivals.push((r.record.oid, frame));
+            }
+        }
+        // Exactly once each.
+        let mut oids: Vec<u32> = arrivals.iter().map(|&(o, _)| o).collect();
+        oids.sort_unstable();
+        oids.dedup();
+        assert_eq!(oids.len(), 20, "every object exactly once");
+        assert_eq!(arrivals.len(), 20, "no duplicate deliveries");
+        // Object k (entry time k) arrives in frame k−1 ([k−1, k], whose
+        // t_end equals the entry time) — except object 0, which is due at
+        // t = 0 and arrives in the first window drained.
+        for &(oid, frame) in &arrivals {
+            let expected = (oid as usize).saturating_sub(1);
+            assert_eq!(
+                frame, expected,
+                "object {oid} entering at t={oid} must arrive in frame {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_object_once_oracle_over_randomized_frame_boundaries() {
+        // Oracle: however [0, 50] is cut into adjacent windows — uniform,
+        // ragged, or zero-width cuts landing exactly on entry times — the
+        // union of drains equals one whole-span drain, with no repeats.
+        let tree = line_tree(50);
+        let whole: Vec<u32> = PdqEngine::start(&tree, slide(50.0))
+            .drain_window(&tree, 0.0, 50.0)
+            .iter()
+            .map(|r| r.record.oid)
+            .collect();
+
+        let cut_sets: &[&[f64]] = &[
+            &[10.0, 20.0, 30.0, 40.0],
+            &[0.5, 1.5, 2.5, 3.5, 49.5],           // cuts ON entry times
+            &[0.5, 0.5, 25.0, 25.0],               // zero-width windows
+            &[7.3, 11.9, 12.0, 12.1, 33.3, 48.99], // ragged
+        ];
+        for cuts in cut_sets {
+            let mut pdq = PdqEngine::start(&tree, slide(50.0));
+            let mut got: Vec<u32> = Vec::new();
+            let mut t0 = 0.0;
+            for &t1 in cuts.iter().chain(std::iter::once(&50.0)) {
+                got.extend(
+                    pdq.drain_window(&tree, t0, t1)
+                        .iter()
+                        .map(|r| r.record.oid),
+                );
+                t0 = t1;
+            }
+            assert_eq!(got, whole, "cuts {cuts:?} changed the delivery");
+        }
+    }
+
+    #[test]
+    fn queue_hwm_tracks_deepest_queue() {
+        let tree = line_tree(200);
+        let mut pdq = PdqEngine::start(&tree, slide(50.0));
+        assert_eq!(pdq.queue_hwm(), 1, "seeded root only");
+        let _ = pdq.drain_window(&tree, 0.0, 50.0);
+        let hwm = pdq.queue_hwm();
+        assert!(hwm > 1);
+        assert!(
+            hwm >= pdq.queue_len(),
+            "hwm {hwm} below live depth {}",
+            pdq.queue_len()
+        );
     }
 
     #[test]

@@ -10,9 +10,11 @@
 //! pick updates up through node timestamps (§4.2).
 //!
 //! Frames are synchronised with a [`std::sync::Barrier`]: each frame,
-//! the writer applies that frame's insert batch under the write lock and
-//! broadcasts the reports, then every session processes the frame under
-//! a read lock. All sessions therefore observe identical tree states,
+//! the writer applies that frame's insert batch under the write lock,
+//! drops the lock, broadcasts the collected reports (mailbox pushes need
+//! no tree access, so they never extend the exclusive section), then
+//! every session processes the frame under a read lock. All sessions
+//! therefore observe identical tree states,
 //! which makes the concurrent run *bitwise deterministic*: its
 //! per-session result sequences equal [`DqServer::serve_serial`]'s (the
 //! single-threaded reference executing the same protocol), which the
@@ -26,7 +28,8 @@ use crate::stats::QueryStats;
 use crate::trajectory::Trajectory;
 use parking_lot::{Mutex, RwLock};
 use rtree::{InsertReport, NsiSegmentRecord, RTree, Record};
-use std::sync::Barrier;
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
 use storage::PageStore;
 
 /// The insert report the writer broadcasts to PDQ sessions.
@@ -66,6 +69,21 @@ impl<const D: usize> SessionSpec<D> {
     }
 }
 
+/// One frame of one session, as observed while serving: what arrived and
+/// what it cost. The per-run stream of these is the serving path's
+/// flight recorder — `Σ frames.stats == session.stats` by construction.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FrameReport {
+    /// Global frame step index.
+    pub frame: usize,
+    /// Objects delivered this frame.
+    pub results: usize,
+    /// Wall-clock time this session spent processing the frame.
+    pub latency_ns: u64,
+    /// Query cost incurred this frame alone.
+    pub stats: QueryStats,
+}
+
 /// What one session produced over the whole run.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct SessionOutput {
@@ -74,6 +92,13 @@ pub struct SessionOutput {
     pub results: Vec<(u32, u32)>,
     /// Accumulated query cost.
     pub stats: QueryStats,
+    /// Per-frame reports, one per frame this session's schedule covered
+    /// (sessions with short schedules stop reporting when they finish).
+    pub frames: Vec<FrameReport>,
+    /// PDQ only: deepest the priority queue ever got (0 for NPDQ).
+    pub queue_hwm: usize,
+    /// NPDQ only: subtrees pruned by discardability (0 for PDQ).
+    pub discarded_subtrees: u64,
 }
 
 /// Outcome of one [`DqServer::serve`] / [`DqServer::serve_serial`] run.
@@ -85,6 +110,13 @@ pub struct ServeReport {
     pub frames: usize,
     /// Records the writer inserted.
     pub inserts_applied: usize,
+    /// Node reads the writer performed inside its write sections. Exact:
+    /// sessions are parked at the frame barrier while the writer holds
+    /// the lock, so the tree's level-counter delta over the write section
+    /// is attributable to the writer alone.
+    pub writer_reads: u64,
+    /// Node writes the writer performed inside its write sections.
+    pub writer_writes: u64,
 }
 
 impl ServeReport {
@@ -101,6 +133,27 @@ impl ServeReport {
     pub fn total_results(&self) -> usize {
         self.sessions.iter().map(|s| s.results.len()).sum()
     }
+
+    /// The run's frame timeline: every session's [`FrameReport`]s merged
+    /// and ordered by `(frame, session)` — what happened, frame by frame,
+    /// across the whole server. Each entry is `(session index, report)`.
+    pub fn timeline(&self) -> Vec<(usize, &FrameReport)> {
+        let mut out: Vec<(usize, &FrameReport)> = self
+            .sessions
+            .iter()
+            .enumerate()
+            .flat_map(|(i, s)| s.frames.iter().map(move |f| (i, f)))
+            .collect();
+        out.sort_by_key(|&(i, f)| (f.frame, i));
+        out
+    }
+
+    /// Total node reads the run performed (sessions plus writer) — the
+    /// quantity that must reconcile with the tree's level counters and
+    /// the buffer pool's hit+miss total.
+    pub fn total_reads(&self) -> u64 {
+        self.total_stats().disk_accesses + self.writer_reads
+    }
 }
 
 /// One session's engine state while the run is in flight.
@@ -112,6 +165,8 @@ enum Engine<const D: usize> {
 }
 
 struct SessionRun<'a, const D: usize> {
+    /// Position in the spec slice (frame trace / report attribution).
+    index: usize,
     spec: &'a SessionSpec<D>,
     engine: Engine<D>,
     out: SessionOutput,
@@ -121,12 +176,17 @@ struct SessionRun<'a, const D: usize> {
 }
 
 impl<'a, const D: usize> SessionRun<'a, D> {
-    fn start<S: PageStore>(spec: &'a SessionSpec<D>, tree: &RTree<NsiSegmentRecord<D>, S>) -> Self {
+    fn start<S: PageStore>(
+        index: usize,
+        spec: &'a SessionSpec<D>,
+        tree: &RTree<NsiSegmentRecord<D>, S>,
+    ) -> Self {
         let engine = match spec.kind {
             SessionKind::Pdq => Engine::Pdq(Box::new(PdqEngine::start(tree, spec.trajectory.clone()))),
             SessionKind::Npdq => Engine::Npdq(NpdqEngine::new()),
         };
         SessionRun {
+            index,
             spec,
             engine,
             out: SessionOutput::default(),
@@ -149,34 +209,64 @@ impl<'a, const D: usize> SessionRun<'a, D> {
     }
 
     /// Process global frame step `k` (no-op once this session's own
-    /// schedule is exhausted).
-    fn step<S: PageStore>(&mut self, tree: &RTree<NsiSegmentRecord<D>, S>, k: usize) {
-        match &mut self.engine {
+    /// schedule is exhausted). Returns the drain latency when the frame
+    /// was in-schedule.
+    fn step<S: PageStore>(&mut self, tree: &RTree<NsiSegmentRecord<D>, S>, k: usize) -> Option<u64> {
+        let in_schedule = match self.engine {
+            Engine::Pdq(_) => k + 1 < self.spec.frame_times.len(),
+            Engine::Npdq(_) => k < self.spec.frame_times.len(),
+        };
+        if !in_schedule {
+            return None;
+        }
+        let before_results = self.out.results.len();
+        obs::trace(obs::TraceEvent::FrameStart {
+            session: self.index as u32,
+            frame: k as u32,
+        });
+        let started = Instant::now();
+        let frame_stats = match &mut self.engine {
             Engine::Pdq(pdq) => {
-                if k + 1 < self.spec.frame_times.len() {
-                    let (t0, t1) = (self.spec.frame_times[k], self.spec.frame_times[k + 1]);
-                    self.scratch.clear();
-                    pdq.drain_window_into(tree, t0, t1, &mut self.scratch);
-                    for r in &self.scratch {
-                        self.out.results.push((r.record.oid, r.record.seq));
-                    }
-                    self.out.stats += pdq.take_stats();
+                let (t0, t1) = (self.spec.frame_times[k], self.spec.frame_times[k + 1]);
+                self.scratch.clear();
+                pdq.drain_window_into(tree, t0, t1, &mut self.scratch);
+                for r in &self.scratch {
+                    self.out.results.push((r.record.oid, r.record.seq));
                 }
+                pdq.take_stats()
             }
             Engine::Npdq(npdq) => {
-                if k < self.spec.frame_times.len() {
-                    let t = self.spec.frame_times[k];
-                    let q = SnapshotQuery::at_instant(self.spec.trajectory.window_at(t), t);
-                    let results = &mut self.out.results;
-                    self.out.stats += npdq.execute(tree, &q, t, |r: &NsiSegmentRecord<D>| {
-                        results.push(r.ids());
-                    });
-                }
+                let t = self.spec.frame_times[k];
+                let q = SnapshotQuery::at_instant(self.spec.trajectory.window_at(t), t);
+                let results = &mut self.out.results;
+                npdq.execute(tree, &q, t, |r: &NsiSegmentRecord<D>| {
+                    results.push(r.ids());
+                })
             }
-        }
+        };
+        let latency_ns = started.elapsed().as_nanos() as u64;
+        let results = self.out.results.len() - before_results;
+        self.out.stats += frame_stats;
+        self.out.frames.push(FrameReport {
+            frame: k,
+            results,
+            latency_ns,
+            stats: frame_stats,
+        });
+        obs::trace(obs::TraceEvent::FrameEnd {
+            session: self.index as u32,
+            frame: k as u32,
+            results: results as u32,
+            latency_ns,
+        });
+        Some(latency_ns)
     }
 
-    fn finish(self) -> SessionOutput {
+    fn finish(mut self) -> SessionOutput {
+        match &self.engine {
+            Engine::Pdq(pdq) => self.out.queue_hwm = pdq.queue_hwm(),
+            Engine::Npdq(npdq) => self.out.discarded_subtrees = npdq.discarded_subtrees(),
+        }
         self.out
     }
 }
@@ -207,6 +297,9 @@ impl<'a, const D: usize> SessionRun<'a, D> {
 /// ```
 pub struct DqServer<const D: usize, S: PageStore> {
     tree: RwLock<RTree<NsiSegmentRecord<D>, S>>,
+    /// Optional metrics sink: when set, serving runs record drain and
+    /// write-lock-hold latency histograms plus run totals into it.
+    metrics: Option<Arc<obs::MetricsRegistry>>,
 }
 
 impl<const D: usize, S: PageStore> DqServer<D, S> {
@@ -214,7 +307,20 @@ impl<const D: usize, S: PageStore> DqServer<D, S> {
     pub fn new(tree: RTree<NsiSegmentRecord<D>, S>) -> Self {
         DqServer {
             tree: RwLock::new(tree),
+            metrics: None,
         }
+    }
+
+    /// Record serving metrics into `registry` (builder-style).
+    ///
+    /// Metric names: `service.drain_ns` (per-session-frame drain latency
+    /// histogram), `service.writer.lock_hold_ns` (write-lock hold-time
+    /// histogram), `service.frames` / `service.inserts` /
+    /// `service.results` / `service.writer.reads` (run counters), and
+    /// `service.pdq.queue_hwm` / `service.npdq.discarded` (gauges).
+    pub fn with_metrics(mut self, registry: Arc<obs::MetricsRegistry>) -> Self {
+        self.metrics = Some(registry);
+        self
     }
 
     /// Tear the server down, returning the tree.
@@ -273,6 +379,15 @@ impl<const D: usize, S: PageStore> DqServer<D, S> {
         let mailboxes: Vec<Mutex<Vec<NsiReport<D>>>> =
             specs.iter().map(|_| Mutex::new(Vec::new())).collect();
         let mut inserts_applied = 0;
+        let mut writer_reads = 0u64;
+        let mut writer_writes = 0u64;
+        // Histogram handles resolve once, up front: session threads then
+        // record through lock-free atomics only.
+        let drain_hist = self.metrics.as_ref().map(|m| m.histogram("service.drain_ns"));
+        let hold_hist = self
+            .metrics
+            .as_ref()
+            .map(|m| m.histogram("service.writer.lock_hold_ns"));
 
         let sessions = std::thread::scope(|scope| {
             let handles: Vec<_> = specs
@@ -282,15 +397,18 @@ impl<const D: usize, S: PageStore> DqServer<D, S> {
                     let barrier = &barrier;
                     let mailboxes = &mailboxes;
                     let tree = &self.tree;
+                    let drain_hist = drain_hist.clone();
                     scope.spawn(move || {
-                        let mut run = SessionRun::start(spec, &tree.read());
+                        let mut run = SessionRun::start(i, spec, &tree.read());
                         for k in 0..steps {
                             barrier.wait(); // frame k opens; writer works
                             barrier.wait(); // frame k batch is visible
                             let guard = tree.read();
                             let reports = std::mem::take(&mut *mailboxes[i].lock());
                             run.absorb(&guard, &reports);
-                            run.step(&guard, k);
+                            if let (Some(ns), Some(h)) = (run.step(&guard, k), &drain_hist) {
+                                h.record(ns);
+                            }
                         }
                         run.finish()
                     })
@@ -301,16 +419,39 @@ impl<const D: usize, S: PageStore> DqServer<D, S> {
             for k in 0..steps {
                 barrier.wait();
                 if let Some(batch) = inserts.get(k) {
-                    let mut tree = self.tree.write();
-                    for (rec, now) in batch {
-                        let report = tree.insert(*rec, *now);
-                        inserts_applied += 1;
-                        for (mb, &pdq) in mailboxes.iter().zip(&is_pdq) {
-                            if pdq {
-                                mb.lock().push(report.clone());
-                            }
+                    // Insert under the write lock, but only *collect* the
+                    // reports there: broadcasting into PDQ mailboxes takes
+                    // per-session locks and clones reports, none of which
+                    // needs the tree — holding the write lock across it
+                    // would stretch every frame's exclusive section for
+                    // work that isn't exclusive.
+                    let mut reports: Vec<NsiReport<D>> = Vec::with_capacity(batch.len());
+                    let held = {
+                        let mut tree = self.tree.write();
+                        let held = Instant::now();
+                        let before = tree.level_counters().snapshot();
+                        for (rec, now) in batch {
+                            reports.push(tree.insert(*rec, *now));
+                            inserts_applied += 1;
+                        }
+                        let delta = tree.level_counters().snapshot() - before;
+                        writer_reads += delta.total_reads();
+                        writer_writes += delta.total_writes();
+                        held.elapsed()
+                    };
+                    if let Some(h) = &hold_hist {
+                        h.record(held.as_nanos() as u64);
+                    }
+                    let fanout = is_pdq.iter().filter(|&&p| p).count();
+                    for (mb, &pdq) in mailboxes.iter().zip(&is_pdq) {
+                        if pdq {
+                            mb.lock().extend(reports.iter().cloned());
                         }
                     }
+                    obs::trace(obs::TraceEvent::InsertBroadcast {
+                        reports: reports.len() as u32,
+                        sessions: fanout as u32,
+                    });
                 }
                 barrier.wait();
             }
@@ -321,11 +462,15 @@ impl<const D: usize, S: PageStore> DqServer<D, S> {
                 .collect()
         });
 
-        ServeReport {
+        let report = ServeReport {
             sessions,
             frames: steps,
             inserts_applied,
-        }
+            writer_reads,
+            writer_writes,
+        };
+        self.publish_run(&report);
+        report
     }
 
     /// The single-threaded reference: identical protocol, identical
@@ -338,29 +483,73 @@ impl<const D: usize, S: PageStore> DqServer<D, S> {
     ) -> ServeReport {
         let steps = self.step_count(specs, inserts);
         let mut inserts_applied = 0;
+        let mut writer_reads = 0u64;
+        let mut writer_writes = 0u64;
+        let drain_hist = self.metrics.as_ref().map(|m| m.histogram("service.drain_ns"));
+        let hold_hist = self
+            .metrics
+            .as_ref()
+            .map(|m| m.histogram("service.writer.lock_hold_ns"));
         let mut runs: Vec<SessionRun<'_, D>> = {
             let tree = self.tree.read();
-            specs.iter().map(|s| SessionRun::start(s, &tree)).collect()
+            specs
+                .iter()
+                .enumerate()
+                .map(|(i, s)| SessionRun::start(i, s, &tree))
+                .collect()
         };
         for k in 0..steps {
             let mut reports = Vec::new();
             if let Some(batch) = inserts.get(k) {
                 let mut tree = self.tree.write();
+                let held = Instant::now();
+                let before = tree.level_counters().snapshot();
                 for (rec, now) in batch {
                     reports.push(tree.insert(*rec, *now));
                     inserts_applied += 1;
+                }
+                let delta = tree.level_counters().snapshot() - before;
+                writer_reads += delta.total_reads();
+                writer_writes += delta.total_writes();
+                if let Some(h) = &hold_hist {
+                    h.record(held.elapsed().as_nanos() as u64);
                 }
             }
             let tree = self.tree.read();
             for run in &mut runs {
                 run.absorb(&tree, &reports);
-                run.step(&tree, k);
+                if let (Some(ns), Some(h)) = (run.step(&tree, k), &drain_hist) {
+                    h.record(ns);
+                }
             }
         }
-        ServeReport {
+        let report = ServeReport {
             sessions: runs.into_iter().map(SessionRun::finish).collect(),
             frames: steps,
             inserts_applied,
+            writer_reads,
+            writer_writes,
+        };
+        self.publish_run(&report);
+        report
+    }
+
+    /// Record a finished run's totals into the attached registry.
+    fn publish_run(&self, report: &ServeReport) {
+        let Some(reg) = &self.metrics else { return };
+        reg.counter("service.frames").add(report.frames as u64);
+        reg.counter("service.inserts").add(report.inserts_applied as u64);
+        reg.counter("service.results").add(report.total_results() as u64);
+        reg.counter("service.writer.reads").add(report.writer_reads);
+        reg.counter("service.writer.writes").add(report.writer_writes);
+        reg.counter("service.session.reads")
+            .add(report.total_stats().disk_accesses);
+        for s in &report.sessions {
+            reg.gauge("service.pdq.queue_hwm")
+                .record_max(s.queue_hwm as i64);
+            if s.discarded_subtrees > 0 {
+                reg.counter("service.npdq.discarded").add(s.discarded_subtrees);
+            }
         }
     }
 }
@@ -456,5 +645,140 @@ mod tests {
         let report = server.serve(&[], &[]);
         assert_eq!(report.frames, 0);
         assert_eq!(report.sessions.len(), 0);
+    }
+
+    #[test]
+    fn writer_only_serve_applies_every_batch() {
+        // No sessions at all: the barrier degenerates to Barrier::new(1)
+        // and the writer must still apply every frame's batch.
+        let server: DqServer<2, Pager> = DqServer::new(line_tree(5));
+        let inserts: Vec<Vec<(R, f64)>> = (0..7)
+            .map(|k| {
+                vec![(
+                    R::new(
+                        500 + k,
+                        0,
+                        Interval::new(0.0, 100.0),
+                        [k as f64, 3.5],
+                        [k as f64, 3.5],
+                    ),
+                    k as f64,
+                )]
+            })
+            .collect();
+        let report = server.serve(&[], &inserts);
+        assert_eq!(report.frames, 7);
+        assert_eq!(report.inserts_applied, 7);
+        assert_eq!(report.sessions.len(), 0);
+        assert!(report.writer_reads > 0, "insert descents read nodes");
+        assert!(report.writer_writes > 0, "inserts write nodes");
+        assert_eq!(server.len(), 12);
+    }
+
+    #[test]
+    fn short_schedule_session_stops_while_writer_continues() {
+        // A session whose frame schedule (3 steps) is much shorter than
+        // the insert schedule (10 batches): the run spans 10 frames, the
+        // session reports only its own 3, and the broadcasts that arrive
+        // after its schedule ended must not corrupt anything.
+        let server = DqServer::new(line_tree(30));
+        let spec = slide_spec(SessionKind::Pdq, 3, 3.0);
+        let inserts: Vec<Vec<(R, f64)>> = (0..10)
+            .map(|k| {
+                vec![(
+                    R::new(
+                        700 + k,
+                        0,
+                        Interval::new(0.0, 100.0),
+                        [1.5 + k as f64, 0.5],
+                        [1.5 + k as f64, 0.5],
+                    ),
+                    k as f64,
+                )]
+            })
+            .collect();
+        let report = server.serve(std::slice::from_ref(&spec), &inserts);
+        assert_eq!(report.frames, 10);
+        assert_eq!(report.inserts_applied, 10);
+        assert_eq!(report.sessions[0].frames.len(), 3, "only scheduled frames report");
+        // Still deterministic against the serial oracle.
+        let serial = DqServer::new(line_tree(30)).serve_serial(std::slice::from_ref(&spec), &inserts);
+        assert_eq!(report.sessions[0].results, serial.sessions[0].results);
+    }
+
+    #[test]
+    fn broadcast_after_lock_drop_keeps_parallel_equal_to_serial() {
+        // Heavier regression for the mailbox protocol: many PDQ sessions,
+        // multi-record batches every frame (every batch forces an
+        // InsertBroadcast after the write guard drops).
+        let specs: Vec<SessionSpec<2>> = (0..6)
+            .map(|i| slide_spec(SessionKind::Pdq, 15 + i, 30.0))
+            .collect();
+        let inserts: Vec<Vec<(R, f64)>> = (0..21)
+            .map(|k| {
+                let t = 30.0 * k as f64 / 21.0;
+                (0..3)
+                    .map(|j| {
+                        let x = (t + 3.0 + j as f64) % 29.0;
+                        (
+                            R::new(2000 + 3 * k + j, 0, Interval::new(t, 100.0), [x, 0.5], [x, 0.5]),
+                            t,
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        let parallel = DqServer::new(line_tree(30)).serve(&specs, &inserts);
+        let serial = DqServer::new(line_tree(30)).serve_serial(&specs, &inserts);
+        assert_eq!(parallel.inserts_applied, 63);
+        for (p, s) in parallel.sessions.iter().zip(&serial.sessions) {
+            assert_eq!(p.results, s.results);
+        }
+        assert_eq!(parallel.writer_reads, serial.writer_reads);
+        assert_eq!(parallel.writer_writes, serial.writer_writes);
+    }
+
+    #[test]
+    fn frame_reports_reconcile_and_timeline_is_ordered() {
+        let specs: Vec<SessionSpec<2>> = vec![
+            slide_spec(SessionKind::Pdq, 8, 20.0),
+            slide_spec(SessionKind::Npdq, 5, 20.0),
+        ];
+        let registry = Arc::new(obs::MetricsRegistry::new());
+        let server = DqServer::new(line_tree(20)).with_metrics(Arc::clone(&registry));
+        let report = server.serve(&specs, &[]);
+
+        for s in &report.sessions {
+            let mut sum = QueryStats::default();
+            let mut results = 0;
+            for f in &s.frames {
+                sum += f.stats;
+                results += f.results;
+            }
+            assert_eq!(sum, s.stats, "frame stats must sum to session stats");
+            assert_eq!(results, s.results.len());
+        }
+        assert_eq!(report.sessions[0].frames.len(), 8);
+        assert_eq!(report.sessions[1].frames.len(), 6); // NPDQ: one step per frame time
+        assert!(report.sessions[0].queue_hwm > 0);
+
+        let timeline = report.timeline();
+        assert_eq!(timeline.len(), 14);
+        let keys: Vec<(usize, usize)> = timeline.iter().map(|&(i, f)| (f.frame, i)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted, "timeline ordered by (frame, session)");
+
+        // The registry saw one drain sample per in-schedule frame and the
+        // run totals.
+        match registry.get("service.drain_ns") {
+            Some(obs::MetricValue::Histogram { count, .. }) => assert_eq!(count, 14),
+            other => panic!("missing drain histogram: {other:?}"),
+        }
+        assert_eq!(registry.counter_value("service.frames"), 8);
+        assert_eq!(
+            registry.counter_value("service.session.reads"),
+            report.total_stats().disk_accesses
+        );
     }
 }

@@ -35,6 +35,7 @@
 //! of 145 (internal) / 127 (leaf) on 4 KiB pages for `d = 2`.
 
 pub mod bulk;
+pub mod levels;
 pub mod node;
 pub mod records;
 pub mod search;
@@ -43,6 +44,7 @@ pub mod stbox_key;
 pub mod traits;
 pub mod tree;
 
+pub use levels::{LevelCounters, LevelSnapshot, MAX_TRACKED_LEVELS};
 pub use node::{Node, NodeEntries, NodeRef, NodeView};
 pub use records::{DtaSegmentRecord, NsiSegmentRecord};
 pub use search::{RangeQuery, SearchStats};

@@ -1,5 +1,6 @@
 //! The paginated R-tree: construction, insertion, node access.
 
+use crate::levels::LevelCounters;
 use crate::node::{Node, NodeEntries, NodeRef};
 use crate::split::{split, SplitPolicy};
 use crate::traits::{Key, Record};
@@ -114,6 +115,9 @@ pub struct RTree<R: Record, S: PageStore> {
     /// Reusable serialization buffer for [`Self::write_node`], so the
     /// write path allocates once per tree instead of once per node write.
     scratch: Vec<u8>,
+    /// Per-level node read/write counters (relaxed atomics, so shared
+    /// readers behind an `RwLock` can count without coordination).
+    levels: LevelCounters,
     _records: std::marker::PhantomData<fn() -> R>,
 }
 
@@ -131,6 +135,7 @@ impl<R: Record, S: PageStore> RTree<R, S> {
             height: 1,
             len: 0,
             scratch: Vec::new(),
+            levels: LevelCounters::new(),
             _records: std::marker::PhantomData,
         }
     }
@@ -146,6 +151,7 @@ impl<R: Record, S: PageStore> RTree<R, S> {
             height,
             len,
             scratch: Vec::new(),
+            levels: LevelCounters::new(),
             _records: std::marker::PhantomData,
         }
     }
@@ -197,18 +203,37 @@ impl<R: Record, S: PageStore> RTree<R, S> {
         Node::<R::Key, R>::internal_capacity(self.store.page_size())
     }
 
+    /// Per-level node read/write counters, accumulated since the tree
+    /// was opened. Snapshot before/after an operation and subtract to
+    /// attribute its node I/O by level.
+    pub fn level_counters(&self) -> &LevelCounters {
+        &self.levels
+    }
+
     /// Load a node into its owned, mutation-ready form — **one simulated
     /// disk access**. The write path (insert/split/delete) uses this; the
     /// read path should prefer the zero-copy [`Self::read_node`].
     pub fn load(&self, page: PageId) -> Node<R::Key, R> {
-        Node::deserialize(&self.store.read_page(page))
+        let node = Node::deserialize(&self.store.read_page(page));
+        self.levels.record_read(node.level);
+        obs::trace(obs::TraceEvent::NodeVisit {
+            page: page.0 as u64,
+            level: node.level,
+        });
+        node
     }
 
     /// Read a node zero-copy — **one simulated disk access**, no page
     /// copy and no entry materialization; entries decode lazily as the
     /// [`NodeRef`]'s iterators advance.
     pub fn read_node(&self, page: PageId) -> NodeRef<R::Key, R> {
-        NodeRef::parse(self.store.read_page(page))
+        let node = NodeRef::parse(self.store.read_page(page));
+        self.levels.record_read(node.level());
+        obs::trace(obs::TraceEvent::NodeVisit {
+            page: page.0 as u64,
+            level: node.level(),
+        });
+        node
     }
 
     /// Write a node image back to its page, serializing through the
@@ -216,6 +241,7 @@ impl<R: Record, S: PageStore> RTree<R, S> {
     pub(crate) fn write_node(&mut self, page: PageId, node: &Node<R::Key, R>) {
         node.serialize_into(&mut self.scratch, self.store.page_size());
         self.store.write(page, &self.scratch);
+        self.levels.record_write(node.level);
     }
 
     pub(crate) fn set_root(&mut self, root: PageId, height: u32, len: u64) {

@@ -86,6 +86,10 @@ impl PoolState {
                 device.write(victim, &frame.data);
             }
             self.evictions += 1;
+            obs::trace(obs::TraceEvent::CacheEvict {
+                page: victim.0 as u64,
+                dirty: frame.dirty,
+            });
         }
     }
 
@@ -222,6 +226,23 @@ impl<S: PageStore> BufferPool<S> {
     /// Number of pages currently resident in the cache (≤ capacity).
     pub fn resident_frames(&self) -> usize {
         self.state.lock().frames.len()
+    }
+
+    /// Publish hit/miss/eviction/resident gauges into `registry` under
+    /// `{prefix}.…`. Pull-model: call at any measurement point; the hot
+    /// path never touches the registry.
+    pub fn publish_to(&self, registry: &obs::MetricsRegistry, prefix: &str) {
+        let st = self.state.lock();
+        registry.gauge(&format!("{prefix}.hits")).set(st.hits as i64);
+        registry
+            .gauge(&format!("{prefix}.misses"))
+            .set(st.misses as i64);
+        registry
+            .gauge(&format!("{prefix}.evictions"))
+            .set(st.evictions as i64);
+        registry
+            .gauge(&format!("{prefix}.resident"))
+            .set(st.frames.len() as i64);
     }
 
     /// Access the wrapped store.

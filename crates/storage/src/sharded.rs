@@ -25,8 +25,8 @@ pub struct ShardedBufferPool<S> {
     shards: Vec<Mutex<PoolState>>,
     /// Frame budget per shard.
     shard_capacity: usize,
-    /// `shards.len() - 1`; the shard count is a power of two.
-    mask: usize,
+    /// `log2(shards.len())`; the shard count is a power of two.
+    shard_bits: u32,
 }
 
 impl<S: PageStore> ShardedBufferPool<S> {
@@ -41,7 +41,7 @@ impl<S: PageStore> ShardedBufferPool<S> {
             inner,
             shards: (0..shards).map(|_| Mutex::new(PoolState::empty())).collect(),
             shard_capacity,
-            mask: shards - 1,
+            shard_bits: shards.trailing_zeros(),
         }
     }
 
@@ -50,11 +50,26 @@ impl<S: PageStore> ShardedBufferPool<S> {
         self.shards.len()
     }
 
+    /// The shard index `id` routes to.
+    ///
+    /// 64-bit Fibonacci hashing with *top*-bit extraction: the golden
+    /// ratio's low bits repeat with small periods, so multiplying by the
+    /// 32-bit constant and reading bits 16.. (as a previous revision did)
+    /// collapses strided `PageId` sequences — e.g. every id that is a
+    /// multiple of 2²⁰ landed on shard 0 — starving shards under the
+    /// regular layouts bulk loading produces. The product's *top* bits
+    /// mix every input bit, keeping sequential and strided sequences
+    /// within a small factor of uniform (see `shard_distribution_*`).
+    pub fn shard_of(&self, id: PageId) -> usize {
+        if self.shard_bits == 0 {
+            return 0;
+        }
+        let h = (id.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (h >> (u64::BITS - self.shard_bits)) as usize
+    }
+
     fn shard(&self, id: PageId) -> &Mutex<PoolState> {
-        // Fibonacci hashing spreads the sequential PageIds a pager
-        // allocates across shards instead of clustering them.
-        let h = (id.0 as usize).wrapping_mul(0x9E37_79B9);
-        &self.shards[(h >> 16) & self.mask]
+        &self.shards[self.shard_of(id)]
     }
 
     /// Aggregated cache statistics over all shards.
@@ -67,6 +82,43 @@ impl<S: PageStore> ShardedBufferPool<S> {
             total.evictions += st.evictions;
         }
         total
+    }
+
+    /// Per-shard cache statistics, in shard order — the aggregated view
+    /// of [`Self::cache_stats`] hides routing skew; this one shows it.
+    pub fn shard_stats(&self) -> Vec<CacheStats> {
+        self.shards
+            .iter()
+            .map(|shard| {
+                let st = shard.lock();
+                CacheStats {
+                    hits: st.hits,
+                    misses: st.misses,
+                    evictions: st.evictions,
+                }
+            })
+            .collect()
+    }
+
+    /// Publish per-shard hit/miss/eviction gauges (plus resident-frame
+    /// counts) into `registry` under `{prefix}.shard{i}.…`. Pull-model:
+    /// call at any measurement point; the hot path never touches the
+    /// registry.
+    pub fn publish_to(&self, registry: &obs::MetricsRegistry, prefix: &str) {
+        for (i, (shard, stats)) in self.shards.iter().zip(self.shard_stats()).enumerate() {
+            registry
+                .gauge(&format!("{prefix}.shard{i}.hits"))
+                .set(stats.hits as i64);
+            registry
+                .gauge(&format!("{prefix}.shard{i}.misses"))
+                .set(stats.misses as i64);
+            registry
+                .gauge(&format!("{prefix}.shard{i}.evictions"))
+                .set(stats.evictions as i64);
+            registry
+                .gauge(&format!("{prefix}.shard{i}.resident"))
+                .set(shard.lock().frames.len() as i64);
+        }
     }
 
     /// Write all dirty pages back to the underlying store.
@@ -235,6 +287,102 @@ mod tests {
             );
         }
         assert_eq!(p.cache_stats().misses, 128);
+    }
+
+    /// The routing the fixed hash replaced: 32-bit Fibonacci constant,
+    /// bits 16.. — kept here as the regression reference.
+    fn old_shard_of(id: PageId, mask: usize) -> usize {
+        let h = (id.0 as usize).wrapping_mul(0x9E37_79B9);
+        (h >> 16) & mask
+    }
+
+    /// Max/min shard load for `n` ids generated by `gen`, routed by `f`.
+    fn load_spread(shards: usize, n: u32, gen: impl Fn(u32) -> u32, f: impl Fn(PageId) -> usize) -> (usize, usize) {
+        let mut counts = vec![0usize; shards];
+        for i in 0..n {
+            counts[f(PageId(gen(i)))] += 1;
+        }
+        (
+            *counts.iter().max().unwrap(),
+            *counts.iter().min().unwrap(),
+        )
+    }
+
+    #[test]
+    fn shard_distribution_sequential_and_strided_within_2x_of_uniform() {
+        // Strides cover the regular layouts a pager/bulk-loader produces:
+        // consecutive ids, small strides, and large power-of-two strides
+        // (the case the 32-bit-constant routing collapsed entirely).
+        let n = 4096u32;
+        for &shards in &[2usize, 4, 16] {
+            let p = pool(shards * 4, shards);
+            assert_eq!(p.shard_count(), shards);
+            for &stride in &[1u32, 2, 7, 16, 64, 1 << 16, 1 << 20] {
+                let (max, min) =
+                    load_spread(shards, n, |i| i.wrapping_mul(stride), |id| p.shard_of(id));
+                let uniform = n as usize / shards;
+                assert!(
+                    max <= 2 * uniform,
+                    "{shards} shards, stride {stride}: hottest shard got {max} of {n} \
+                     (uniform {uniform})"
+                );
+                assert!(
+                    min > 0,
+                    "{shards} shards, stride {stride}: a shard starved (min 0, max {max})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn old_32bit_routing_fails_the_distribution_bound() {
+        // Proof the distribution test has teeth: the replaced routing
+        // sends EVERY id with stride 2^20 to shard 0 on a 16-shard pool
+        // (the product's bits 16..20 are zero whenever the low 20 input
+        // bits are), which is exactly the skew the fix removes.
+        let shards = 16usize;
+        let n = 4096u32;
+        let (max, min) = load_spread(shards, n, |i| i.wrapping_mul(1 << 20), |id| {
+            old_shard_of(id, shards - 1)
+        });
+        assert_eq!(max, n as usize, "old routing clustered everything");
+        assert_eq!(min, 0, "old routing starved every other shard");
+    }
+
+    #[test]
+    fn per_shard_stats_show_no_starved_shard_under_strided_reads() {
+        // Route real reads (not just the hash) and assert via the new
+        // per-shard gauges that every shard sees traffic.
+        let shards = 4usize;
+        let p = pool(shards * 8, shards);
+        let mut ids = Vec::new();
+        // Allocate a dense id range, then touch a strided subset.
+        for _ in 0..1024 {
+            ids.push(p.alloc());
+        }
+        for id in ids.iter().step_by(16) {
+            p.read(*id);
+        }
+        let per_shard = p.shard_stats();
+        assert_eq!(per_shard.len(), shards);
+        let total: u64 = per_shard.iter().map(|s| s.hits + s.misses).sum();
+        let agg = p.cache_stats();
+        assert_eq!(total, agg.hits + agg.misses, "per-shard must sum to aggregate");
+        let max = per_shard.iter().map(|s| s.misses).max().unwrap();
+        let min = per_shard.iter().map(|s| s.misses).min().unwrap();
+        assert!(min > 0, "a shard saw no traffic: {per_shard:?}");
+        assert!(
+            max <= 2 * (total / shards as u64).max(1),
+            "shard skew beyond 2x of uniform: {per_shard:?}"
+        );
+
+        // And the gauges publish per shard, summing to the aggregate.
+        let reg = obs::MetricsRegistry::new();
+        p.publish_to(&reg, "storage.pool");
+        let gauge_misses: u64 = (0..shards)
+            .map(|i| reg.gauge_value(&format!("storage.pool.shard{i}.misses")) as u64)
+            .sum();
+        assert_eq!(gauge_misses, agg.misses);
     }
 
     #[test]

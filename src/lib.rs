@@ -2,6 +2,7 @@
 //! integration tests can use a single dependency.
 pub use mobiquery;
 pub use motion;
+pub use obs;
 pub use rtree;
 pub use stkit;
 pub use storage;

@@ -10,13 +10,23 @@
 # at least as many bytes as the decode traversal, so a read-path
 # regression fails the check. The smoke output goes to target/figures/
 # and never clobbers the committed BENCH_read_path.json baseline.
+#
+# --obs-smoke runs the observability reconciliation end to end: a small
+# exp_service sweep (whose hard asserts check tree level counters ==
+# session QueryStats + writer reads == pool hits+misses, and pool misses
+# == pager IoStats reads) plus the instrumented read_path bench, whose
+# view/decode speedup must stay within tolerance of the committed
+# BENCH_read_path.json baseline (DQ_OBS_SPEEDUP_TOL, default 0.25 —
+# ratios are machine-portable where absolute throughputs are not).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCH_SMOKE=0
+OBS_SMOKE=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) BENCH_SMOKE=1 ;;
+    --obs-smoke) OBS_SMOKE=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -33,6 +43,38 @@ if [ "$BENCH_SMOKE" = 1 ]; then
     DQ_READ_PATH_OUT="$PWD/target/figures/read_path_smoke.json" \
     cargo bench --offline -p bench --bench read_path
   echo "OK: read_path bench smoke passed (view path copies fewer bytes than decode)."
+fi
+
+if [ "$OBS_SMOKE" = 1 ]; then
+  # exp_service carries the reconciliation asserts internally: it aborts
+  # if the tree's level counters, the engines' QueryStats (+ writer
+  # attribution), the pool's hit/miss totals, and the pager's IoStats
+  # ever disagree. A quick run exercises serial + concurrent modes over
+  # every pool size.
+  DQ_SCALE=quick DQ_SESSIONS=4 cargo run -q --offline --release -p bench --bin exp_service \
+    > target/figures/exp_service_obs_smoke.txt
+  echo "OK: exp_service counters reconcile (levels == stats+writer == pool hits+misses == IoStats)."
+
+  # read_path at a moderate size, then compare its view/decode speedup
+  # against the committed baseline: the instrumented read path must not
+  # have slowed relative to the uninstrumented decode path.
+  DQ_READ_PATH_OBJECTS=2000 DQ_READ_PATH_MS=150 \
+    DQ_READ_PATH_OUT="$PWD/target/figures/read_path_obs_smoke.json" \
+    cargo bench --offline -p bench --bench read_path
+  python3 - "$PWD/target/figures/read_path_obs_smoke.json" "$PWD/BENCH_read_path.json" <<'PY'
+import json, os, sys
+def speedup(path):
+    rows = json.load(open(path))["rows"]
+    row = next(r for r in rows if r[0].startswith("view/decode"))
+    return float(next(c for c in row[1:] if c.strip()).rstrip("x"))
+smoke, base = speedup(sys.argv[1]), speedup(sys.argv[2])
+tol = float(os.environ.get("DQ_OBS_SPEEDUP_TOL", "0.25"))
+if smoke < base * (1.0 - tol):
+    sys.exit(f"FAIL: view/decode speedup {smoke:.2f}x fell below baseline "
+             f"{base:.2f}x by more than {tol:.0%} — obs instrumentation "
+             "slowed the read path")
+print(f"OK: instrumented speedup {smoke:.2f}x vs baseline {base:.2f}x (tol {tol:.0%}).")
+PY
 fi
 
 echo "OK: build, tests, and clippy all green."
