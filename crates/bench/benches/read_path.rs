@@ -56,6 +56,9 @@ impl<S: PageStore> PageStore for CountingStore<S> {
     fn page_size(&self) -> usize {
         self.inner.page_size()
     }
+    fn try_read_page(&self, id: PageId) -> Result<PageRef, storage::StorageError> {
+        self.inner.try_read_page(id)
+    }
     fn read_page(&self, id: PageId) -> PageRef {
         self.inner.read_page(id)
     }

@@ -13,12 +13,24 @@
 //!
 //! `DQ_SCALE=paper` for the full configuration, `DQ_SESSIONS` to
 //! override the session count (default 8).
+//!
+//! Chaos mode: `DQ_FAULT_RATE=0.01` (plus optional `DQ_FAULT_SEED`)
+//! reruns the same sweep with every device read subject to seeded
+//! transient faults, absorbed by pool-level retry. Every reconciliation
+//! identity must still hold — failed reads never reach the device
+//! counters and the retry loop pairs each miss with exactly one
+//! successful device read — and every session must finish `Ok`. The
+//! figure is then written as `exp_service_chaos` so the fault-free
+//! baseline JSON is never overwritten.
 
 use bench::{f2, FigureTable, Scale};
 use mobiquery::{DqServer, SessionKind, SessionSpec};
 use rtree::{NsiSegmentRecord, RTree, RTreeConfig};
 use std::sync::Arc;
-use storage::{PageStore, Pager, ShardedBufferPool};
+use std::time::Duration;
+use storage::{
+    ChecksumStore, FaultPlan, FaultyStore, PageStore, Pager, RetryPolicy, ShardedBufferPool,
+};
 use workload::QueryWorkload;
 
 const FRAMES: usize = 20;
@@ -50,10 +62,167 @@ fn sessions(scale: Scale) -> Vec<SessionSpec<2>> {
         .collect()
 }
 
+/// The sweep's shared inputs (identical for every configuration).
+struct Workload<'a> {
+    specs: &'a [SessionSpec<2>],
+    preload: &'a [NsiSegmentRecord<2>],
+    inserts: &'a [Vec<(NsiSegmentRecord<2>, f64)>],
+}
+
+/// One sweep configuration over an arbitrary page-store stack: build the
+/// tree, serve, verify the reconciliation identities, and append a row.
+fn run_config<S: PageStore + Send + Sync>(
+    table: &mut FigureTable,
+    mode: &str,
+    pool_pages: usize,
+    pool: ShardedBufferPool<S>,
+    wl: &Workload<'_>,
+    fault_mode: bool,
+) {
+    let Workload {
+        specs,
+        preload,
+        inserts,
+    } = *wl;
+    let mut tree = RTree::new(pool, RTreeConfig::default());
+    for r in preload {
+        tree.insert(*r, r.seg.t.lo);
+    }
+    tree.store().clear(); // serve from a cold cache
+    let build_stats = tree.store().cache_stats();
+    let io_before = tree.store().io();
+    let registry = Arc::new(obs::MetricsRegistry::new());
+    if fault_mode {
+        tree.store().attach_fault_metrics(&registry);
+    }
+    let levels_before = tree.level_counters().snapshot();
+    let server = DqServer::new(tree).with_metrics(Arc::clone(&registry));
+
+    let t0 = std::time::Instant::now();
+    let report = if mode == "serial" {
+        server.serve_serial(specs, inserts)
+    } else {
+        server.serve(specs, inserts)
+    };
+    let secs = t0.elapsed().as_secs_f64();
+
+    let (reads, cs, levels, fault_stats) = server.with_tree(|t| {
+        t.store().publish_to(&registry, "pool");
+        t.level_counters().snapshot().publish_to(&registry, "rtree");
+        (
+            (t.store().io() - io_before).reads,
+            {
+                let mut cs = t.store().cache_stats();
+                // Counters accumulated during the tree build don't belong to
+                // the serving run.
+                cs.hits -= build_stats.hits;
+                cs.misses -= build_stats.misses;
+                cs.evictions -= build_stats.evictions;
+                cs
+            },
+            t.level_counters().snapshot() - levels_before,
+            t.store().fault_stats(),
+        )
+    });
+    assert!(cs.hits > 0 && cs.misses > 0, "pool counters must be live");
+
+    // Transient faults with pool retry must be invisible to serving:
+    // every participant clean, no retry budget exhausted.
+    assert!(
+        report.writer_outcome.is_ok(),
+        "writer outcome: {:?}",
+        report.writer_outcome
+    );
+    for (i, s) in report.sessions.iter().enumerate() {
+        assert!(s.outcome.is_ok(), "session {i} outcome: {:?}", s.outcome);
+    }
+    assert_eq!(fault_stats.exhausted, 0, "a retry budget was exhausted");
+    assert_eq!(fault_stats.corrupt_pages, 0, "unexpected corruption");
+
+    // Reconciliation: three independent observers of the serving
+    // run's I/O must agree exactly — with or without fault injection
+    // (failed reads never touch the device counters, and the pool's
+    // retry pairs each miss with exactly one successful device read).
+    //  tree level counters == engine QueryStats + writer attribution
+    assert_eq!(
+        levels.total_reads(),
+        report.total_reads(),
+        "tree node reads must equal session disk accesses + writer reads"
+    );
+    //  tree level counters == buffer pool hit/miss accounting
+    assert_eq!(
+        levels.total_reads(),
+        cs.hits + cs.misses,
+        "every node read is exactly one pool access"
+    );
+    //  pool misses == true disk reads behind the cache
+    assert_eq!(cs.misses, reads, "every pool miss is exactly one disk read");
+    //  the per-frame timeline re-adds to the run totals
+    let timeline = report.timeline();
+    let tl_results: usize = timeline.iter().map(|&(_, f)| f.results).sum();
+    let tl_reads: u64 = timeline.iter().map(|&(_, f)| f.stats.disk_accesses).sum();
+    assert_eq!(tl_results, report.total_results(), "timeline results drift");
+    assert_eq!(
+        tl_reads,
+        report.total_stats().disk_accesses,
+        "timeline disk accesses drift"
+    );
+
+    if fault_mode {
+        eprintln!(
+            "# fault recovery ({mode}, {pool_pages} pages): retries={} exhausted={} corrupt={}",
+            fault_stats.retries, fault_stats.exhausted, fault_stats.corrupt_pages
+        );
+    }
+
+    let frames = (report.frames * specs.len()) as f64;
+    table.row(vec![
+        mode.into(),
+        pool_pages.to_string(),
+        f2(frames / secs),
+        f2(report.total_results() as f64 / secs),
+        reads.to_string(),
+        cs.hits.to_string(),
+        cs.misses.to_string(),
+        format!("{:.1}%", cs.hit_ratio() * 100.0),
+    ]);
+
+    // Per-frame timeline (one line per global frame step) and the
+    // metrics registry for the largest concurrent configuration.
+    if mode == "concurrent" && pool_pages == 1024 {
+        eprintln!("# timeline ({mode}, {pool_pages} pages): frame sessions results reads max_drain_us");
+        for frame in 0..report.frames {
+            let rows: Vec<_> = timeline.iter().filter(|&&(_, f)| f.frame == frame).collect();
+            if rows.is_empty() {
+                continue;
+            }
+            let results: usize = rows.iter().map(|&&(_, f)| f.results).sum();
+            let frame_reads: u64 = rows.iter().map(|&&(_, f)| f.stats.disk_accesses).sum();
+            let max_us = rows.iter().map(|&&(_, f)| f.latency_ns).max().unwrap_or(0) / 1000;
+            eprintln!(
+                "#   {frame:>3} {:>8} {results:>7} {frame_reads:>5} {max_us:>12}",
+                rows.len()
+            );
+        }
+        eprintln!("# metrics registry after the run:");
+        for line in registry.render().lines() {
+            eprintln!("#   {line}");
+        }
+    }
+}
+
 fn main() {
     let scale = Scale::from_env();
     let ds = bench::build_dataset(scale);
     let specs = sessions(scale);
+    let fault_rate: f64 = std::env::var("DQ_FAULT_RATE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.0);
+    let fault_seed: u64 = std::env::var("DQ_FAULT_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(7);
 
     // 80 % of the updates pre-loaded, 20 % arriving live per frame.
     let records = ds.nsi_records();
@@ -70,9 +239,17 @@ fn main() {
         preload.len(),
         live.len()
     );
+    if fault_rate > 0.0 {
+        eprintln!("# fault injection: transient rate {fault_rate}, seed {fault_seed}");
+    }
 
+    let figure = if fault_rate > 0.0 {
+        "exp_service_chaos"
+    } else {
+        "exp_service"
+    };
     let mut table = FigureTable::new(
-        "exp_service",
+        figure,
         "DqServer: mixed PDQ/NPDQ sessions + writer over one shared sharded pool",
         &[
             "mode",
@@ -86,14 +263,6 @@ fn main() {
         ],
     );
 
-    let build = |store: ShardedBufferPool<Pager>| {
-        let mut tree = RTree::new(store, RTreeConfig::default());
-        for r in preload {
-            tree.insert(*r, r.seg.t.lo);
-        }
-        tree
-    };
-
     for &(mode, pool_pages) in &[
         ("serial", 64usize),
         ("concurrent", 16),
@@ -101,101 +270,24 @@ fn main() {
         ("concurrent", 256),
         ("concurrent", 1024),
     ] {
-        let tree = build(ShardedBufferPool::new(Pager::new(), pool_pages, SHARDS));
-        tree.store().clear(); // serve from a cold cache
-        let build_stats = tree.store().cache_stats();
-        let io_before = tree.store().io();
-        let registry = Arc::new(obs::MetricsRegistry::new());
-        let levels_before = tree.level_counters().snapshot();
-        let server = DqServer::new(tree).with_metrics(Arc::clone(&registry));
-
-        let t0 = std::time::Instant::now();
-        let report = if mode == "serial" {
-            server.serve_serial(&specs, &inserts)
-        } else {
-            server.serve(&specs, &inserts)
+        let wl = Workload {
+            specs: &specs,
+            preload,
+            inserts: &inserts,
         };
-        let secs = t0.elapsed().as_secs_f64();
-
-        let (reads, cs, levels) = server.with_tree(|t| {
-            t.store().publish_to(&registry, "pool");
-            t.level_counters().snapshot().publish_to(&registry, "rtree");
-            (
-                (t.store().io() - io_before).reads,
-                {
-                    let mut cs = t.store().cache_stats();
-                    // Counters accumulated during the tree build don't belong to
-                    // the serving run.
-                    cs.hits -= build_stats.hits;
-                    cs.misses -= build_stats.misses;
-                    cs.evictions -= build_stats.evictions;
-                    cs
-                },
-                t.level_counters().snapshot() - levels_before,
-            )
-        });
-        assert!(cs.hits > 0 && cs.misses > 0, "pool counters must be live");
-
-        // Reconciliation: three independent observers of the serving
-        // run's I/O must agree exactly.
-        //  tree level counters == engine QueryStats + writer attribution
-        assert_eq!(
-            levels.total_reads(),
-            report.total_reads(),
-            "tree node reads must equal session disk accesses + writer reads"
-        );
-        //  tree level counters == buffer pool hit/miss accounting
-        assert_eq!(
-            levels.total_reads(),
-            cs.hits + cs.misses,
-            "every node read is exactly one pool access"
-        );
-        //  pool misses == true disk reads behind the cache
-        assert_eq!(cs.misses, reads, "every pool miss is exactly one disk read");
-        //  the per-frame timeline re-adds to the run totals
-        let timeline = report.timeline();
-        let tl_results: usize = timeline.iter().map(|&(_, f)| f.results).sum();
-        let tl_reads: u64 = timeline.iter().map(|&(_, f)| f.stats.disk_accesses).sum();
-        assert_eq!(tl_results, report.total_results(), "timeline results drift");
-        assert_eq!(
-            tl_reads,
-            report.total_stats().disk_accesses,
-            "timeline disk accesses drift"
-        );
-
-        let frames = (report.frames * specs.len()) as f64;
-        table.row(vec![
-            mode.into(),
-            pool_pages.to_string(),
-            f2(frames / secs),
-            f2(report.total_results() as f64 / secs),
-            reads.to_string(),
-            cs.hits.to_string(),
-            cs.misses.to_string(),
-            format!("{:.1}%", cs.hit_ratio() * 100.0),
-        ]);
-
-        // Per-frame timeline (one line per global frame step) and the
-        // metrics registry for the largest concurrent configuration.
-        if mode == "concurrent" && pool_pages == 1024 {
-            eprintln!("# timeline ({mode}, {pool_pages} pages): frame sessions results reads max_drain_us");
-            for frame in 0..report.frames {
-                let rows: Vec<_> = timeline.iter().filter(|&&(_, f)| f.frame == frame).collect();
-                if rows.is_empty() {
-                    continue;
-                }
-                let results: usize = rows.iter().map(|&&(_, f)| f.results).sum();
-                let frame_reads: u64 = rows.iter().map(|&&(_, f)| f.stats.disk_accesses).sum();
-                let max_us = rows.iter().map(|&&(_, f)| f.latency_ns).max().unwrap_or(0) / 1000;
-                eprintln!(
-                    "#   {frame:>3} {:>8} {results:>7} {frame_reads:>5} {max_us:>12}",
-                    rows.len()
-                );
-            }
-            eprintln!("# metrics registry after the run:");
-            for line in registry.render().lines() {
-                eprintln!("#   {line}");
-            }
+        if fault_rate > 0.0 {
+            let store = ChecksumStore::new(FaultyStore::new(
+                Pager::new(),
+                FaultPlan::transient(fault_seed, fault_rate),
+            ));
+            let pool = ShardedBufferPool::new(store, pool_pages, SHARDS).with_retry(RetryPolicy {
+                max_attempts: 10,
+                base_backoff: Duration::from_micros(1),
+            });
+            run_config(&mut table, mode, pool_pages, pool, &wl, true);
+        } else {
+            let pool = ShardedBufferPool::new(Pager::new(), pool_pages, SHARDS);
+            run_config(&mut table, mode, pool_pages, pool, &wl, false);
         }
     }
 

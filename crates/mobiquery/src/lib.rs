@@ -62,7 +62,7 @@ pub use naive::NaiveEngine;
 pub use npdq::NpdqEngine;
 pub use pdq::{PdqEngine, PdqResult};
 pub use psi::{psi_query, psi_query_key, PsiBounds, PsiSegmentRecord};
-pub use service::{DqServer, ServeReport, SessionKind, SessionOutput, SessionSpec};
+pub use service::{DqServer, ServeReport, SessionKind, SessionOutcome, SessionOutput, SessionSpec};
 pub use session::{FlightSession, FrameView};
 pub use snapshot::SnapshotQuery;
 pub use spdq::SpdqSession;

@@ -22,7 +22,7 @@ use crate::layout::MotionRecord;
 use crate::snapshot::SnapshotQuery;
 use crate::stats::QueryStats;
 use rtree::{Key, RTree};
-use storage::{PageId, PageStore};
+use storage::{PageId, PageStore, StorageError};
 
 /// The NPDQ query processor: one instance per dynamic query session.
 ///
@@ -124,8 +124,26 @@ impl<const D: usize> NpdqEngine<D> {
         tree: &RTree<R, S>,
         q: &SnapshotQuery<D>,
         now: f64,
-        mut emit: impl FnMut(&R),
+        emit: impl FnMut(&R),
     ) -> QueryStats {
+        self.try_execute(tree, q, now, emit)
+            .unwrap_or_else(|e| panic!("unrecoverable storage error: {e}"))
+    }
+
+    /// Fallible form of [`Self::execute`]: a device fault mid-descent
+    /// surfaces as `Err` carrying the failing page. Objects emitted
+    /// before the fault are valid answers of `q`; the previous-query
+    /// state is **not** advanced (partial coverage cannot serve as the
+    /// discard baseline), so re-executing a later snapshot will re-derive
+    /// the delta against the last *completed* query — possibly re-emitting
+    /// some of this frame's partial results, never losing any.
+    pub fn try_execute<R: MotionRecord<D>, S: PageStore>(
+        &mut self,
+        tree: &RTree<R, S>,
+        q: &SnapshotQuery<D>,
+        now: f64,
+        mut emit: impl FnMut(&R),
+    ) -> Result<QueryStats, StorageError> {
         let mut stats = QueryStats::default();
         let qkey = R::query_key(q);
         let prev = if self.use_discard { self.prev } else { None };
@@ -138,7 +156,17 @@ impl<const D: usize> NpdqEngine<D> {
         stack.push(tree.root_page());
         while let Some(page) = stack.pop() {
             // Zero-copy visit: header parsed once, entries decoded lazily.
-            let node = tree.read_node(page);
+            let node = match tree.try_read_node(page) {
+                Ok(node) => node,
+                Err(e) => {
+                    // Abandon the traversal but return the scratch stack
+                    // to the engine; `self.prev` stays at the last
+                    // completed query.
+                    stack.clear();
+                    self.stack = stack;
+                    return Err(e);
+                }
+            };
             stats.disk_accesses += 1;
             if node.level() == 0 {
                 stats.leaf_accesses += 1;
@@ -194,7 +222,7 @@ impl<const D: usize> NpdqEngine<D> {
         }
         self.stack = stack;
         self.prev = Some((*q, now));
-        stats
+        Ok(stats)
     }
 }
 
@@ -396,6 +424,95 @@ mod tests {
         let mut got = 0;
         eng.execute(&tree, &q1, 0.0, |_| got += 1);
         assert_eq!(got, 36, "6×6 grid cells re-delivered after reset");
+    }
+
+    #[test]
+    fn failed_execute_leaves_previous_query_untouched() {
+        use storage::{FaultPlan, FaultyStore};
+        // Small pages ⇒ deep tree ⇒ plenty of fallible reads.
+        let recs: Vec<R> = (0..400)
+            .map(|k| {
+                let x = (k % 20) as f64 + 0.5;
+                let y = (k / 20) as f64 + 0.5;
+                R::new(k, 0, Interval::new(0.0, 100.0), [x, y], [x, y])
+            })
+            .collect();
+        // NPDQ restarts its whole descent per attempt (unlike PDQ's
+        // incremental queue), so the rate must leave a full fault-free
+        // traversal likely; the seeded stream keeps the run deterministic.
+        let faulty = FaultyStore::new(
+            Pager::with_page_size(256),
+            FaultPlan::transient(17, 0.15),
+        );
+        faulty.set_enabled(false);
+        let tree = bulk_load(faulty, RTreeConfig::default(), recs);
+
+        let mut eng = NpdqEngine::new();
+        let q1 = SnapshotQuery::at_instant(win(2.0, 2.0, 6.0), 1.0);
+        let mut baseline = std::collections::HashSet::new();
+        eng.execute(&tree, &q1, 0.0, |r| {
+            baseline.insert(r.oid);
+        });
+        assert!(eng.has_previous());
+
+        tree.store().set_enabled(true);
+        let q2 = SnapshotQuery::at_instant(win(3.0, 2.0, 6.0), 1.1);
+        let mut emitted = std::collections::HashSet::new();
+        let mut errors = 0u32;
+        let stats = loop {
+            match eng.try_execute(&tree, &q2, 0.0, |r| {
+                emitted.insert(r.oid);
+            }) {
+                Ok(stats) => break stats,
+                Err(e) => {
+                    assert!(e.is_transient());
+                    // Failure must not advance the discard baseline to the
+                    // partially-covered q2 — else the retry would prune
+                    // subtrees q2 never actually finished reading.
+                    assert!(eng.has_previous());
+                    errors += 1;
+                    assert!(errors < 10_000, "engine never converged");
+                }
+            }
+        };
+        assert!(errors > 0, "a 15% fault rate must surface errors");
+        assert!(stats.disk_accesses > 0);
+        // Oracle: the delta a fault-free engine computes for q1 → q2.
+        let expected: std::collections::HashSet<u32> = {
+            let clean_recs: Vec<R> = (0..400)
+                .map(|k| {
+                    let x = (k % 20) as f64 + 0.5;
+                    let y = (k / 20) as f64 + 0.5;
+                    R::new(k, 0, Interval::new(0.0, 100.0), [x, y], [x, y])
+                })
+                .collect();
+            let clean = bulk_load(
+                Pager::with_page_size(256),
+                RTreeConfig::default(),
+                clean_recs,
+            );
+            let mut oracle = NpdqEngine::new();
+            oracle.execute(&clean, &q1, 0.0, |_| {});
+            let mut out = std::collections::HashSet::new();
+            oracle.execute(&clean, &q2, 0.0, |r| {
+                out.insert(r.oid);
+            });
+            out
+        };
+        // Retries may re-emit partial results of failed attempts, but the
+        // union must cover the oracle delta exactly (no losses, and no
+        // stray objects from outside q2 ∖ q1 ∪ partials of q2 ∩ q1).
+        assert!(
+            emitted.is_superset(&expected),
+            "healing lost results: missing {:?}",
+            expected.difference(&emitted).collect::<Vec<_>>()
+        );
+        for oid in &emitted {
+            assert!(
+                expected.contains(oid) || baseline.contains(oid),
+                "object {oid} matches neither the delta nor the overlap"
+            );
+        }
     }
 
     #[test]

@@ -23,7 +23,7 @@ use crate::trajectory::Trajectory;
 use rtree::{Inserted, NsiSegmentRecord, RTree, Record};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
-use storage::{PageId, PageStore};
+use storage::{PageId, PageStore, StorageError};
 use stkit::TimeSet;
 
 /// One answer of a dynamic query: the record plus the set of times during
@@ -246,14 +246,33 @@ impl<const D: usize> PdqEngine<D> {
         t_start: f64,
         t_end: f64,
     ) -> Option<PdqResult<D>> {
+        self.try_get_next(tree, t_start, t_end)
+            .unwrap_or_else(|e| panic!("unrecoverable storage error: {e}"))
+    }
+
+    /// Fallible form of [`Self::get_next`]: a device fault while
+    /// expanding a node surfaces as `Err` carrying the failing page. The
+    /// engine stays consistent — the un-expanded node is re-enqueued at
+    /// its old priority and its duplicate-elimination footprint is
+    /// retracted, so the very next call retries the read. Results already
+    /// returned are never repeated and none are lost: a session can keep
+    /// calling across frames and heal once the fault clears.
+    pub fn try_get_next<S: PageStore>(
+        &mut self,
+        tree: &RTree<NsiSegmentRecord<D>, S>,
+        t_start: f64,
+        t_end: f64,
+    ) -> Result<Option<PdqResult<D>>, StorageError> {
         if t_start > self.last_t_start {
             self.last_t_start = t_start;
         }
         loop {
-            let head_start = self.queue.peek()?.start;
-            if head_start > t_end {
+            let Some(head) = self.queue.peek() else {
+                return Ok(None);
+            };
+            if head.start > t_end {
                 // Head is in the future w.r.t. the requested window.
-                return None;
+                return Ok(None);
             }
             let item = self.queue.pop().expect("peeked");
             obs::trace(obs::TraceEvent::QueueOp {
@@ -283,15 +302,26 @@ impl<const D: usize> PdqEngine<D> {
                 ItemKind::Object(result) => {
                     if self.returned.insert((result.record.oid, result.record.seq)) {
                         self.stats.results += 1;
-                        return Some(*result);
+                        return Ok(Some(*result));
                     }
                     self.stats.duplicates_skipped += 1;
                 }
                 ItemKind::Node { page, level } => {
-                    if self.expanded.insert(page) {
-                        self.expand(tree, page, level, t_start);
-                    } else {
+                    if self.expanded.contains(&page) {
                         self.stats.duplicates_skipped += 1;
+                    } else if let Err(e) = self.expand(tree, page, level, t_start) {
+                        // Re-enqueue the un-expanded node at its old
+                        // priority and retract its footprint in `recent`,
+                        // or the retry would be eliminated as a duplicate.
+                        self.recent.pop();
+                        self.push_item(QueueItem {
+                            start: item.start,
+                            end: item.end,
+                            kind: ItemKind::Node { page, level },
+                        });
+                        return Err(e);
+                    } else {
+                        self.expanded.insert(page);
                     }
                 }
             }
@@ -307,8 +337,8 @@ impl<const D: usize> PdqEngine<D> {
         page: PageId,
         level: u32,
         t_start: f64,
-    ) {
-        let node = tree.read_node(page);
+    ) -> Result<(), StorageError> {
+        let node = tree.try_read_node(page)?;
         self.stats.disk_accesses += 1;
         if level == 0 {
             self.stats.leaf_accesses += 1;
@@ -344,6 +374,7 @@ impl<const D: usize> PdqEngine<D> {
                 });
             }
         }
+        Ok(())
     }
 
     fn enqueue_timeset(
@@ -388,9 +419,24 @@ impl<const D: usize> PdqEngine<D> {
         t_end: f64,
         out: &mut Vec<PdqResult<D>>,
     ) {
-        while let Some(r) = self.get_next(tree, t_start, t_end) {
+        self.try_drain_window_into(tree, t_start, t_end, out)
+            .unwrap_or_else(|e| panic!("unrecoverable storage error: {e}"))
+    }
+
+    /// Fallible form of [`Self::drain_window_into`]: results due before
+    /// the fault are appended to `out` and remain valid; the failing node
+    /// stays queued for retry (see [`Self::try_get_next`]).
+    pub fn try_drain_window_into<S: PageStore>(
+        &mut self,
+        tree: &RTree<NsiSegmentRecord<D>, S>,
+        t_start: f64,
+        t_end: f64,
+        out: &mut Vec<PdqResult<D>>,
+    ) -> Result<(), StorageError> {
+        while let Some(r) = self.try_get_next(tree, t_start, t_end)? {
             out.push(r);
         }
+        Ok(())
     }
 
     /// §4.1 update management: called with the report of every insertion
@@ -910,6 +956,62 @@ mod tests {
             "hwm {hwm} below live depth {}",
             pdq.queue_len()
         );
+    }
+
+    #[test]
+    fn engine_self_heals_across_transient_faults() {
+        use storage::{FaultPlan, FaultyStore};
+        // Small pages ⇒ many nodes ⇒ many fallible reads.
+        let recs = || -> Vec<R> {
+            (0..50)
+                .map(|i| {
+                    let x = i as f64 + 0.5;
+                    R::new(i, 0, Interval::new(0.0, 100.0), [x, 0.5], [x, 0.5])
+                })
+                .collect()
+        };
+        // Oracle: a fault-free run over the same data and layout.
+        let expected: Vec<u32> = {
+            let tree = bulk_load(
+                Pager::with_page_size(256),
+                RTreeConfig::default(),
+                recs(),
+            );
+            let mut pdq = PdqEngine::start(&tree, slide(50.0));
+            pdq.drain_window(&tree, 0.0, 50.0)
+                .iter()
+                .map(|r| r.record.oid)
+                .collect()
+        };
+
+        // Same tree over a 40% transient-fault store (no pool, so errors
+        // reach the engine raw). Build with injection paused so the
+        // structure matches the oracle's.
+        let faulty = FaultyStore::new(
+            Pager::with_page_size(256),
+            FaultPlan::transient(3, 0.4),
+        );
+        faulty.set_enabled(false);
+        let tree = bulk_load(faulty, RTreeConfig::default(), recs());
+        tree.store().set_enabled(true);
+
+        let mut pdq = PdqEngine::start(&tree, slide(50.0));
+        let mut got = Vec::new();
+        let mut errors = 0u32;
+        loop {
+            match pdq.try_get_next(&tree, 0.0, 50.0) {
+                Ok(Some(r)) => got.push(r.record.oid),
+                Ok(None) => break,
+                Err(e) => {
+                    assert!(e.is_transient());
+                    errors += 1;
+                    assert!(errors < 10_000, "engine never converged");
+                }
+            }
+        }
+        assert!(errors > 0, "a 40% fault rate must surface errors");
+        assert_eq!(got, expected, "healing must not lose or repeat results");
+        assert_eq!(pdq.stats().duplicates_skipped, 0, "retries are not dups");
     }
 
     #[test]

@@ -28,9 +28,10 @@ use crate::stats::QueryStats;
 use crate::trajectory::Trajectory;
 use parking_lot::{Mutex, RwLock};
 use rtree::{InsertReport, NsiSegmentRecord, RTree, Record};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Barrier};
 use std::time::Instant;
-use storage::PageStore;
+use storage::{PageStore, RetryPolicy, StorageError};
 
 /// The insert report the writer broadcasts to PDQ sessions.
 pub type NsiReport<const D: usize> =
@@ -84,6 +85,64 @@ pub struct FrameReport {
     pub stats: QueryStats,
 }
 
+/// How one session (or the writer) fared over a run.
+///
+/// A serving process must not let one flaky device read — or one corrupt
+/// page — take down every client. The outcome records, per participant,
+/// whether the run was clean, merely degraded (storage errors surfaced
+/// but the engine's self-healing kept it serving), or failed outright
+/// (the session's engine panicked and was contained).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub enum SessionOutcome {
+    /// Every frame completed without a storage error.
+    #[default]
+    Ok,
+    /// Storage errors surfaced but the session kept serving; `errors`
+    /// holds them in occurrence order.
+    Degraded {
+        /// Every storage error this participant observed.
+        errors: Vec<StorageError>,
+    },
+    /// The session died mid-run; the payload is the panic message. Its
+    /// results up to the failure are retained, its remaining frames are
+    /// skipped, and the rest of the run proceeds normally.
+    Failed(String),
+}
+
+impl SessionOutcome {
+    /// True iff the run was entirely clean.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, SessionOutcome::Ok)
+    }
+
+    /// Errors observed (empty for `Ok` and `Failed`).
+    pub fn errors(&self) -> &[StorageError] {
+        match self {
+            SessionOutcome::Degraded { errors } => errors,
+            _ => &[],
+        }
+    }
+
+    fn record_error(&mut self, e: StorageError) {
+        match self {
+            SessionOutcome::Ok => *self = SessionOutcome::Degraded { errors: vec![e] },
+            SessionOutcome::Degraded { errors } => errors.push(e),
+            SessionOutcome::Failed(_) => {}
+        }
+    }
+}
+
+/// Extract a printable message from a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// What one session produced over the whole run.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct SessionOutput {
@@ -99,6 +158,8 @@ pub struct SessionOutput {
     pub queue_hwm: usize,
     /// NPDQ only: subtrees pruned by discardability (0 for PDQ).
     pub discarded_subtrees: u64,
+    /// Whether the session finished clean, degraded, or failed.
+    pub outcome: SessionOutcome,
 }
 
 /// Outcome of one [`DqServer::serve`] / [`DqServer::serve_serial`] run.
@@ -117,6 +178,11 @@ pub struct ServeReport {
     pub writer_reads: u64,
     /// Node writes the writer performed inside its write sections.
     pub writer_writes: u64,
+    /// Whether the writer applied every batch clean. Degraded means some
+    /// records were dropped after their storage errors exhausted the
+    /// retry budget (or were unrecoverable, e.g. a corrupt page on the
+    /// descent path).
+    pub writer_outcome: SessionOutcome,
 }
 
 impl ServeReport {
@@ -211,13 +277,24 @@ impl<'a, const D: usize> SessionRun<'a, D> {
     /// Process global frame step `k` (no-op once this session's own
     /// schedule is exhausted). Returns the drain latency when the frame
     /// was in-schedule.
-    fn step<S: PageStore>(&mut self, tree: &RTree<NsiSegmentRecord<D>, S>, k: usize) -> Option<u64> {
+    ///
+    /// On `Err` the frame is still reported (with whatever results and
+    /// stats it produced before the fault) and the engine stays valid:
+    /// PDQ keeps the failed node queued for the next drain, NPDQ keeps
+    /// its discard baseline at the last *completed* query. A later frame
+    /// therefore re-derives anything the failed one missed — degraded
+    /// sessions lose latency, not results.
+    fn try_step<S: PageStore>(
+        &mut self,
+        tree: &RTree<NsiSegmentRecord<D>, S>,
+        k: usize,
+    ) -> Result<Option<u64>, StorageError> {
         let in_schedule = match self.engine {
             Engine::Pdq(_) => k + 1 < self.spec.frame_times.len(),
             Engine::Npdq(_) => k < self.spec.frame_times.len(),
         };
         if !in_schedule {
-            return None;
+            return Ok(None);
         }
         let before_results = self.out.results.len();
         obs::trace(obs::TraceEvent::FrameStart {
@@ -225,23 +302,28 @@ impl<'a, const D: usize> SessionRun<'a, D> {
             frame: k as u32,
         });
         let started = Instant::now();
-        let frame_stats = match &mut self.engine {
+        let (frame_stats, frame_err) = match &mut self.engine {
             Engine::Pdq(pdq) => {
                 let (t0, t1) = (self.spec.frame_times[k], self.spec.frame_times[k + 1]);
                 self.scratch.clear();
-                pdq.drain_window_into(tree, t0, t1, &mut self.scratch);
+                let res = pdq.try_drain_window_into(tree, t0, t1, &mut self.scratch);
+                // Results delivered before the fault are valid and final
+                // (the queue popped them); keep them either way.
                 for r in &self.scratch {
                     self.out.results.push((r.record.oid, r.record.seq));
                 }
-                pdq.take_stats()
+                (pdq.take_stats(), res.err())
             }
             Engine::Npdq(npdq) => {
                 let t = self.spec.frame_times[k];
                 let q = SnapshotQuery::at_instant(self.spec.trajectory.window_at(t), t);
                 let results = &mut self.out.results;
-                npdq.execute(tree, &q, t, |r: &NsiSegmentRecord<D>| {
+                match npdq.try_execute(tree, &q, t, |r: &NsiSegmentRecord<D>| {
                     results.push(r.ids());
-                })
+                }) {
+                    Ok(stats) => (stats, None),
+                    Err(e) => (QueryStats::default(), Some(e)),
+                }
             }
         };
         let latency_ns = started.elapsed().as_nanos() as u64;
@@ -259,7 +341,10 @@ impl<'a, const D: usize> SessionRun<'a, D> {
             results: results as u32,
             latency_ns,
         });
-        Some(latency_ns)
+        match frame_err {
+            Some(e) => Err(e),
+            None => Ok(Some(latency_ns)),
+        }
     }
 
     fn finish(mut self) -> SessionOutput {
@@ -300,6 +385,18 @@ pub struct DqServer<const D: usize, S: PageStore> {
     /// Optional metrics sink: when set, serving runs record drain and
     /// write-lock-hold latency histograms plus run totals into it.
     metrics: Option<Arc<obs::MetricsRegistry>>,
+    /// How the writer handles transient insert failures (see
+    /// [`Self::with_writer_retry`]).
+    writer_retry: RetryPolicy,
+}
+
+/// The writer's running tallies over one serve.
+#[derive(Default)]
+struct WriterState {
+    applied: usize,
+    reads: u64,
+    writes: u64,
+    outcome: SessionOutcome,
 }
 
 impl<const D: usize, S: PageStore> DqServer<D, S> {
@@ -308,6 +405,7 @@ impl<const D: usize, S: PageStore> DqServer<D, S> {
         DqServer {
             tree: RwLock::new(tree),
             metrics: None,
+            writer_retry: RetryPolicy::default(),
         }
     }
 
@@ -320,6 +418,18 @@ impl<const D: usize, S: PageStore> DqServer<D, S> {
     /// `service.pdq.queue_hwm` / `service.npdq.discarded` (gauges).
     pub fn with_metrics(mut self, registry: Arc<obs::MetricsRegistry>) -> Self {
         self.metrics = Some(registry);
+        self
+    }
+
+    /// How the writer treats transient insert failures (builder-style).
+    ///
+    /// A failed [`rtree::RTree::try_insert`] descent leaves the tree
+    /// unchanged, so the writer can retry the same record. Backoff sleeps
+    /// happen with the write lock *released* — readers are parked at the
+    /// frame barrier anyway, but a held-across-sleep lock would serialize
+    /// recovery behind the slowest retry. Default: [`RetryPolicy::default`].
+    pub fn with_writer_retry(mut self, policy: RetryPolicy) -> Self {
+        self.writer_retry = policy;
         self
     }
 
@@ -355,6 +465,62 @@ impl<const D: usize, S: PageStore> DqServer<D, S> {
             .max(inserts.len())
     }
 
+    /// Apply one frame's insert batch, collecting reports and tallies
+    /// into `w`. Transient failures are retried per [`Self::with_writer_retry`];
+    /// each backoff sleep happens *after* the write guard drops, and the
+    /// resume re-acquires the lock and continues from the failed record.
+    /// Records whose errors are unrecoverable (corrupt page) or whose
+    /// retry budget is exhausted are skipped and logged in `w.outcome`.
+    fn apply_batch(
+        &self,
+        batch: &[(NsiSegmentRecord<D>, f64)],
+        reports: &mut Vec<NsiReport<D>>,
+        w: &mut WriterState,
+        hold_hist: Option<&Arc<obs::Histogram>>,
+    ) {
+        let mut idx = 0;
+        let mut attempt = 0u32;
+        while idx < batch.len() {
+            let backoff = {
+                let mut tree = self.tree.write();
+                let held = Instant::now();
+                let before = tree.level_counters().snapshot();
+                let mut backoff = None;
+                while idx < batch.len() {
+                    let (rec, now) = &batch[idx];
+                    match tree.try_insert(*rec, *now) {
+                        Ok(report) => {
+                            reports.push(report);
+                            w.applied += 1;
+                            idx += 1;
+                            attempt = 0;
+                        }
+                        Err(e) if e.is_transient() && attempt + 1 < self.writer_retry.max_attempts => {
+                            attempt += 1;
+                            backoff = Some(self.writer_retry.backoff(attempt));
+                            break;
+                        }
+                        Err(e) => {
+                            w.outcome.record_error(e);
+                            idx += 1;
+                            attempt = 0;
+                        }
+                    }
+                }
+                let delta = tree.level_counters().snapshot() - before;
+                w.reads += delta.total_reads();
+                w.writes += delta.total_writes();
+                if let Some(h) = hold_hist {
+                    h.record(held.elapsed().as_nanos() as u64);
+                }
+                backoff
+            };
+            if let Some(pause) = backoff {
+                std::thread::sleep(pause);
+            }
+        }
+    }
+
     /// Serve every session concurrently — one scoped thread per session
     /// plus a writer thread — with per-frame batching.
     ///
@@ -378,9 +544,7 @@ impl<const D: usize, S: PageStore> DqServer<D, S> {
         let barrier = Barrier::new(specs.len() + 1);
         let mailboxes: Vec<Mutex<Vec<NsiReport<D>>>> =
             specs.iter().map(|_| Mutex::new(Vec::new())).collect();
-        let mut inserts_applied = 0;
-        let mut writer_reads = 0u64;
-        let mut writer_writes = 0u64;
+        let mut writer = WriterState::default();
         // Histogram handles resolve once, up front: session threads then
         // record through lock-free atomics only.
         let drain_hist = self.metrics.as_ref().map(|m| m.histogram("service.drain_ns"));
@@ -399,18 +563,49 @@ impl<const D: usize, S: PageStore> DqServer<D, S> {
                     let tree = &self.tree;
                     let drain_hist = drain_hist.clone();
                     scope.spawn(move || {
-                        let mut run = SessionRun::start(i, spec, &tree.read());
+                        // A panicking engine must never strand the barrier
+                        // protocol: every contained failure turns the
+                        // session into a zombie that still takes both
+                        // barrier waits and drains its mailbox each frame,
+                        // so the writer and healthy sessions proceed as if
+                        // nothing happened.
+                        let mut run =
+                            catch_unwind(AssertUnwindSafe(|| SessionRun::start(i, spec, &tree.read())))
+                                .map_err(|p| SessionOutcome::Failed(panic_message(p)));
                         for k in 0..steps {
                             barrier.wait(); // frame k opens; writer works
                             barrier.wait(); // frame k batch is visible
                             let guard = tree.read();
                             let reports = std::mem::take(&mut *mailboxes[i].lock());
-                            run.absorb(&guard, &reports);
-                            if let (Some(ns), Some(h)) = (run.step(&guard, k), &drain_hist) {
-                                h.record(ns);
+                            let Ok(r) = &mut run else { continue };
+                            if matches!(r.out.outcome, SessionOutcome::Failed(_)) {
+                                continue; // dead engine: drained mailbox only
+                            }
+                            // Contain panics to the engine work alone; the
+                            // barrier waits above stay outside so a caught
+                            // panic can't desynchronise the frame protocol.
+                            let stepped = catch_unwind(AssertUnwindSafe(|| {
+                                r.absorb(&guard, &reports);
+                                r.try_step(&guard, k)
+                            }));
+                            match stepped {
+                                Ok(Ok(Some(ns))) => {
+                                    if let Some(h) = &drain_hist {
+                                        h.record(ns);
+                                    }
+                                }
+                                Ok(Ok(None)) => {}
+                                Ok(Err(e)) => r.out.outcome.record_error(e),
+                                Err(p) => r.out.outcome = SessionOutcome::Failed(panic_message(p)),
                             }
                         }
-                        run.finish()
+                        match run {
+                            Ok(r) => r.finish(),
+                            Err(outcome) => SessionOutput {
+                                outcome,
+                                ..SessionOutput::default()
+                            },
+                        }
                     })
                 })
                 .collect();
@@ -426,22 +621,7 @@ impl<const D: usize, S: PageStore> DqServer<D, S> {
                     // would stretch every frame's exclusive section for
                     // work that isn't exclusive.
                     let mut reports: Vec<NsiReport<D>> = Vec::with_capacity(batch.len());
-                    let held = {
-                        let mut tree = self.tree.write();
-                        let held = Instant::now();
-                        let before = tree.level_counters().snapshot();
-                        for (rec, now) in batch {
-                            reports.push(tree.insert(*rec, *now));
-                            inserts_applied += 1;
-                        }
-                        let delta = tree.level_counters().snapshot() - before;
-                        writer_reads += delta.total_reads();
-                        writer_writes += delta.total_writes();
-                        held.elapsed()
-                    };
-                    if let Some(h) = &hold_hist {
-                        h.record(held.as_nanos() as u64);
-                    }
+                    self.apply_batch(batch, &mut reports, &mut writer, hold_hist.as_ref());
                     let fanout = is_pdq.iter().filter(|&&p| p).count();
                     for (mb, &pdq) in mailboxes.iter().zip(&is_pdq) {
                         if pdq {
@@ -456,18 +636,31 @@ impl<const D: usize, S: PageStore> DqServer<D, S> {
                 barrier.wait();
             }
 
+            // Joining can only fail for panics *outside* the contained
+            // region (they already unwound through the barrier loop, so
+            // this run's results are forfeit anyway); synthesize a Failed
+            // output rather than poisoning the whole serve. The writer's
+            // loop above has finished by this point, so its tallies are
+            // complete no matter which sessions died.
             handles
                 .into_iter()
-                .map(|h| h.join().expect("session thread panicked"))
+                .map(|h| match h.join() {
+                    Ok(out) => out,
+                    Err(p) => SessionOutput {
+                        outcome: SessionOutcome::Failed(panic_message(p)),
+                        ..SessionOutput::default()
+                    },
+                })
                 .collect()
         });
 
         let report = ServeReport {
             sessions,
             frames: steps,
-            inserts_applied,
-            writer_reads,
-            writer_writes,
+            inserts_applied: writer.applied,
+            writer_reads: writer.reads,
+            writer_writes: writer.writes,
+            writer_outcome: writer.outcome,
         };
         self.publish_run(&report);
         report
@@ -482,53 +675,66 @@ impl<const D: usize, S: PageStore> DqServer<D, S> {
         inserts: &[Vec<(NsiSegmentRecord<D>, f64)>],
     ) -> ServeReport {
         let steps = self.step_count(specs, inserts);
-        let mut inserts_applied = 0;
-        let mut writer_reads = 0u64;
-        let mut writer_writes = 0u64;
+        let mut writer = WriterState::default();
         let drain_hist = self.metrics.as_ref().map(|m| m.histogram("service.drain_ns"));
         let hold_hist = self
             .metrics
             .as_ref()
             .map(|m| m.histogram("service.writer.lock_hold_ns"));
-        let mut runs: Vec<SessionRun<'_, D>> = {
+        let mut runs: Vec<Result<SessionRun<'_, D>, SessionOutcome>> = {
             let tree = self.tree.read();
             specs
                 .iter()
                 .enumerate()
-                .map(|(i, s)| SessionRun::start(i, s, &tree))
+                .map(|(i, s)| {
+                    catch_unwind(AssertUnwindSafe(|| SessionRun::start(i, s, &tree)))
+                        .map_err(|p| SessionOutcome::Failed(panic_message(p)))
+                })
                 .collect()
         };
         for k in 0..steps {
             let mut reports = Vec::new();
             if let Some(batch) = inserts.get(k) {
-                let mut tree = self.tree.write();
-                let held = Instant::now();
-                let before = tree.level_counters().snapshot();
-                for (rec, now) in batch {
-                    reports.push(tree.insert(*rec, *now));
-                    inserts_applied += 1;
-                }
-                let delta = tree.level_counters().snapshot() - before;
-                writer_reads += delta.total_reads();
-                writer_writes += delta.total_writes();
-                if let Some(h) = &hold_hist {
-                    h.record(held.elapsed().as_nanos() as u64);
-                }
+                self.apply_batch(batch, &mut reports, &mut writer, hold_hist.as_ref());
             }
             let tree = self.tree.read();
             for run in &mut runs {
-                run.absorb(&tree, &reports);
-                if let (Some(ns), Some(h)) = (run.step(&tree, k), &drain_hist) {
-                    h.record(ns);
+                let Ok(r) = run else { continue };
+                if matches!(r.out.outcome, SessionOutcome::Failed(_)) {
+                    continue;
+                }
+                let stepped = catch_unwind(AssertUnwindSafe(|| {
+                    r.absorb(&tree, &reports);
+                    r.try_step(&tree, k)
+                }));
+                match stepped {
+                    Ok(Ok(Some(ns))) => {
+                        if let Some(h) = &drain_hist {
+                            h.record(ns);
+                        }
+                    }
+                    Ok(Ok(None)) => {}
+                    Ok(Err(e)) => r.out.outcome.record_error(e),
+                    Err(p) => r.out.outcome = SessionOutcome::Failed(panic_message(p)),
                 }
             }
         }
         let report = ServeReport {
-            sessions: runs.into_iter().map(SessionRun::finish).collect(),
+            sessions: runs
+                .into_iter()
+                .map(|run| match run {
+                    Ok(r) => r.finish(),
+                    Err(outcome) => SessionOutput {
+                        outcome,
+                        ..SessionOutput::default()
+                    },
+                })
+                .collect(),
             frames: steps,
-            inserts_applied,
-            writer_reads,
-            writer_writes,
+            inserts_applied: writer.applied,
+            writer_reads: writer.reads,
+            writer_writes: writer.writes,
+            writer_outcome: writer.outcome,
         };
         self.publish_run(&report);
         report
@@ -549,6 +755,16 @@ impl<const D: usize, S: PageStore> DqServer<D, S> {
                 .record_max(s.queue_hwm as i64);
             if s.discarded_subtrees > 0 {
                 reg.counter("service.npdq.discarded").add(s.discarded_subtrees);
+            }
+            match &s.outcome {
+                SessionOutcome::Ok => {}
+                SessionOutcome::Degraded { errors } => {
+                    reg.counter("service.sessions.degraded").add(1);
+                    reg.counter("service.sessions.errors").add(errors.len() as u64);
+                }
+                SessionOutcome::Failed(_) => {
+                    reg.counter("service.sessions.failed").add(1);
+                }
             }
         }
     }

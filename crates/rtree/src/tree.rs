@@ -4,7 +4,7 @@ use crate::levels::LevelCounters;
 use crate::node::{Node, NodeEntries, NodeRef};
 use crate::split::{split, SplitPolicy};
 use crate::traits::{Key, Record};
-use storage::{PageId, PageStore};
+use storage::{PageId, PageStore, StorageError};
 
 /// Tuning knobs; defaults reproduce the paper's setup (§5).
 #[derive(Clone, Copy, Debug)]
@@ -227,13 +227,24 @@ impl<R: Record, S: PageStore> RTree<R, S> {
     /// copy and no entry materialization; entries decode lazily as the
     /// [`NodeRef`]'s iterators advance.
     pub fn read_node(&self, page: PageId) -> NodeRef<R::Key, R> {
-        let node = NodeRef::parse(self.store.read_page(page));
+        self.try_read_node(page)
+            .unwrap_or_else(|e| panic!("unrecoverable storage error: {e}"))
+    }
+
+    /// Fallible form of [`Self::read_node`]: surfaces device faults as
+    /// [`StorageError`] carrying the failing page, so query engines can
+    /// report *which subtree* failed and retry or degrade instead of
+    /// panicking. A failed read records nothing — no level counter, no
+    /// trace event — so the I/O reconciliation identities only count
+    /// reads that actually served bytes.
+    pub fn try_read_node(&self, page: PageId) -> Result<NodeRef<R::Key, R>, StorageError> {
+        let node = NodeRef::parse(self.store.try_read_page(page)?);
         self.levels.record_read(node.level());
         obs::trace(obs::TraceEvent::NodeVisit {
             page: page.0 as u64,
             level: node.level(),
         });
-        node
+        Ok(node)
     }
 
     /// Write a node image back to its page, serializing through the
@@ -261,6 +272,21 @@ impl<R: Record, S: PageStore> RTree<R, S> {
     /// `now` (§4.2 update management) and reporting what running dynamic
     /// queries must be told (§4.1 update management).
     pub fn insert(&mut self, rec: R, now: f64) -> InsertReport<R::Key, R> {
+        self.try_insert(rec, now)
+            .unwrap_or_else(|e| panic!("unrecoverable storage error: {e}"))
+    }
+
+    /// Fallible form of [`Self::insert`]. Device faults can only surface
+    /// during the read-only ChooseLeaf descent, *before* any page is
+    /// written: on `Err` the tree is unchanged, so the caller can release
+    /// its locks, back off, and retry the same record — the serving
+    /// layer's writer does exactly that without holding the tree write
+    /// lock across backoff sleeps.
+    pub fn try_insert(
+        &mut self,
+        rec: R,
+        now: f64,
+    ) -> Result<InsertReport<R::Key, R>, StorageError> {
         // Page-domain key: what the record's key becomes after one trip
         // through the f32 page encoding.
         let key = {
@@ -280,7 +306,7 @@ impl<R: Record, S: PageStore> RTree<R, S> {
         let mut path: Vec<Step<R::Key, R>> = Vec::with_capacity(self.height as usize);
         let mut cur = self.root;
         let (leaf_page, mut leaf) = loop {
-            let node = self.read_node(cur);
+            let node = self.try_read_node(cur)?;
             if node.is_leaf() {
                 break (cur, node.to_node());
             }
@@ -376,10 +402,10 @@ impl<R: Record, S: PageStore> RTree<R, S> {
         }
 
         self.len += 1;
-        InsertReport {
+        Ok(InsertReport {
             notify: notify.expect("notify always set"),
             root_split,
-        }
+        })
     }
 
     /// Delete one record (matched by full equality), condensing the tree

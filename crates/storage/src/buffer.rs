@@ -7,6 +7,7 @@
 //! much of the naive approach's repeated I/O an LRU of a given size
 //! actually absorbs, compared to the PDQ/NPDQ algorithms which need none.
 
+use crate::fault::{FaultRecovery, FaultRecoveryStats, RetryPolicy, StorageError};
 use crate::{make_mut_page, IoSnapshot, PageId, PageRef, PageStore};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -187,6 +188,7 @@ pub struct BufferPool<S> {
     inner: S,
     capacity: usize,
     state: Mutex<PoolState>,
+    recovery: FaultRecovery,
 }
 
 impl<S: PageStore> BufferPool<S> {
@@ -197,7 +199,30 @@ impl<S: PageStore> BufferPool<S> {
             inner,
             capacity,
             state: Mutex::new(PoolState::empty()),
+            recovery: FaultRecovery::new(RetryPolicy::none()),
         }
+    }
+
+    /// Retry transient device faults on miss fills per `policy` (the
+    /// default pool surfaces the first error). The retry loop runs with
+    /// the pool lock held — identity-critical, like the fill itself — so
+    /// the policy's backoff should stay in the microsecond range.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.recovery = FaultRecovery::new(policy);
+        self
+    }
+
+    /// Snapshot of the retry/corruption counters.
+    pub fn fault_stats(&self) -> FaultRecoveryStats {
+        self.recovery.stats()
+    }
+
+    /// Mirror fault-recovery counters into `registry` as
+    /// `storage.retries`, `storage.corrupt_pages`, and the
+    /// `storage.retry_latency_ns` histogram (push-model: updated as
+    /// faults happen; the fault-free hot path never touches them).
+    pub fn attach_fault_metrics(&self, registry: &obs::MetricsRegistry) {
+        self.recovery.attach(registry);
     }
 
     /// Current cache statistics.
@@ -256,22 +281,25 @@ impl<S: PageStore> PageStore for BufferPool<S> {
         self.inner.page_size()
     }
 
-    fn read_page(&self, id: PageId) -> PageRef {
+    fn try_read_page(&self, id: PageId) -> Result<PageRef, StorageError> {
         let mut st = self.state.lock();
         if st.frames.contains_key(&id) {
             st.hits += 1;
             st.touch(id);
-            return PageRef::from_arc(Arc::clone(&st.frames[&id].data));
+            return Ok(PageRef::from_arc(Arc::clone(&st.frames[&id].data)));
         }
         st.misses += 1;
         // The miss fill shares the device's buffer: no copy on this path
         // either. `evict_if_full` runs *before* the insert, so the
-        // resident count never exceeds `capacity`.
-        let data = self.inner.read_page(id).into_arc();
+        // resident count never exceeds `capacity`. Transient device
+        // faults are retried here (lock held — see `with_retry`), so one
+        // recorded miss still pairs with exactly one successful device
+        // read and the reconciliation identities survive fault injection.
+        let data = self.recovery.read_through(&self.inner, id)?.into_arc();
         st.evict_if_full(&self.inner, self.capacity);
         st.frames.insert(id, Frame::resident(Arc::clone(&data), false));
         st.push_front(id);
-        PageRef::from_arc(data)
+        Ok(PageRef::from_arc(data))
     }
 
     fn write(&self, id: PageId, data: &[u8]) {

@@ -22,12 +22,17 @@
 //! which.
 
 pub mod buffer;
+pub mod fault;
 pub mod pager;
 pub mod sharded;
 pub mod snapshotfile;
 pub mod stats;
 
 pub use buffer::{BufferPool, CacheStats};
+pub use fault::{
+    ChecksumStore, FaultPlan, FaultRecoveryStats, FaultyStore, InjectedFaults, RetryPolicy,
+    StorageError,
+};
 pub use pager::{PageId, Pager};
 pub use sharded::ShardedBufferPool;
 pub use snapshotfile::{load_pager, save_pager};
@@ -99,9 +104,21 @@ pub trait PageStore {
     /// Size in bytes of every page in this store.
     fn page_size(&self) -> usize;
 
-    /// Read a page without copying it: the returned [`PageRef`] shares the
-    /// resident buffer. Counts as one (possibly cached) access.
-    fn read_page(&self, id: PageId) -> PageRef;
+    /// Read a page without copying it: the returned [`PageRef`] shares
+    /// the resident buffer. Counts as one (possibly cached) access.
+    /// Fails with [`StorageError`] on injected or detected device faults;
+    /// out-of-contract reads (unallocated pages) still panic — those are
+    /// caller bugs, not device weather.
+    fn try_read_page(&self, id: PageId) -> Result<PageRef, StorageError>;
+
+    /// Infallible wrapper over [`Self::try_read_page`] for callers with
+    /// no recovery story: panics on a storage error, so the panic happens
+    /// at the top of the stack (and the serving layer's `catch_unwind`
+    /// can contain it) instead of deep inside the engine.
+    fn read_page(&self, id: PageId) -> PageRef {
+        self.try_read_page(id)
+            .unwrap_or_else(|e| panic!("unrecoverable storage error: {e}"))
+    }
 
     /// Read a page into a fresh owned buffer. Compat wrapper over
     /// [`Self::read_page`] for callers that need `Vec<u8>` (write path,
@@ -130,6 +147,9 @@ impl<S: PageStore + ?Sized> PageStore for std::sync::Arc<S> {
     fn page_size(&self) -> usize {
         (**self).page_size()
     }
+    fn try_read_page(&self, id: PageId) -> Result<PageRef, StorageError> {
+        (**self).try_read_page(id)
+    }
     fn read_page(&self, id: PageId) -> PageRef {
         (**self).read_page(id)
     }
@@ -147,5 +167,51 @@ impl<S: PageStore + ?Sized> PageStore for std::sync::Arc<S> {
     }
     fn io(&self) -> IoSnapshot {
         (**self).io()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn make_mut_page_grows_short_buffer_preserving_prefix() {
+        // A buffer shorter than the page size (e.g. loaded from a trimmed
+        // snapshot) must be grown to full size with a zeroed tail.
+        let mut page: Arc<[u8]> = vec![1u8, 2, 3].into();
+        let snap = PageRef::from_arc(Arc::clone(&page));
+        let buf = make_mut_page(&mut page, 8);
+        assert_eq!(buf.len(), 8);
+        assert_eq!(&buf[..3], &[1, 2, 3]);
+        assert_eq!(&buf[3..], &[0, 0, 0, 0, 0]);
+        buf[0] = 9;
+        // The outstanding snapshot still sees the old, short bytes.
+        assert_eq!(&snap[..], &[1, 2, 3]);
+    }
+
+    #[test]
+    fn make_mut_page_shrinks_long_buffer_truncating() {
+        let mut page: Arc<[u8]> = vec![5u8; 16].into();
+        let snap = PageRef::from_arc(Arc::clone(&page));
+        let buf = make_mut_page(&mut page, 4);
+        assert_eq!(buf, &[5, 5, 5, 5]);
+        buf.fill(7);
+        assert_eq!(snap.len(), 16, "snapshot keeps the old length");
+        assert!(snap.iter().all(|&b| b == 5), "snapshot bytes unchanged");
+    }
+
+    #[test]
+    fn make_mut_page_copies_only_when_shared_or_missized() {
+        // Right-sized and unshared: mutate in place, no copy.
+        let mut page: Arc<[u8]> = vec![0u8; 4].into();
+        let before = Arc::as_ptr(&page);
+        make_mut_page(&mut page, 4)[0] = 1;
+        assert!(std::ptr::eq(before, Arc::as_ptr(&page)), "no copy expected");
+
+        // Shared with a PageRef: must copy, and the reader keeps old bytes.
+        let snap = PageRef::from_arc(Arc::clone(&page));
+        make_mut_page(&mut page, 4)[0] = 2;
+        assert_eq!(snap[0], 1, "reader sees pre-write bytes");
+        assert_eq!(page[0], 2);
     }
 }

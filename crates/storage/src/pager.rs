@@ -92,12 +92,24 @@ impl Default for Pager {
     }
 }
 
+impl std::fmt::Debug for Pager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pager")
+            .field("page_size", &self.page_size)
+            .field("live_pages", &self.live_pages())
+            .finish()
+    }
+}
+
 impl PageStore for Pager {
     fn page_size(&self) -> usize {
         self.page_size
     }
 
-    fn read_page(&self, id: PageId) -> PageRef {
+    fn try_read_page(&self, id: PageId) -> Result<PageRef, crate::StorageError> {
+        // The raw simulated disk never fails on its own; faults enter via
+        // the FaultyStore/ChecksumStore wrappers. Reading an unallocated
+        // page is a caller bug and still panics.
         let st = self.state.lock();
         let page = st
             .pages
@@ -105,7 +117,7 @@ impl PageStore for Pager {
             .and_then(|p| p.as_ref())
             .unwrap_or_else(|| panic!("read of unallocated page {id}"));
         self.stats.record_read();
-        PageRef::from_arc(Arc::clone(page))
+        Ok(PageRef::from_arc(Arc::clone(page)))
     }
 
     fn write(&self, id: PageId, data: &[u8]) {

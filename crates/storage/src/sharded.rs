@@ -9,6 +9,7 @@
 //! per shard; [`ShardedBufferPool::cache_stats`] aggregates them.
 
 use crate::buffer::{CacheStats, Frame, PoolState};
+use crate::fault::{FaultRecovery, FaultRecoveryStats, RetryPolicy, StorageError};
 use crate::{IoSnapshot, PageId, PageRef, PageStore};
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -27,6 +28,7 @@ pub struct ShardedBufferPool<S> {
     shard_capacity: usize,
     /// `log2(shards.len())`; the shard count is a power of two.
     shard_bits: u32,
+    recovery: FaultRecovery,
 }
 
 impl<S: PageStore> ShardedBufferPool<S> {
@@ -42,7 +44,30 @@ impl<S: PageStore> ShardedBufferPool<S> {
             shards: (0..shards).map(|_| Mutex::new(PoolState::empty())).collect(),
             shard_capacity,
             shard_bits: shards.trailing_zeros(),
+            recovery: FaultRecovery::new(RetryPolicy::none()),
         }
+    }
+
+    /// Retry transient device faults on miss fills per `policy` (the
+    /// default pool surfaces the first error). The retry loop holds only
+    /// the failing page's shard lock, so other shards keep serving while
+    /// one read backs off.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.recovery = FaultRecovery::new(policy);
+        self
+    }
+
+    /// Snapshot of the retry/corruption counters (pool-wide, not per
+    /// shard — faults are device weather, not routing).
+    pub fn fault_stats(&self) -> FaultRecoveryStats {
+        self.recovery.stats()
+    }
+
+    /// Mirror fault-recovery counters into `registry` as
+    /// `storage.retries`, `storage.corrupt_pages`, and the
+    /// `storage.retry_latency_ns` histogram.
+    pub fn attach_fault_metrics(&self, registry: &obs::MetricsRegistry) {
+        self.recovery.attach(registry);
     }
 
     /// Number of shards (always a power of two).
@@ -153,21 +178,24 @@ impl<S: PageStore> PageStore for ShardedBufferPool<S> {
         self.inner.page_size()
     }
 
-    fn read_page(&self, id: PageId) -> PageRef {
+    fn try_read_page(&self, id: PageId) -> Result<PageRef, StorageError> {
         let mut st = self.shard(id).lock();
         if st.frames.contains_key(&id) {
             st.hits += 1;
             st.touch(id);
-            return PageRef::from_arc(Arc::clone(&st.frames[&id].data));
+            return Ok(PageRef::from_arc(Arc::clone(&st.frames[&id].data)));
         }
         st.misses += 1;
         // Miss fill shares the device's buffer (no copy) and evicts
         // *before* the insert, keeping each shard at ≤ shard_capacity.
-        let data = self.inner.read_page(id).into_arc();
+        // Transient faults are retried holding this shard's lock only, so
+        // one miss pairs with exactly one successful device read and the
+        // other shards keep serving during backoff.
+        let data = self.recovery.read_through(&self.inner, id)?.into_arc();
         st.evict_if_full(&self.inner, self.shard_capacity);
         st.frames.insert(id, Frame::resident(Arc::clone(&data), false));
         st.push_front(id);
-        PageRef::from_arc(data)
+        Ok(PageRef::from_arc(data))
     }
 
     fn write(&self, id: PageId, data: &[u8]) {

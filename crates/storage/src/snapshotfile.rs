@@ -6,17 +6,34 @@
 //!
 //! ```text
 //! magic "DQPG" ‖ version u32 ‖ page_size u32 ‖ page_count u32
-//! then per page: page_id u32 ‖ page bytes (page_size)
+//! then per page: page_id u32 ‖ page_len u32 ‖ fnv1a u64 ‖ page bytes (page_len)
 //! ```
+//!
+//! Version 2 stores each page's meaningful prefix (trailing zeros
+//! trimmed) with an FNV-1a checksum, so a truncated or bit-flipped
+//! snapshot is rejected at load with an [`io::Error`] — `load_pager`
+//! never panics on malformed input.
 //!
 //! Only live pages are written; free-list structure is reconstructed on
 //! load (freed ids below the maximum are re-freed).
 
+use crate::fault::page_checksum;
 use crate::{PageId, PageStore, Pager};
 use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 4] = b"DQPG";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+
+/// Largest `page_id` a snapshot may carry: load rebuilds ids densely, so
+/// this bounds the memory a malformed header can make us allocate.
+const MAX_SNAPSHOT_PAGE_ID: u32 = 1 << 26;
+
+/// Largest believable page size; guards `Vec` preallocation on load.
+const MAX_SNAPSHOT_PAGE_SIZE: usize = 1 << 28;
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
 
 /// Serialize every live page of a pager into `w`.
 pub fn save_pager<W: Write>(pager: &Pager, mut w: W) -> io::Result<()> {
@@ -26,8 +43,15 @@ pub fn save_pager<W: Write>(pager: &Pager, mut w: W) -> io::Result<()> {
     w.write_all(&(pager.page_size() as u32).to_le_bytes())?;
     w.write_all(&(pages.len() as u32).to_le_bytes())?;
     for id in pages {
+        let page = pager.read(id);
+        // Store only the meaningful prefix: pages are zeroed on alloc and
+        // writers serialize explicit lengths, so trailing zeros carry no
+        // information and the checksum covers everything that does.
+        let len = page.iter().rposition(|&b| b != 0).map_or(0, |i| i + 1);
         w.write_all(&id.0.to_le_bytes())?;
-        w.write_all(&pager.read(id))?;
+        w.write_all(&(len as u32).to_le_bytes())?;
+        w.write_all(&page_checksum(&page[..len]).to_le_bytes())?;
+        w.write_all(&page[..len])?;
     }
     Ok(())
 }
@@ -35,41 +59,60 @@ pub fn save_pager<W: Write>(pager: &Pager, mut w: W) -> io::Result<()> {
 /// Reconstruct a pager from a stream produced by [`save_pager`].
 ///
 /// Every persisted page keeps its original [`PageId`], so tree root
-/// references remain valid.
+/// references remain valid. Malformed input — bad magic, unsupported
+/// version, truncation anywhere, a `page_len` exceeding the page size,
+/// an out-of-range id, or a checksum mismatch — yields an [`io::Error`]
+/// ([`io::ErrorKind::InvalidData`] or [`io::ErrorKind::UnexpectedEof`]);
+/// this function does not panic.
 pub fn load_pager<R: Read>(mut r: R) -> io::Result<Pager> {
     let mut head = [0u8; 16];
     r.read_exact(&mut head)?;
     if &head[0..4] != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+        return Err(bad("bad magic"));
     }
-    let version = u32::from_le_bytes(head[4..8].try_into().unwrap());
+    let version = u32::from_le_bytes([head[4], head[5], head[6], head[7]]);
     if version != VERSION {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("unsupported version {version}"),
-        ));
+        return Err(bad(format!("unsupported version {version}")));
     }
-    let page_size = u32::from_le_bytes(head[8..12].try_into().unwrap()) as usize;
-    let count = u32::from_le_bytes(head[12..16].try_into().unwrap()) as usize;
+    let page_size = u32::from_le_bytes([head[8], head[9], head[10], head[11]]) as usize;
+    let count = u32::from_le_bytes([head[12], head[13], head[14], head[15]]) as usize;
     if page_size == 0 {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "zero page size"));
+        return Err(bad("zero page size"));
+    }
+    if page_size > MAX_SNAPSHOT_PAGE_SIZE {
+        return Err(bad(format!("implausible page size {page_size}")));
     }
 
-    let mut entries: Vec<(u32, Vec<u8>)> = Vec::with_capacity(count);
+    let mut entries: Vec<(u32, Vec<u8>)> = Vec::new();
     let mut max_id = 0u32;
     for _ in 0..count {
-        let mut idb = [0u8; 4];
-        r.read_exact(&mut idb)?;
-        let id = u32::from_le_bytes(idb);
-        let mut data = vec![0u8; page_size];
+        let mut fixed = [0u8; 16];
+        r.read_exact(&mut fixed)?;
+        let id = u32::from_le_bytes([fixed[0], fixed[1], fixed[2], fixed[3]]);
+        let page_len = u32::from_le_bytes([fixed[4], fixed[5], fixed[6], fixed[7]]) as usize;
+        let sum = u64::from_le_bytes([
+            fixed[8], fixed[9], fixed[10], fixed[11], fixed[12], fixed[13], fixed[14], fixed[15],
+        ]);
+        if page_len > page_size {
+            return Err(bad(format!(
+                "page {id}: page_len {page_len} > page size {page_size}"
+            )));
+        }
+        if id >= MAX_SNAPSHOT_PAGE_ID {
+            return Err(bad(format!("page id {id} out of range")));
+        }
+        let mut data = vec![0u8; page_len];
         r.read_exact(&mut data)?;
+        if page_checksum(&data) != sum {
+            return Err(bad(format!("page {id}: checksum mismatch")));
+        }
         max_id = max_id.max(id);
         entries.push((id, data));
     }
 
     // Rebuild: allocate 0..=max_id densely, write live pages, free gaps.
     let pager = Pager::with_page_size(page_size);
-    if count == 0 {
+    if entries.is_empty() {
         return Ok(pager);
     }
     let live: std::collections::HashSet<u32> = entries.iter().map(|(id, _)| *id).collect();
@@ -125,20 +168,92 @@ mod tests {
         assert_eq!(q.page_size(), 32);
     }
 
-    #[test]
-    fn corrupt_input_rejected() {
-        assert!(load_pager(&b"NOPE"[..]).is_err());
-        let mut buf = Vec::new();
-        save_pager(&Pager::with_page_size(16), &mut buf).unwrap();
-        buf[4] = 99; // version
-        assert!(load_pager(&buf[..]).is_err());
-        // Truncated page payload.
+    /// A small valid snapshot with one page, for mutation tests.
+    fn one_page_snapshot() -> Vec<u8> {
         let p = Pager::with_page_size(16);
         let a = p.alloc();
-        p.write(a, b"x");
+        p.write(a, b"payload");
         let mut buf = Vec::new();
         save_pager(&p, &mut buf).unwrap();
-        buf.truncate(buf.len() - 4);
+        buf
+    }
+
+    fn expect_invalid(buf: &[u8], needle: &str) {
+        let err = load_pager(buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{err}");
+        assert!(
+            err.to_string().contains(needle),
+            "error {err:?} should mention {needle:?}"
+        );
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        expect_invalid(b"NOPE\0\0\0\0\0\0\0\0\0\0\0\0", "bad magic");
+    }
+
+    #[test]
+    fn unsupported_version_rejected() {
+        let mut buf = one_page_snapshot();
+        buf[4] = 99;
+        expect_invalid(&buf, "unsupported version");
+    }
+
+    #[test]
+    fn truncated_header_is_eof_not_panic() {
+        let buf = one_page_snapshot();
+        for cut in 0..16 {
+            let err = load_pager(&buf[..cut]).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn truncated_page_payload_is_eof_not_panic() {
+        let buf = one_page_snapshot();
+        // Any cut inside the per-page region must fail cleanly.
+        for cut in 16..buf.len() {
+            assert!(load_pager(&buf[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn page_len_exceeding_page_size_rejected() {
+        let mut buf = one_page_snapshot();
+        // Per-page page_len lives at offset 20 (after header + id).
+        buf[20..24].copy_from_slice(&1000u32.to_le_bytes());
+        expect_invalid(&buf, "page size");
+    }
+
+    #[test]
+    fn implausible_page_size_rejected_without_allocation() {
+        let mut buf = one_page_snapshot();
+        buf[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        expect_invalid(&buf, "implausible page size");
+    }
+
+    #[test]
+    fn out_of_range_page_id_rejected() {
+        // A crafted id near u32::MAX would otherwise make the dense
+        // rebuild allocate billions of pages (and overflow the pager's
+        // own id space).
+        let mut buf = one_page_snapshot();
+        buf[16..20].copy_from_slice(&u32::MAX.to_le_bytes());
+        expect_invalid(&buf, "out of range");
+    }
+
+    #[test]
+    fn flipped_payload_byte_fails_checksum() {
+        let mut buf = one_page_snapshot();
+        let last = buf.len() - 1; // inside the payload
+        buf[last] ^= 0xFF;
+        expect_invalid(&buf, "checksum mismatch");
+    }
+
+    #[test]
+    fn declared_count_beyond_stream_is_clean_error() {
+        let mut buf = one_page_snapshot();
+        buf[12..16].copy_from_slice(&7u32.to_le_bytes()); // claims 7 pages
         assert!(load_pager(&buf[..]).is_err());
     }
 }

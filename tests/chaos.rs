@@ -1,0 +1,280 @@
+//! Chaos suite: seeded fault schedules against a fault-free serial
+//! oracle.
+//!
+//! The contract under test, layer by layer:
+//!
+//! - **Transient-only faults + pool retry** are invisible: the serve is
+//!   bit-identical to the oracle, every participant finishes `Ok`, and
+//!   the only evidence is non-zero retry counters (`chaos_a`).
+//! - **Detected corruption** (checksum mismatch) has a blast radius of
+//!   exactly the sessions whose queries touch the corrupt page; they
+//!   degrade but keep serving, everyone else matches the oracle
+//!   (`chaos_b`).
+//! - **Undetected corruption** (no checksum layer, node magic destroyed)
+//!   panics the session's engine; the panic is contained, the session is
+//!   `Failed`, and the barrier protocol still runs the serve to
+//!   completion (`chaos_c`).
+//! - **A corrupt root** starves the writer: every insert is dropped and
+//!   logged in `writer_outcome`, and the tree is untouched (`chaos_d`).
+
+use std::time::Duration;
+
+use dq_repro::mobiquery::{DqServer, SessionKind, SessionOutcome, SessionSpec, Trajectory};
+use dq_repro::rtree::{NsiSegmentRecord, RTree, RTreeConfig};
+use dq_repro::stkit::{Interval, Rect};
+use dq_repro::storage::{
+    ChecksumStore, FaultPlan, FaultyStore, PageId, PageStore, Pager, RetryPolicy, ShardedBufferPool,
+    StorageError,
+};
+
+type R = NsiSegmentRecord<2>;
+
+/// Objects on a line: oid `i` sits at `x = i + 0.5`, alive the whole run.
+fn line_records(n: u32) -> Vec<R> {
+    (0..n)
+        .map(|i| {
+            let x = f64::from(i) + 0.5;
+            R::new(i, 0, Interval::new(0.0, 100.0), [x, 0.5], [x, 0.5])
+        })
+        .collect()
+}
+
+fn build_tree<S: PageStore>(store: S, recs: &[R]) -> RTree<R, S> {
+    let mut tree = RTree::new(store, RTreeConfig::default());
+    for r in recs {
+        tree.insert(*r, r.seg.t.lo);
+    }
+    tree
+}
+
+/// A window sliding right from `x0` at unit speed for `span` seconds.
+fn slide_spec(kind: SessionKind, x0: f64, frames: usize, span: f64) -> SessionSpec<2> {
+    SessionSpec {
+        kind,
+        trajectory: Trajectory::linear(
+            Rect::from_corners([x0, 0.0], [x0 + 1.0, 1.0]),
+            [1.0, 0.0],
+            Interval::new(0.0, span),
+            2,
+        ),
+        frame_times: (0..=frames)
+            .map(|k| span * k as f64 / frames as f64)
+            .collect(),
+    }
+}
+
+/// The leaf page holding `oid` — found by a plain DFS over clean pages,
+/// so call this *before* corrupting anything.
+fn leaf_page_of<S: PageStore>(tree: &RTree<R, S>, oid: u32) -> PageId {
+    let mut stack = vec![tree.root_page()];
+    while let Some(page) = stack.pop() {
+        let node = tree.read_node(page);
+        if node.is_leaf() {
+            if node.leaf_records().any(|r| r.oid == oid) {
+                return page;
+            }
+        } else {
+            for (_, child) in node.internal_entries() {
+                stack.push(child);
+            }
+        }
+    }
+    panic!("oid {oid} not found in any leaf");
+}
+
+/// Per-frame insert batches dropping fresh objects along the line.
+fn line_inserts(frames: usize, per_frame: u32) -> Vec<Vec<(R, f64)>> {
+    (0..frames)
+        .map(|k| {
+            let t = k as f64 * 0.3;
+            (0..per_frame)
+                .map(|j| {
+                    let oid = 1000 + (k as u32) * per_frame + j;
+                    let x = f64::from(oid % 37) + 0.25;
+                    (R::new(oid, 0, Interval::new(t, 100.0), [x, 0.5], [x, 0.5]), t)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// (a) Transient-only schedule, retry at the pool layer: the serve must
+/// be bit-identical to a fault-free serial oracle — results, outcomes,
+/// and writer tallies — while the fault and retry counters prove the
+/// schedule actually fired.
+#[test]
+fn chaos_a_transient_faults_are_invisible_through_retry() {
+    let recs = line_records(120);
+    let specs = vec![
+        slide_spec(SessionKind::Pdq, 0.0, 12, 12.0),
+        slide_spec(SessionKind::Npdq, 30.0, 12, 12.0),
+        slide_spec(SessionKind::Pdq, 60.0, 8, 12.0),
+        slide_spec(SessionKind::Npdq, 90.0, 8, 12.0),
+    ];
+    let inserts = line_inserts(12, 2);
+
+    // Small pages force a multi-node tree; a pool far smaller than the
+    // tree forces device reads (and therefore fault exposure) all run.
+    let faulty = FaultyStore::new(
+        Pager::with_page_size(256),
+        FaultPlan::transient(42, 0.05),
+    );
+    let pool = ShardedBufferPool::new(ChecksumStore::new(faulty), 8, 2).with_retry(RetryPolicy {
+        max_attempts: 8,
+        base_backoff: Duration::from_micros(1),
+    });
+    let server = DqServer::new(build_tree(pool, &recs));
+    let report = server.serve(&specs, &inserts);
+
+    let oracle = DqServer::new(build_tree(Pager::with_page_size(256), &recs))
+        .serve_serial(&specs, &inserts);
+
+    assert!(report.writer_outcome.is_ok(), "writer: {:?}", report.writer_outcome);
+    assert_eq!(report.inserts_applied, oracle.inserts_applied);
+    for (i, (got, want)) in report.sessions.iter().zip(&oracle.sessions).enumerate() {
+        assert!(got.outcome.is_ok(), "session {i}: {:?}", got.outcome);
+        assert_eq!(got.results, want.results, "session {i} diverged from oracle");
+    }
+
+    // The schedule fired and the pool absorbed it.
+    let (transients, retries, exhausted, corrupt) = server.with_tree(|t| {
+        let pool = t.store();
+        let fs = pool.fault_stats();
+        (
+            pool.inner().inner().injected().transients,
+            fs.retries,
+            fs.exhausted,
+            pool.inner().corrupt_detected(),
+        )
+    });
+    assert!(transients > 0, "no transient fault ever injected");
+    assert!(retries > 0, "the pool never retried");
+    assert_eq!(exhausted, 0, "a retry budget was exhausted");
+    assert_eq!(corrupt, 0, "no page was corrupted in this schedule");
+}
+
+/// (b) Checksum-detected corruption of one leaf: only the session whose
+/// window reaches that leaf degrades; the untouched session is `Ok` and
+/// bit-identical to the oracle.
+#[test]
+fn chaos_b_corruption_blast_radius_is_one_session() {
+    let recs = line_records(40);
+    // A sweeps x ∈ [0, 9]; B sweeps x ∈ [24, 33]. Disjoint by > one page.
+    let specs = vec![
+        slide_spec(SessionKind::Pdq, 0.0, 8, 8.0),
+        slide_spec(SessionKind::Pdq, 24.0, 8, 8.0),
+    ];
+
+    let store = ChecksumStore::new(FaultyStore::new(
+        Pager::with_page_size(256),
+        FaultPlan::quiet(7),
+    ));
+    let tree = build_tree(store, &recs);
+    let victim = leaf_page_of(&tree, 28); // x = 28.5: B's region only
+    tree.store().inner().corrupt_page(victim);
+
+    let server = DqServer::new(tree);
+    let report = server.serve(&specs, &[]);
+    let oracle =
+        DqServer::new(build_tree(Pager::with_page_size(256), &recs)).serve_serial(&specs, &[]);
+
+    // Session A never touches the corrupt leaf: clean and exact.
+    assert!(report.sessions[0].outcome.is_ok(), "A: {:?}", report.sessions[0].outcome);
+    assert_eq!(report.sessions[0].results, oracle.sessions[0].results);
+
+    // Session B degrades: every recorded error is Corrupt on the victim
+    // page, and the victim's records are the ones it cannot deliver.
+    let b = &report.sessions[1];
+    assert!(
+        matches!(b.outcome, SessionOutcome::Degraded { .. }),
+        "B should degrade, got {:?}",
+        b.outcome
+    );
+    assert!(!b.outcome.errors().is_empty());
+    for e in b.outcome.errors() {
+        assert_eq!(*e, StorageError::Corrupt { page: victim });
+    }
+    assert!(
+        !b.results.contains(&(28, 0)),
+        "a record on the corrupt page was delivered"
+    );
+    assert!(oracle.sessions[1].results.contains(&(28, 0)));
+    let delivered: std::collections::HashSet<_> = b.results.iter().copied().collect();
+    for r in &b.results {
+        assert!(
+            oracle.sessions[1].results.contains(r),
+            "B delivered {r:?} which the oracle never produced"
+        );
+    }
+    assert!(
+        delivered.len() < oracle.sessions[1].results.len(),
+        "B cannot be complete with a corrupt leaf"
+    );
+}
+
+/// (c) Corruption *below* the checksum layer that destroys the node
+/// magic: the page parses fail-stop (panic), the panic is contained to
+/// the session, and the serve still completes with every other session
+/// clean. This is the layering argument for checksums — without them,
+/// corruption costs the whole session instead of a degraded frame.
+#[test]
+fn chaos_c_undetected_corruption_panic_is_contained() {
+    let recs = line_records(40);
+    let specs = vec![
+        slide_spec(SessionKind::Pdq, 0.0, 8, 8.0),
+        slide_spec(SessionKind::Pdq, 24.0, 8, 8.0),
+    ];
+
+    // No ChecksumStore, and flip byte 0: the node header itself breaks.
+    let store = FaultyStore::with_flipped_bytes(
+        Pager::with_page_size(256),
+        FaultPlan::quiet(7),
+        vec![0],
+    );
+    let tree = build_tree(store, &recs);
+    let victim = leaf_page_of(&tree, 28);
+    tree.store().corrupt_page(victim);
+
+    let server = DqServer::new(tree);
+    let report = server.serve(&specs, &[]);
+    let oracle =
+        DqServer::new(build_tree(Pager::with_page_size(256), &recs)).serve_serial(&specs, &[]);
+
+    assert!(report.sessions[0].outcome.is_ok(), "A: {:?}", report.sessions[0].outcome);
+    assert_eq!(report.sessions[0].results, oracle.sessions[0].results);
+    assert!(
+        matches!(report.sessions[1].outcome, SessionOutcome::Failed(_)),
+        "B should have died on the broken node header, got {:?}",
+        report.sessions[1].outcome
+    );
+    // The run itself completed: every frame was served for A.
+    assert_eq!(report.frames, 8);
+    assert_eq!(report.sessions[0].frames.len(), 8);
+}
+
+/// (d) A corrupt root starves the writer: every insert descent fails
+/// fail-stop, the records are dropped (and logged), and the tree is
+/// left exactly as it was — no partial writes, no panic, no deadlock.
+#[test]
+fn chaos_d_corrupt_root_stops_the_writer_cleanly() {
+    let recs = line_records(20);
+    let store = ChecksumStore::new(FaultyStore::new(
+        Pager::with_page_size(256),
+        FaultPlan::quiet(3),
+    ));
+    let tree = build_tree(store, &recs);
+    let root = tree.root_page();
+    tree.store().inner().corrupt_page(root);
+
+    let server: DqServer<2, _> = DqServer::new(tree);
+    let inserts = line_inserts(3, 1);
+    let report = server.serve(&[], &inserts);
+
+    assert_eq!(report.inserts_applied, 0, "no insert can get past a corrupt root");
+    assert_eq!(report.writer_outcome.errors().len(), 3);
+    for e in report.writer_outcome.errors() {
+        assert_eq!(*e, StorageError::Corrupt { page: root });
+    }
+    assert_eq!(report.writer_reads, 0, "failed reads must not count as device reads");
+    assert_eq!(server.len(), 20, "the tree must be untouched");
+}
