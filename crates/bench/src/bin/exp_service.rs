@@ -24,10 +24,11 @@
 //! baseline JSON is never overwritten.
 
 use bench::{f2, FigureTable, Scale};
-use mobiquery::{DqServer, SessionKind, SessionSpec};
+use mobiquery::{DqServer, PartitionedDqServer, RegionGrid, SessionKind, SessionSpec};
 use rtree::{NsiSegmentRecord, RTree, RTreeConfig};
 use std::sync::Arc;
 use std::time::Duration;
+use stkit::Interval;
 use storage::{
     ChecksumStore, FaultPlan, FaultyStore, PageStore, Pager, RetryPolicy, ShardedBufferPool,
 };
@@ -211,6 +212,101 @@ fn run_config<S: PageStore + Send + Sync>(
     }
 }
 
+/// One partitioned configuration: `regions` trees behind per-region
+/// sharded pools (the total page budget split across regions), every
+/// per-region reconciliation identity asserted, one row appended.
+fn run_partitioned(
+    table: &mut FigureTable,
+    regions: usize,
+    total_pool_pages: usize,
+    wl: &Workload<'_>,
+) {
+    let Workload {
+        specs,
+        preload,
+        inserts,
+    } = *wl;
+    // Uniform initial cuts over the data's x-extent; live inserts land
+    // inside the same extent by construction of the dataset.
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for r in preload.iter().chain(inserts.iter().flatten().map(|(r, _)| r)) {
+        let e = r.seg.spatial_bbox().extent(0);
+        lo = lo.min(e.lo);
+        hi = hi.max(e.hi);
+    }
+    let grid = RegionGrid::uniform(0, Interval::new(lo, hi), regions);
+    let pool_pages = (total_pool_pages / regions).max(16);
+    let server = PartitionedDqServer::build(grid, preload, |_| {
+        RTree::new(
+            ShardedBufferPool::new(Pager::new(), pool_pages, SHARDS),
+            RTreeConfig::default(),
+        )
+    });
+    let before: Vec<_> = (0..regions)
+        .map(|r| {
+            server.with_region_tree(r, |t| {
+                t.store().clear(); // serve from a cold cache
+                (t.level_counters().snapshot(), t.store().cache_stats())
+            })
+        })
+        .collect();
+
+    let t0 = std::time::Instant::now();
+    let report = server.serve(specs, inserts);
+    let secs = t0.elapsed().as_secs_f64();
+
+    assert!(
+        report.base.writer_outcome.is_ok(),
+        "writers: {:?}",
+        report.base.writer_outcome
+    );
+    for (i, s) in report.sessions.iter().enumerate() {
+        assert!(s.outcome.is_ok(), "session {i} outcome: {:?}", s.outcome);
+    }
+    // The PR 3 identities, region by region and summed: each region
+    // tree's level-counter reads equal that region's attributed session
+    // reads + writer reads, and each of those reads is exactly one pool
+    // hit or miss.
+    let mut disk_reads = 0;
+    let mut summed_reads = 0;
+    for (r, (levels0, cache0)) in before.into_iter().enumerate() {
+        let (levels, cache) = server
+            .with_region_tree(r, |t| (t.level_counters().snapshot(), t.store().cache_stats()));
+        let reads = (levels - levels0).total_reads();
+        assert_eq!(
+            reads,
+            report.regions[r].session_reads + report.regions[r].writer_reads,
+            "region {r}: tree reads vs attributed reads"
+        );
+        assert_eq!(
+            (cache.hits - cache0.hits) + (cache.misses - cache0.misses),
+            reads,
+            "region {r}: every node read is one pool access"
+        );
+        disk_reads += cache.misses - cache0.misses;
+        summed_reads += reads;
+    }
+    assert_eq!(
+        summed_reads,
+        report.base.total_stats().disk_accesses + report.base.writer_reads,
+        "summed region reads vs aggregate report"
+    );
+
+    let loads = server.region_loads();
+    let max_load = loads.iter().copied().max().unwrap_or(0);
+    let mean_load = loads.iter().sum::<u64>() as f64 / loads.len() as f64;
+    let frames = (report.base.frames * specs.len()) as f64;
+    table.row(vec![
+        regions.to_string(),
+        pool_pages.to_string(),
+        f2(frames / secs),
+        f2(report.total_results() as f64 / secs),
+        report.base.inserts_applied.to_string(),
+        disk_reads.to_string(),
+        f2(max_load as f64 / mean_load.max(1.0)),
+    ]);
+}
+
 fn main() {
     let scale = Scale::from_env();
     let ds = bench::build_dataset(scale);
@@ -293,4 +389,38 @@ fn main() {
 
     table.print();
     table.write_json();
+
+    // Regions-vs-throughput sweep (fault-free runs only): the same
+    // workload served by the partitioned multi-writer server, splitting
+    // one total page budget across 1..=8 region pools. `DQ_REGIONS`
+    // overrides the sweep (comma-separated region counts).
+    if fault_rate == 0.0 {
+        let counts: Vec<usize> = std::env::var("DQ_REGIONS")
+            .ok()
+            .map(|v| v.split(',').filter_map(|s| s.trim().parse().ok()).collect())
+            .unwrap_or_else(|| vec![1, 2, 4, 8]);
+        let mut regions_table = FigureTable::new(
+            "exp_service_regions",
+            "PartitionedDqServer: region count vs throughput, one writer per region",
+            &[
+                "regions",
+                "pool pages/region",
+                "frames/s",
+                "results/s",
+                "inserts applied",
+                "disk reads",
+                "max/mean load",
+            ],
+        );
+        for &regions in &counts {
+            let wl = Workload {
+                specs: &specs,
+                preload,
+                inserts: &inserts,
+            };
+            run_partitioned(&mut regions_table, regions, 256, &wl);
+        }
+        regions_table.print();
+        regions_table.write_json();
+    }
 }

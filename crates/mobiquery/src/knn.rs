@@ -36,9 +36,23 @@ struct FrontierItem<const D: usize> {
     what: Frontier<D>,
 }
 
+impl<const D: usize> FrontierItem<D> {
+    /// Deterministic tie-break at equal distance, same as the PDQ queue:
+    /// objects pop before nodes (an answer beats speculative expansion),
+    /// then ascending identity. Without this, `BinaryHeap`'s arbitrary
+    /// tie order makes the reported k-set depend on insertion history
+    /// whenever the k-th and (k+1)-th candidates are equidistant.
+    fn tie_key(&self) -> (u8, u64) {
+        match &self.what {
+            Frontier::Object(r) => (0, ((r.oid as u64) << 32) | r.seq as u64),
+            Frontier::Node(page) => (1, page.0 as u64),
+        }
+    }
+}
+
 impl<const D: usize> PartialEq for FrontierItem<D> {
     fn eq(&self, other: &Self) -> bool {
-        self.dist_sq == other.dist_sq
+        self.cmp(other) == Ordering::Equal
     }
 }
 impl<const D: usize> Eq for FrontierItem<D> {}
@@ -49,7 +63,12 @@ impl<const D: usize> PartialOrd for FrontierItem<D> {
 }
 impl<const D: usize> Ord for FrontierItem<D> {
     fn cmp(&self, other: &Self) -> Ordering {
-        other.dist_sq.total_cmp(&self.dist_sq) // min-heap
+        // Min-heap on distance, with a total tie-break so the pop order
+        // (and therefore the k-set at tie boundaries) is deterministic.
+        other
+            .dist_sq
+            .total_cmp(&self.dist_sq)
+            .then_with(|| other.tie_key().cmp(&self.tie_key()))
     }
 }
 
@@ -289,6 +308,73 @@ mod tests {
             fresh_stats.distance_computations
         );
     }
+
+    #[test]
+    fn equidistant_tie_breaks_are_deterministic() {
+        // Eight objects on the integer circle of radius 5 around the
+        // query point — Pythagorean offsets (±3,±4)/(±4,±3) make every
+        // distance *exactly* 25 even after f32 coordinate quantization —
+        // and k = 3 < 8, so the k-set is decided purely by the tie-break.
+        // Assign oids in an order unrelated to position so an
+        // insertion-order heap would produce a different (arbitrary) set.
+        let offsets = [
+            [3.0, 4.0],
+            [4.0, 3.0],
+            [-3.0, 4.0],
+            [-4.0, -3.0],
+            [3.0, -4.0],
+            [4.0, -3.0],
+            [-3.0, -4.0],
+            [-4.0, 3.0],
+        ];
+        let order = [5u32, 2, 7, 0, 3, 6, 1, 4];
+        let recs: Vec<R> = order
+            .iter()
+            .zip(&offsets)
+            .map(|(&oid, off)| {
+                let p = [50.0 + off[0], 50.0 + off[1]];
+                R::new(oid, 0, Interval::new(0.0, 100.0), p, p)
+            })
+            .collect();
+        let tree = bulk_load(Pager::new(), RTreeConfig::default(), recs);
+        let mut stats = QueryStats::default();
+        let res = knn_at(&tree, [50.0, 50.0], 1.0, 3, f64::INFINITY, &mut stats);
+        assert_eq!(res.len(), 3);
+        for r in &res {
+            assert_eq!(r.dist_sq, 25.0, "all candidates tie exactly");
+        }
+        // Objects pop before nodes, then ascending (oid, seq): the k-set
+        // is the three smallest oids, in oid order, every run.
+        let ids: Vec<u32> = res.iter().map(|r| r.record.oid).collect();
+        assert_eq!(ids, vec![0, 1, 2], "k-set must be the smallest ids");
+        // And a second run over the same tree is bit-identical.
+        let again = knn_at(&tree, [50.0, 50.0], 1.0, 3, f64::INFINITY, &mut stats);
+        assert_eq!(res, again);
+    }
+
+    #[test]
+    fn equidistant_moving_observer_is_deterministic() {
+        // Same tie scenario through the moving-observer entry point: four
+        // stationary objects at identical closest-approach distance.
+        let recs: Vec<R> = [3u32, 1, 2, 0]
+            .iter()
+            .enumerate()
+            .map(|(slot, &oid)| {
+                let x = 10.0 + 20.0 * slot as f64;
+                R::new(oid, 0, Interval::new(0.0, 10.0), [x, 2.0], [x, 2.0])
+            })
+            .collect();
+        let tree = bulk_load(Pager::new(), RTreeConfig::default(), recs);
+        let observer =
+            MotionSegment::from_endpoints(Interval::new(0.0, 10.0), [0.0, 0.0], [100.0, 0.0]);
+        let mut stats = QueryStats::default();
+        let res =
+            knn_moving_observer(&tree, &observer, Interval::new(0.0, 10.0), 2, &mut stats);
+        let ids: Vec<u32> = res.iter().map(|r| r.record.oid).collect();
+        assert_eq!(ids, vec![0, 1], "equidistant ties must resolve by id");
+    }
+
+    use stkit::MotionSegment;
 
     #[test]
     fn more_neighbors_than_objects() {

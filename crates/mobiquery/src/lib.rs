@@ -44,6 +44,8 @@ pub mod naive;
 pub mod npdq;
 pub mod pdq;
 pub mod psi;
+pub mod region;
+pub mod router;
 pub mod service;
 pub mod session;
 pub mod snapshot;
@@ -62,6 +64,8 @@ pub use naive::NaiveEngine;
 pub use npdq::NpdqEngine;
 pub use pdq::{PdqEngine, PdqResult};
 pub use psi::{psi_query, psi_query_key, PsiBounds, PsiSegmentRecord};
+pub use region::RegionGrid;
+pub use router::{PartitionedDqServer, PartitionedServeReport, RegionReport};
 pub use service::{DqServer, ServeReport, SessionKind, SessionOutcome, SessionOutput, SessionSpec};
 pub use session::{FlightSession, FrameView};
 pub use snapshot::SnapshotQuery;

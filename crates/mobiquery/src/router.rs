@@ -1,0 +1,1187 @@
+//! Region-partitioned serving: many trees, many writers, one answer.
+//!
+//! [`crate::service::DqServer`] serializes every insert behind ONE
+//! tree's write lock — correct, but the writer caps throughput long
+//! before millions of objects. [`PartitionedDqServer`] splits space by a
+//! [`RegionGrid`] into regions that each own their own NSI tree, their
+//! own writer thread, and their own buffer pool, so per-frame insert
+//! batches apply in parallel (the architecture of distributed
+//! continuous-range-query processors, arXiv 2206.01905, folded into one
+//! process).
+//!
+//! The router half lives in each session: a session's moving window is
+//! split across the regions its trajectory sweeps (its *lanes*), one
+//! PDQ/NPDQ engine per lane, and per-frame lane results are merged back
+//! into a single stream. Records whose trapezoid segments straddle a
+//! region seam are replicated into every touching region (closed slabs —
+//! see [`RegionGrid::route_rect`]), so the merge deduplicates by
+//! `(oid, seq)`: PDQ keeps a cross-frame delivered set (entry events
+//! stay exactly-once at seams), NPDQ dedups within the frame (snapshot
+//! semantics re-report per frame by design). Within a frame, merged PDQ
+//! results order by `(visibility start, oid, seq)` — the same keys the
+//! PDQ queue itself tie-breaks on — which makes partitioned runs
+//! bitwise deterministic: [`PartitionedDqServer::serve`] equals
+//! [`PartitionedDqServer::serve_serial`] exactly, the same contract the
+//! single-tree server keeps.
+//!
+//! The frame protocol is the single-tree one, generalized: a barrier of
+//! `sessions + regions` participants, two waits per frame. Between the
+//! waits every region's writer applies its routed slice of the batch
+//! under ITS tree's write lock and broadcasts its [`rtree::InsertReport`]s
+//! into per-`(session, region)` mailboxes; after the second wait each
+//! session absorbs and drains each lane under that region's read lock.
+//! Because each region has its own tree and pool, the reconciliation
+//! identity holds *per region*: region tree level reads == Σ lane disk
+//! accesses attributed to that region + that region's writer reads.
+//!
+//! Hotspot rebalancing (after Kiwano, arXiv 1211.4414): every serve
+//! accumulates per-region load (writer reads+writes plus session reads);
+//! [`PartitionedDqServer::hotspot`] flags a region pulling more than a
+//! factor above the mean, and [`PartitionedDqServer::rebalance`] recuts
+//! the grid at equal-load quantiles between serves, rebuilding region
+//! trees from the deduplicated record set.
+
+use crate::layout::MotionRecord;
+use crate::npdq::NpdqEngine;
+use crate::pdq::{PdqEngine, PdqResult};
+use crate::region::RegionGrid;
+use crate::service::{
+    panic_message, FrameReport, NsiReport, ServeReport, SessionKind, SessionOutcome,
+    SessionOutput, SessionSpec,
+};
+use crate::snapshot::SnapshotQuery;
+use crate::stats::QueryStats;
+use parking_lot::{Mutex, RwLock};
+use rtree::{NsiSegmentRecord, RTree};
+use std::collections::{BTreeMap, HashSet};
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+use stkit::Interval;
+use storage::{PageStore, RetryPolicy, StorageError};
+
+/// Per-region tallies of one partitioned run.
+#[derive(Clone, Debug, Default)]
+pub struct RegionReport {
+    /// The region's slab on the grid axis.
+    pub span: Interval,
+    /// Records this region's writer applied (a record straddling a seam
+    /// counts once in every region that stores a replica).
+    pub inserts_applied: usize,
+    /// Node reads this region's writer performed in its write sections.
+    pub writer_reads: u64,
+    /// Node writes this region's writer performed in its write sections.
+    pub writer_writes: u64,
+    /// Session-side node reads attributed to this region's lanes.
+    pub session_reads: u64,
+    /// Whether this region's writer applied every batch clean.
+    pub writer_outcome: SessionOutcome,
+}
+
+impl RegionReport {
+    /// The load figure hotspot detection and recutting run on: every
+    /// node touch the region cost the run, reader- or writer-side.
+    pub fn load(&self) -> u64 {
+        self.writer_reads + self.writer_writes + self.session_reads
+    }
+}
+
+/// Outcome of one [`PartitionedDqServer::serve`] /
+/// [`PartitionedDqServer::serve_serial`] run: the familiar single-tree
+/// [`ServeReport`] (writer tallies summed over regions; session outputs
+/// merged across lanes) plus the per-region breakdown.
+///
+/// Note `base.inserts_applied` counts *physical* per-region inserts, so
+/// it exceeds the batch record count when segments straddle seams.
+/// `Σ frame.stats == session.stats` also does not hold here (unlike the
+/// single-tree server): absorb work on frames past a session's schedule
+/// is still tallied into `session.stats` so the per-region read
+/// reconciliation stays exact.
+#[derive(Clone, Debug, Default)]
+pub struct PartitionedServeReport {
+    /// The run viewed as a single server (sessions in spec order).
+    pub base: ServeReport,
+    /// Per-region tallies, in grid order.
+    pub regions: Vec<RegionReport>,
+}
+
+impl std::ops::Deref for PartitionedServeReport {
+    type Target = ServeReport;
+    fn deref(&self) -> &ServeReport {
+        &self.base
+    }
+}
+
+/// One lane's engine: the session's algorithm instantiated against one
+/// region's tree.
+enum LaneEngine<const D: usize> {
+    Pdq(Box<PdqEngine<D>>),
+    Npdq(NpdqEngine<D>),
+}
+
+/// One session's in-flight state: an engine per swept region, plus the
+/// merge/dedup state that folds lane streams back into one.
+struct LaneRun<'a, const D: usize> {
+    index: usize,
+    spec: &'a SessionSpec<D>,
+    /// Contiguous region indices this session's trajectory sweeps.
+    lanes: Range<usize>,
+    engines: Vec<LaneEngine<D>>,
+    /// PDQ cross-frame dedup: seam replicas deliver in the same frame in
+    /// every lane (frame assignment depends only on overlap start), but
+    /// the set keeps exactly-once robust without leaning on that.
+    delivered: HashSet<(u32, u32)>,
+    out: SessionOutput,
+    /// Node reads attributed per region (for the per-region identity).
+    region_reads: Vec<u64>,
+    scratch: Vec<PdqResult<D>>,
+    merge_pdq: Vec<(f64, u32, u32)>,
+    merge_npdq: Vec<(u32, u32)>,
+}
+
+impl<'a, const D: usize> LaneRun<'a, D> {
+    fn start<S: PageStore>(
+        index: usize,
+        spec: &'a SessionSpec<D>,
+        grid: &RegionGrid,
+        regions: &[RwLock<RTree<NsiSegmentRecord<D>, S>>],
+    ) -> Self {
+        let lanes = grid.route_rect(&spec.trajectory.swept_bounds());
+        let engines = lanes
+            .clone()
+            .map(|r| match spec.kind {
+                SessionKind::Pdq => LaneEngine::Pdq(Box::new(PdqEngine::start(
+                    &regions[r].read(),
+                    spec.trajectory.clone(),
+                ))),
+                SessionKind::Npdq => LaneEngine::Npdq(NpdqEngine::new()),
+            })
+            .collect();
+        LaneRun {
+            index,
+            spec,
+            lanes,
+            engines,
+            delivered: HashSet::new(),
+            out: SessionOutput::default(),
+            region_reads: vec![0; regions.len()],
+            scratch: Vec::new(),
+            merge_pdq: Vec::new(),
+            merge_npdq: Vec::new(),
+        }
+    }
+
+    /// Process global frame `k` across every lane: absorb `reports[li]`
+    /// (this frame's broadcast for lane `li`), drain/execute in-schedule
+    /// frames, then merge. Only the first lane error is returned (lanes
+    /// process in ascending region order, so the choice is
+    /// deterministic); the engines stay valid for retry next frame,
+    /// exactly like the single-tree path.
+    fn step_frame<S: PageStore>(
+        &mut self,
+        regions: &[RwLock<RTree<NsiSegmentRecord<D>, S>>],
+        reports: &[Vec<NsiReport<D>>],
+        k: usize,
+    ) -> Result<Option<u64>, StorageError> {
+        let in_schedule = match self.spec.kind {
+            SessionKind::Pdq => k + 1 < self.spec.frame_times.len(),
+            SessionKind::Npdq => k < self.spec.frame_times.len(),
+        };
+        if in_schedule {
+            obs::trace(obs::TraceEvent::FrameStart {
+                session: self.index as u32,
+                frame: k as u32,
+            });
+        }
+        let before_results = self.out.results.len();
+        let started = Instant::now();
+        let mut frame_stats = QueryStats::default();
+        let mut first_err: Option<StorageError> = None;
+        self.merge_pdq.clear();
+        self.merge_npdq.clear();
+        for (li, r) in self.lanes.clone().enumerate() {
+            let guard = regions[r].read();
+            match &mut self.engines[li] {
+                LaneEngine::Pdq(pdq) => {
+                    for report in &reports[li] {
+                        pdq.notify(&guard, report);
+                    }
+                    if in_schedule {
+                        let (t0, t1) = (self.spec.frame_times[k], self.spec.frame_times[k + 1]);
+                        self.scratch.clear();
+                        let res = pdq.try_drain_window_into(&guard, t0, t1, &mut self.scratch);
+                        for pr in &self.scratch {
+                            self.merge_pdq.push((
+                                pr.visibility.start().unwrap_or(f64::NEG_INFINITY),
+                                pr.record.oid,
+                                pr.record.seq,
+                            ));
+                        }
+                        if let Err(e) = res {
+                            first_err.get_or_insert(e);
+                        }
+                    }
+                    // Take every frame (absorb included), even past the
+                    // session's schedule: notify reads must land in the
+                    // region attribution or the per-region identity
+                    // under-counts.
+                    let st = pdq.take_stats();
+                    frame_stats += st;
+                    self.region_reads[r] += st.disk_accesses;
+                }
+                LaneEngine::Npdq(npdq) => {
+                    if in_schedule {
+                        let t = self.spec.frame_times[k];
+                        let q = SnapshotQuery::at_instant(self.spec.trajectory.window_at(t), t);
+                        let merge = &mut self.merge_npdq;
+                        match npdq.try_execute(&guard, &q, t, |rec: &NsiSegmentRecord<D>| {
+                            merge.push(rec.ids());
+                        }) {
+                            Ok(st) => {
+                                frame_stats += st;
+                                self.region_reads[r] += st.disk_accesses;
+                            }
+                            Err(e) => {
+                                first_err.get_or_insert(e);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // The seam merge. PDQ: order by the queue's own priority keys —
+        // (visibility start, then object identity) — and deliver each
+        // object once ever; a straddler drained by two lanes ties on the
+        // full key, so which copy survives is immaterial. NPDQ: snapshot
+        // per frame, ordered and deduplicated by identity within the
+        // frame only.
+        match self.spec.kind {
+            SessionKind::Pdq => {
+                self.merge_pdq.sort_unstable_by(|a, b| {
+                    a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2))
+                });
+                for &(_, oid, seq) in &self.merge_pdq {
+                    if self.delivered.insert((oid, seq)) {
+                        self.out.results.push((oid, seq));
+                    }
+                }
+            }
+            SessionKind::Npdq => {
+                self.merge_npdq.sort_unstable();
+                self.merge_npdq.dedup();
+                self.out.results.extend(self.merge_npdq.iter().copied());
+            }
+        }
+        let latency_ns = started.elapsed().as_nanos() as u64;
+        self.out.stats += frame_stats;
+        if !in_schedule {
+            return match first_err {
+                Some(e) => Err(e),
+                None => Ok(None),
+            };
+        }
+        let results = self.out.results.len() - before_results;
+        self.out.frames.push(FrameReport {
+            frame: k,
+            results,
+            latency_ns,
+            stats: frame_stats,
+        });
+        obs::trace(obs::TraceEvent::FrameEnd {
+            session: self.index as u32,
+            frame: k as u32,
+            results: results as u32,
+            latency_ns,
+        });
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(Some(latency_ns)),
+        }
+    }
+
+    fn finish(mut self) -> (SessionOutput, Vec<u64>) {
+        for engine in &self.engines {
+            match engine {
+                LaneEngine::Pdq(pdq) => {
+                    self.out.queue_hwm = self.out.queue_hwm.max(pdq.queue_hwm());
+                }
+                LaneEngine::Npdq(npdq) => {
+                    self.out.discarded_subtrees += npdq.discarded_subtrees();
+                }
+            }
+        }
+        (self.out, self.region_reads)
+    }
+}
+
+/// Per-region writer tallies while a run is in flight.
+#[derive(Default)]
+struct RegionTally {
+    applied: usize,
+    reads: u64,
+    writes: u64,
+    outcome: SessionOutcome,
+}
+
+/// A serving instance owning one NSI tree *per region*.
+///
+/// ```
+/// use mobiquery::{PartitionedDqServer, RegionGrid, SessionKind, SessionSpec, Trajectory};
+/// use rtree::{NsiSegmentRecord, RTree, RTreeConfig};
+/// use storage::Pager;
+/// use stkit::{Interval, Rect};
+///
+/// let preload = vec![NsiSegmentRecord::new(
+///     7, 0, Interval::new(0.0, 100.0), [5.5, 0.5], [5.5, 0.5],
+/// )];
+/// let server = PartitionedDqServer::build(
+///     RegionGrid::from_cuts(0, vec![4.0, 8.0]),
+///     &preload,
+///     |_region| RTree::new(Pager::new(), RTreeConfig::default()),
+/// );
+/// let spec = SessionSpec {
+///     kind: SessionKind::Pdq,
+///     trajectory: Trajectory::linear(
+///         Rect::from_corners([0.0, 0.0], [1.0, 1.0]),
+///         [1.0, 0.0], Interval::new(0.0, 10.0), 2),
+///     frame_times: (0..=10).map(f64::from).collect(),
+/// };
+/// let report = server.serve(&[spec], &[]);
+/// assert_eq!(report.sessions[0].results, vec![(7, 0)]);
+/// ```
+pub struct PartitionedDqServer<const D: usize, S: PageStore> {
+    grid: RegionGrid,
+    regions: Vec<RwLock<RTree<NsiSegmentRecord<D>, S>>>,
+    /// Accumulated per-region load across serves (feeds hotspot
+    /// detection and recutting).
+    loads: Mutex<Vec<u64>>,
+    metrics: Option<Arc<obs::MetricsRegistry>>,
+    writer_retry: RetryPolicy,
+}
+
+impl<const D: usize, S: PageStore> PartitionedDqServer<D, S> {
+    /// Build one tree per region (each from `make_tree`, which must
+    /// return an *empty* tree — typically over its own pool slice) and
+    /// route `preload` into every region its segment's spatial bbox
+    /// overlaps (each inserted at its segment's start time).
+    pub fn build(
+        grid: RegionGrid,
+        preload: &[NsiSegmentRecord<D>],
+        mut make_tree: impl FnMut(usize) -> RTree<NsiSegmentRecord<D>, S>,
+    ) -> Self {
+        let n = grid.len();
+        let mut trees: Vec<RTree<NsiSegmentRecord<D>, S>> = (0..n)
+            .map(|r| {
+                let t = make_tree(r);
+                assert!(t.is_empty(), "make_tree must return empty trees");
+                t
+            })
+            .collect();
+        for rec in preload {
+            for r in grid.route_rect(&rec.seg.spatial_bbox()) {
+                trees[r].insert(*rec, rec.seg.t.lo);
+            }
+        }
+        let loads = Mutex::new(vec![0; n]);
+        PartitionedDqServer {
+            grid,
+            regions: trees.into_iter().map(RwLock::new).collect(),
+            loads,
+            metrics: None,
+            writer_retry: RetryPolicy::default(),
+        }
+    }
+
+    /// Record serving metrics into `registry` (builder-style): the
+    /// single-tree run counters plus per-region labels
+    /// `service.region{r}.{inserts,writer.reads,writer.writes,session.reads,load}`.
+    pub fn with_metrics(mut self, registry: Arc<obs::MetricsRegistry>) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
+
+    /// How each region's writer treats transient insert failures
+    /// (builder-style); see [`crate::service::DqServer::with_writer_retry`].
+    pub fn with_writer_retry(mut self, policy: RetryPolicy) -> Self {
+        self.writer_retry = policy;
+        self
+    }
+
+    /// The current partition function.
+    pub fn grid(&self) -> &RegionGrid {
+        &self.grid
+    }
+
+    /// Accumulated per-region loads (across every serve since the last
+    /// rebalance).
+    pub fn region_loads(&self) -> Vec<u64> {
+        self.loads.lock().clone()
+    }
+
+    /// Records resident per region. Seam replicas count once per region,
+    /// so the sum can exceed the distinct record count.
+    pub fn region_record_counts(&self) -> Vec<u64> {
+        self.regions.iter().map(|t| t.read().len()).collect()
+    }
+
+    /// Run a value out of region `r`'s tree under its read lock.
+    pub fn with_region_tree<T>(
+        &self,
+        r: usize,
+        f: impl FnOnce(&RTree<NsiSegmentRecord<D>, S>) -> T,
+    ) -> T {
+        f(&self.regions[r].read())
+    }
+
+    /// The region (if any) whose accumulated load exceeds `factor` times
+    /// the mean — the rebalance trigger. A single-region grid has no
+    /// hotspot (there is nothing to shed load to).
+    pub fn hotspot(&self, factor: f64) -> Option<usize> {
+        let loads = self.loads.lock();
+        if loads.len() < 2 {
+            return None;
+        }
+        let mean = loads.iter().sum::<u64>() as f64 / loads.len() as f64;
+        let (r, &max) = loads
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &l)| l)
+            .expect("non-empty");
+        (max as f64 > factor * mean && mean > 0.0).then_some(r)
+    }
+
+    /// Recut the grid into `target_regions` at equal-load quantiles of
+    /// the accumulated per-region loads and rebuild the region trees
+    /// (between serves — callers hold `&mut self`, so no writer epoch is
+    /// in flight). Records are collected from every region and
+    /// deduplicated by `(oid, seq)` (seam replicas collapse), then
+    /// re-routed under the new cuts; load tallies reset.
+    pub fn rebalance(
+        &mut self,
+        target_regions: usize,
+        mut make_tree: impl FnMut(usize) -> RTree<NsiSegmentRecord<D>, S>,
+    ) {
+        let axis = self.grid.axis();
+        let mut records: BTreeMap<(u32, u32), NsiSegmentRecord<D>> = BTreeMap::new();
+        for lock in &self.regions {
+            lock.read().scan(|rec| {
+                records.insert(rec.ids(), *rec);
+            });
+        }
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for rec in records.values() {
+            let e = rec.seg.spatial_bbox().extent(axis);
+            lo = lo.min(e.lo);
+            hi = hi.max(e.hi);
+        }
+        let bounds = if lo < hi {
+            Interval::new(lo, hi)
+        } else if lo.is_finite() {
+            Interval::new(lo - 0.5, lo + 0.5)
+        } else {
+            Interval::new(0.0, 1.0)
+        };
+        let grid = {
+            let loads = self.loads.lock();
+            self.grid.recut(bounds, &loads, target_regions)
+        };
+        let n = grid.len();
+        let mut trees: Vec<RTree<NsiSegmentRecord<D>, S>> = (0..n)
+            .map(|r| {
+                let t = make_tree(r);
+                assert!(t.is_empty(), "make_tree must return empty trees");
+                t
+            })
+            .collect();
+        for rec in records.values() {
+            for r in grid.route_rect(&rec.seg.spatial_bbox()) {
+                trees[r].insert(*rec, rec.seg.t.lo);
+            }
+        }
+        self.grid = grid;
+        self.regions = trees.into_iter().map(RwLock::new).collect();
+        self.loads = Mutex::new(vec![0; n]);
+    }
+
+    /// Global frame steps for a run (same rule as the single-tree
+    /// server).
+    fn step_count(
+        &self,
+        specs: &[SessionSpec<D>],
+        inserts: &[Vec<(NsiSegmentRecord<D>, f64)>],
+    ) -> usize {
+        specs
+            .iter()
+            .map(SessionSpec::steps)
+            .max()
+            .unwrap_or(0)
+            .max(inserts.len())
+    }
+
+    /// The slice of `batch` that routes to region `r`, in batch order.
+    fn route_batch(
+        &self,
+        r: usize,
+        batch: &[(NsiSegmentRecord<D>, f64)],
+    ) -> Vec<(NsiSegmentRecord<D>, f64)> {
+        batch
+            .iter()
+            .filter(|(rec, _)| self.grid.route_rect(&rec.seg.spatial_bbox()).contains(&r))
+            .copied()
+            .collect()
+    }
+
+    /// Apply one region's routed slice under that region's write lock —
+    /// the single-tree writer's retry discipline, per region: transient
+    /// failures back off with the lock *released*, exhausted or
+    /// unrecoverable records are skipped into the tally's outcome.
+    fn apply_region_batch(
+        &self,
+        r: usize,
+        batch: &[(NsiSegmentRecord<D>, f64)],
+        reports: &mut Vec<NsiReport<D>>,
+        w: &mut RegionTally,
+        hold_hist: Option<&Arc<obs::Histogram>>,
+    ) {
+        let mut idx = 0;
+        let mut attempt = 0u32;
+        while idx < batch.len() {
+            let backoff = {
+                let mut tree = self.regions[r].write();
+                let held = Instant::now();
+                let before = tree.level_counters().snapshot();
+                let mut backoff = None;
+                while idx < batch.len() {
+                    let (rec, now) = &batch[idx];
+                    match tree.try_insert(*rec, *now) {
+                        Ok(report) => {
+                            reports.push(report);
+                            w.applied += 1;
+                            idx += 1;
+                            attempt = 0;
+                        }
+                        Err(e)
+                            if e.is_transient()
+                                && attempt + 1 < self.writer_retry.max_attempts =>
+                        {
+                            attempt += 1;
+                            backoff = Some(self.writer_retry.backoff(attempt));
+                            break;
+                        }
+                        Err(e) => {
+                            w.outcome.record_error(e);
+                            idx += 1;
+                            attempt = 0;
+                        }
+                    }
+                }
+                let delta = tree.level_counters().snapshot() - before;
+                w.reads += delta.total_reads();
+                w.writes += delta.total_writes();
+                if let Some(h) = hold_hist {
+                    h.record(held.elapsed().as_nanos() as u64);
+                }
+                backoff
+            };
+            if let Some(pause) = backoff {
+                std::thread::sleep(pause);
+            }
+        }
+    }
+
+    /// Serve every session concurrently: one thread per session plus one
+    /// *writer thread per region*, meeting at a shared barrier twice per
+    /// frame. Deterministic: result sequences equal
+    /// [`Self::serve_serial`] on an identically prepared server.
+    pub fn serve(
+        &self,
+        specs: &[SessionSpec<D>],
+        inserts: &[Vec<(NsiSegmentRecord<D>, f64)>],
+    ) -> PartitionedServeReport
+    where
+        S: Sync + Send,
+    {
+        let steps = self.step_count(specs, inserts);
+        let n = self.regions.len();
+        let is_pdq: Vec<bool> = specs.iter().map(|s| s.kind == SessionKind::Pdq).collect();
+        let session_lanes: Vec<Range<usize>> = specs
+            .iter()
+            .map(|s| self.grid.route_rect(&s.trajectory.swept_bounds()))
+            .collect();
+        let barrier = Barrier::new(specs.len() + n);
+        let mailboxes: Vec<Vec<Mutex<Vec<NsiReport<D>>>>> = specs
+            .iter()
+            .map(|_| (0..n).map(|_| Mutex::new(Vec::new())).collect())
+            .collect();
+        let drain_hist = self.metrics.as_ref().map(|m| m.histogram("service.drain_ns"));
+        let hold_hist = self
+            .metrics
+            .as_ref()
+            .map(|m| m.histogram("service.writer.lock_hold_ns"));
+
+        let (sessions, tallies) = std::thread::scope(|scope| {
+            let session_handles: Vec<_> = specs
+                .iter()
+                .enumerate()
+                .map(|(i, spec)| {
+                    let barrier = &barrier;
+                    let mailboxes = &mailboxes;
+                    let session_lanes = &session_lanes;
+                    let drain_hist = drain_hist.clone();
+                    scope.spawn(move || {
+                        // Same zombie discipline as the single-tree
+                        // server: a failed session still takes both
+                        // barrier waits and drains its mailboxes every
+                        // frame, so writers and healthy sessions never
+                        // stall on it.
+                        let mut run = catch_unwind(AssertUnwindSafe(|| {
+                            LaneRun::start(i, spec, &self.grid, &self.regions)
+                        }))
+                        .map_err(|p| SessionOutcome::Failed(panic_message(p)));
+                        for k in 0..steps {
+                            barrier.wait(); // frame k opens; writers work
+                            barrier.wait(); // frame k batches visible
+                            let reports: Vec<Vec<NsiReport<D>>> = session_lanes[i]
+                                .clone()
+                                .map(|r| std::mem::take(&mut *mailboxes[i][r].lock()))
+                                .collect();
+                            let Ok(r) = &mut run else { continue };
+                            if matches!(r.out.outcome, SessionOutcome::Failed(_)) {
+                                continue;
+                            }
+                            let stepped = catch_unwind(AssertUnwindSafe(|| {
+                                r.step_frame(&self.regions, &reports, k)
+                            }));
+                            match stepped {
+                                Ok(Ok(Some(ns))) => {
+                                    if let Some(h) = &drain_hist {
+                                        h.record(ns);
+                                    }
+                                }
+                                Ok(Ok(None)) => {}
+                                Ok(Err(e)) => r.out.outcome.record_error(e),
+                                Err(p) => {
+                                    r.out.outcome = SessionOutcome::Failed(panic_message(p))
+                                }
+                            }
+                        }
+                        match run {
+                            Ok(r) => r.finish(),
+                            Err(outcome) => (
+                                SessionOutput {
+                                    outcome,
+                                    ..SessionOutput::default()
+                                },
+                                vec![0; n],
+                            ),
+                        }
+                    })
+                })
+                .collect();
+
+            let writer_handles: Vec<_> = (0..n)
+                .map(|r| {
+                    let barrier = &barrier;
+                    let mailboxes = &mailboxes;
+                    let session_lanes = &session_lanes;
+                    let is_pdq = &is_pdq;
+                    let hold_hist = hold_hist.clone();
+                    scope.spawn(move || {
+                        let mut w = RegionTally::default();
+                        let mut reports: Vec<NsiReport<D>> = Vec::new();
+                        for k in 0..steps {
+                            barrier.wait();
+                            if let Some(batch) = inserts.get(k) {
+                                let routed = self.route_batch(r, batch);
+                                if !routed.is_empty() {
+                                    reports.clear();
+                                    self.apply_region_batch(
+                                        r,
+                                        &routed,
+                                        &mut reports,
+                                        &mut w,
+                                        hold_hist.as_ref(),
+                                    );
+                                    for (i, lanes) in session_lanes.iter().enumerate() {
+                                        if is_pdq[i] && lanes.contains(&r) {
+                                            mailboxes[i][r].lock().extend(reports.iter().cloned());
+                                        }
+                                    }
+                                    obs::trace(obs::TraceEvent::RegionRoute {
+                                        region: r as u32,
+                                        records: routed.len() as u32,
+                                    });
+                                }
+                            }
+                            barrier.wait();
+                        }
+                        w
+                    })
+                })
+                .collect();
+
+            let sessions: Vec<(SessionOutput, Vec<u64>)> = session_handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(out) => out,
+                    Err(p) => (
+                        SessionOutput {
+                            outcome: SessionOutcome::Failed(panic_message(p)),
+                            ..SessionOutput::default()
+                        },
+                        vec![0; n],
+                    ),
+                })
+                .collect();
+            // Region writers never unwind past the barrier loop
+            // (apply_region_batch absorbs storage errors); a panic here
+            // would already have deadlocked the frame protocol, so a
+            // plain expect is honest.
+            let tallies: Vec<RegionTally> = writer_handles
+                .into_iter()
+                .map(|h| h.join().expect("region writer panicked"))
+                .collect();
+            (sessions, tallies)
+        });
+
+        self.assemble(steps, sessions, tallies)
+    }
+
+    /// The single-threaded reference: identical protocol, identical
+    /// per-region writer order (ascending region index), identical
+    /// results — the oracle for the partitioned concurrency tests.
+    pub fn serve_serial(
+        &self,
+        specs: &[SessionSpec<D>],
+        inserts: &[Vec<(NsiSegmentRecord<D>, f64)>],
+    ) -> PartitionedServeReport {
+        let steps = self.step_count(specs, inserts);
+        let n = self.regions.len();
+        let is_pdq: Vec<bool> = specs.iter().map(|s| s.kind == SessionKind::Pdq).collect();
+        let drain_hist = self.metrics.as_ref().map(|m| m.histogram("service.drain_ns"));
+        let hold_hist = self
+            .metrics
+            .as_ref()
+            .map(|m| m.histogram("service.writer.lock_hold_ns"));
+        let mut tallies: Vec<RegionTally> = (0..n).map(|_| RegionTally::default()).collect();
+        let mut runs: Vec<Result<LaneRun<'_, D>, SessionOutcome>> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                catch_unwind(AssertUnwindSafe(|| {
+                    LaneRun::start(i, s, &self.grid, &self.regions)
+                }))
+                .map_err(|p| SessionOutcome::Failed(panic_message(p)))
+            })
+            .collect();
+        for k in 0..steps {
+            let mut frame_reports: Vec<Vec<NsiReport<D>>> = vec![Vec::new(); n];
+            if let Some(batch) = inserts.get(k) {
+                for (r, out) in frame_reports.iter_mut().enumerate() {
+                    let routed = self.route_batch(r, batch);
+                    if !routed.is_empty() {
+                        self.apply_region_batch(r, &routed, out, &mut tallies[r], hold_hist.as_ref());
+                        obs::trace(obs::TraceEvent::RegionRoute {
+                            region: r as u32,
+                            records: routed.len() as u32,
+                        });
+                    }
+                }
+            }
+            for (i, run) in runs.iter_mut().enumerate() {
+                let Ok(r) = run else { continue };
+                if matches!(r.out.outcome, SessionOutcome::Failed(_)) {
+                    continue;
+                }
+                let reports: Vec<Vec<NsiReport<D>>> = r
+                    .lanes
+                    .clone()
+                    .map(|reg| {
+                        if is_pdq[i] {
+                            frame_reports[reg].clone()
+                        } else {
+                            Vec::new()
+                        }
+                    })
+                    .collect();
+                let stepped = catch_unwind(AssertUnwindSafe(|| {
+                    r.step_frame(&self.regions, &reports, k)
+                }));
+                match stepped {
+                    Ok(Ok(Some(ns))) => {
+                        if let Some(h) = &drain_hist {
+                            h.record(ns);
+                        }
+                    }
+                    Ok(Ok(None)) => {}
+                    Ok(Err(e)) => r.out.outcome.record_error(e),
+                    Err(p) => r.out.outcome = SessionOutcome::Failed(panic_message(p)),
+                }
+            }
+        }
+        let sessions: Vec<(SessionOutput, Vec<u64>)> = runs
+            .into_iter()
+            .map(|run| match run {
+                Ok(r) => r.finish(),
+                Err(outcome) => (
+                    SessionOutput {
+                        outcome,
+                        ..SessionOutput::default()
+                    },
+                    vec![0; n],
+                ),
+            })
+            .collect();
+        self.assemble(steps, sessions, tallies)
+    }
+
+    /// Fold per-session and per-region tallies into the report,
+    /// accumulate loads for rebalancing, and publish metrics.
+    fn assemble(
+        &self,
+        steps: usize,
+        sessions: Vec<(SessionOutput, Vec<u64>)>,
+        tallies: Vec<RegionTally>,
+    ) -> PartitionedServeReport {
+        let mut regions: Vec<RegionReport> = tallies
+            .into_iter()
+            .enumerate()
+            .map(|(r, t)| RegionReport {
+                span: self.grid.span_of(r),
+                inserts_applied: t.applied,
+                writer_reads: t.reads,
+                writer_writes: t.writes,
+                session_reads: 0,
+                writer_outcome: t.outcome,
+            })
+            .collect();
+        let mut outputs = Vec::with_capacity(sessions.len());
+        for (out, reads) in sessions {
+            for (r, &count) in reads.iter().enumerate() {
+                regions[r].session_reads += count;
+            }
+            outputs.push(out);
+        }
+        let mut writer_outcome = SessionOutcome::Ok;
+        for rr in &regions {
+            match &rr.writer_outcome {
+                SessionOutcome::Ok => {}
+                SessionOutcome::Degraded { errors } => {
+                    for e in errors {
+                        writer_outcome.record_error(e.clone());
+                    }
+                }
+                SessionOutcome::Failed(msg) => {
+                    writer_outcome = SessionOutcome::Failed(msg.clone());
+                }
+            }
+        }
+        let base = ServeReport {
+            sessions: outputs,
+            frames: steps,
+            inserts_applied: regions.iter().map(|r| r.inserts_applied).sum(),
+            writer_reads: regions.iter().map(|r| r.writer_reads).sum(),
+            writer_writes: regions.iter().map(|r| r.writer_writes).sum(),
+            writer_outcome,
+        };
+        {
+            let mut loads = self.loads.lock();
+            for (r, rr) in regions.iter().enumerate() {
+                loads[r] += rr.load();
+            }
+        }
+        let report = PartitionedServeReport { base, regions };
+        self.publish_run(&report);
+        report
+    }
+
+    /// Record a finished run's totals — single-tree names for the
+    /// aggregate, `service.region{r}.*` labels for the breakdown.
+    fn publish_run(&self, report: &PartitionedServeReport) {
+        let Some(reg) = &self.metrics else { return };
+        reg.counter("service.frames").add(report.base.frames as u64);
+        reg.counter("service.inserts")
+            .add(report.base.inserts_applied as u64);
+        reg.counter("service.results")
+            .add(report.base.total_results() as u64);
+        reg.counter("service.writer.reads").add(report.base.writer_reads);
+        reg.counter("service.writer.writes").add(report.base.writer_writes);
+        reg.counter("service.session.reads")
+            .add(report.base.total_stats().disk_accesses);
+        for (r, rr) in report.regions.iter().enumerate() {
+            reg.counter(&format!("service.region{r}.inserts"))
+                .add(rr.inserts_applied as u64);
+            reg.counter(&format!("service.region{r}.writer.reads"))
+                .add(rr.writer_reads);
+            reg.counter(&format!("service.region{r}.writer.writes"))
+                .add(rr.writer_writes);
+            reg.counter(&format!("service.region{r}.session.reads"))
+                .add(rr.session_reads);
+            reg.gauge(&format!("service.region{r}.load"))
+                .set(rr.load() as i64);
+        }
+        for s in &report.base.sessions {
+            reg.gauge("service.pdq.queue_hwm")
+                .record_max(s.queue_hwm as i64);
+            if s.discarded_subtrees > 0 {
+                reg.counter("service.npdq.discarded").add(s.discarded_subtrees);
+            }
+            match &s.outcome {
+                SessionOutcome::Ok => {}
+                SessionOutcome::Degraded { errors } => {
+                    reg.counter("service.sessions.degraded").add(1);
+                    reg.counter("service.sessions.errors").add(errors.len() as u64);
+                }
+                SessionOutcome::Failed(_) => {
+                    reg.counter("service.sessions.failed").add(1);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtree::RTreeConfig;
+    use stkit::Rect;
+    use storage::Pager;
+
+    type R = NsiSegmentRecord<2>;
+
+    fn line_records(n: u32) -> Vec<R> {
+        (0..n)
+            .map(|i| {
+                let x = i as f64 + 0.5;
+                R::new(i, 0, Interval::new(0.0, 100.0), [x, 0.5], [x, 0.5])
+            })
+            .collect()
+    }
+
+    fn slide_spec(kind: SessionKind, frames: usize, span: f64) -> SessionSpec<2> {
+        SessionSpec {
+            kind,
+            trajectory: crate::Trajectory::linear(
+                Rect::from_corners([0.0, 0.0], [1.0, 1.0]),
+                [1.0, 0.0],
+                Interval::new(0.0, span),
+                2,
+            ),
+            frame_times: (0..=frames)
+                .map(|k| span * k as f64 / frames as f64)
+                .collect(),
+        }
+    }
+
+    fn build(grid: RegionGrid, preload: &[R]) -> PartitionedDqServer<2, Pager> {
+        PartitionedDqServer::build(grid, preload, |_| {
+            RTree::new(Pager::new(), RTreeConfig::default())
+        })
+    }
+
+    #[test]
+    fn single_region_matches_single_tree_server_per_frame() {
+        // 1-region partitioned serving delivers the same objects in the
+        // same frames as DqServer (in-frame order may legally differ at
+        // start-time ties, so compare frame sets).
+        let recs = line_records(30);
+        let spec = slide_spec(SessionKind::Pdq, 10, 30.0);
+        let part = build(RegionGrid::single(), &recs);
+        let p = part.serve(std::slice::from_ref(&spec), &[]);
+
+        let mut tree = RTree::new(Pager::new(), RTreeConfig::default());
+        for r in &recs {
+            tree.insert(*r, r.seg.t.lo);
+        }
+        let mono = crate::DqServer::new(tree).serve(std::slice::from_ref(&spec), &[]);
+
+        let frame_sets = |s: &SessionOutput| -> Vec<Vec<(u32, u32)>> {
+            let mut off = 0;
+            s.frames
+                .iter()
+                .map(|f| {
+                    let mut set = s.results[off..off + f.results].to_vec();
+                    off += f.results;
+                    set.sort_unstable();
+                    set
+                })
+                .collect()
+        };
+        assert_eq!(frame_sets(&p.sessions[0]), frame_sets(&mono.sessions[0]));
+    }
+
+    #[test]
+    fn partitioned_parallel_equals_partitioned_serial() {
+        let recs = line_records(40);
+        let specs = vec![
+            slide_spec(SessionKind::Pdq, 20, 40.0),
+            slide_spec(SessionKind::Npdq, 20, 40.0),
+        ];
+        let inserts: Vec<Vec<(R, f64)>> = (0..20)
+            .map(|k| {
+                let t = 40.0 * k as f64 / 20.0;
+                vec![(
+                    R::new(1000 + k, 0, Interval::new(t, 100.0), [(t + 5.0) % 39.0, 0.5], [(t + 5.0) % 39.0, 0.5]),
+                    t,
+                )]
+            })
+            .collect();
+        for cuts in [vec![20.0], vec![10.0, 20.0, 30.0]] {
+            let grid = RegionGrid::from_cuts(0, cuts);
+            let p = build(grid.clone(), &recs).serve(&specs, &inserts);
+            let s = build(grid, &recs).serve_serial(&specs, &inserts);
+            for (a, b) in p.sessions.iter().zip(&s.sessions) {
+                assert_eq!(a.results, b.results);
+            }
+            assert_eq!(p.base.inserts_applied, s.base.inserts_applied);
+            assert_eq!(p.base.writer_reads, s.base.writer_reads);
+            assert_eq!(p.base.writer_writes, s.base.writer_writes);
+        }
+    }
+
+    #[test]
+    fn seam_straddler_is_replicated_but_delivered_once() {
+        // One object moving ACROSS the cut at x = 5: its segment bbox
+        // touches both regions, so both trees store it — yet the PDQ
+        // merge must deliver exactly one entry event.
+        let straddler = R::new(9, 0, Interval::new(0.0, 10.0), [4.0, 0.5], [6.0, 0.5]);
+        let server = build(RegionGrid::from_cuts(0, vec![5.0]), &[straddler]);
+        assert_eq!(server.region_record_counts(), vec![1, 1], "replicated");
+        let spec = slide_spec(SessionKind::Pdq, 10, 10.0);
+        let report = server.serve(&[spec], &[]);
+        assert_eq!(report.sessions[0].results, vec![(9, 0)], "exactly once");
+    }
+
+    #[test]
+    fn insert_replication_counts_per_region() {
+        // A live insert straddling the seam applies in both regions:
+        // inserts_applied counts physical inserts.
+        let server = build(RegionGrid::from_cuts(0, vec![5.0]), &[]);
+        let batch = vec![
+            (R::new(1, 0, Interval::new(0.0, 10.0), [4.5, 0.5], [5.5, 0.5]), 0.0),
+            (R::new(2, 0, Interval::new(0.0, 10.0), [1.0, 0.5], [2.0, 0.5]), 0.0),
+        ];
+        let report = server.serve(&[], &[batch]);
+        assert_eq!(report.base.inserts_applied, 3, "straddler counts twice");
+        assert_eq!(report.regions[0].inserts_applied, 2);
+        assert_eq!(report.regions[1].inserts_applied, 1);
+    }
+
+    #[test]
+    fn per_region_reads_reconcile_with_level_counters() {
+        let recs = line_records(40);
+        let specs = vec![
+            slide_spec(SessionKind::Pdq, 10, 40.0),
+            slide_spec(SessionKind::Npdq, 10, 40.0),
+        ];
+        let inserts: Vec<Vec<(R, f64)>> = (0..10)
+            .map(|k| {
+                vec![(
+                    R::new(500 + k, 0, Interval::new(0.0, 100.0), [k as f64 + 0.25, 0.5], [k as f64 + 0.25, 0.5]),
+                    k as f64,
+                )]
+            })
+            .collect();
+        let server = build(RegionGrid::from_cuts(0, vec![13.0, 27.0]), &recs);
+        // Baseline after preload: build()'s inserts also read nodes.
+        let preload: Vec<_> = (0..3)
+            .map(|r| server.with_region_tree(r, |t| t.level_counters().snapshot()))
+            .collect();
+        let report = server.serve(&specs, &inserts);
+        for r in 0..3 {
+            let delta = server.with_region_tree(r, |t| t.level_counters().snapshot()) - preload[r];
+            assert_eq!(
+                delta.total_reads(),
+                report.regions[r].session_reads + report.regions[r].writer_reads,
+                "region {r} read identity"
+            );
+            assert_eq!(delta.total_writes(), report.regions[r].writer_writes);
+        }
+    }
+
+    /// Per-frame batches that all land strictly inside region 0 of a
+    /// cut-at-25 grid: writer reads+writes pile load onto that region.
+    fn region0_inserts(frames: usize) -> Vec<Vec<(R, f64)>> {
+        (0..frames)
+            .map(|k| {
+                let t = k as f64;
+                vec![(
+                    R::new(
+                        200 + k as u32,
+                        0,
+                        Interval::new(t, 100.0),
+                        [t + 0.25, 0.5],
+                        [t + 0.25, 0.5],
+                    ),
+                    t,
+                )]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn loads_accumulate_and_hotspot_flags_skew() {
+        let recs = line_records(30);
+        let server = build(RegionGrid::from_cuts(0, vec![25.0]), &recs);
+        assert_eq!(server.hotspot(2.0), None, "no load yet");
+        // Query sweeps [0, 25] and every insert lands left of the cut:
+        // region 0 does nearly all the work.
+        let spec = slide_spec(SessionKind::Pdq, 10, 24.0);
+        server.serve(&[spec], &region0_inserts(10));
+        let loads = server.region_loads();
+        assert!(loads[0] > 0);
+        assert!(loads[0] > 2 * loads[1].max(1), "loads {loads:?}");
+        assert_eq!(server.hotspot(1.5), Some(0));
+    }
+
+    #[test]
+    fn rebalance_recuts_and_preserves_results() {
+        let recs = line_records(30);
+        let spec = slide_spec(SessionKind::Pdq, 10, 24.0);
+        let mut server = build(RegionGrid::from_cuts(0, vec![25.0]), &recs);
+        server.serve(std::slice::from_ref(&spec), &region0_inserts(10));
+        server.rebalance(2, |_| RTree::new(Pager::new(), RTreeConfig::default()));
+        assert_eq!(server.grid().len(), 2);
+        let cut = server.grid().cuts()[0];
+        assert!(cut < 25.0, "cut moved into the hot slab, got {cut}");
+        assert_eq!(server.region_loads(), vec![0, 0], "loads reset");
+        // Oracle: a fresh server under the OLD grid with every record —
+        // including the ones inserted live above — preloaded. Delivery
+        // frames and the (start, oid, seq) merge order are both
+        // layout-independent, so result sequences must match exactly.
+        let mut all = recs.clone();
+        for batch in region0_inserts(10) {
+            for (r, _) in batch {
+                all.push(r);
+            }
+        }
+        let oracle =
+            build(RegionGrid::from_cuts(0, vec![25.0]), &all).serve(std::slice::from_ref(&spec), &[]);
+        let after = server.serve(std::slice::from_ref(&spec), &[]);
+        assert_eq!(after.sessions[0].results, oracle.sessions[0].results);
+    }
+
+    #[test]
+    fn zombie_session_does_not_stall_partitioned_serve() {
+        // An empty-schedule session among healthy ones plus per-frame
+        // inserts: the barrier protocol must complete.
+        let recs = line_records(10);
+        let mut dead = slide_spec(SessionKind::Pdq, 10, 10.0);
+        dead.frame_times = vec![0.0]; // zero steps
+        let specs = vec![slide_spec(SessionKind::Pdq, 10, 10.0), dead];
+        let inserts: Vec<Vec<(R, f64)>> = (0..10)
+            .map(|k| {
+                vec![(
+                    R::new(100 + k, 0, Interval::new(0.0, 100.0), [k as f64 + 0.1, 0.5], [k as f64 + 0.1, 0.5]),
+                    k as f64,
+                )]
+            })
+            .collect();
+        let server = build(RegionGrid::from_cuts(0, vec![5.0]), &recs);
+        let report = server.serve(&specs, &inserts);
+        assert_eq!(report.base.frames, 10);
+        assert!(report.sessions[0].results.len() >= 10);
+        assert!(report.sessions[1].results.is_empty());
+    }
+}

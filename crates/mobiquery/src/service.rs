@@ -62,7 +62,7 @@ pub struct SessionSpec<const D: usize> {
 
 impl<const D: usize> SessionSpec<D> {
     /// Frame steps this session needs.
-    fn steps(&self) -> usize {
+    pub(crate) fn steps(&self) -> usize {
         match self.kind {
             SessionKind::Pdq => self.frame_times.len().saturating_sub(1),
             SessionKind::Npdq => self.frame_times.len(),
@@ -123,7 +123,7 @@ impl SessionOutcome {
         }
     }
 
-    fn record_error(&mut self, e: StorageError) {
+    pub(crate) fn record_error(&mut self, e: StorageError) {
         match self {
             SessionOutcome::Ok => *self = SessionOutcome::Degraded { errors: vec![e] },
             SessionOutcome::Degraded { errors } => errors.push(e),
@@ -133,7 +133,7 @@ impl SessionOutcome {
 }
 
 /// Extract a printable message from a caught panic payload.
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

@@ -73,6 +73,14 @@ pub enum TraceEvent {
         /// PDQ mailboxes that received them.
         sessions: u32,
     },
+    /// A partitioned server routed a frame's insert batch to one region
+    /// (records straddling a seam are counted once per receiving region).
+    RegionRoute {
+        /// Region index within the grid.
+        region: u32,
+        /// Records routed to this region this frame.
+        records: u32,
+    },
 }
 
 /// A bounded ring of [`TraceEvent`]s, oldest-overwritten-first.

@@ -12,6 +12,7 @@ use crate::buffer::{CacheStats, Frame, PoolState};
 use crate::fault::{FaultRecovery, FaultRecoveryStats, RetryPolicy, StorageError};
 use crate::{IoSnapshot, PageId, PageRef, PageStore};
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// A fixed-capacity LRU page cache split into independently locked
@@ -24,8 +25,10 @@ use std::sync::Arc;
 pub struct ShardedBufferPool<S> {
     inner: S,
     shards: Vec<Mutex<PoolState>>,
-    /// Frame budget per shard.
-    shard_capacity: usize,
+    /// Frame budget per shard. Atomic so a server can re-slice one
+    /// device's total frame budget across regions between epochs
+    /// ([`Self::resize`]) without taking every shard lock up front.
+    shard_capacity: AtomicUsize,
     /// `log2(shards.len())`; the shard count is a power of two.
     shard_bits: u32,
     recovery: FaultRecovery,
@@ -42,9 +45,30 @@ impl<S: PageStore> ShardedBufferPool<S> {
         ShardedBufferPool {
             inner,
             shards: (0..shards).map(|_| Mutex::new(PoolState::empty())).collect(),
-            shard_capacity,
+            shard_capacity: AtomicUsize::new(shard_capacity),
             shard_bits: shards.trailing_zeros(),
             recovery: FaultRecovery::new(RetryPolicy::none()),
+        }
+    }
+
+    /// Total frame budget (per-shard budget × shard count).
+    pub fn capacity(&self) -> usize {
+        self.shard_capacity.load(Ordering::Relaxed) * self.shards.len()
+    }
+
+    /// Re-slice the pool to a new total `capacity` (divided evenly among
+    /// the existing shards, minimum 1 frame each), trimming any shard now
+    /// over budget — dirty victims are written back, like any eviction.
+    /// Used when a partitioned server re-assigns one device's frame
+    /// budget across regions between writer epochs.
+    pub fn resize(&self, capacity: usize) {
+        assert!(capacity > 0, "buffer pool capacity must be positive");
+        let per = capacity.div_ceil(self.shards.len()).max(1);
+        self.shard_capacity.store(per, Ordering::Relaxed);
+        for shard in &self.shards {
+            // `evict_if_full` evicts while len >= cap (it is built to run
+            // *before* an insert); `per + 1` trims to at most `per`.
+            shard.lock().evict_if_full(&self.inner, per + 1);
         }
     }
 
@@ -192,7 +216,7 @@ impl<S: PageStore> PageStore for ShardedBufferPool<S> {
         // one miss pairs with exactly one successful device read and the
         // other shards keep serving during backoff.
         let data = self.recovery.read_through(&self.inner, id)?.into_arc();
-        st.evict_if_full(&self.inner, self.shard_capacity);
+        st.evict_if_full(&self.inner, self.shard_capacity.load(Ordering::Relaxed));
         st.frames.insert(id, Frame::resident(Arc::clone(&data), false));
         st.push_front(id);
         Ok(PageRef::from_arc(data))
@@ -207,7 +231,7 @@ impl<S: PageStore> PageStore for ShardedBufferPool<S> {
             st.touch(id);
             return;
         }
-        st.evict_if_full(&self.inner, self.shard_capacity);
+        st.evict_if_full(&self.inner, self.shard_capacity.load(Ordering::Relaxed));
         let mut buf = vec![0u8; self.page_size()];
         buf[..data.len()].copy_from_slice(data);
         st.frames.insert(id, Frame::resident(buf.into(), true));
@@ -438,5 +462,32 @@ mod tests {
         });
         let cs = p.cache_stats();
         assert!(cs.hits > 0 && cs.misses > 0);
+    }
+    #[test]
+    fn resize_trims_resident_frames_and_rescales_capacity() {
+        let p = pool(16, 4);
+        assert_eq!(p.capacity(), 16);
+        let ids: Vec<PageId> = (0..16).map(|_| p.alloc()).collect();
+        for (i, id) in ids.iter().enumerate() {
+            p.write(*id, &[i as u8]);
+        }
+        // Fibonacci-hash placement is not perfectly uniform, so a shard
+        // may run over its slice and evict early; near-full is enough.
+        assert!(p.resident_frames() > 8, "resident {}", p.resident_frames());
+        // Shrink: residents trim to the new per-shard budget, contents
+        // survive via write-back.
+        p.resize(4);
+        assert_eq!(p.capacity(), 4);
+        assert!(p.resident_frames() <= 4, "resident {}", p.resident_frames());
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(p.read(*id)[0], i as u8);
+        }
+        // Grow: more pages stay resident again.
+        p.resize(16);
+        assert_eq!(p.capacity(), 16);
+        for id in &ids {
+            p.read(*id);
+        }
+        assert!(p.resident_frames() > 8, "resident {}", p.resident_frames());
     }
 }

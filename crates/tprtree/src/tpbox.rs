@@ -126,13 +126,26 @@ impl TpBox {
 
     /// The static rectangle this box covers at instant `t` (clamped into
     /// the active window).
+    ///
+    /// An empty active window bounds no instants at all, so the answer is
+    /// [`Rect::EMPTY`]. The previous behaviour clamped `t` into the empty
+    /// interval, which evaluates the edge forms at ±∞ and can yield an
+    /// *inverted or infinite* rectangle that silently passes overlap
+    /// checks (debug builds asserted; release builds returned garbage).
     pub fn rect_at(&self, t: Scalar) -> Rect<2> {
+        if self.active.is_empty() {
+            return Rect::EMPTY;
+        }
         let t = self.active.clamp(t);
         Rect::new([self.axes[0].extent_at(t), self.axes[1].extent_at(t)])
     }
 
     /// The set of instants in `window` at which this box overlaps `other`
     /// — a conjunction of linear inequalities, exact.
+    ///
+    /// Always the canonical [`Interval::EMPTY`] when no such instant
+    /// exists — in particular when either active window is empty — never
+    /// a non-canonical inverted interval.
     pub fn overlap_time(&self, other: &TpBox) -> Interval {
         let mut t = self.active.intersect(&other.active);
         for i in 0..2 {
@@ -142,6 +155,9 @@ impl TpBox {
             // self.lo(t) ≤ other.hi(t) ∧ self.hi(t) ≥ other.lo(t)
             t = t.intersect(&self.axes[i].lo_form().solve_le_form(&other.axes[i].hi_form()));
             t = t.intersect(&self.axes[i].hi_form().solve_ge_form(&other.axes[i].lo_form()));
+        }
+        if t.is_empty() {
+            return Interval::EMPTY;
         }
         t
     }
@@ -376,6 +392,50 @@ mod tests {
             Interval::new(7.0, 10.0),
         );
         assert!(p.overlap_time(&q_late).is_empty());
+    }
+
+    #[test]
+    fn empty_active_rect_at_is_empty() {
+        // A box whose edges are perfectly valid but whose active window
+        // is empty bounds no instants: rect_at must be empty at any t,
+        // not an inverted/infinite rectangle evaluated at a clamped ±∞.
+        let mut b = mp([1.0, 2.0], [1.0, -0.5], 0.0, 10.0);
+        b.active = Interval::EMPTY;
+        for t in [-5.0, 0.0, 3.0, 1e9] {
+            let r = b.rect_at(t);
+            assert!(r.is_empty(), "rect_at({t}) = {r:?} must be empty");
+        }
+        // Inverted (lo > hi) active windows count as empty too.
+        let mut inv = mp([1.0, 2.0], [1.0, -0.5], 0.0, 10.0);
+        inv.active = Interval::new(5.0, 2.0);
+        assert!(inv.active.is_empty());
+        assert!(inv.rect_at(3.0).is_empty());
+        assert_eq!(TpBox::EMPTY.rect_at(0.0), Rect::EMPTY);
+    }
+
+    #[test]
+    fn empty_active_overlap_time_is_canonically_empty() {
+        let a = mp([0.0, 0.5], [1.0, 0.0], 0.0, 10.0);
+        let mut dead = a;
+        dead.active = Interval::EMPTY;
+        // Both orders, and the canonical constant — not merely "some
+        // empty-ish interval" that downstream code might mishandle.
+        assert_eq!(dead.overlap_time(&a), Interval::EMPTY);
+        assert_eq!(a.overlap_time(&dead), Interval::EMPTY);
+        assert!(!Key::overlaps(&a, &dead));
+        assert!(!Key::overlaps(&dead, &a));
+        // Disjoint actives intersect to an inverted interval; the result
+        // must still be the canonical EMPTY.
+        let late = mp([0.0, 0.5], [1.0, 0.0], 20.0, 30.0);
+        let ov = a.overlap_time(&late);
+        assert_eq!(ov, Interval::EMPTY);
+        assert_eq!(ov.lo, Interval::EMPTY.lo);
+        assert_eq!(ov.hi, Interval::EMPTY.hi);
+        // And a non-overlap *within* a live window is canonical as well.
+        let never = mp([5.0, 50.0], [0.0, 0.0], 0.0, 10.0);
+        let ov = a.overlap_time(&never);
+        assert_eq!(ov.lo, Interval::EMPTY.lo);
+        assert_eq!(ov.hi, Interval::EMPTY.hi);
     }
 
     #[test]

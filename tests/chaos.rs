@@ -19,7 +19,9 @@
 
 use std::time::Duration;
 
-use dq_repro::mobiquery::{DqServer, SessionKind, SessionOutcome, SessionSpec, Trajectory};
+use dq_repro::mobiquery::{
+    DqServer, PartitionedDqServer, RegionGrid, SessionKind, SessionOutcome, SessionSpec, Trajectory,
+};
 use dq_repro::rtree::{NsiSegmentRecord, RTree, RTreeConfig};
 use dq_repro::stkit::{Interval, Rect};
 use dq_repro::storage::{
@@ -277,4 +279,66 @@ fn chaos_d_corrupt_root_stops_the_writer_cleanly() {
     }
     assert_eq!(report.writer_reads, 0, "failed reads must not count as device reads");
     assert_eq!(server.len(), 20, "the tree must be untouched");
+}
+
+/// (e) The partitioned server under the same transient-only schedule:
+/// every region's pool absorbs its own fault stream, and the concurrent
+/// multi-writer serve stays bit-identical to a fault-free partitioned
+/// serial oracle — region by region and session by session.
+#[test]
+fn chaos_e_partitioned_transients_match_clean_partitioned_serial() {
+    let recs = line_records(120);
+    let specs = vec![
+        slide_spec(SessionKind::Pdq, 0.0, 12, 12.0),
+        slide_spec(SessionKind::Npdq, 30.0, 12, 12.0),
+        slide_spec(SessionKind::Pdq, 60.0, 8, 12.0),
+        slide_spec(SessionKind::Npdq, 90.0, 8, 12.0),
+    ];
+    let inserts = line_inserts(12, 2);
+    let grid = RegionGrid::from_cuts(0, vec![40.0, 80.0]);
+
+    let faulted = PartitionedDqServer::build(grid.clone(), &recs, |r| {
+        let faulty = FaultyStore::new(
+            Pager::with_page_size(256),
+            FaultPlan::transient(42 + r as u64, 0.05),
+        );
+        let pool = ShardedBufferPool::new(ChecksumStore::new(faulty), 8, 2).with_retry(
+            RetryPolicy {
+                max_attempts: 8,
+                base_backoff: Duration::from_micros(1),
+            },
+        );
+        RTree::new(pool, RTreeConfig::default())
+    });
+    let report = faulted.serve(&specs, &inserts);
+
+    let oracle = PartitionedDqServer::build(grid, &recs, |_| {
+        RTree::new(Pager::with_page_size(256), RTreeConfig::default())
+    })
+    .serve_serial(&specs, &inserts);
+
+    assert!(report.base.writer_outcome.is_ok(), "writers: {:?}", report.base.writer_outcome);
+    assert_eq!(report.base.inserts_applied, oracle.base.inserts_applied);
+    for r in 0..report.regions.len() {
+        assert_eq!(
+            report.regions[r].inserts_applied, oracle.regions[r].inserts_applied,
+            "region {r} applied a different batch slice"
+        );
+    }
+    for (i, (got, want)) in report.sessions.iter().zip(&oracle.sessions).enumerate() {
+        assert!(got.outcome.is_ok(), "session {i}: {:?}", got.outcome);
+        assert_eq!(got.results, want.results, "session {i} diverged from oracle");
+    }
+
+    // At least one region's schedule actually fired, and none leaked.
+    let mut transients = 0;
+    for r in 0..3 {
+        let (t, exhausted) = faulted.with_region_tree(r, |tree| {
+            let pool = tree.store();
+            (pool.inner().inner().injected().transients, pool.fault_stats().exhausted)
+        });
+        transients += t;
+        assert_eq!(exhausted, 0, "region {r} exhausted a retry budget");
+    }
+    assert!(transients > 0, "no transient fault ever injected");
 }

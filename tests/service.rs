@@ -5,7 +5,7 @@
 //! equal the single-threaded reference protocol on an identically
 //! prepared server.
 
-use dq_repro::mobiquery::{DqServer, SessionKind, SessionSpec};
+use dq_repro::mobiquery::{DqServer, PartitionedDqServer, RegionGrid, SessionKind, SessionSpec};
 use dq_repro::rtree::{NsiSegmentRecord, RTree, RTreeConfig};
 use dq_repro::storage::{PageStore, Pager, ShardedBufferPool};
 use dq_repro::workload::{Dataset, DatasetConfig, QueryWorkload, QueryWorkloadConfig};
@@ -121,4 +121,45 @@ fn serving_twice_is_reproducible() {
     };
     assert_eq!(run(true), run(true), "two concurrent runs diverged");
     assert_eq!(run(true), run(false), "concurrent vs serial diverged");
+}
+
+/// Bridge to the partitioned server: over a single region the region
+/// trees are built by the same insert sequence as [`DqServer`]'s tree,
+/// so per-frame delivered *sets* must agree exactly for every session —
+/// the only legal difference is in-frame tie order (queue pop order vs
+/// the router's (start, oid, seq) merge).
+#[test]
+fn single_region_partitioned_matches_dqserver_frame_sets() {
+    let fx = fixture();
+    let partitioned = PartitionedDqServer::build(RegionGrid::single(), &fx.preload, |_| {
+        RTree::new(ShardedBufferPool::new(Pager::new(), 64, 4), RTreeConfig::default())
+    })
+    .serve(&fx.specs, &fx.inserts);
+    let mono = DqServer::new(build_tree(Pager::new(), &fx.preload)).serve_serial(&fx.specs, &fx.inserts);
+
+    // One region means no seam replication: physical == logical inserts.
+    let live_total: usize = fx.inserts.iter().map(Vec::len).sum();
+    assert_eq!(partitioned.base.inserts_applied, live_total);
+
+    let frame_sets = |s: &dq_repro::mobiquery::SessionOutput| -> Vec<Vec<(u32, u32)>> {
+        let mut off = 0;
+        s.frames
+            .iter()
+            .map(|f| {
+                let mut set = s.results[off..off + f.results].to_vec();
+                off += f.results;
+                set.sort_unstable();
+                set
+            })
+            .collect()
+    };
+    for (i, (p, m)) in partitioned.sessions.iter().zip(&mono.sessions).enumerate() {
+        assert!(p.outcome.is_ok(), "session {i}: {:?}", p.outcome);
+        assert_eq!(
+            frame_sets(p),
+            frame_sets(m),
+            "session {i} ({:?}) diverged from the single-tree server",
+            fx.specs[i].kind
+        );
+    }
 }

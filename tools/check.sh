@@ -19,6 +19,14 @@
 # BENCH_read_path.json baseline (DQ_OBS_SPEEDUP_TOL, default 0.25 —
 # ratios are machine-portable where absolute throughputs are not).
 #
+# --shard-smoke runs the region-partitioned serving path end to end:
+# the partition integration suite (seam exactly-once oracle, partitioned
+# serve == partitioned serve_serial over 2 and 4 regions, per-region
+# reconciliation identities), then the exp_service regions sweep whose
+# hard asserts re-check the per-region identities; the wrapper verifies
+# the load distribution — no region may carry more than 2x the mean
+# region load under the uniform workload.
+#
 # --chaos-smoke runs the fault-tolerance path end to end: the chaos
 # integration suite (seeded fault schedules vs a fault-free oracle),
 # then exp_service twice — fault-free baseline and under a 1 % seeded
@@ -32,11 +40,13 @@ cd "$(dirname "$0")/.."
 BENCH_SMOKE=0
 OBS_SMOKE=0
 CHAOS_SMOKE=0
+SHARD_SMOKE=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) BENCH_SMOKE=1 ;;
     --obs-smoke) OBS_SMOKE=1 ;;
     --chaos-smoke) CHAOS_SMOKE=1 ;;
+    --shard-smoke) SHARD_SMOKE=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -84,6 +94,30 @@ if smoke < base * (1.0 - tol):
              f"{base:.2f}x by more than {tol:.0%} — obs instrumentation "
              "slowed the read path")
 print(f"OK: instrumented speedup {smoke:.2f}x vs baseline {base:.2f}x (tol {tol:.0%}).")
+PY
+fi
+
+if [ "$SHARD_SMOKE" = 1 ]; then
+  # Seam exactly-once oracle + partitioned-vs-serial determinism +
+  # per-region reconciliation, as tests.
+  cargo test -q --offline --test partition
+  echo "OK: partition suite green (seam exactly-once, serve == serve_serial, region identities)."
+
+  # The regions sweep re-asserts the per-region identities internally;
+  # here we additionally bound the load skew: under the uniform
+  # workload no region may pull more than 2x the mean region load.
+  DQ_SCALE=quick DQ_SESSIONS=4 DQ_REGIONS=1,2,4 \
+    cargo run -q --offline --release -p bench --bin exp_service \
+    > target/figures/exp_service_shard_smoke.txt
+  python3 - "$PWD/target/figures/exp_service_regions.json" <<'PY'
+import json, sys
+rows = json.load(open(sys.argv[1]))["rows"]
+for r in rows:
+    regions, skew = int(r[0]), float(r[-1])
+    if skew > 2.0:
+        sys.exit(f"FAIL: with {regions} regions the hottest region pulls "
+                 f"{skew:.2f}x the mean load (> 2x) under a uniform workload")
+    print(f"OK: {regions} region(s), max/mean load {skew:.2f}x (bound 2.0x).")
 PY
 fi
 
