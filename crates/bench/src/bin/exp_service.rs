@@ -145,10 +145,21 @@ fn run_config<S: PageStore + Send + Sync>(
     // (failed reads never touch the device counters, and the pool's
     // retry pairs each miss with exactly one successful device read).
     //  tree level counters == engine QueryStats + writer attribution
+    //  + optimistic retry traffic (node reads performed but discarded on
+    //  version-validation failure; the serve publishes the delta as
+    //  `tree.read_retries`). Under the barrier protocol the writer never
+    //  overlaps a reading frame, so the retry term must be exactly zero
+    //  and the identity stays exact — a nonzero term here would mean a
+    //  write section leaked into a read phase.
+    let retried = registry.counter_value("tree.read_retries");
     assert_eq!(
         levels.total_reads(),
-        report.total_reads(),
-        "tree node reads must equal session disk accesses + writer reads"
+        report.total_reads() + retried,
+        "tree node reads must equal session disk accesses + writer reads + retried reads"
+    );
+    assert_eq!(
+        retried, 0,
+        "the barrier protocol must keep optimistic reads conflict-free"
     );
     //  tree level counters == buffer pool hit/miss accounting
     assert_eq!(
@@ -246,7 +257,7 @@ fn run_partitioned(
         .map(|r| {
             server.with_region_tree(r, |t| {
                 t.store().clear(); // serve from a cold cache
-                (t.level_counters().snapshot(), t.store().cache_stats())
+                (t.level_counters().snapshot(), t.store().cache_stats(), t.epoch_stats())
             })
         })
         .collect();
@@ -269,15 +280,21 @@ fn run_partitioned(
     // hit or miss.
     let mut disk_reads = 0;
     let mut summed_reads = 0;
-    for (r, (levels0, cache0)) in before.into_iter().enumerate() {
-        let (levels, cache) = server
-            .with_region_tree(r, |t| (t.level_counters().snapshot(), t.store().cache_stats()));
+    for (r, (levels0, cache0, epoch0)) in before.into_iter().enumerate() {
+        let (levels, cache, epoch) = server.with_region_tree(r, |t| {
+            (t.level_counters().snapshot(), t.store().cache_stats(), t.epoch_stats())
+        });
         let reads = (levels - levels0).total_reads();
+        // Optimistic retry traffic joins the identity; the frame barrier
+        // keeps the regions' write phases disjoint from reading frames,
+        // so the term must be exactly zero.
+        let retried = (epoch - epoch0).read_retries;
         assert_eq!(
             reads,
-            report.regions[r].session_reads + report.regions[r].writer_reads,
+            report.regions[r].session_reads + report.regions[r].writer_reads + retried,
             "region {r}: tree reads vs attributed reads"
         );
+        assert_eq!(retried, 0, "region {r}: a write section leaked into a read phase");
         assert_eq!(
             (cache.hits - cache0.hits) + (cache.misses - cache0.misses),
             reads,

@@ -21,8 +21,8 @@
 use crate::layout::MotionRecord;
 use crate::snapshot::SnapshotQuery;
 use crate::stats::QueryStats;
-use rtree::{Key, RTree};
-use storage::{PageId, PageStore, StorageError};
+use rtree::{Key, TreeRead};
+use storage::{PageId, StorageError};
 
 /// The NPDQ query processor: one instance per dynamic query session.
 ///
@@ -65,6 +65,9 @@ pub struct NpdqEngine<const D: usize> {
     /// Internal entries that overlapped the query (the discard check's
     /// denominator).
     candidate_subtrees: u64,
+    /// SoA staging of one node page's internal-entry keys (scratch): the
+    /// overlap and Lemma-1 tests evaluate branch-free across all lanes.
+    batch: KeyBatch,
 }
 
 impl<const D: usize> Default for NpdqEngine<D> {
@@ -82,6 +85,7 @@ impl<const D: usize> NpdqEngine<D> {
             stack: Vec::new(),
             discarded_subtrees: 0,
             candidate_subtrees: 0,
+            batch: KeyBatch::default(),
         }
     }
 
@@ -119,9 +123,9 @@ impl<const D: usize> NpdqEngine<D> {
     /// Generic over the index layout ([`MotionRecord`]): run it over the
     /// double-temporal-axes tree (the paper's choice, Fig. 5(b)) or the
     /// plain NSI tree with open-ended queries (Fig. 5(a)).
-    pub fn execute<R: MotionRecord<D>, S: PageStore>(
+    pub fn execute<R: MotionRecord<D>, T: TreeRead<R> + ?Sized>(
         &mut self,
-        tree: &RTree<R, S>,
+        tree: &T,
         q: &SnapshotQuery<D>,
         now: f64,
         emit: impl FnMut(&R),
@@ -137,9 +141,9 @@ impl<const D: usize> NpdqEngine<D> {
     /// discard baseline), so re-executing a later snapshot will re-derive
     /// the delta against the last *completed* query — possibly re-emitting
     /// some of this frame's partial results, never losing any.
-    pub fn try_execute<R: MotionRecord<D>, S: PageStore>(
+    pub fn try_execute<R: MotionRecord<D>, T: TreeRead<R> + ?Sized>(
         &mut self,
-        tree: &RTree<R, S>,
+        tree: &T,
         q: &SnapshotQuery<D>,
         now: f64,
         mut emit: impl FnMut(&R),
@@ -196,27 +200,33 @@ impl<const D: usize> NpdqEngine<D> {
                     emit(&rec);
                 }
             } else {
+                // Stage all entry keys, then evaluate the overlap and
+                // Lemma-1 masks branch-free across every lane at once;
+                // the masks equal the scalar `key.overlaps(&qkey)` /
+                // `discardable(pk, &qkey, &key)` tests exactly.
+                self.batch.clear();
                 for (key, child) in node.internal_entries() {
                     stats.distance_computations += 1;
-                    if !key.overlaps(&qkey) {
+                    self.batch.push(&key, child);
+                }
+                let pdiscard = if clean { pkey.as_ref().map(|(_, pk, _)| pk) } else { None };
+                self.batch.solve(&qkey, pdiscard);
+                for j in 0..self.batch.len() {
+                    if !self.batch.overlap[j] {
                         continue;
                     }
                     self.candidate_subtrees += 1;
-                    if clean {
-                        if let Some((_, pk, _)) = &pkey {
-                            if discardable(pk, &qkey, &key) {
-                                // Pruned without loading: the I/O the
-                                // previous query paid for.
-                                self.discarded_subtrees += 1;
-                                obs::trace(obs::TraceEvent::QueueOp {
-                                    op: obs::QueueOpKind::Discard,
-                                    depth: stack.len() as u32,
-                                });
-                                continue;
-                            }
-                        }
+                    if pdiscard.is_some() && self.batch.discard[j] {
+                        // Pruned without loading: the I/O the previous
+                        // query paid for.
+                        self.discarded_subtrees += 1;
+                        obs::trace(obs::TraceEvent::QueueOp {
+                            op: obs::QueueOpKind::Discard,
+                            depth: stack.len() as u32,
+                        });
+                        continue;
                     }
-                    stack.push(child);
+                    stack.push(self.batch.children[j]);
                 }
             }
         }
@@ -231,11 +241,99 @@ pub fn discardable<K: Key>(p: &K, q: &K, r: &K) -> bool {
     p.contains(&q.intersect(r))
 }
 
+/// Struct-of-arrays staging for one node page's internal-entry keys.
+///
+/// Bounds are stored axis-major (`axes_lo[a][j]` is entry `j`'s lower
+/// bound on axis `a`), so the per-axis inner loops below are pure
+/// compare/select lanes over contiguous `f64`s — the same layout the
+/// geometry kernels in `stkit::batch` use. The masks computed by
+/// [`KeyBatch::solve`] equal the scalar tests entry for entry:
+/// `overlap[j] == key_j.overlaps(q)` and (given a previous query `p`)
+/// `discard[j] == discardable(p, q, &key_j)`.
+#[derive(Clone, Debug, Default)]
+struct KeyBatch {
+    axes_lo: Vec<Vec<f64>>,
+    axes_hi: Vec<Vec<f64>>,
+    children: Vec<PageId>,
+    overlap: Vec<bool>,
+    discard: Vec<bool>,
+    /// Per-lane: some axis of `q ∩ r` is empty (then `q ∩ r ⊆ p` holds
+    /// vacuously, matching `StBox::contains`' empty-operand early-out).
+    inter_empty: Vec<bool>,
+    /// Per-lane: every axis of `q ∩ r` lies inside `p`'s extent.
+    contained: Vec<bool>,
+}
+
+impl KeyBatch {
+    fn clear(&mut self) {
+        for v in &mut self.axes_lo {
+            v.clear();
+        }
+        for v in &mut self.axes_hi {
+            v.clear();
+        }
+        self.children.clear();
+    }
+
+    fn len(&self) -> usize {
+        self.children.len()
+    }
+
+    fn push<K: Key>(&mut self, key: &K, child: PageId) {
+        if self.axes_lo.len() < K::AXES {
+            self.axes_lo.resize_with(K::AXES, Vec::new);
+            self.axes_hi.resize_with(K::AXES, Vec::new);
+        }
+        for a in 0..K::AXES {
+            self.axes_lo[a].push(key.axis_lo(a));
+            self.axes_hi[a].push(key.axis_hi(a));
+        }
+        self.children.push(child);
+    }
+
+    /// Evaluate the overlap mask against `q` and, when `p` is given, the
+    /// Lemma-1 discardability mask against `(p, q)`.
+    fn solve<K: Key>(&mut self, q: &K, p: Option<&K>) {
+        let n = self.len();
+        self.overlap.clear();
+        self.overlap.resize(n, !q.is_empty());
+        self.inter_empty.clear();
+        self.inter_empty.resize(n, false);
+        self.contained.clear();
+        self.contained.resize(n, p.is_some());
+        for a in 0..K::AXES {
+            let (q_lo, q_hi) = (q.axis_lo(a), q.axis_hi(a));
+            let (p_lo, p_hi) = match p {
+                Some(p) => (p.axis_lo(a), p.axis_hi(a)),
+                None => (f64::INFINITY, f64::NEG_INFINITY),
+            };
+            // `contains_interval` requires the container axis non-empty.
+            let p_ok = p_lo <= p_hi;
+            let lo = &self.axes_lo[a];
+            let hi = &self.axes_hi[a];
+            for j in 0..n {
+                let (r_lo, r_hi) = (lo[j], hi[j]);
+                let i_lo = q_lo.max(r_lo);
+                let i_hi = q_hi.min(r_hi);
+                let axis_hit = i_lo <= i_hi;
+                self.overlap[j] &= axis_hit && r_lo <= r_hi;
+                self.inter_empty[j] |= !axis_hit;
+                self.contained[j] &= p_ok && p_lo <= i_lo && i_hi <= p_hi;
+            }
+        }
+        self.discard.clear();
+        self.discard.reserve(n);
+        for j in 0..n {
+            self.discard.push(self.inter_empty[j] || self.contained[j]);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use rtree::bulk::bulk_load;
-    use rtree::{DtaSegmentRecord, RTreeConfig};
+    use rtree::{DtaSegmentRecord, RTree, RTreeConfig};
     use storage::Pager;
     use stkit::{Interval, Rect, StBox};
 

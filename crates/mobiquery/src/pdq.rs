@@ -20,11 +20,11 @@
 
 use crate::stats::QueryStats;
 use crate::trajectory::Trajectory;
-use rtree::{Inserted, NsiSegmentRecord, RTree, Record};
+use rtree::{Inserted, NsiSegmentRecord, Record, TreeRead};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
-use storage::{PageId, PageStore, StorageError};
-use stkit::TimeSet;
+use storage::{PageId, StorageError};
+use stkit::{RectBatch, SegmentBatch, TimeSet};
 
 /// One answer of a dynamic query: the record plus the set of times during
 /// which it is visible ("the database will inform the application about
@@ -152,6 +152,16 @@ pub struct PdqEngine<const D: usize> {
     /// proxy (the paper's queue-size concern in §4.1).
     queue_hwm: usize,
     stats: QueryStats,
+    /// SoA staging for internal-node entry boxes (scratch, reused).
+    rect_batch: RectBatch<D>,
+    /// SoA staging for leaf motion segments (scratch, reused).
+    seg_batch: SegmentBatch<D>,
+    /// Per-entry overlap time sets from the last batch solve (scratch).
+    ts_out: Vec<TimeSet>,
+    /// Leaf records staged alongside `seg_batch` (scratch).
+    pending_recs: Vec<NsiSegmentRecord<D>>,
+    /// Child pages staged alongside `rect_batch` (scratch).
+    pending_children: Vec<PageId>,
     /// Levels-from-root threshold for the §4.1 rebuild heuristic: if an
     /// update's LCA is at distance < `rebuild_depth` from the root, drop
     /// and rebuild the queue instead of patching it.
@@ -161,8 +171,8 @@ pub struct PdqEngine<const D: usize> {
 impl<const D: usize> PdqEngine<D> {
     /// Start a dynamic query: seeds the queue with the root (if the root's
     /// box overlaps the trajectory at all).
-    pub fn start<S: PageStore>(
-        tree: &RTree<NsiSegmentRecord<D>, S>,
+    pub fn start<T: TreeRead<NsiSegmentRecord<D>> + ?Sized>(
+        tree: &T,
         trajectory: Trajectory<D>,
     ) -> Self {
         let mut engine = PdqEngine {
@@ -175,6 +185,11 @@ impl<const D: usize> PdqEngine<D> {
             last_t_start: f64::NEG_INFINITY,
             queue_hwm: 0,
             stats: QueryStats::default(),
+            rect_batch: RectBatch::new(),
+            seg_batch: SegmentBatch::new(),
+            ts_out: Vec::new(),
+            pending_recs: Vec::new(),
+            pending_children: Vec::new(),
             rebuild_depth: 1,
         };
         engine.seed_root(tree);
@@ -195,7 +210,7 @@ impl<const D: usize> PdqEngine<D> {
         });
     }
 
-    fn seed_root<S: PageStore>(&mut self, tree: &RTree<NsiSegmentRecord<D>, S>) {
+    fn seed_root<T: TreeRead<NsiSegmentRecord<D>> + ?Sized>(&mut self, tree: &T) {
         // The root has no stored bounding box above it; enqueue it over
         // the whole trajectory span (it is examined precisely on first pop).
         let span = self.trajectory.span();
@@ -240,9 +255,9 @@ impl<const D: usize> PdqEngine<D> {
     ///
     /// Items whose overlap interval ended before `t_start` are discarded —
     /// the application never asked for them (it "skipped ahead").
-    pub fn get_next<S: PageStore>(
+    pub fn get_next<T: TreeRead<NsiSegmentRecord<D>> + ?Sized>(
         &mut self,
-        tree: &RTree<NsiSegmentRecord<D>, S>,
+        tree: &T,
         t_start: f64,
         t_end: f64,
     ) -> Option<PdqResult<D>> {
@@ -257,9 +272,9 @@ impl<const D: usize> PdqEngine<D> {
     /// retracted, so the very next call retries the read. Results already
     /// returned are never repeated and none are lost: a session can keep
     /// calling across frames and heal once the fault clears.
-    pub fn try_get_next<S: PageStore>(
+    pub fn try_get_next<T: TreeRead<NsiSegmentRecord<D>> + ?Sized>(
         &mut self,
-        tree: &RTree<NsiSegmentRecord<D>, S>,
+        tree: &T,
         t_start: f64,
         t_end: f64,
     ) -> Result<Option<PdqResult<D>>, StorageError> {
@@ -331,9 +346,9 @@ impl<const D: usize> PdqEngine<D> {
     /// Read a node (one disk access, zero-copy) and enqueue each child
     /// whose overlap-time set is non-empty and not entirely before
     /// `t_start`. Entries are decoded lazily straight out of the page.
-    fn expand<S: PageStore>(
+    fn expand<T: TreeRead<NsiSegmentRecord<D>> + ?Sized>(
         &mut self,
-        tree: &RTree<NsiSegmentRecord<D>, S>,
+        tree: &T,
         page: PageId,
         level: u32,
         t_start: f64,
@@ -344,12 +359,24 @@ impl<const D: usize> PdqEngine<D> {
             self.stats.leaf_accesses += 1;
         }
         if node.is_leaf() {
+            // Stage every not-yet-returned segment into the SoA batch,
+            // then solve all lanes per trajectory piece (branch-free
+            // inner loops, bit-identical to the scalar path).
+            self.seg_batch.clear();
+            self.pending_recs.clear();
             for rec in node.leaf_records() {
                 self.stats.distance_computations += 1;
                 if self.returned.contains(&(rec.oid, rec.seq)) {
                     continue;
                 }
-                let ts = self.trajectory.overlap_segment(&rec.seg);
+                self.seg_batch.push(&rec.seg);
+                self.pending_recs.push(rec);
+            }
+            self.trajectory
+                .overlap_segment_batch_into(&mut self.seg_batch, &mut self.ts_out);
+            for j in 0..self.pending_recs.len() {
+                let ts = std::mem::take(&mut self.ts_out[j]);
+                let rec = self.pending_recs[j];
                 self.enqueue_timeset(ts, t_start, |ts| QueueItem {
                     start: ts.start().unwrap(),
                     end: ts.end().unwrap(),
@@ -361,9 +388,18 @@ impl<const D: usize> PdqEngine<D> {
             }
         } else {
             let child_level = node.level() - 1;
+            self.rect_batch.clear();
+            self.pending_children.clear();
             for (key, child) in node.internal_entries() {
                 self.stats.distance_computations += 1;
-                let ts = self.trajectory.overlap_nsi_box(&key);
+                self.rect_batch.push(&key.space, &key.time.extent(0));
+                self.pending_children.push(child);
+            }
+            self.trajectory
+                .overlap_rect_batch_into(&mut self.rect_batch, &mut self.ts_out);
+            for j in 0..self.pending_children.len() {
+                let ts = std::mem::take(&mut self.ts_out[j]);
+                let child = self.pending_children[j];
                 self.enqueue_timeset(ts, t_start, |ts| QueueItem {
                     start: ts.start().unwrap(),
                     end: ts.end().unwrap(),
@@ -398,9 +434,9 @@ impl<const D: usize> PdqEngine<D> {
     /// Drain every object whose visibility overlaps `[t_start, t_end]`.
     /// The typical per-frame call: all objects newly appearing by the
     /// frame's time.
-    pub fn drain_window<S: PageStore>(
+    pub fn drain_window<T: TreeRead<NsiSegmentRecord<D>> + ?Sized>(
         &mut self,
-        tree: &RTree<NsiSegmentRecord<D>, S>,
+        tree: &T,
         t_start: f64,
         t_end: f64,
     ) -> Vec<PdqResult<D>> {
@@ -412,9 +448,9 @@ impl<const D: usize> PdqEngine<D> {
     /// Like [`Self::drain_window`], but appends into a caller-owned
     /// buffer so per-frame serving loops can reuse one allocation across
     /// frames.
-    pub fn drain_window_into<S: PageStore>(
+    pub fn drain_window_into<T: TreeRead<NsiSegmentRecord<D>> + ?Sized>(
         &mut self,
-        tree: &RTree<NsiSegmentRecord<D>, S>,
+        tree: &T,
         t_start: f64,
         t_end: f64,
         out: &mut Vec<PdqResult<D>>,
@@ -426,9 +462,9 @@ impl<const D: usize> PdqEngine<D> {
     /// Fallible form of [`Self::drain_window_into`]: results due before
     /// the fault are appended to `out` and remain valid; the failing node
     /// stays queued for retry (see [`Self::try_get_next`]).
-    pub fn try_drain_window_into<S: PageStore>(
+    pub fn try_drain_window_into<T: TreeRead<NsiSegmentRecord<D>> + ?Sized>(
         &mut self,
-        tree: &RTree<NsiSegmentRecord<D>, S>,
+        tree: &T,
         t_start: f64,
         t_end: f64,
         out: &mut Vec<PdqResult<D>>,
@@ -441,9 +477,9 @@ impl<const D: usize> PdqEngine<D> {
 
     /// §4.1 update management: called with the report of every insertion
     /// that runs concurrently with this dynamic query.
-    pub fn notify<S: PageStore>(
+    pub fn notify<T: TreeRead<NsiSegmentRecord<D>> + ?Sized>(
         &mut self,
-        tree: &RTree<NsiSegmentRecord<D>, S>,
+        tree: &T,
         report: &rtree::InsertReport<<NsiSegmentRecord<D> as Record>::Key, NsiSegmentRecord<D>>,
     ) {
         // Reports whose overlap ended before the latest requested t_start
@@ -494,7 +530,7 @@ impl<const D: usize> PdqEngine<D> {
 
     /// Drop all queue state and restart from the root, preserving the set
     /// of already-returned objects so nothing is reported twice.
-    pub fn rebuild<S: PageStore>(&mut self, tree: &RTree<NsiSegmentRecord<D>, S>) {
+    pub fn rebuild<T: TreeRead<NsiSegmentRecord<D>> + ?Sized>(&mut self, tree: &T) {
         self.queue.clear();
         self.expanded.clear();
         self.recent.clear();
@@ -507,7 +543,7 @@ impl<const D: usize> PdqEngine<D> {
 mod tests {
     use super::*;
     use rtree::bulk::bulk_load;
-    use rtree::RTreeConfig;
+    use rtree::{RTree, RTreeConfig};
     use storage::Pager;
     use stkit::{Interval, Rect};
 

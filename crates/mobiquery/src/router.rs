@@ -29,10 +29,12 @@
 //! waits every region's writer applies its routed slice of the batch
 //! under ITS tree's write lock and broadcasts its [`rtree::InsertReport`]s
 //! into per-`(session, region)` mailboxes; after the second wait each
-//! session absorbs and drains each lane under that region's read lock.
+//! session absorbs and drains each lane *latch-free* through a per-region
+//! optimistic [`rtree::TreeReader`] — no read lock on the serving path.
 //! Because each region has its own tree and pool, the reconciliation
 //! identity holds *per region*: region tree level reads == Σ lane disk
-//! accesses attributed to that region + that region's writer reads.
+//! accesses attributed to that region + that region's writer reads (+
+//! validation-discarded reads, zero under the barrier protocol).
 //!
 //! Hotspot rebalancing (after Kiwano, arXiv 1211.4414): every serve
 //! accumulates per-region load (writer reads+writes plus session reads);
@@ -52,7 +54,7 @@ use crate::service::{
 use crate::snapshot::SnapshotQuery;
 use crate::stats::QueryStats;
 use parking_lot::{Mutex, RwLock};
-use rtree::{NsiSegmentRecord, RTree};
+use rtree::{EpochStats, NsiSegmentRecord, RTree, TreeReadRetry};
 use std::collections::{BTreeMap, HashSet};
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -117,7 +119,7 @@ impl std::ops::Deref for PartitionedServeReport {
 /// region's tree.
 enum LaneEngine<const D: usize> {
     Pdq(Box<PdqEngine<D>>),
-    Npdq(NpdqEngine<D>),
+    Npdq(Box<NpdqEngine<D>>),
 }
 
 /// One session's in-flight state: an engine per swept region, plus the
@@ -138,24 +140,32 @@ struct LaneRun<'a, const D: usize> {
     scratch: Vec<PdqResult<D>>,
     merge_pdq: Vec<(f64, u32, u32)>,
     merge_npdq: Vec<(u32, u32)>,
+    /// Per-attempt NPDQ emission staging: a snapshot descent aborted by
+    /// a version conflict retries wholesale, so emissions only reach the
+    /// merge once the attempt completes.
+    npdq_scratch: Vec<(u32, u32)>,
 }
 
 impl<'a, const D: usize> LaneRun<'a, D> {
-    fn start<S: PageStore>(
+    /// `trees[r]` is the read handle for region `r`: optimistic
+    /// [`rtree::TreeReader`]s on the concurrent path, the same on the
+    /// serial path (validation always passes there — no concurrent
+    /// writer — so the code path stays identical).
+    fn start<T: TreeReadRetry<NsiSegmentRecord<D>>>(
         index: usize,
         spec: &'a SessionSpec<D>,
         grid: &RegionGrid,
-        regions: &[RwLock<RTree<NsiSegmentRecord<D>, S>>],
+        trees: &[T],
     ) -> Self {
         let lanes = grid.route_rect(&spec.trajectory.swept_bounds());
         let engines = lanes
             .clone()
             .map(|r| match spec.kind {
                 SessionKind::Pdq => LaneEngine::Pdq(Box::new(PdqEngine::start(
-                    &regions[r].read(),
+                    &trees[r],
                     spec.trajectory.clone(),
                 ))),
-                SessionKind::Npdq => LaneEngine::Npdq(NpdqEngine::new()),
+                SessionKind::Npdq => LaneEngine::Npdq(Box::new(NpdqEngine::new())),
             })
             .collect();
         LaneRun {
@@ -165,10 +175,11 @@ impl<'a, const D: usize> LaneRun<'a, D> {
             engines,
             delivered: HashSet::new(),
             out: SessionOutput::default(),
-            region_reads: vec![0; regions.len()],
+            region_reads: vec![0; trees.len()],
             scratch: Vec::new(),
             merge_pdq: Vec::new(),
             merge_npdq: Vec::new(),
+            npdq_scratch: Vec::new(),
         }
     }
 
@@ -178,9 +189,9 @@ impl<'a, const D: usize> LaneRun<'a, D> {
     /// process in ascending region order, so the choice is
     /// deterministic); the engines stay valid for retry next frame,
     /// exactly like the single-tree path.
-    fn step_frame<S: PageStore>(
+    fn step_frame<T: TreeReadRetry<NsiSegmentRecord<D>>>(
         &mut self,
-        regions: &[RwLock<RTree<NsiSegmentRecord<D>, S>>],
+        trees: &[T],
         reports: &[Vec<NsiReport<D>>],
         k: usize,
     ) -> Result<Option<u64>, StorageError> {
@@ -201,16 +212,16 @@ impl<'a, const D: usize> LaneRun<'a, D> {
         self.merge_pdq.clear();
         self.merge_npdq.clear();
         for (li, r) in self.lanes.clone().enumerate() {
-            let guard = regions[r].read();
+            let tree = &trees[r];
             match &mut self.engines[li] {
                 LaneEngine::Pdq(pdq) => {
                     for report in &reports[li] {
-                        pdq.notify(&guard, report);
+                        pdq.notify(tree, report);
                     }
                     if in_schedule {
                         let (t0, t1) = (self.spec.frame_times[k], self.spec.frame_times[k + 1]);
                         self.scratch.clear();
-                        let res = pdq.try_drain_window_into(&guard, t0, t1, &mut self.scratch);
+                        let res = pdq.try_drain_window_into(tree, t0, t1, &mut self.scratch);
                         for pr in &self.scratch {
                             self.merge_pdq.push((
                                 pr.visibility.start().unwrap_or(f64::NEG_INFINITY),
@@ -234,11 +245,17 @@ impl<'a, const D: usize> LaneRun<'a, D> {
                     if in_schedule {
                         let t = self.spec.frame_times[k];
                         let q = SnapshotQuery::at_instant(self.spec.trajectory.window_at(t), t);
-                        let merge = &mut self.merge_npdq;
-                        match npdq.try_execute(&guard, &q, t, |rec: &NsiSegmentRecord<D>| {
-                            merge.push(rec.ids());
+                        // Whole descent against one pinned version; an
+                        // aborted attempt's emissions stay in the scratch.
+                        let scratch = &mut self.npdq_scratch;
+                        match tree.with_consistent(|view| {
+                            scratch.clear();
+                            npdq.try_execute(view, &q, t, |rec: &NsiSegmentRecord<D>| {
+                                scratch.push(rec.ids());
+                            })
                         }) {
                             Ok(st) => {
+                                self.merge_npdq.extend(self.npdq_scratch.iter().copied());
                                 frame_stats += st;
                                 self.region_reads[r] += st.disk_accesses;
                             }
@@ -352,7 +369,9 @@ struct RegionTally {
 /// ```
 pub struct PartitionedDqServer<const D: usize, S: PageStore> {
     grid: RegionGrid,
-    regions: Vec<RwLock<RTree<NsiSegmentRecord<D>, S>>>,
+    /// One tree per region; stores are `Arc`-wrapped so each session can
+    /// hold per-region optimistic readers without `S: Clone`.
+    regions: Vec<RwLock<RTree<NsiSegmentRecord<D>, Arc<S>>>>,
     /// Accumulated per-region load across serves (feeds hotspot
     /// detection and recutting).
     loads: Mutex<Vec<u64>>,
@@ -386,7 +405,10 @@ impl<const D: usize, S: PageStore> PartitionedDqServer<D, S> {
         let loads = Mutex::new(vec![0; n]);
         PartitionedDqServer {
             grid,
-            regions: trees.into_iter().map(RwLock::new).collect(),
+            regions: trees
+                .into_iter()
+                .map(|t| RwLock::new(t.map_store(Arc::new)))
+                .collect(),
             loads,
             metrics: None,
             writer_retry: RetryPolicy::default(),
@@ -429,7 +451,7 @@ impl<const D: usize, S: PageStore> PartitionedDqServer<D, S> {
     pub fn with_region_tree<T>(
         &self,
         r: usize,
-        f: impl FnOnce(&RTree<NsiSegmentRecord<D>, S>) -> T,
+        f: impl FnOnce(&RTree<NsiSegmentRecord<D>, Arc<S>>) -> T,
     ) -> T {
         f(&self.regions[r].read())
     }
@@ -500,7 +522,10 @@ impl<const D: usize, S: PageStore> PartitionedDqServer<D, S> {
             }
         }
         self.grid = grid;
-        self.regions = trees.into_iter().map(RwLock::new).collect();
+        self.regions = trees
+            .into_iter()
+            .map(|t| RwLock::new(t.map_store(Arc::new)))
+            .collect();
         self.loads = Mutex::new(vec![0; n]);
     }
 
@@ -604,6 +629,7 @@ impl<const D: usize, S: PageStore> PartitionedDqServer<D, S> {
     {
         let steps = self.step_count(specs, inserts);
         let n = self.regions.len();
+        let epoch_start = self.epoch_totals();
         let is_pdq: Vec<bool> = specs.iter().map(|s| s.kind == SessionKind::Pdq).collect();
         let session_lanes: Vec<Range<usize>> = specs
             .iter()
@@ -635,8 +661,14 @@ impl<const D: usize, S: PageStore> PartitionedDqServer<D, S> {
                         // barrier waits and drains its mailboxes every
                         // frame, so writers and healthy sessions never
                         // stall on it.
+                        // One optimistic reader per region, built before
+                        // the first barrier wait (no writer is active
+                        // yet): the frame loop below never takes a read
+                        // lock.
+                        let readers: Vec<_> =
+                            self.regions.iter().map(|l| l.read().reader()).collect();
                         let mut run = catch_unwind(AssertUnwindSafe(|| {
-                            LaneRun::start(i, spec, &self.grid, &self.regions)
+                            LaneRun::start(i, spec, &self.grid, &readers)
                         }))
                         .map_err(|p| SessionOutcome::Failed(panic_message(p)));
                         for k in 0..steps {
@@ -651,7 +683,7 @@ impl<const D: usize, S: PageStore> PartitionedDqServer<D, S> {
                                 continue;
                             }
                             let stepped = catch_unwind(AssertUnwindSafe(|| {
-                                r.step_frame(&self.regions, &reports, k)
+                                r.step_frame(&readers, &reports, k)
                             }));
                             match stepped {
                                 Ok(Ok(Some(ns))) => {
@@ -745,7 +777,7 @@ impl<const D: usize, S: PageStore> PartitionedDqServer<D, S> {
             (sessions, tallies)
         });
 
-        self.assemble(steps, sessions, tallies)
+        self.assemble(steps, sessions, tallies, self.epoch_totals() - epoch_start)
     }
 
     /// The single-threaded reference: identical protocol, identical
@@ -758,6 +790,7 @@ impl<const D: usize, S: PageStore> PartitionedDqServer<D, S> {
     ) -> PartitionedServeReport {
         let steps = self.step_count(specs, inserts);
         let n = self.regions.len();
+        let epoch_start = self.epoch_totals();
         let is_pdq: Vec<bool> = specs.iter().map(|s| s.kind == SessionKind::Pdq).collect();
         let drain_hist = self.metrics.as_ref().map(|m| m.histogram("service.drain_ns"));
         let hold_hist = self
@@ -765,12 +798,15 @@ impl<const D: usize, S: PageStore> PartitionedDqServer<D, S> {
             .as_ref()
             .map(|m| m.histogram("service.writer.lock_hold_ns"));
         let mut tallies: Vec<RegionTally> = (0..n).map(|_| RegionTally::default()).collect();
+        // Same reader-based path as the concurrent serve: single-threaded
+        // means every validation passes, so results are the oracle for it.
+        let readers: Vec<_> = self.regions.iter().map(|l| l.read().reader()).collect();
         let mut runs: Vec<Result<LaneRun<'_, D>, SessionOutcome>> = specs
             .iter()
             .enumerate()
             .map(|(i, s)| {
                 catch_unwind(AssertUnwindSafe(|| {
-                    LaneRun::start(i, s, &self.grid, &self.regions)
+                    LaneRun::start(i, s, &self.grid, &readers)
                 }))
                 .map_err(|p| SessionOutcome::Failed(panic_message(p)))
             })
@@ -806,7 +842,7 @@ impl<const D: usize, S: PageStore> PartitionedDqServer<D, S> {
                     })
                     .collect();
                 let stepped = catch_unwind(AssertUnwindSafe(|| {
-                    r.step_frame(&self.regions, &reports, k)
+                    r.step_frame(&readers, &reports, k)
                 }));
                 match stepped {
                     Ok(Ok(Some(ns))) => {
@@ -833,7 +869,16 @@ impl<const D: usize, S: PageStore> PartitionedDqServer<D, S> {
                 ),
             })
             .collect();
-        self.assemble(steps, sessions, tallies)
+        self.assemble(steps, sessions, tallies, self.epoch_totals() - epoch_start)
+    }
+
+    /// Optimistic-read counters summed over every region's tree.
+    fn epoch_totals(&self) -> EpochStats {
+        let mut total = EpochStats::default();
+        for lock in &self.regions {
+            total += lock.read().epoch_stats();
+        }
+        total
     }
 
     /// Fold per-session and per-region tallies into the report,
@@ -843,6 +888,7 @@ impl<const D: usize, S: PageStore> PartitionedDqServer<D, S> {
         steps: usize,
         sessions: Vec<(SessionOutput, Vec<u64>)>,
         tallies: Vec<RegionTally>,
+        retries: EpochStats,
     ) -> PartitionedServeReport {
         let mut regions: Vec<RegionReport> = tallies
             .into_iter()
@@ -892,14 +938,19 @@ impl<const D: usize, S: PageStore> PartitionedDqServer<D, S> {
             }
         }
         let report = PartitionedServeReport { base, regions };
-        self.publish_run(&report);
+        self.publish_run(&report, retries);
         report
     }
 
     /// Record a finished run's totals — single-tree names for the
     /// aggregate, `service.region{r}.*` labels for the breakdown.
-    fn publish_run(&self, report: &PartitionedServeReport) {
+    /// `retries` carries the run's optimistic-read counter deltas summed
+    /// over regions (same names as the single-tree server).
+    fn publish_run(&self, report: &PartitionedServeReport, retries: EpochStats) {
         let Some(reg) = &self.metrics else { return };
+        reg.counter("tree.read_retries").add(retries.read_retries);
+        reg.counter("tree.version_conflicts")
+            .add(retries.version_conflicts);
         reg.counter("service.frames").add(report.base.frames as u64);
         reg.counter("service.inserts")
             .add(report.base.inserts_applied as u64);

@@ -13,12 +13,17 @@
 //! the writer applies that frame's insert batch under the write lock,
 //! drops the lock, broadcasts the collected reports (mailbox pushes need
 //! no tree access, so they never extend the exclusive section), then
-//! every session processes the frame under a read lock. All sessions
-//! therefore observe identical tree states,
+//! every session processes the frame *latch-free* through an optimistic
+//! [`rtree::TreeReader`] (per-visit version validation for PDQ, a pinned
+//! snapshot via [`rtree::TreeReadRetry::with_consistent`] for NPDQ) — no
+//! read lock is taken on the serving path. Because the writer is parked
+//! at the barrier while sessions read, every validation succeeds and all
+//! sessions observe identical tree states,
 //! which makes the concurrent run *bitwise deterministic*: its
 //! per-session result sequences equal [`DqServer::serve_serial`]'s (the
-//! single-threaded reference executing the same protocol), which the
-//! `service` integration test checks.
+//! single-threaded reference executing the same protocol over `&RTree`,
+//! where validation is statically unnecessary), which the `service`
+//! integration test checks.
 
 use crate::layout::MotionRecord;
 use crate::npdq::NpdqEngine;
@@ -27,7 +32,7 @@ use crate::snapshot::SnapshotQuery;
 use crate::stats::QueryStats;
 use crate::trajectory::Trajectory;
 use parking_lot::{Mutex, RwLock};
-use rtree::{InsertReport, NsiSegmentRecord, RTree, Record};
+use rtree::{EpochStats, InsertReport, NsiSegmentRecord, RTree, Record, TreeRead, TreeReadRetry};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Barrier};
 use std::time::Instant;
@@ -227,7 +232,7 @@ enum Engine<const D: usize> {
     // Boxed: a PdqEngine (queue + trajectory) is an order of magnitude
     // bigger than an NpdqEngine, and there is one Engine per session.
     Pdq(Box<PdqEngine<D>>),
-    Npdq(NpdqEngine<D>),
+    Npdq(Box<NpdqEngine<D>>),
 }
 
 struct SessionRun<'a, const D: usize> {
@@ -239,17 +244,21 @@ struct SessionRun<'a, const D: usize> {
     /// Per-frame result scratch (PDQ), reused across frames so the
     /// per-frame loop doesn't allocate a fresh Vec every step.
     scratch: Vec<PdqResult<D>>,
+    /// Per-attempt emission staging (NPDQ): a snapshot descent aborted
+    /// by a version conflict is retried wholesale, so emissions must not
+    /// reach the results until the attempt completes.
+    npdq_scratch: Vec<(u32, u32)>,
 }
 
 impl<'a, const D: usize> SessionRun<'a, D> {
-    fn start<S: PageStore>(
+    fn start<T: TreeRead<NsiSegmentRecord<D>> + ?Sized>(
         index: usize,
         spec: &'a SessionSpec<D>,
-        tree: &RTree<NsiSegmentRecord<D>, S>,
+        tree: &T,
     ) -> Self {
         let engine = match spec.kind {
             SessionKind::Pdq => Engine::Pdq(Box::new(PdqEngine::start(tree, spec.trajectory.clone()))),
-            SessionKind::Npdq => Engine::Npdq(NpdqEngine::new()),
+            SessionKind::Npdq => Engine::Npdq(Box::new(NpdqEngine::new())),
         };
         SessionRun {
             index,
@@ -257,14 +266,15 @@ impl<'a, const D: usize> SessionRun<'a, D> {
             engine,
             out: SessionOutput::default(),
             scratch: Vec::new(),
+            npdq_scratch: Vec::new(),
         }
     }
 
     /// Apply this frame's broadcast insert reports (PDQ only — NPDQ
     /// sessions learn about updates from node timestamps instead).
-    fn absorb<S: PageStore>(
+    fn absorb<T: TreeRead<NsiSegmentRecord<D>> + ?Sized>(
         &mut self,
-        tree: &RTree<NsiSegmentRecord<D>, S>,
+        tree: &T,
         reports: &[NsiReport<D>],
     ) {
         if let Engine::Pdq(pdq) = &mut self.engine {
@@ -284,9 +294,9 @@ impl<'a, const D: usize> SessionRun<'a, D> {
     /// its discard baseline at the last *completed* query. A later frame
     /// therefore re-derives anything the failed one missed — degraded
     /// sessions lose latency, not results.
-    fn try_step<S: PageStore>(
+    fn try_step<T: TreeReadRetry<NsiSegmentRecord<D>>>(
         &mut self,
-        tree: &RTree<NsiSegmentRecord<D>, S>,
+        tree: &T,
         k: usize,
     ) -> Result<Option<u64>, StorageError> {
         let in_schedule = match self.engine {
@@ -317,11 +327,20 @@ impl<'a, const D: usize> SessionRun<'a, D> {
             Engine::Npdq(npdq) => {
                 let t = self.spec.frame_times[k];
                 let q = SnapshotQuery::at_instant(self.spec.trajectory.window_at(t), t);
-                let results = &mut self.out.results;
-                match npdq.try_execute(tree, &q, t, |r: &NsiSegmentRecord<D>| {
-                    results.push(r.ids());
+                // The whole descent runs against one pinned tree version;
+                // a conflicting attempt is abandoned (its emissions stay
+                // in the scratch) and retried against a fresh pin.
+                let scratch = &mut self.npdq_scratch;
+                match tree.with_consistent(|view| {
+                    scratch.clear();
+                    npdq.try_execute(view, &q, t, |r: &NsiSegmentRecord<D>| {
+                        scratch.push(r.ids());
+                    })
                 }) {
-                    Ok(stats) => (stats, None),
+                    Ok(stats) => {
+                        self.out.results.extend(self.npdq_scratch.iter().copied());
+                        (stats, None)
+                    }
                     Err(e) => (QueryStats::default(), Some(e)),
                 }
             }
@@ -381,7 +400,9 @@ impl<'a, const D: usize> SessionRun<'a, D> {
 /// assert_eq!(report.sessions[0].results, vec![(7, 0)]);
 /// ```
 pub struct DqServer<const D: usize, S: PageStore> {
-    tree: RwLock<RTree<NsiSegmentRecord<D>, S>>,
+    /// The shared store is `Arc`-wrapped so optimistic [`rtree::TreeReader`]s
+    /// can clone a handle per session thread without `S: Clone`.
+    tree: RwLock<RTree<NsiSegmentRecord<D>, Arc<S>>>,
     /// Optional metrics sink: when set, serving runs record drain and
     /// write-lock-hold latency histograms plus run totals into it.
     metrics: Option<Arc<obs::MetricsRegistry>>,
@@ -403,7 +424,7 @@ impl<const D: usize, S: PageStore> DqServer<D, S> {
     /// Take ownership of a (possibly pre-loaded) tree.
     pub fn new(tree: RTree<NsiSegmentRecord<D>, S>) -> Self {
         DqServer {
-            tree: RwLock::new(tree),
+            tree: RwLock::new(tree.map_store(Arc::new)),
             metrics: None,
             writer_retry: RetryPolicy::default(),
         }
@@ -433,8 +454,8 @@ impl<const D: usize, S: PageStore> DqServer<D, S> {
         self
     }
 
-    /// Tear the server down, returning the tree.
-    pub fn into_tree(self) -> RTree<NsiSegmentRecord<D>, S> {
+    /// Tear the server down, returning the tree (store still `Arc`-wrapped).
+    pub fn into_tree(self) -> RTree<NsiSegmentRecord<D>, Arc<S>> {
         self.tree.into_inner()
     }
 
@@ -450,7 +471,7 @@ impl<const D: usize, S: PageStore> DqServer<D, S> {
 
     /// Run a value out of the shared tree under the read lock (e.g. I/O
     /// counters or buffer statistics of the backing store).
-    pub fn with_tree<T>(&self, f: impl FnOnce(&RTree<NsiSegmentRecord<D>, S>) -> T) -> T {
+    pub fn with_tree<T>(&self, f: impl FnOnce(&RTree<NsiSegmentRecord<D>, Arc<S>>) -> T) -> T {
         f(&self.tree.read())
     }
 
@@ -538,6 +559,7 @@ impl<const D: usize, S: PageStore> DqServer<D, S> {
         S: Sync + Send,
     {
         let steps = self.step_count(specs, inserts);
+        let epoch_start = self.tree.read().epoch_stats();
         let is_pdq: Vec<bool> = specs.iter().map(|s| s.kind == SessionKind::Pdq).collect();
         // Writer + one thread per session meet at the barrier twice per
         // frame: once before the batch is applied, once after.
@@ -569,13 +591,19 @@ impl<const D: usize, S: PageStore> DqServer<D, S> {
                         // barrier waits and drains its mailbox each frame,
                         // so the writer and healthy sessions proceed as if
                         // nothing happened.
+                        // Latch-free read path: every frame descends through
+                        // this optimistic reader, never a read lock. The
+                        // barrier keeps the writer parked while sessions
+                        // read, so validation always passes here; the reader
+                        // still validates every visit, making torn reads
+                        // impossible even if the protocol drifts.
+                        let reader = tree.read().reader();
                         let mut run =
-                            catch_unwind(AssertUnwindSafe(|| SessionRun::start(i, spec, &tree.read())))
+                            catch_unwind(AssertUnwindSafe(|| SessionRun::start(i, spec, &reader)))
                                 .map_err(|p| SessionOutcome::Failed(panic_message(p)));
                         for k in 0..steps {
                             barrier.wait(); // frame k opens; writer works
                             barrier.wait(); // frame k batch is visible
-                            let guard = tree.read();
                             let reports = std::mem::take(&mut *mailboxes[i].lock());
                             let Ok(r) = &mut run else { continue };
                             if matches!(r.out.outcome, SessionOutcome::Failed(_)) {
@@ -585,8 +613,8 @@ impl<const D: usize, S: PageStore> DqServer<D, S> {
                             // barrier waits above stay outside so a caught
                             // panic can't desynchronise the frame protocol.
                             let stepped = catch_unwind(AssertUnwindSafe(|| {
-                                r.absorb(&guard, &reports);
-                                r.try_step(&guard, k)
+                                r.absorb(&reader, &reports);
+                                r.try_step(&reader, k)
                             }));
                             match stepped {
                                 Ok(Ok(Some(ns))) => {
@@ -662,19 +690,22 @@ impl<const D: usize, S: PageStore> DqServer<D, S> {
             writer_writes: writer.writes,
             writer_outcome: writer.outcome,
         };
-        self.publish_run(&report);
+        self.publish_run(&report, self.tree.read().epoch_stats() - epoch_start);
         report
     }
 
     /// The single-threaded reference: identical protocol, identical
     /// results, no threads — the oracle for the concurrency tests and a
-    /// baseline for the serving bench.
+    /// baseline for the serving bench. Sessions read through `&RTree`
+    /// directly (the validation-free [`rtree::TreeRead`] impl), so the
+    /// optimistic path's results must match these bit-for-bit.
     pub fn serve_serial(
         &self,
         specs: &[SessionSpec<D>],
         inserts: &[Vec<(NsiSegmentRecord<D>, f64)>],
     ) -> ServeReport {
         let steps = self.step_count(specs, inserts);
+        let epoch_start = self.tree.read().epoch_stats();
         let mut writer = WriterState::default();
         let drain_hist = self.metrics.as_ref().map(|m| m.histogram("service.drain_ns"));
         let hold_hist = self
@@ -687,7 +718,7 @@ impl<const D: usize, S: PageStore> DqServer<D, S> {
                 .iter()
                 .enumerate()
                 .map(|(i, s)| {
-                    catch_unwind(AssertUnwindSafe(|| SessionRun::start(i, s, &tree)))
+                    catch_unwind(AssertUnwindSafe(|| SessionRun::start(i, s, &*tree)))
                         .map_err(|p| SessionOutcome::Failed(panic_message(p)))
                 })
                 .collect()
@@ -704,8 +735,8 @@ impl<const D: usize, S: PageStore> DqServer<D, S> {
                     continue;
                 }
                 let stepped = catch_unwind(AssertUnwindSafe(|| {
-                    r.absorb(&tree, &reports);
-                    r.try_step(&tree, k)
+                    r.absorb(&*tree, &reports);
+                    r.try_step(&*tree, k)
                 }));
                 match stepped {
                     Ok(Ok(Some(ns))) => {
@@ -736,13 +767,23 @@ impl<const D: usize, S: PageStore> DqServer<D, S> {
             writer_writes: writer.writes,
             writer_outcome: writer.outcome,
         };
-        self.publish_run(&report);
+        self.publish_run(&report, self.tree.read().epoch_stats() - epoch_start);
         report
     }
 
     /// Record a finished run's totals into the attached registry.
-    fn publish_run(&self, report: &ServeReport) {
+    ///
+    /// `retries` is the run's delta of the tree's optimistic-read
+    /// counters: `tree.read_retries` (node reads performed but discarded
+    /// by version validation — these *are* counted in the level read
+    /// counters, so `levels.total_reads == attributed reads + retried
+    /// reads`) and `tree.version_conflicts` (conflicts surfaced to a
+    /// session as a transient error after retry exhaustion).
+    fn publish_run(&self, report: &ServeReport, retries: EpochStats) {
         let Some(reg) = &self.metrics else { return };
+        reg.counter("tree.read_retries").add(retries.read_retries);
+        reg.counter("tree.version_conflicts")
+            .add(retries.version_conflicts);
         reg.counter("service.frames").add(report.frames as u64);
         reg.counter("service.inserts").add(report.inserts_applied as u64);
         reg.counter("service.results").add(report.total_results() as u64);

@@ -152,6 +152,42 @@ impl<const D: usize> Trajectory<D> {
         out
     }
 
+    /// Batched [`Self::overlap_rect`] over a staged node page: one
+    /// [`TimeSet`] per staged box, built by solving every trajectory
+    /// segment against all lanes at once. Segment-order insertion keeps
+    /// each result bit-identical to the scalar path.
+    pub fn overlap_rect_batch_into(
+        &self,
+        batch: &mut stkit::RectBatch<D>,
+        out: &mut Vec<TimeSet>,
+    ) {
+        out.clear();
+        out.resize(batch.len(), TimeSet::empty());
+        for s in &self.segments {
+            batch.solve(s);
+            for (j, ts) in out.iter_mut().enumerate() {
+                ts.insert(batch.result(j));
+            }
+        }
+    }
+
+    /// Batched [`Self::overlap_segment`] over a staged leaf page: one
+    /// visibility [`TimeSet`] per staged motion segment.
+    pub fn overlap_segment_batch_into(
+        &self,
+        batch: &mut stkit::SegmentBatch<D>,
+        out: &mut Vec<TimeSet>,
+    ) {
+        out.clear();
+        out.resize(batch.len(), TimeSet::empty());
+        for s in &self.segments {
+            batch.solve(s);
+            for (j, ts) in out.iter_mut().enumerate() {
+                ts.insert(batch.result(j));
+            }
+        }
+    }
+
     /// SPDQ (§4): inflate every key window by `delta` to tolerate an
     /// observer deviating up to `‖x_p(t) − x(t)‖ ≤ δ` from the predicted
     /// path.

@@ -1,0 +1,232 @@
+//! Tree-version epoch: the writer side of the optimistic read protocol.
+//!
+//! The serving layer's sessions used to take a read lock for every frame
+//! even when the writer was idle. [`TreeEpoch`] replaces that with a
+//! seqlock-style sequence counter shared (via `Arc`) between the owning
+//! [`RTree`](crate::RTree) and any number of
+//! [`TreeReader`](crate::TreeReader) handles:
+//!
+//! * The **writer** (which already holds exclusive `&mut` access, e.g.
+//!   behind the serving layer's write lock) brackets every mutating
+//!   operation with [`TreeEpoch::begin_write`] (sequence becomes odd) and
+//!   [`TreeEpoch::end_write`] (sequence becomes even again, and the new
+//!   root/height/len are published atomically *before* the bump).
+//! * **Readers** never block. They sample the sequence, read page
+//!   snapshots (`Arc<[u8]>` — each page is internally consistent by
+//!   construction, because writers install fresh buffers copy-on-write),
+//!   and re-sample: an unchanged even sequence proves no write section
+//!   overlapped the read, so *cross-page* invariants (parent/child
+//!   agreement) held too. A changed sequence means the visit may span a
+//!   mutation; the read is discarded and retried.
+//!
+//! Individual page reads can never return torn bytes (the store hands out
+//! immutable `Arc` snapshots), so the only hazard the sequence guards
+//! against is a multi-page view straddling a split — exactly what the
+//! `tests/optimistic.rs` prefix oracle would catch.
+//!
+//! Accounting: a read that was performed but discarded on validation
+//! failure still cost a pool access and a level-counter tick, so it is
+//! counted in [`TreeEpoch::read_retries`]; the reconciliation identity
+//! becomes `level reads == delivered (attributed) reads + read_retries`.
+//! [`TreeEpoch::version_conflicts`] counts conflict *events* surfaced to
+//! callers (an abandoned snapshot descent or an exhausted visit retry).
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use storage::PageId;
+
+/// Shared writer-version state for one tree. See the module docs for the
+/// protocol; all fields are atomics so readers need no lock.
+#[derive(Debug)]
+pub struct TreeEpoch {
+    /// Seqlock counter: odd while a write section is open.
+    seq: AtomicU64,
+    /// Published root page (valid whenever `seq` is even).
+    root: AtomicU32,
+    /// Published tree height (valid whenever `seq` is even).
+    height: AtomicU32,
+    /// Published record count (valid whenever `seq` is even).
+    len: AtomicU64,
+    /// Node reads performed (and level-counted) but discarded because the
+    /// version moved mid-visit — the optimistic retry traffic.
+    read_retries: AtomicU64,
+    /// Conflict events surfaced to readers (abandoned snapshot descents
+    /// or visit retries that exhausted their budget).
+    version_conflicts: AtomicU64,
+}
+
+/// Point-in-time copy of the optimistic-read counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EpochStats {
+    /// See [`TreeEpoch::read_retries`].
+    pub read_retries: u64,
+    /// See [`TreeEpoch::version_conflicts`].
+    pub version_conflicts: u64,
+}
+
+impl std::ops::Sub for EpochStats {
+    type Output = EpochStats;
+    fn sub(self, rhs: EpochStats) -> EpochStats {
+        EpochStats {
+            read_retries: self.read_retries - rhs.read_retries,
+            version_conflicts: self.version_conflicts - rhs.version_conflicts,
+        }
+    }
+}
+
+impl std::ops::AddAssign for EpochStats {
+    fn add_assign(&mut self, rhs: EpochStats) {
+        self.read_retries += rhs.read_retries;
+        self.version_conflicts += rhs.version_conflicts;
+    }
+}
+
+/// How many times a reader re-samples an odd (write-in-progress) sequence
+/// before giving up with a conflict. Write sections are one insert or
+/// delete long, so this bound is generous; it exists so a writer that
+/// dies mid-section degrades readers instead of hanging them.
+const STABLE_SPINS: u32 = 1 << 16;
+
+impl TreeEpoch {
+    /// Fresh epoch publishing the given metadata at sequence 0.
+    pub fn new(root: PageId, height: u32, len: u64) -> TreeEpoch {
+        TreeEpoch {
+            seq: AtomicU64::new(0),
+            root: AtomicU32::new(root.0),
+            height: AtomicU32::new(height),
+            len: AtomicU64::new(len),
+            read_retries: AtomicU64::new(0),
+            version_conflicts: AtomicU64::new(0),
+        }
+    }
+
+    /// Open a write section: the sequence becomes odd. Must be paired
+    /// with [`Self::end_write`]; sections do not nest (the tree's public
+    /// mutators are the only callers).
+    pub fn begin_write(&self) {
+        let s = self.seq.fetch_add(1, Ordering::AcqRel);
+        debug_assert!(s.is_multiple_of(2), "write sections must not nest");
+    }
+
+    /// Close a write section, publishing the post-mutation metadata
+    /// before the sequence becomes even again.
+    pub fn end_write(&self, root: PageId, height: u32, len: u64) {
+        self.root.store(root.0, Ordering::Release);
+        self.height.store(height, Ordering::Release);
+        self.len.store(len, Ordering::Release);
+        let s = self.seq.fetch_add(1, Ordering::Release);
+        debug_assert!(s % 2 == 1, "end_write without begin_write");
+    }
+
+    /// Publish metadata outside a write section (tree construction and
+    /// bulk loading, before the tree is shared with any reader).
+    pub fn publish(&self, root: PageId, height: u32, len: u64) {
+        self.root.store(root.0, Ordering::Release);
+        self.height.store(height, Ordering::Release);
+        self.len.store(len, Ordering::Release);
+    }
+
+    /// Current sequence value (possibly odd).
+    #[inline]
+    pub fn seq(&self) -> u64 {
+        self.seq.load(Ordering::Acquire)
+    }
+
+    /// Wait (bounded spin) for an even sequence; `None` if the writer
+    /// never leaves its section within the spin budget.
+    pub fn stable_seq(&self) -> Option<u64> {
+        for i in 0..STABLE_SPINS {
+            let s = self.seq.load(Ordering::Acquire);
+            if s.is_multiple_of(2) {
+                return Some(s);
+            }
+            if i % 64 == 63 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        None
+    }
+
+    /// Published root page. Meaningful when sampled under an even,
+    /// validated sequence.
+    #[inline]
+    pub fn root(&self) -> PageId {
+        PageId(self.root.load(Ordering::Acquire))
+    }
+
+    /// Published height. Same validity caveat as [`Self::root`].
+    #[inline]
+    pub fn height(&self) -> u32 {
+        self.height.load(Ordering::Acquire)
+    }
+
+    /// Published record count. Same validity caveat as [`Self::root`].
+    #[inline]
+    pub fn len(&self) -> u64 {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// True iff no records are published.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Count one performed-but-discarded node read.
+    #[inline]
+    pub fn note_retry(&self) {
+        self.read_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one conflict event surfaced to a caller.
+    #[inline]
+    pub fn note_conflict(&self) {
+        self.version_conflicts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the optimistic-read counters.
+    pub fn stats(&self) -> EpochStats {
+        EpochStats {
+            read_retries: self.read_retries.load(Ordering::Relaxed),
+            version_conflicts: self.version_conflicts.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_section_toggles_parity_and_publishes() {
+        let e = TreeEpoch::new(PageId(1), 1, 0);
+        assert_eq!(e.stable_seq(), Some(0));
+        e.begin_write();
+        assert_eq!(e.seq() % 2, 1);
+        e.end_write(PageId(9), 3, 42);
+        assert_eq!(e.seq(), 2);
+        assert_eq!(e.root(), PageId(9));
+        assert_eq!(e.height(), 3);
+        assert_eq!(e.len(), 42);
+    }
+
+    #[test]
+    fn stable_seq_gives_up_on_stuck_writer() {
+        let e = TreeEpoch::new(PageId(0), 1, 0);
+        e.begin_write();
+        assert_eq!(e.stable_seq(), None, "odd sequence must not stabilize");
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let e = TreeEpoch::new(PageId(0), 1, 0);
+        e.note_retry();
+        e.note_retry();
+        e.note_conflict();
+        let s = e.stats();
+        assert_eq!(s.read_retries, 2);
+        assert_eq!(s.version_conflicts, 1);
+        let later = e.stats() - s;
+        assert_eq!(later, EpochStats::default());
+    }
+}

@@ -1,9 +1,12 @@
 //! The paginated R-tree: construction, insertion, node access.
 
+use crate::epoch::{EpochStats, TreeEpoch};
 use crate::levels::LevelCounters;
 use crate::node::{Node, NodeEntries, NodeRef};
+use crate::reader::TreeReader;
 use crate::split::{split, SplitPolicy};
 use crate::traits::{Key, Record};
+use std::sync::Arc;
 use storage::{PageId, PageStore, StorageError};
 
 /// Tuning knobs; defaults reproduce the paper's setup (§5).
@@ -115,9 +118,12 @@ pub struct RTree<R: Record, S: PageStore> {
     /// Reusable serialization buffer for [`Self::write_node`], so the
     /// write path allocates once per tree instead of once per node write.
     scratch: Vec<u8>,
-    /// Per-level node read/write counters (relaxed atomics, so shared
-    /// readers behind an `RwLock` can count without coordination).
-    levels: LevelCounters,
+    /// Per-level node read/write counters (relaxed atomics, shared with
+    /// any [`TreeReader`] handles so optimistic reads count here too).
+    levels: Arc<LevelCounters>,
+    /// Seqlock-style version counter bracketing every mutation; shared
+    /// with [`TreeReader`] handles for latch-free validated reads.
+    epoch: Arc<TreeEpoch>,
     _records: std::marker::PhantomData<fn() -> R>,
 }
 
@@ -135,7 +141,8 @@ impl<R: Record, S: PageStore> RTree<R, S> {
             height: 1,
             len: 0,
             scratch: Vec::new(),
-            levels: LevelCounters::new(),
+            levels: Arc::new(LevelCounters::new()),
+            epoch: Arc::new(TreeEpoch::new(root, 1, 0)),
             _records: std::marker::PhantomData,
         }
     }
@@ -151,7 +158,25 @@ impl<R: Record, S: PageStore> RTree<R, S> {
             height,
             len,
             scratch: Vec::new(),
-            levels: LevelCounters::new(),
+            levels: Arc::new(LevelCounters::new()),
+            epoch: Arc::new(TreeEpoch::new(root, height, len)),
+            _records: std::marker::PhantomData,
+        }
+    }
+
+    /// Rewrap the underlying store (e.g. `S` → `Arc<S>` so read handles
+    /// can share it), preserving the tree's metadata, counters, and —
+    /// crucially — its [`TreeEpoch`], so existing readers stay valid.
+    pub fn map_store<S2: PageStore>(self, f: impl FnOnce(S) -> S2) -> RTree<R, S2> {
+        RTree {
+            store: f(self.store),
+            config: self.config,
+            root: self.root,
+            height: self.height,
+            len: self.len,
+            scratch: self.scratch,
+            levels: self.levels,
+            epoch: self.epoch,
             _records: std::marker::PhantomData,
         }
     }
@@ -210,6 +235,32 @@ impl<R: Record, S: PageStore> RTree<R, S> {
         &self.levels
     }
 
+    /// The tree's version epoch (sequence counter + optimistic-read
+    /// retry/conflict statistics).
+    pub fn epoch(&self) -> &TreeEpoch {
+        &self.epoch
+    }
+
+    /// Snapshot of the optimistic-read counters ([`EpochStats`]).
+    pub fn epoch_stats(&self) -> EpochStats {
+        self.epoch.stats()
+    }
+
+    /// Create a latch-free read handle sharing this tree's store, epoch,
+    /// and level counters. The handle's reads validate against the epoch
+    /// and therefore stay safe while a writer (holding `&mut self`
+    /// elsewhere, e.g. behind a lock) mutates concurrently.
+    pub fn reader(&self) -> TreeReader<R, S>
+    where
+        S: Clone,
+    {
+        TreeReader::new(
+            self.store.clone(),
+            Arc::clone(&self.epoch),
+            Arc::clone(&self.levels),
+        )
+    }
+
     /// Load a node into its owned, mutation-ready form — **one simulated
     /// disk access**. The write path (insert/split/delete) uses this; the
     /// read path should prefer the zero-copy [`Self::read_node`].
@@ -259,6 +310,9 @@ impl<R: Record, S: PageStore> RTree<R, S> {
         self.root = root;
         self.height = height;
         self.len = len;
+        // Construction-time publication (bulk load): no readers exist yet,
+        // so no write section is needed.
+        self.epoch.publish(root, height, len);
     }
 
     fn min_fill_count(&self, capacity: usize) -> usize {
@@ -283,6 +337,24 @@ impl<R: Record, S: PageStore> RTree<R, S> {
     /// layer's writer does exactly that without holding the tree write
     /// lock across backoff sleeps.
     pub fn try_insert(
+        &mut self,
+        rec: R,
+        now: f64,
+    ) -> Result<InsertReport<R::Key, R>, StorageError> {
+        // Bracket the mutation in a write section so optimistic readers
+        // discard any node visit that overlapped it. On `Err` the tree is
+        // unchanged and the bump merely costs readers a spurious retry.
+        self.epoch.begin_write();
+        let out = self.try_insert_inner(rec, now);
+        self.epoch.end_write(self.root, self.height, self.len);
+        out
+    }
+
+    /// [`Self::try_insert`] without the epoch write-section bracket, for
+    /// internal reentrant use (delete's orphan reinsertion runs inside
+    /// delete's own write section; nesting sections would flip the
+    /// sequence even mid-mutation and expose torn state to readers).
+    fn try_insert_inner(
         &mut self,
         rec: R,
         now: f64,
@@ -419,6 +491,16 @@ impl<R: Record, S: PageStore> RTree<R, S> {
     /// *insertions* only, so dynamic queries running concurrently with
     /// deletes should be rebuilt afterwards.
     pub fn delete(&mut self, rec: &R, now: f64) -> bool {
+        // One write section covers the whole operation, orphan
+        // reinsertion included — which is why the body calls the
+        // non-bumping `try_insert_inner`/`insert_subtree` forms.
+        self.epoch.begin_write();
+        let deleted = self.delete_inner(rec, now);
+        self.epoch.end_write(self.root, self.height, self.len);
+        deleted
+    }
+
+    fn delete_inner(&mut self, rec: &R, now: f64) -> bool {
         let key = rec.key();
         let mut orphan_records: Vec<R> = Vec::new();
         let mut orphan_subtrees: Vec<(R::Key, PageId, u32)> = Vec::new();
@@ -443,8 +525,9 @@ impl<R: Record, S: PageStore> RTree<R, S> {
             self.insert_subtree(k, page, level, now);
         }
         for r in orphan_records {
-            self.insert(r, now);
-            self.len -= 1; // insert() counted it again
+            self.try_insert_inner(r, now)
+                .unwrap_or_else(|e| panic!("unrecoverable storage error: {e}"));
+            self.len -= 1; // the reinsertion counted it again
         }
 
         // Shrink the root while it is an internal node with one child.

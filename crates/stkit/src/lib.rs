@@ -33,6 +33,7 @@
 // loops keep the per-axis math symmetric and readable.
 #![allow(clippy::needless_range_loop)]
 
+pub mod batch;
 pub mod interval;
 pub mod linear;
 pub mod quadratic;
@@ -41,6 +42,7 @@ pub mod segment;
 pub mod timeset;
 pub mod window;
 
+pub use batch::{RectBatch, SegmentBatch};
 pub use interval::Interval;
 pub use linear::LinearForm;
 pub use quadratic::{min_dist_sq_over, solve_quadratic_le, within_distance};

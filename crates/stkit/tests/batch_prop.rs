@@ -1,0 +1,153 @@
+//! Property tests pinning the SoA batched overlap kernels to the scalar
+//! path: equal as intervals always (any empty equals any empty), and
+//! bit-identical (`to_bits`) whenever the scalar result is non-empty.
+//!
+//! The generators deliberately cover all four trapezoid slope-sign cases
+//! of Fig. 3(b) (growing / shrinking / sliding / stationary borders,
+//! including exactly-zero slopes), empty and inverted query-time windows,
+//! and boundary-touching intervals (shared endpoints), since those are
+//! where a restructured kernel could legally-but-differently round.
+
+use proptest::prelude::*;
+use stkit::{Interval, MotionSegment, MovingWindow, Rect, RectBatch, SegmentBatch};
+
+fn iv() -> impl Strategy<Value = Interval> {
+    (-50.0f64..50.0, 0.0f64..30.0).prop_map(|(lo, len)| Interval::new(lo, lo + len))
+}
+
+/// Query-time intervals: normal, inverted (empty), unbounded, and
+/// boundary-degenerate points.
+fn qtime() -> impl Strategy<Value = Interval> {
+    prop_oneof![
+        iv(),
+        (-50.0f64..50.0, -30.0f64..0.0).prop_map(|(lo, len)| Interval::new(lo, lo + len)),
+        Just(Interval::ALL),
+        Just(Interval::EMPTY),
+        (-50.0f64..50.0).prop_map(Interval::point),
+    ]
+}
+
+fn rect2() -> impl Strategy<Value = Rect<2>> {
+    (iv(), iv()).prop_map(|(x, y)| Rect::new([x, y]))
+}
+
+/// Windows spanning the four slope-sign cases: each border's endpoint
+/// pair is either distinct (moving) or identical (zero slope).
+fn window() -> impl Strategy<Value = MovingWindow<2>> {
+    (iv(), rect2(), rect2(), any::<bool>(), any::<bool>()).prop_map(
+        |(span, a, b, freeze_lo, freeze_hi)| {
+            let span = if span.lo == span.hi {
+                Interval::new(span.lo, span.lo + 1.0)
+            } else {
+                span
+            };
+            let mut b2 = b;
+            if freeze_lo {
+                for i in 0..2 {
+                    b2.dims[i].lo = a.extent(i).lo; // constant lower border
+                }
+            }
+            if freeze_hi {
+                for i in 0..2 {
+                    b2.dims[i].hi = a.extent(i).hi; // constant upper border
+                }
+            }
+            MovingWindow::between(span, &a, &b2)
+        },
+    )
+}
+
+fn segment() -> impl Strategy<Value = MotionSegment<2>> {
+    (
+        iv(),
+        (-50.0f64..50.0, -50.0f64..50.0),
+        (-5.0f64..5.0, -5.0f64..5.0),
+        any::<bool>(),
+    )
+        .prop_map(|(t, p, v, stationary)| {
+            let v = if stationary { [0.0, 0.0] } else { [v.0, v.1] };
+            MotionSegment::new(t, [p.0, p.1], v)
+        })
+}
+
+fn check(batched: Interval, scalar: Interval, ctx: &str) -> Result<(), TestCaseError> {
+    prop_assert_eq!(batched, scalar, "{}: {:?} vs {:?}", ctx, batched, scalar);
+    if !scalar.is_empty() {
+        prop_assert_eq!(batched.lo.to_bits(), scalar.lo.to_bits(), "{} lo bits", ctx);
+        prop_assert_eq!(batched.hi.to_bits(), scalar.hi.to_bits(), "{} hi bits", ctx);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn rect_batch_bit_identical_to_scalar(
+        w in window(),
+        boxes in proptest::collection::vec((rect2(), qtime()), 1..24),
+    ) {
+        let mut batch = RectBatch::<2>::new();
+        for (space, t) in &boxes {
+            batch.push(space, t);
+        }
+        batch.solve(&w);
+        for (j, (space, t)) in boxes.iter().enumerate() {
+            check(batch.result(j), w.overlap_time_rect(space, t), &format!("box {j}"))?;
+        }
+    }
+
+    #[test]
+    fn rect_batch_boundary_touching(w in window(), x in iv(), y in iv()) {
+        // Boxes that share endpoints with the window's span: the overlap
+        // interval degenerates to a point — both paths must agree exactly.
+        let boxes = [
+            (Rect::new([x, y]), Interval::point(w.span.lo)),
+            (Rect::new([x, y]), Interval::point(w.span.hi)),
+            (w.window_at(w.span.lo), Interval::new(w.span.lo, w.span.lo)),
+            (w.window_at(w.span.hi), w.span),
+        ];
+        let mut batch = RectBatch::<2>::new();
+        for (space, t) in &boxes {
+            batch.push(space, t);
+        }
+        batch.solve(&w);
+        for (j, (space, t)) in boxes.iter().enumerate() {
+            check(batch.result(j), w.overlap_time_rect(space, t), &format!("touch {j}"))?;
+        }
+    }
+
+    #[test]
+    fn segment_batch_bit_identical_to_scalar(
+        w in window(),
+        segs in proptest::collection::vec(segment(), 1..24),
+    ) {
+        let mut batch = SegmentBatch::<2>::new();
+        for s in &segs {
+            batch.push(s);
+        }
+        batch.solve(&w);
+        for (j, s) in segs.iter().enumerate() {
+            check(batch.result(j), w.overlap_time_segment(s), &format!("seg {j}"))?;
+        }
+    }
+
+    #[test]
+    fn segment_batch_co_moving_edge_cases(w in window(), p in (-50.0f64..50.0, -50.0f64..50.0)) {
+        // Segments that move exactly with a window border (difference
+        // slope exactly zero) exercise the constant-form select lanes.
+        let segs = [
+            MotionSegment::new(w.span, [p.0, p.1], [w.lo[0].b, w.lo[1].b]),
+            MotionSegment::new(w.span, [p.0, p.1], [w.hi[0].b, w.hi[1].b]),
+            MotionSegment::new(w.span, [w.lo[0].eval(w.span.lo), w.lo[1].eval(w.span.lo)], [w.lo[0].b, w.lo[1].b]),
+        ];
+        let mut batch = SegmentBatch::<2>::new();
+        for s in &segs {
+            batch.push(s);
+        }
+        batch.solve(&w);
+        for (j, s) in segs.iter().enumerate() {
+            check(batch.result(j), w.overlap_time_segment(s), &format!("co-moving {j}"))?;
+        }
+    }
+}

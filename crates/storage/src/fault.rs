@@ -42,6 +42,11 @@ pub enum StorageError {
     /// The page's bytes fail checksum validation (torn write, bit rot).
     /// Not retryable — the damage is in the store, not the path to it.
     Corrupt { page: PageId },
+    /// An optimistic (seqlock-validated) read observed a concurrent tree
+    /// mutation and was discarded. Retryable — re-reading after the
+    /// writer's section closes succeeds. Raised by `rtree`'s versioned
+    /// readers, not by any device.
+    Conflict { page: PageId },
 }
 
 impl StorageError {
@@ -50,7 +55,8 @@ impl StorageError {
         match self {
             StorageError::Transient { page }
             | StorageError::Timeout { page }
-            | StorageError::Corrupt { page } => *page,
+            | StorageError::Corrupt { page }
+            | StorageError::Conflict { page } => *page,
         }
     }
 
@@ -66,6 +72,9 @@ impl std::fmt::Display for StorageError {
             StorageError::Transient { page } => write!(f, "transient I/O error reading {page}"),
             StorageError::Timeout { page } => write!(f, "timeout reading {page}"),
             StorageError::Corrupt { page } => write!(f, "corrupt page {page} (checksum mismatch)"),
+            StorageError::Conflict { page } => {
+                write!(f, "version conflict reading {page} (concurrent write)")
+            }
         }
     }
 }

@@ -7,13 +7,14 @@
 //! moving bounding rectangle ([`overlap_window_tpbox`]) — still a
 //! conjunction of linear inequalities.
 
+use crate::batch::TpBoxBatch;
 use crate::record::TprRecord;
 use crate::tpbox::TpBox;
 use mobiquery::{QueryStats, Trajectory};
-use rtree::{Inserted, RTree};
+use rtree::{Inserted, TreeRead};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
-use storage::{PageId, PageStore};
+use storage::PageId;
 use stkit::{Interval, MovingWindow, TimeSet};
 
 /// Overlap time of one trapezoid trajectory segment with a
@@ -84,11 +85,19 @@ pub struct TprDynamicQuery {
     expanded: HashSet<PageId>,
     returned: HashSet<(u32, u32)>,
     stats: QueryStats,
+    /// SoA staging for one node page's entries (scratch, reused).
+    batch: TpBoxBatch,
+    /// Per-entry overlap time sets from the last batch solve (scratch).
+    ts_out: Vec<TimeSet>,
+    /// Leaf records staged alongside `batch` (scratch).
+    pending_recs: Vec<TprRecord>,
+    /// Child pages staged alongside `batch` (scratch).
+    pending_children: Vec<PageId>,
 }
 
 impl TprDynamicQuery {
     /// Start the query: seed with the root over the trajectory span.
-    pub fn start<S: PageStore>(tree: &RTree<TprRecord, S>, trajectory: Trajectory<2>) -> Self {
+    pub fn start<T: TreeRead<TprRecord> + ?Sized>(tree: &T, trajectory: Trajectory<2>) -> Self {
         let span = trajectory.span();
         let mut q = TprDynamicQuery {
             trajectory,
@@ -96,6 +105,10 @@ impl TprDynamicQuery {
             expanded: HashSet::new(),
             returned: HashSet::new(),
             stats: QueryStats::default(),
+            batch: TpBoxBatch::new(),
+            ts_out: Vec::new(),
+            pending_recs: Vec::new(),
+            pending_children: Vec::new(),
         };
         q.queue.push(QueueItem {
             start: span.lo,
@@ -118,10 +131,24 @@ impl TprDynamicQuery {
         std::mem::take(&mut self.stats)
     }
 
+    /// Solve the staged batch against every trajectory segment, building
+    /// one overlap [`TimeSet`] per staged entry. Segment-order insertion
+    /// keeps the result bit-identical to [`overlap_trajectory_tpbox`].
+    fn solve_batch(&mut self) {
+        self.ts_out.clear();
+        self.ts_out.resize(self.batch.len(), TimeSet::empty());
+        for s in self.trajectory.segments() {
+            self.batch.solve(s);
+            for j in 0..self.ts_out.len() {
+                self.ts_out[j].insert(self.batch.result(j));
+            }
+        }
+    }
+
     /// `getNext(t_start, t_end)` over the TPR-tree.
-    pub fn get_next<S: PageStore>(
+    pub fn get_next<T: TreeRead<TprRecord> + ?Sized>(
         &mut self,
-        tree: &RTree<TprRecord, S>,
+        tree: &T,
         t_start: f64,
         t_end: f64,
     ) -> Option<TprResult> {
@@ -154,19 +181,28 @@ impl TprDynamicQuery {
                         self.stats.leaf_accesses += 1;
                     }
                     if node.is_leaf() {
+                        // Stage the whole page, solve once per trajectory
+                        // segment, then enqueue survivors.
+                        self.batch.clear();
+                        self.pending_recs.clear();
                         for rec in node.leaf_records() {
                             self.stats.distance_computations += 1;
                             if self.returned.contains(&(rec.oid, rec.seq)) {
                                 continue;
                             }
-                            let ts = overlap_trajectory_tpbox(&self.trajectory, &rec.tpbox());
+                            self.batch.push(&rec.tpbox());
+                            self.pending_recs.push(rec);
+                        }
+                        self.solve_batch();
+                        for j in 0..self.pending_recs.len() {
+                            let ts = std::mem::take(&mut self.ts_out[j]);
                             if let (Some(s), Some(e)) = (ts.start(), ts.end()) {
                                 if e >= t_start {
                                     self.queue.push(QueueItem {
                                         start: s,
                                         end: e,
                                         kind: ItemKind::Object(Box::new(TprResult {
-                                            record: rec,
+                                            record: self.pending_recs[j],
                                             visibility: ts,
                                         })),
                                     });
@@ -175,16 +211,23 @@ impl TprDynamicQuery {
                         }
                     } else {
                         let child_level = node.level() - 1;
+                        self.batch.clear();
+                        self.pending_children.clear();
                         for (key, child) in node.internal_entries() {
                             self.stats.distance_computations += 1;
-                            let ts = overlap_trajectory_tpbox(&self.trajectory, &key);
+                            self.batch.push(&key);
+                            self.pending_children.push(child);
+                        }
+                        self.solve_batch();
+                        for j in 0..self.pending_children.len() {
+                            let ts = std::mem::take(&mut self.ts_out[j]);
                             if let (Some(s), Some(e)) = (ts.start(), ts.end()) {
                                 if e >= t_start {
                                     self.queue.push(QueueItem {
                                         start: s,
                                         end: e,
                                         kind: ItemKind::Node {
-                                            page: child,
+                                            page: self.pending_children[j],
                                             level: child_level,
                                         },
                                     });
@@ -198,9 +241,9 @@ impl TprDynamicQuery {
     }
 
     /// Drain every object visible during `[t_start, t_end]`.
-    pub fn drain_window<S: PageStore>(
+    pub fn drain_window<T: TreeRead<TprRecord> + ?Sized>(
         &mut self,
-        tree: &RTree<TprRecord, S>,
+        tree: &T,
         t_start: f64,
         t_end: f64,
     ) -> Vec<TprResult> {
@@ -213,9 +256,9 @@ impl TprDynamicQuery {
 
     /// §4.1 update management: forward insertion reports from
     /// `tree.insert` (a motion update of an object).
-    pub fn notify<S: PageStore>(
+    pub fn notify<T: TreeRead<TprRecord> + ?Sized>(
         &mut self,
-        _tree: &RTree<TprRecord, S>,
+        _tree: &T,
         report: &rtree::InsertReport<TpBox, TprRecord>,
     ) {
         match &report.notify {

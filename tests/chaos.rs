@@ -17,12 +17,15 @@
 //! - **A corrupt root** starves the writer: every insert is dropped and
 //!   logged in `writer_outcome`, and the tree is untouched (`chaos_d`).
 
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use dq_repro::mobiquery::{
     DqServer, PartitionedDqServer, RegionGrid, SessionKind, SessionOutcome, SessionSpec, Trajectory,
 };
-use dq_repro::rtree::{NsiSegmentRecord, RTree, RTreeConfig};
+use dq_repro::rtree::{NsiSegmentRecord, RTree, RTreeConfig, TreeRead, TreeReadRetry};
+use parking_lot::RwLock;
 use dq_repro::stkit::{Interval, Rect};
 use dq_repro::storage::{
     ChecksumStore, FaultPlan, FaultyStore, PageId, PageStore, Pager, RetryPolicy, ShardedBufferPool,
@@ -279,6 +282,158 @@ fn chaos_d_corrupt_root_stops_the_writer_cleanly() {
     }
     assert_eq!(report.writer_reads, 0, "failed reads must not count as device reads");
     assert_eq!(server.len(), 20, "the tree must be untouched");
+}
+
+/// (f) Fault-level retries and version-validation retries compose
+/// without double-counting: optimistic readers descend through a faulty
+/// pool while a writer mutates the tree, so a single node visit can be
+/// retried at *both* layers — the pool re-reads the device on a
+/// transient fault, and the epoch discards the visit on a version
+/// conflict. The layering contract:
+///
+/// - The pool absorbs its layer exactly: with no budget exhausted,
+///   every injected transient pairs with exactly one pool retry, and
+///   none of the extra device attempts ever reach the node-read
+///   counters (one logical read ticks the level counters once, however
+///   many device attempts it took).
+/// - The epoch absorbs its layer on top: delivered + version-retried
+///   reads + the writer's deterministic read count equals the level
+///   counters exactly — a fault retry is never misattributed as a
+///   version retry or vice versa.
+#[test]
+fn chaos_f_fault_retries_compose_with_version_retries() {
+    let recs = line_records(120);
+
+    fn mover(j: u32) -> R {
+        let oid = 1000 + j;
+        let x = f64::from(oid % 37) + 0.25;
+        R::new(oid, 0, Interval::new(0.0, 100.0), [x, 0.5], [x, 0.5])
+    }
+
+    let faulty = FaultyStore::new(Pager::with_page_size(256), FaultPlan::transient(42, 0.05));
+    let pool = ShardedBufferPool::new(ChecksumStore::new(faulty), 8, 2).with_retry(RetryPolicy {
+        max_attempts: 8,
+        base_backoff: Duration::from_micros(1),
+    });
+    let tree = build_tree(pool, &recs).map_store(Arc::new);
+    let levels0 = tree.level_counters().snapshot();
+    let epoch0 = tree.epoch_stats();
+    let reader = tree.reader();
+    let lock = RwLock::new(tree);
+
+    // Delivered node visits across all optimistic attempts (a read that
+    // validated stays delivered even if its snapshot later conflicts).
+    let visits = AtomicU64::new(0);
+    let scan = |view: &dyn TreeRead<R>| -> Result<(u64, Vec<u32>), StorageError> {
+        let len = view.len();
+        let mut ids = Vec::new();
+        let mut stack = vec![view.root_page()];
+        while let Some(page) = stack.pop() {
+            let node = view.try_read_node(page)?;
+            visits.fetch_add(1, Ordering::Relaxed);
+            if node.is_leaf() {
+                ids.extend(node.leaf_records().map(|r| r.oid));
+            } else {
+                stack.extend(node.internal_entries().map(|(_, c)| c));
+            }
+        }
+        Ok((len, ids))
+    };
+    // Preloaded ids 0..119 plus the writer's contiguous 1000.. prefix.
+    let check = |len: u64, mut ids: Vec<u32>| {
+        ids.sort_unstable();
+        assert_eq!(ids.len() as u64, len, "snapshot delivered a non-len id set");
+        for (k, id) in ids.iter().enumerate() {
+            let want = if k < 120 { k as u32 } else { 1000 + k as u32 - 120 };
+            assert_eq!(*id, want, "torn snapshot under faults + conflicts");
+        }
+    };
+
+    let stop = AtomicBool::new(false);
+    let inserted = std::thread::scope(|s| {
+        let writer = s.spawn(|| {
+            // At least BASE write sections, then keep going until both
+            // retry layers have demonstrably fired (deadline-bounded).
+            const BASE: u32 = 2_000;
+            let deadline = Instant::now() + Duration::from_secs(10);
+            let mut j = 0;
+            loop {
+                lock.write().insert(mover(j), 0.0);
+                j += 1;
+                let (conflicted, faulted) = {
+                    let t = lock.read();
+                    let d = t.epoch_stats() - epoch0;
+                    let fs = t.store().fault_stats();
+                    (d.read_retries + d.version_conflicts > 0, fs.retries > 0)
+                };
+                if j >= BASE && ((conflicted && faulted) || Instant::now() > deadline) {
+                    break;
+                }
+            }
+            stop.store(true, Ordering::Relaxed);
+            j
+        });
+        for _ in 0..2 {
+            s.spawn(|| {
+                while !stop.load(Ordering::Relaxed) {
+                    match reader.with_consistent(&scan) {
+                        Ok((len, ids)) => check(len, ids),
+                        Err(StorageError::Conflict { .. }) => {}
+                        Err(e) => panic!("a transient fault leaked through the pool: {e}"),
+                    }
+                }
+            });
+        }
+        writer.join().unwrap()
+    });
+
+    // Final agreement between the optimistic and locked paths.
+    let (len_opt, ids_opt) = reader.with_consistent(&scan).unwrap();
+    let tree = lock.read();
+    let (len_locked, mut ids_locked) = scan(&*tree).unwrap();
+    assert_eq!(len_opt, 120 + u64::from(inserted));
+    assert_eq!(len_locked, len_opt);
+    let mut sorted_opt = ids_opt;
+    sorted_opt.sort_unstable();
+    ids_locked.sort_unstable();
+    assert_eq!(sorted_opt, ids_locked, "optimistic vs locked scan diverged");
+    check(len_opt, sorted_opt);
+
+    // Both retry layers fired, and the pool layer paired exactly: one
+    // retry per injected transient, none exhausted, none misread as
+    // corruption.
+    let epoch = tree.epoch_stats() - epoch0;
+    assert!(
+        epoch.read_retries + epoch.version_conflicts > 0,
+        "the writer never conflicted a reader — stress was vacuous"
+    );
+    let pool = tree.store();
+    let fs = pool.fault_stats();
+    let transients = pool.inner().inner().injected().transients;
+    assert!(transients > 0, "no transient fault ever injected");
+    assert_eq!(fs.exhausted, 0, "a retry budget was exhausted");
+    assert_eq!(pool.inner().corrupt_detected(), 0);
+    assert_eq!(
+        fs.retries, transients,
+        "pool retries must pair 1:1 with injected transients"
+    );
+
+    // The cross-layer identity: device-level retries never inflate the
+    // node-read counters, and version-level retries account for every
+    // discarded visit. The writer's logical reads are reproduced by a
+    // fault-free replay of the same insert sequence.
+    let mut replay = build_tree(Pager::with_page_size(256), &recs);
+    let replay0 = replay.level_counters().snapshot();
+    for j in 0..inserted {
+        replay.insert(mover(j), 0.0);
+    }
+    let writer_reads = (replay.level_counters().snapshot() - replay0).total_reads();
+    let levels = tree.level_counters().snapshot() - levels0;
+    assert_eq!(
+        levels.total_reads(),
+        visits.load(Ordering::Relaxed) + epoch.read_retries + writer_reads,
+        "level reads must equal delivered + version-retried + writer reads"
+    );
 }
 
 /// (e) The partitioned server under the same transient-only schedule:

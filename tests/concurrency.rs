@@ -186,7 +186,7 @@ fn npdq_sees_interleaved_inserts_from_writer_thread() {
                 let q = spec.open_snapshot(k);
                 let now = spec.frame_times[k];
                 npdq_emitted += engine
-                    .execute(&t, &q, now, |r| {
+                    .execute(&*t, &q, now, |r| {
                         npdq_union.insert((r.oid, r.seq));
                     })
                     .results;

@@ -8,7 +8,13 @@
 # --bench-smoke additionally runs the read_path microbench at a tiny
 # size; the bench exits non-zero if the zero-copy view traversal copies
 # at least as many bytes as the decode traversal, so a read-path
-# regression fails the check. The smoke output goes to target/figures/
+# regression fails the check. The wrapper then enforces two ratio
+# floors from the smoke figures — optimistic-vs-locked contended reads
+# and batched-vs-scalar overlap geometry must both stay >= 1.0x
+# (ratios are machine-portable where absolute throughputs are not), so
+# a regression that makes the optimistic read path slower than the
+# lock it replaced, or the SoA kernel slower than the scalar loop it
+# replaced, fails the check. The smoke output goes to target/figures/
 # and never clobbers the committed BENCH_read_path.json baseline.
 #
 # --obs-smoke runs the observability reconciliation end to end: a small
@@ -63,6 +69,22 @@ if [ "$BENCH_SMOKE" = 1 ]; then
     DQ_READ_PATH_OUT="$PWD/target/figures/read_path_smoke.json" \
     cargo bench --offline -p bench --bench read_path
   echo "OK: read_path bench smoke passed (view path copies fewer bytes than decode)."
+  python3 - "$PWD/target/figures/read_path_smoke.json" <<'PY'
+import json, sys
+rows = json.load(open(sys.argv[1]))["rows"]
+def ratio(label):
+    row = next(r for r in rows if r[0].startswith(label))
+    return float(next(c for c in row[1:] if c.strip()).rstrip("x"))
+for label, what in [
+    ("optimistic/locked", "optimistic reads vs the per-frame read lock"),
+    ("batched/scalar", "SoA overlap kernel vs the scalar loop"),
+]:
+    r = ratio(label)
+    if r < 1.0:
+        sys.exit(f"FAIL: {label} speedup {r:.2f}x fell below 1.0x — "
+                 f"{what} regressed")
+    print(f"OK: {label} speedup {r:.2f}x (floor 1.0x).")
+PY
 fi
 
 if [ "$OBS_SMOKE" = 1 ]; then
