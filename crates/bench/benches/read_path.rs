@@ -89,8 +89,8 @@ impl<S: PageStore> PageStore for CountingStore<S> {
     fn write(&self, id: PageId, data: &[u8]) {
         self.inner.write(id, data)
     }
-    fn alloc(&self) -> PageId {
-        self.inner.alloc()
+    fn try_alloc(&self) -> Result<PageId, storage::StorageError> {
+        self.inner.try_alloc()
     }
     fn free(&self, id: PageId) {
         self.inner.free(id)

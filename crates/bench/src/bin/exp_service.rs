@@ -22,15 +22,25 @@
 //! successful device read — and every session must finish `Ok`. The
 //! figure is then written as `exp_service_chaos` so the fault-free
 //! baseline JSON is never overwritten.
+//!
+//! Durable mode: `DQ_DURABLE=1` attaches a WAL-backed [`DurableLog`]
+//! (group commit per frame, checkpoint every 8 commits) to each
+//! single-tree run, then *recovers from the durable image* after the
+//! serve and asserts the recovered tree is bit-identical to the served
+//! one. Checkpoint snapshots read pages through the pool, so the strict
+//! `node reads == pool accesses` identity widens to `>=` in this mode
+//! (the other identities stay exact); the figure is written as
+//! `exp_service_durable`.
 
 use bench::{f2, FigureTable, Scale};
-use mobiquery::{DqServer, PartitionedDqServer, RegionGrid, SessionKind, SessionSpec};
+use mobiquery::{DqServer, DurableLog, PartitionedDqServer, RegionGrid, SessionKind, SessionSpec};
 use rtree::{NsiSegmentRecord, RTree, RTreeConfig};
 use std::sync::Arc;
 use std::time::Duration;
 use stkit::Interval;
 use storage::{
-    ChecksumStore, FaultPlan, FaultyStore, PageStore, Pager, RetryPolicy, ShardedBufferPool,
+    save_pager, ChecksumStore, FaultPlan, FaultyStore, PageStore, Pager, RetryPolicy,
+    ShardedBufferPool, SnapshotSource,
 };
 use workload::QueryWorkload;
 
@@ -72,13 +82,14 @@ struct Workload<'a> {
 
 /// One sweep configuration over an arbitrary page-store stack: build the
 /// tree, serve, verify the reconciliation identities, and append a row.
-fn run_config<S: PageStore + Send + Sync>(
+fn run_config<S: SnapshotSource + Send + Sync>(
     table: &mut FigureTable,
     mode: &str,
     pool_pages: usize,
     pool: ShardedBufferPool<S>,
     wl: &Workload<'_>,
     fault_mode: bool,
+    durable: bool,
 ) {
     let Workload {
         specs,
@@ -97,7 +108,14 @@ fn run_config<S: PageStore + Send + Sync>(
         tree.store().attach_fault_metrics(&registry);
     }
     let levels_before = tree.level_counters().snapshot();
-    let server = DqServer::new(tree).with_metrics(Arc::clone(&registry));
+    let log = durable.then(|| Arc::new(DurableLog::new(8)));
+    if let Some(log) = &log {
+        log.attach_metrics(&registry);
+    }
+    let mut server = DqServer::new(tree).with_metrics(Arc::clone(&registry));
+    if let Some(log) = &log {
+        server = server.with_durability(Arc::clone(log));
+    }
 
     let t0 = std::time::Instant::now();
     let report = if mode == "serial" {
@@ -161,12 +179,25 @@ fn run_config<S: PageStore + Send + Sync>(
         retried, 0,
         "the barrier protocol must keep optimistic reads conflict-free"
     );
-    //  tree level counters == buffer pool hit/miss accounting
-    assert_eq!(
-        levels.total_reads(),
-        cs.hits + cs.misses,
-        "every node read is exactly one pool access"
-    );
+    //  tree level counters == buffer pool hit/miss accounting. In
+    //  durable mode checkpoint snapshots also read pages through the
+    //  pool without ticking the level counters, so the identity widens:
+    //  pool accesses == node reads + checkpoint page reads (>= 0).
+    if durable {
+        assert!(
+            cs.hits + cs.misses >= levels.total_reads(),
+            "pool accesses ({} + {}) below node reads ({})",
+            cs.hits,
+            cs.misses,
+            levels.total_reads()
+        );
+    } else {
+        assert_eq!(
+            levels.total_reads(),
+            cs.hits + cs.misses,
+            "every node read is exactly one pool access"
+        );
+    }
     //  pool misses == true disk reads behind the cache
     assert_eq!(cs.misses, reads, "every pool miss is exactly one disk read");
     //  the per-frame timeline re-adds to the run totals
@@ -184,6 +215,57 @@ fn run_config<S: PageStore + Send + Sync>(
         eprintln!(
             "# fault recovery ({mode}, {pool_pages} pages): retries={} exhausted={} corrupt={}",
             fault_stats.retries, fault_stats.exhausted, fault_stats.corrupt_pages
+        );
+    }
+
+    // Durable mode: the WAL saw every frame, checkpoints fired on
+    // cadence, and — the point of the whole exercise — recovering from
+    // the durable image right now reproduces the served tree
+    // bit-identically.
+    if let Some(log) = &log {
+        let stats = log.stats();
+        assert_eq!(
+            report.wal_appends,
+            inserts.len() as u64,
+            "every frame batch must be group-committed"
+        );
+        assert_eq!(stats.wal.appends, report.wal_appends);
+        assert_eq!(registry.counter_value("wal.appends"), stats.wal.appends);
+        assert!(
+            report.checkpoints >= 1,
+            "{} commits at every=8 must checkpoint mid-run",
+            report.wal_appends
+        );
+        assert_eq!(stats.checkpoint_failures, 0, "a checkpoint snapshot failed");
+
+        let (recovered, rep) = log
+            .durable_image()
+            .recover_tree::<2>(RTreeConfig::default())
+            .expect("recovery from the post-run durable image");
+        rep.publish(&registry);
+        assert!(rep.tail.is_clean(), "undamaged WAL recovered {:?}", rep.tail);
+        assert_eq!(
+            registry.counter_value("wal.replayed_records"),
+            rep.replayed_records
+        );
+        server.with_tree(|t| {
+            assert_eq!(
+                recovered.metadata(),
+                t.metadata(),
+                "recovered tree metadata diverged from the served tree"
+            );
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            save_pager(recovered.store(), &mut a).unwrap();
+            save_pager(t.store(), &mut b).unwrap();
+            assert_eq!(a, b, "recovered pager image diverged from the served tree");
+        });
+        eprintln!(
+            "# durability ({mode}, {pool_pages} pages): appends={} group_commit_ns={} checkpoints={} replayed_frames={} replayed_records={}",
+            stats.wal.appends,
+            report.wal_commit_ns,
+            report.checkpoints,
+            rep.replayed_frames,
+            rep.replayed_records
         );
     }
 
@@ -336,6 +418,7 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(7);
+    let durable = std::env::var("DQ_DURABLE").is_ok_and(|v| !v.is_empty() && v != "0");
 
     // 80 % of the updates pre-loaded, 20 % arriving live per frame.
     let records = ds.nsi_records();
@@ -355,9 +438,14 @@ fn main() {
     if fault_rate > 0.0 {
         eprintln!("# fault injection: transient rate {fault_rate}, seed {fault_seed}");
     }
+    if durable {
+        eprintln!("# durability: WAL group commit per frame, checkpoint every 8 commits");
+    }
 
     let figure = if fault_rate > 0.0 {
         "exp_service_chaos"
+    } else if durable {
+        "exp_service_durable"
     } else {
         "exp_service"
     };
@@ -397,10 +485,10 @@ fn main() {
                 max_attempts: 10,
                 base_backoff: Duration::from_micros(1),
             });
-            run_config(&mut table, mode, pool_pages, pool, &wl, true);
+            run_config(&mut table, mode, pool_pages, pool, &wl, true, durable);
         } else {
             let pool = ShardedBufferPool::new(Pager::new(), pool_pages, SHARDS);
-            run_config(&mut table, mode, pool_pages, pool, &wl, false);
+            run_config(&mut table, mode, pool_pages, pool, &wl, false, durable);
         }
     }
 

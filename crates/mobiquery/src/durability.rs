@@ -1,0 +1,696 @@
+//! Durable write path: group-committed WAL, checkpoints, crash recovery.
+//!
+//! The serving write path applies one insert batch per frame, which gives
+//! durability a natural group-commit unit: the writer appends each
+//! frame's whole batch as **one** checksummed [`storage::Wal`] record
+//! *before* any tree page is written, and periodically checkpoints the
+//! tree (reusing the [`storage::save_pager`] snapshot format), truncating
+//! the WAL at the checkpoint. Recovery is always *last checkpoint +
+//! replay of every complete WAL record*, stopping cleanly at a torn,
+//! truncated, or checksum-failing tail — so a crash at any instant loses
+//! at most the frames whose records never became durable, and a frame
+//! whose record IS durable survives even if the crash hit between the
+//! WAL append and the tree write.
+//!
+//! Two checkpoint shapes share one log:
+//!
+//! * [`Checkpoint::Tree`] — the single-tree [`crate::DqServer`] persists
+//!   its page store bit-exactly (snapshot v3 keeps the allocator's free
+//!   list, so replaying the WAL onto the reloaded pager allocates the
+//!   same page ids the live tree would have — recovery is *bit-identical*
+//!   to a fault-free tree that applied the same committed prefix).
+//! * [`Checkpoint::Logical`] — the [`crate::PartitionedDqServer`] has one
+//!   shared WAL over many region trees; its checkpoint is the
+//!   deduplicated record set, and recovery rebuilds the regions through
+//!   [`crate::PartitionedDqServer::build`] (result-equivalent, not
+//!   bit-identical — region trees have no single page image).
+//!
+//! Checkpoint failure is *safe*: the WAL is only truncated after the new
+//! checkpoint is installed, so a failed snapshot leaves the previous
+//! checkpoint plus the full (longer) WAL — still a complete recovery
+//! story, just a slower one. The failure is counted in
+//! [`DurableStats::checkpoint_failures`].
+
+use parking_lot::Mutex;
+use rtree::{NsiSegmentRecord, RTree, RTreeConfig, Record};
+use std::io;
+use std::sync::Arc;
+use storage::{
+    load_pager, replay_wal, save_pager, PageId, PageStore, Pager, SnapshotSource, StorageError,
+    Wal, WalError, WalStats, WalTail, WAL_RECORD_OVERHEAD,
+};
+
+/// The durable state the single-tree server checkpoints: a byte-exact
+/// page-store snapshot plus the tree metadata needed to reopen it.
+#[derive(Clone, Debug)]
+pub struct TreeCheckpoint {
+    /// [`storage::save_pager`] bytes of the serving store (v3: free list
+    /// preserved, so post-restore allocation order matches the original).
+    pub snapshot: Vec<u8>,
+    /// Root page at checkpoint time.
+    pub root: PageId,
+    /// Tree height at checkpoint time.
+    pub height: u32,
+    /// Records indexed at checkpoint time.
+    pub len: u64,
+    /// Last WAL sequence number the snapshot covers; replay applies only
+    /// records with `seq > wal_seq`.
+    pub wal_seq: u64,
+}
+
+/// The durable state the partitioned server checkpoints: the deduplicated
+/// record set (seam replicas collapsed), encoded with the WAL batch codec.
+#[derive(Clone, Debug)]
+pub struct LogicalCheckpoint {
+    /// `count u32 ‖ [record bytes]*` — records only; rebuild inserts each
+    /// at its segment start time, exactly like
+    /// [`crate::PartitionedDqServer::build`].
+    pub records: Vec<u8>,
+    /// Records in `records`.
+    pub count: u32,
+    /// Last WAL sequence number the record set covers.
+    pub wal_seq: u64,
+}
+
+/// What the last checkpoint persisted.
+#[derive(Clone, Debug)]
+pub enum Checkpoint {
+    /// Byte-exact page snapshot (single-tree server).
+    Tree(TreeCheckpoint),
+    /// Deduplicated record set (partitioned server).
+    Logical(LogicalCheckpoint),
+}
+
+impl Checkpoint {
+    /// The WAL watermark this checkpoint covers.
+    pub fn wal_seq(&self) -> u64 {
+        match self {
+            Checkpoint::Tree(c) => c.wal_seq,
+            Checkpoint::Logical(c) => c.wal_seq,
+        }
+    }
+}
+
+/// Everything recovery needs, captured as of one instant: the installed
+/// checkpoint (if any) and the WAL byte image. Crash harnesses snapshot
+/// this at arbitrary points — including between a WAL append and the
+/// corresponding tree write — then mutilate the WAL tail and recover.
+#[derive(Clone, Debug)]
+pub struct DurableImage {
+    /// The last installed checkpoint.
+    pub checkpoint: Option<Checkpoint>,
+    /// The WAL image ([`storage::Wal::image`]) as of the capture.
+    pub wal: Vec<u8>,
+}
+
+/// Lifetime counters of one [`DurableLog`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DurableStats {
+    /// The underlying WAL's counters.
+    pub wal: WalStats,
+    /// Checkpoints successfully installed.
+    pub checkpoints: u64,
+    /// Checkpoints that failed (WAL kept, previous checkpoint retained).
+    pub checkpoint_failures: u64,
+}
+
+struct LogState {
+    checkpoint: Option<Checkpoint>,
+    commits_since_checkpoint: u64,
+    checkpoints: u64,
+    checkpoint_failures: u64,
+}
+
+/// The write path's durability state: one WAL plus the last checkpoint.
+///
+/// Shared (via `Arc`) between the serving writer — which group-commits
+/// each frame's batch before applying it — and whoever captures
+/// [`Self::durable_image`] for recovery.
+pub struct DurableLog {
+    wal: Wal,
+    checkpoint_every: u64,
+    state: Mutex<LogState>,
+}
+
+impl DurableLog {
+    /// A log that becomes [due](Self::due_for_checkpoint) for a
+    /// checkpoint after every `checkpoint_every` group commits
+    /// (`0` = never due; only the initial checkpoint is taken).
+    pub fn new(checkpoint_every: u64) -> Self {
+        DurableLog {
+            wal: Wal::new(),
+            checkpoint_every,
+            state: Mutex::new(LogState {
+                checkpoint: None,
+                commits_since_checkpoint: 0,
+                checkpoints: 0,
+                checkpoint_failures: 0,
+            }),
+        }
+    }
+
+    /// Mirror WAL commit counters into `registry` (`wal.appends`,
+    /// `wal.group_commit_ns`).
+    pub fn attach_metrics(&self, registry: &obs::MetricsRegistry) {
+        self.wal.attach_metrics(registry);
+    }
+
+    /// Group-commit one frame's batch as a single WAL record, *before*
+    /// any page of the tree is written. Returns the record's sequence
+    /// number.
+    pub fn commit_frame<const D: usize>(
+        &self,
+        frame: u64,
+        batch: &[(NsiSegmentRecord<D>, f64)],
+    ) -> u64 {
+        let payload = encode_batch(frame, batch);
+        let seq = self.wal.commit(&payload);
+        self.state.lock().commits_since_checkpoint += 1;
+        obs::trace(obs::TraceEvent::WalCommit {
+            seq,
+            bytes: (WAL_RECORD_OVERHEAD + payload.len()) as u32,
+        });
+        seq
+    }
+
+    /// True once any checkpoint has been installed (the writer takes an
+    /// initial one before its first frame, so recovery never has to
+    /// reconstruct preloaded state from nothing).
+    pub fn has_checkpoint(&self) -> bool {
+        self.state.lock().checkpoint.is_some()
+    }
+
+    /// True when enough commits have accumulated since the last
+    /// checkpoint for the writer to take the next one.
+    pub fn due_for_checkpoint(&self) -> bool {
+        self.checkpoint_every > 0
+            && self.state.lock().commits_since_checkpoint >= self.checkpoint_every
+    }
+
+    /// Checkpoint a single serving tree: snapshot its store byte-exactly,
+    /// then truncate the WAL. On snapshot failure nothing is installed
+    /// and the WAL is *not* truncated — the previous checkpoint plus the
+    /// full log still recovers.
+    pub fn checkpoint_tree<const D: usize, S: SnapshotSource>(
+        &self,
+        tree: &RTree<NsiSegmentRecord<D>, Arc<S>>,
+    ) -> io::Result<()> {
+        let mut snapshot = Vec::new();
+        if let Err(e) = save_pager(tree.store(), &mut snapshot) {
+            self.state.lock().checkpoint_failures += 1;
+            return Err(e);
+        }
+        let pages = u32::from_le_bytes(snapshot[12..16].try_into().unwrap());
+        let (root, height, len) = tree.metadata();
+        self.install(pages, |wal_seq| {
+            Checkpoint::Tree(TreeCheckpoint {
+                snapshot,
+                root,
+                height,
+                len,
+                wal_seq,
+            })
+        });
+        Ok(())
+    }
+
+    /// Checkpoint a deduplicated record set (partitioned server), then
+    /// truncate the WAL. Encoding into memory cannot fail, so neither can
+    /// this.
+    pub fn checkpoint_logical<const D: usize>(&self, records: &[NsiSegmentRecord<D>]) {
+        let rec_len = <NsiSegmentRecord<D> as Record>::ENCODED_LEN;
+        let mut buf = Vec::with_capacity(4 + records.len() * rec_len);
+        buf.extend_from_slice(&(records.len() as u32).to_le_bytes());
+        for rec in records {
+            rec.encode(&mut buf);
+        }
+        let count = records.len() as u32;
+        self.install(count, |wal_seq| {
+            Checkpoint::Logical(LogicalCheckpoint {
+                records: buf,
+                count,
+                wal_seq,
+            })
+        });
+    }
+
+    /// Install a built checkpoint and truncate the WAL under one state
+    /// lock, so a concurrent [`Self::durable_image`] capture sees either
+    /// (old checkpoint, full WAL) or (new checkpoint, truncated WAL) —
+    /// never a truncated WAL with the old checkpoint.
+    fn install(&self, pages: u32, make: impl FnOnce(u64) -> Checkpoint) {
+        let mut st = self.state.lock();
+        let wal_seq = self.wal.next_seq() - 1;
+        st.checkpoint = Some(make(wal_seq));
+        self.wal.truncate_for_checkpoint();
+        st.commits_since_checkpoint = 0;
+        st.checkpoints += 1;
+        obs::trace(obs::TraceEvent::Checkpoint {
+            seq: wal_seq,
+            pages,
+        });
+    }
+
+    /// Capture the durable state as of now (what a crash at this instant
+    /// would leave on disk).
+    pub fn durable_image(&self) -> DurableImage {
+        let st = self.state.lock();
+        DurableImage {
+            checkpoint: st.checkpoint.clone(),
+            wal: self.wal.image(),
+        }
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> DurableStats {
+        let st = self.state.lock();
+        DurableStats {
+            wal: self.wal.stats(),
+            checkpoints: st.checkpoints,
+            checkpoint_failures: st.checkpoint_failures,
+        }
+    }
+}
+
+/// What recovery did: how much WAL it replayed and how the log ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Complete committed frames replayed on top of the checkpoint.
+    pub replayed_frames: u64,
+    /// Records applied during replay.
+    pub replayed_records: u64,
+    /// How the WAL image ended ([`WalTail::Clean`] iff no damage).
+    pub tail: WalTail,
+}
+
+impl RecoveryReport {
+    /// Record `wal.replayed_records` into `registry`.
+    pub fn publish(&self, registry: &obs::MetricsRegistry) {
+        registry
+            .counter("wal.replayed_records")
+            .add(self.replayed_records);
+    }
+}
+
+/// Why recovery could not produce a tree. A damaged WAL *tail* is not an
+/// error (replay stops at the last complete record and reports it in
+/// [`RecoveryReport::tail`]); these are the states with no recovery story
+/// at all.
+#[derive(Debug)]
+pub enum RecoverError {
+    /// No checkpoint was ever installed: there is no base state to replay
+    /// onto (the writer takes an initial checkpoint before its first
+    /// frame precisely to rule this out).
+    NoCheckpoint,
+    /// The image's checkpoint is the other server's shape (e.g. a logical
+    /// record-set checkpoint handed to [`DurableImage::recover_tree`]).
+    WrongCheckpointKind,
+    /// The WAL header itself is unusable.
+    Wal(WalError),
+    /// The checkpoint snapshot failed to load.
+    Snapshot(io::Error),
+    /// A checksum-valid WAL record decoded to a malformed batch (a logic
+    /// bug, surfaced as a typed error rather than a panic).
+    Codec(String),
+    /// Re-applying a committed record to the recovered store failed.
+    Apply(StorageError),
+}
+
+impl std::fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoverError::NoCheckpoint => write!(f, "no checkpoint to recover from"),
+            RecoverError::WrongCheckpointKind => {
+                write!(f, "checkpoint kind does not match the recovery path")
+            }
+            RecoverError::Wal(e) => write!(f, "unusable WAL image: {e}"),
+            RecoverError::Snapshot(e) => write!(f, "checkpoint snapshot failed to load: {e}"),
+            RecoverError::Codec(msg) => write!(f, "malformed WAL batch payload: {msg}"),
+            RecoverError::Apply(e) => write!(f, "replay insert failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoverError {}
+
+impl DurableImage {
+    /// Recover a single serving tree: load the checkpoint snapshot,
+    /// reopen the tree, and replay every complete WAL record past the
+    /// checkpoint watermark. The result is bit-identical (same
+    /// [`save_pager`] bytes, same metadata) to a fault-free tree that
+    /// applied the same committed-frame prefix, because the v3 snapshot
+    /// preserves allocation order.
+    pub fn recover_tree<const D: usize>(
+        &self,
+        config: RTreeConfig,
+    ) -> Result<(RTree<NsiSegmentRecord<D>, Pager>, RecoveryReport), RecoverError> {
+        let Some(Checkpoint::Tree(cp)) = &self.checkpoint else {
+            return Err(match &self.checkpoint {
+                None => RecoverError::NoCheckpoint,
+                Some(_) => RecoverError::WrongCheckpointKind,
+            });
+        };
+        let pager = load_pager(&cp.snapshot[..]).map_err(RecoverError::Snapshot)?;
+        let mut tree: RTree<NsiSegmentRecord<D>, Pager> =
+            RTree::reopen(pager, config, cp.root, cp.height, cp.len);
+        let rep = replay_wal(&self.wal).map_err(RecoverError::Wal)?;
+        let mut frames = 0u64;
+        let mut records = 0u64;
+        for r in &rep.records {
+            // A capture racing a checkpoint can hold records the snapshot
+            // already covers; the watermark filter keeps replay
+            // exactly-once.
+            if r.seq <= cp.wal_seq {
+                continue;
+            }
+            let (_, batch) = decode_batch::<D>(&r.payload).map_err(RecoverError::Codec)?;
+            frames += 1;
+            for (rec, now) in batch {
+                tree.try_insert(rec, now).map_err(RecoverError::Apply)?;
+                records += 1;
+            }
+        }
+        obs::trace(obs::TraceEvent::WalReplayed {
+            records: records as u32,
+            clean_tail: rep.tail.is_clean(),
+        });
+        Ok((
+            tree,
+            RecoveryReport {
+                replayed_frames: frames,
+                replayed_records: records,
+                tail: rep.tail,
+            },
+        ))
+    }
+
+    /// Recover the partitioned server's durable state: the checkpoint's
+    /// deduplicated record set plus every complete committed frame past
+    /// the watermark, in commit order. The caller rebuilds region trees
+    /// from the base set (via [`crate::PartitionedDqServer::build`]) and
+    /// re-applies the frames through routing.
+    #[allow(clippy::type_complexity)]
+    pub fn recover_records<const D: usize>(
+        &self,
+    ) -> Result<
+        (
+            Vec<NsiSegmentRecord<D>>,
+            Vec<(u64, Vec<(NsiSegmentRecord<D>, f64)>)>,
+            RecoveryReport,
+        ),
+        RecoverError,
+    > {
+        let Some(Checkpoint::Logical(cp)) = &self.checkpoint else {
+            return Err(match &self.checkpoint {
+                None => RecoverError::NoCheckpoint,
+                Some(_) => RecoverError::WrongCheckpointKind,
+            });
+        };
+        let base = decode_record_set::<D>(&cp.records).map_err(RecoverError::Codec)?;
+        let rep = replay_wal(&self.wal).map_err(RecoverError::Wal)?;
+        let mut frames = Vec::new();
+        let mut records = 0u64;
+        for r in &rep.records {
+            if r.seq <= cp.wal_seq {
+                continue;
+            }
+            let (frame, batch) = decode_batch::<D>(&r.payload).map_err(RecoverError::Codec)?;
+            records += batch.len() as u64;
+            frames.push((frame, batch));
+        }
+        obs::trace(obs::TraceEvent::WalReplayed {
+            records: records as u32,
+            clean_tail: rep.tail.is_clean(),
+        });
+        let report = RecoveryReport {
+            replayed_frames: frames.len() as u64,
+            replayed_records: records,
+            tail: rep.tail,
+        };
+        Ok((base, frames, report))
+    }
+}
+
+/// Hooks [`DurableLog`] into a [`crate::DqServer`] without bounding the
+/// whole server on [`SnapshotSource`]: the checkpoint path is a plain
+/// function pointer instantiated by
+/// [`crate::DqServer::with_durability`] — the only place the bound
+/// exists — so `serve` stays generic over any [`PageStore`].
+pub struct DurabilityHook<const D: usize, S: PageStore> {
+    pub(crate) log: Arc<DurableLog>,
+    checkpoint_fn: fn(&DurableLog, &RTree<NsiSegmentRecord<D>, Arc<S>>) -> io::Result<()>,
+}
+
+impl<const D: usize, S: PageStore> DurabilityHook<D, S> {
+    pub(crate) fn for_tree(log: Arc<DurableLog>) -> Self
+    where
+        S: SnapshotSource,
+    {
+        DurabilityHook {
+            log,
+            checkpoint_fn: |log, tree| log.checkpoint_tree(tree),
+        }
+    }
+
+    /// Take the run's base checkpoint if none exists yet, so recovery
+    /// always has the preloaded tree to replay onto.
+    pub(crate) fn ensure_initial(
+        &self,
+        tree: &RTree<NsiSegmentRecord<D>, Arc<S>>,
+    ) -> io::Result<()> {
+        if self.log.has_checkpoint() {
+            return Ok(());
+        }
+        (self.checkpoint_fn)(&self.log, tree)
+    }
+
+    pub(crate) fn checkpoint(&self, tree: &RTree<NsiSegmentRecord<D>, Arc<S>>) -> io::Result<()> {
+        (self.checkpoint_fn)(&self.log, tree)
+    }
+}
+
+fn entry_len<const D: usize>() -> usize {
+    <NsiSegmentRecord<D> as Record>::ENCODED_LEN + 8
+}
+
+/// WAL batch payload: `frame u64 ‖ count u32 ‖ [record bytes ‖ now f64]*`.
+fn encode_batch<const D: usize>(frame: u64, batch: &[(NsiSegmentRecord<D>, f64)]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(12 + batch.len() * entry_len::<D>());
+    buf.extend_from_slice(&frame.to_le_bytes());
+    buf.extend_from_slice(&(batch.len() as u32).to_le_bytes());
+    for (rec, now) in batch {
+        rec.encode(&mut buf);
+        buf.extend_from_slice(&now.to_le_bytes());
+    }
+    buf
+}
+
+fn decode_batch<const D: usize>(
+    payload: &[u8],
+) -> Result<(u64, Vec<(NsiSegmentRecord<D>, f64)>), String> {
+    if payload.len() < 12 {
+        return Err(format!("batch payload too short: {} bytes", payload.len()));
+    }
+    let frame = u64::from_le_bytes(payload[0..8].try_into().unwrap());
+    let count = u32::from_le_bytes(payload[8..12].try_into().unwrap()) as usize;
+    let entry = entry_len::<D>();
+    if payload.len() != 12 + count * entry {
+        return Err(format!(
+            "batch payload length {} does not match {count} records",
+            payload.len()
+        ));
+    }
+    let rec_len = <NsiSegmentRecord<D> as Record>::ENCODED_LEN;
+    let mut batch = Vec::with_capacity(count);
+    let mut off = 12;
+    for _ in 0..count {
+        let rec = <NsiSegmentRecord<D> as Record>::decode(&payload[off..off + rec_len]);
+        let now = f64::from_le_bytes(payload[off + rec_len..off + entry].try_into().unwrap());
+        batch.push((rec, now));
+        off += entry;
+    }
+    Ok((frame, batch))
+}
+
+/// Logical checkpoint body: `count u32 ‖ [record bytes]*`.
+fn decode_record_set<const D: usize>(buf: &[u8]) -> Result<Vec<NsiSegmentRecord<D>>, String> {
+    if buf.len() < 4 {
+        return Err(format!("record set too short: {} bytes", buf.len()));
+    }
+    let count = u32::from_le_bytes(buf[0..4].try_into().unwrap()) as usize;
+    let rec_len = <NsiSegmentRecord<D> as Record>::ENCODED_LEN;
+    if buf.len() != 4 + count * rec_len {
+        return Err(format!(
+            "record set length {} does not match {count} records",
+            buf.len()
+        ));
+    }
+    let mut out = Vec::with_capacity(count);
+    let mut off = 4;
+    for _ in 0..count {
+        out.push(<NsiSegmentRecord<D> as Record>::decode(
+            &buf[off..off + rec_len],
+        ));
+        off += rec_len;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stkit::Interval;
+
+    type R = NsiSegmentRecord<2>;
+
+    fn rec(oid: u32, x: f64, t: f64) -> R {
+        R::new(oid, 0, Interval::new(t, 100.0), [x, 0.5], [x, 0.5])
+    }
+
+    fn build(recs: &[(R, f64)], page_size: usize) -> RTree<R, Pager> {
+        let mut tree = RTree::new(Pager::with_page_size(page_size), RTreeConfig::default());
+        for (r, now) in recs {
+            tree.insert(*r, *now);
+        }
+        tree
+    }
+
+    #[test]
+    fn batch_codec_roundtrip() {
+        let batch: Vec<(R, f64)> = (0..5).map(|i| (rec(i, f64::from(i), 0.25), 0.25)).collect();
+        let payload = encode_batch(7, &batch);
+        let (frame, got) = decode_batch::<2>(&payload).unwrap();
+        assert_eq!(frame, 7);
+        assert_eq!(got, batch);
+        // Empty batches are legal group commits.
+        let (frame, got) = decode_batch::<2>(&encode_batch::<2>(9, &[])).unwrap();
+        assert_eq!((frame, got.len()), (9, 0));
+        // Truncated and padded payloads are typed errors, not panics.
+        assert!(decode_batch::<2>(&payload[..payload.len() - 1]).is_err());
+        assert!(decode_batch::<2>(&[0u8; 11]).is_err());
+    }
+
+    #[test]
+    fn recover_without_checkpoint_is_a_typed_error() {
+        let log = DurableLog::new(4);
+        log.commit_frame(0, &[(rec(1, 1.0, 0.0), 0.0)]);
+        let image = log.durable_image();
+        assert!(matches!(
+            image.recover_tree::<2>(RTreeConfig::default()),
+            Err(RecoverError::NoCheckpoint)
+        ));
+        assert!(matches!(
+            image.recover_records::<2>(),
+            Err(RecoverError::NoCheckpoint)
+        ));
+    }
+
+    #[test]
+    fn checkpoint_plus_replay_reconstructs_the_tree_bit_identically() {
+        let preload: Vec<(R, f64)> = (0..30).map(|i| (rec(i, f64::from(i), 0.0), 0.0)).collect();
+        let tree = build(&preload, 256).map_store(Arc::new);
+        let log = DurableLog::new(0);
+        log.checkpoint_tree(&tree).unwrap();
+
+        // Commit two frames, apply them to the live tree, crash, recover.
+        let mut live = tree;
+        let batches: Vec<Vec<(R, f64)>> = (0..2)
+            .map(|k| {
+                (0..4)
+                    .map(|j| (rec(100 + k * 4 + j, f64::from(j) + 0.25, 1.0), 1.0))
+                    .collect()
+            })
+            .collect();
+        for (k, b) in batches.iter().enumerate() {
+            log.commit_frame(k as u64, b);
+            for (r, now) in b {
+                live.insert(*r, *now);
+            }
+        }
+        let (recovered, report) = log
+            .durable_image()
+            .recover_tree::<2>(RTreeConfig::default())
+            .unwrap();
+        assert_eq!(report.replayed_frames, 2);
+        assert_eq!(report.replayed_records, 8);
+        assert!(report.tail.is_clean());
+        assert_eq!(recovered.metadata(), live.metadata());
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        save_pager(recovered.store(), &mut a).unwrap();
+        save_pager(live.store(), &mut b).unwrap();
+        assert_eq!(a, b, "recovered pager image differs from the live tree");
+    }
+
+    #[test]
+    fn checkpoint_truncates_and_watermark_filters_replay() {
+        let preload: Vec<(R, f64)> = (0..10).map(|i| (rec(i, f64::from(i), 0.0), 0.0)).collect();
+        let mut live = build(&preload, 256).map_store(Arc::new);
+        let log = DurableLog::new(2);
+        log.checkpoint_tree(&live).unwrap();
+        assert!(!log.due_for_checkpoint());
+
+        for k in 0..2u64 {
+            let b = vec![(rec(100 + k as u32, 0.25, 1.0), 1.0)];
+            log.commit_frame(k, &b);
+            live.insert(b[0].0, b[0].1);
+        }
+        assert!(log.due_for_checkpoint(), "two commits at every=2");
+        log.checkpoint_tree(&live).unwrap();
+        assert!(!log.due_for_checkpoint());
+        let stats = log.stats();
+        assert_eq!(stats.checkpoints, 2);
+        assert_eq!(stats.wal.truncations, 2);
+
+        // Nothing to replay: the checkpoint covers both commits.
+        let (recovered, report) = log
+            .durable_image()
+            .recover_tree::<2>(RTreeConfig::default())
+            .unwrap();
+        assert_eq!(report.replayed_records, 0);
+        assert_eq!(recovered.metadata(), live.metadata());
+
+        // One more commit replays exactly one record (seq continuity
+        // across the truncation is what makes the watermark meaningful).
+        let b = vec![(rec(200, 0.75, 2.0), 2.0)];
+        log.commit_frame(2, &b);
+        live.insert(b[0].0, b[0].1);
+        let (recovered, report) = log
+            .durable_image()
+            .recover_tree::<2>(RTreeConfig::default())
+            .unwrap();
+        assert_eq!(report.replayed_records, 1);
+        assert_eq!(recovered.metadata(), live.metadata());
+    }
+
+    #[test]
+    fn logical_checkpoint_roundtrips_records_and_frames() {
+        let base: Vec<R> = (0..12).map(|i| rec(i, f64::from(i), 0.0)).collect();
+        let log = DurableLog::new(0);
+        log.checkpoint_logical(&base);
+        let batch = vec![(rec(500, 3.25, 1.0), 1.0), (rec(501, 7.25, 1.0), 1.0)];
+        log.commit_frame(4, &batch);
+        let (got_base, frames, report) = log.durable_image().recover_records::<2>().unwrap();
+        assert_eq!(got_base, base);
+        assert_eq!(frames, vec![(4, batch)]);
+        assert_eq!(report.replayed_frames, 1);
+        assert_eq!(report.replayed_records, 2);
+        assert!(report.tail.is_clean());
+    }
+
+    #[test]
+    fn kind_mismatch_is_a_typed_error() {
+        let log = DurableLog::new(0);
+        log.checkpoint_logical::<2>(&[]);
+        assert!(matches!(
+            log.durable_image().recover_tree::<2>(RTreeConfig::default()),
+            Err(RecoverError::WrongCheckpointKind)
+        ));
+        let tree = build(&[], 256).map_store(Arc::new);
+        let log = DurableLog::new(0);
+        log.checkpoint_tree(&tree).unwrap();
+        assert!(matches!(
+            log.durable_image().recover_records::<2>(),
+            Err(RecoverError::WrongCheckpointKind)
+        ));
+    }
+}

@@ -37,6 +37,7 @@
 pub mod adaptive;
 pub mod aggregate;
 pub mod cache;
+pub mod durability;
 pub mod join;
 pub mod knn;
 pub mod layout;
@@ -57,6 +58,10 @@ pub mod uncertain;
 pub use adaptive::{AdaptiveConfig, AdaptiveSession, Mode};
 pub use aggregate::CountProfile;
 pub use cache::ClientCache;
+pub use durability::{
+    Checkpoint, DurableImage, DurableLog, DurableStats, LogicalCheckpoint, RecoverError,
+    RecoveryReport, TreeCheckpoint,
+};
 pub use join::{distance_join, self_distance_join, JoinPair};
 pub use knn::{knn_at, knn_moving_observer, KnnResult, MovingKnn};
 pub use layout::MotionRecord;

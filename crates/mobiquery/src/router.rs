@@ -43,6 +43,7 @@
 //! the grid at equal-load quantiles between serves, rebuilding region
 //! trees from the deduplicated record set.
 
+use crate::durability::DurableLog;
 use crate::layout::MotionRecord;
 use crate::npdq::NpdqEngine;
 use crate::pdq::{PdqEngine, PdqResult};
@@ -58,6 +59,7 @@ use rtree::{EpochStats, NsiSegmentRecord, RTree, TreeReadRetry};
 use std::collections::{BTreeMap, HashSet};
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::Instant;
 use stkit::Interval;
@@ -341,6 +343,23 @@ struct RegionTally {
     outcome: SessionOutcome,
 }
 
+impl RegionTally {
+    /// A failed region writer (full device) stops applying; see
+    /// [`crate::service::DqServer`] — the same rule, per region.
+    fn failed(&self) -> bool {
+        matches!(self.outcome, SessionOutcome::Failed(_))
+    }
+}
+
+/// Tallies of the durability participant (WAL commits + logical
+/// checkpoints) over one partitioned run.
+#[derive(Clone, Copy, Default)]
+struct DurabilityTally {
+    appends: u64,
+    commit_ns: u64,
+    checkpoints: u64,
+}
+
 /// A serving instance owning one NSI tree *per region*.
 ///
 /// ```
@@ -377,6 +396,12 @@ pub struct PartitionedDqServer<const D: usize, S: PageStore> {
     loads: Mutex<Vec<u64>>,
     metrics: Option<Arc<obs::MetricsRegistry>>,
     writer_retry: RetryPolicy,
+    /// When set, every frame's batch is group-committed to the WAL
+    /// before any region applies it, and *logical* checkpoints (the
+    /// deduplicated record set, not per-region page images) are
+    /// installed when due. Survives [`Self::rebalance`]: the logical
+    /// form is partition-independent.
+    durability: Option<Arc<DurableLog>>,
 }
 
 impl<const D: usize, S: PageStore> PartitionedDqServer<D, S> {
@@ -412,6 +437,7 @@ impl<const D: usize, S: PageStore> PartitionedDqServer<D, S> {
             loads,
             metrics: None,
             writer_retry: RetryPolicy::default(),
+            durability: None,
         }
     }
 
@@ -427,6 +453,22 @@ impl<const D: usize, S: PageStore> PartitionedDqServer<D, S> {
     /// (builder-style); see [`crate::service::DqServer::with_writer_retry`].
     pub fn with_writer_retry(mut self, policy: RetryPolicy) -> Self {
         self.writer_retry = policy;
+        self
+    }
+
+    /// Make the write path durable (builder-style): each frame's whole
+    /// batch is appended to `log`'s WAL as one group-committed record
+    /// *before* any region writer touches a tree page, and when a
+    /// checkpoint falls due the deduplicated record set of every region
+    /// is installed as a [`crate::durability::Checkpoint::Logical`]
+    /// checkpoint. Recovery rebuilds via [`Self::build`] from the
+    /// checkpoint records plus the replayed frames — result-equivalent
+    /// to the crashed server, under any grid.
+    ///
+    /// Unlike the single-tree server no `SnapshotSource` bound is
+    /// needed: logical checkpoints serialize records, not pages.
+    pub fn with_durability(mut self, log: Arc<DurableLog>) -> Self {
+        self.durability = Some(log);
         self
     }
 
@@ -485,12 +527,7 @@ impl<const D: usize, S: PageStore> PartitionedDqServer<D, S> {
         mut make_tree: impl FnMut(usize) -> RTree<NsiSegmentRecord<D>, S>,
     ) {
         let axis = self.grid.axis();
-        let mut records: BTreeMap<(u32, u32), NsiSegmentRecord<D>> = BTreeMap::new();
-        for lock in &self.regions {
-            lock.read().scan(|rec| {
-                records.insert(rec.ids(), *rec);
-            });
-        }
+        let records = self.dedup_records();
         let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
         for rec in records.values() {
             let e = rec.seg.spatial_bbox().extent(axis);
@@ -527,6 +564,39 @@ impl<const D: usize, S: PageStore> PartitionedDqServer<D, S> {
             .map(|t| RwLock::new(t.map_store(Arc::new)))
             .collect();
         self.loads = Mutex::new(vec![0; n]);
+    }
+
+    /// Every record resident across the regions, deduplicated by
+    /// `(oid, seq)` so seam replicas collapse to one copy — the shared
+    /// idiom of [`Self::rebalance`] and logical checkpoints.
+    fn dedup_records(&self) -> BTreeMap<(u32, u32), NsiSegmentRecord<D>> {
+        let mut records = BTreeMap::new();
+        for lock in &self.regions {
+            lock.read().scan(|rec| {
+                records.insert(rec.ids(), *rec);
+            });
+        }
+        records
+    }
+
+    /// Install a logical checkpoint of the current deduplicated record
+    /// set. Region writers are parked at the frame barrier when this
+    /// runs, so the read-locked scans see a quiescent frame boundary
+    /// (concurrent sessions read latch-free and are unaffected). Note
+    /// the scans count as tree reads, so durable runs trade the strict
+    /// region read-reconciliation identity for recoverability.
+    fn checkpoint_logical(&self, log: &DurableLog) {
+        let records: Vec<NsiSegmentRecord<D>> = self.dedup_records().into_values().collect();
+        log.checkpoint_logical(&records);
+    }
+
+    /// Take the base checkpoint covering the preloaded regions, so
+    /// recovery always has a record set to replay onto (idempotent:
+    /// skipped once the log holds any checkpoint).
+    fn ensure_initial_checkpoint(&self, log: &DurableLog) {
+        if !log.has_checkpoint() {
+            self.checkpoint_logical(log);
+        }
     }
 
     /// Global frame steps for a run (same rule as the single-tree
@@ -594,6 +664,14 @@ impl<const D: usize, S: PageStore> PartitionedDqServer<D, S> {
                             backoff = Some(self.writer_retry.backoff(attempt));
                             break;
                         }
+                        // A full device fails the region's writer for the
+                        // rest of the run (same rule as the single-tree
+                        // server): skipping ahead would drop records
+                        // silently, and retrying a full disk is futile.
+                        Err(e @ StorageError::Full { .. }) => {
+                            w.outcome = SessionOutcome::Failed(format!("writer stopped: {e}"));
+                            idx = batch.len();
+                        }
                         Err(e) => {
                             w.outcome.record_error(e);
                             idx += 1;
@@ -635,7 +713,18 @@ impl<const D: usize, S: PageStore> PartitionedDqServer<D, S> {
             .iter()
             .map(|s| self.grid.route_rect(&s.trajectory.swept_bounds()))
             .collect();
-        let barrier = Barrier::new(specs.len() + n);
+        let durable = self.durability.as_deref();
+        if let Some(log) = durable {
+            self.ensure_initial_checkpoint(log);
+        }
+        // Set by any region writer that hits a full device; once set,
+        // checkpoints stop (truncating the WAL would drop committed
+        // records that never reached a tree) while WAL commits continue.
+        let any_failed = AtomicBool::new(false);
+        // One extra participant when durable: the durability thread,
+        // which group-commits frame k's batch BEFORE its first wait —
+        // the barrier then orders the commit before every region apply.
+        let barrier = Barrier::new(specs.len() + n + usize::from(durable.is_some()));
         let mailboxes: Vec<Vec<Mutex<Vec<NsiReport<D>>>>> = specs
             .iter()
             .map(|_| (0..n).map(|_| Mutex::new(Vec::new())).collect())
@@ -646,7 +735,7 @@ impl<const D: usize, S: PageStore> PartitionedDqServer<D, S> {
             .as_ref()
             .map(|m| m.histogram("service.writer.lock_hold_ns"));
 
-        let (sessions, tallies) = std::thread::scope(|scope| {
+        let (sessions, tallies, dur) = std::thread::scope(|scope| {
             let session_handles: Vec<_> = specs
                 .iter()
                 .enumerate()
@@ -718,6 +807,7 @@ impl<const D: usize, S: PageStore> PartitionedDqServer<D, S> {
                     let mailboxes = &mailboxes;
                     let session_lanes = &session_lanes;
                     let is_pdq = &is_pdq;
+                    let any_failed = &any_failed;
                     let hold_hist = hold_hist.clone();
                     scope.spawn(move || {
                         let mut w = RegionTally::default();
@@ -726,7 +816,7 @@ impl<const D: usize, S: PageStore> PartitionedDqServer<D, S> {
                             barrier.wait();
                             if let Some(batch) = inserts.get(k) {
                                 let routed = self.route_batch(r, batch);
-                                if !routed.is_empty() {
+                                if !routed.is_empty() && !w.failed() {
                                     reports.clear();
                                     self.apply_region_batch(
                                         r,
@@ -735,6 +825,9 @@ impl<const D: usize, S: PageStore> PartitionedDqServer<D, S> {
                                         &mut w,
                                         hold_hist.as_ref(),
                                     );
+                                    if w.failed() {
+                                        any_failed.store(true, Ordering::Relaxed);
+                                    }
                                     for (i, lanes) in session_lanes.iter().enumerate() {
                                         if is_pdq[i] && lanes.contains(&r) {
                                             mailboxes[i][r].lock().extend(reports.iter().cloned());
@@ -752,6 +845,34 @@ impl<const D: usize, S: PageStore> PartitionedDqServer<D, S> {
                     })
                 })
                 .collect();
+
+            // The durability participant: commit frame k's batch, then
+            // take both waits — the first wait publishes the commit
+            // before any region writer starts applying. A checkpoint,
+            // when due, runs between the frame's second wait and the
+            // next frame's first (writers parked, sessions latch-free).
+            let durability_handle = durable.map(|log| {
+                let barrier = &barrier;
+                let any_failed = &any_failed;
+                scope.spawn(move || {
+                    let mut t = DurabilityTally::default();
+                    for k in 0..steps {
+                        if let Some(batch) = inserts.get(k) {
+                            let committed = Instant::now();
+                            log.commit_frame(k as u64, batch);
+                            t.appends += 1;
+                            t.commit_ns += committed.elapsed().as_nanos() as u64;
+                        }
+                        barrier.wait(); // frame k opens: batch is durable
+                        barrier.wait(); // frame k applied in every region
+                        if !any_failed.load(Ordering::Relaxed) && log.due_for_checkpoint() {
+                            self.checkpoint_logical(log);
+                            t.checkpoints += 1;
+                        }
+                    }
+                    t
+                })
+            });
 
             let sessions: Vec<(SessionOutput, Vec<u64>)> = session_handles
                 .into_iter()
@@ -774,10 +895,13 @@ impl<const D: usize, S: PageStore> PartitionedDqServer<D, S> {
                 .into_iter()
                 .map(|h| h.join().expect("region writer panicked"))
                 .collect();
-            (sessions, tallies)
+            let dur = durability_handle
+                .map(|h| h.join().expect("durability thread panicked"))
+                .unwrap_or_default();
+            (sessions, tallies, dur)
         });
 
-        self.assemble(steps, sessions, tallies, self.epoch_totals() - epoch_start)
+        self.assemble(steps, sessions, tallies, dur, self.epoch_totals() - epoch_start)
     }
 
     /// The single-threaded reference: identical protocol, identical
@@ -798,6 +922,11 @@ impl<const D: usize, S: PageStore> PartitionedDqServer<D, S> {
             .as_ref()
             .map(|m| m.histogram("service.writer.lock_hold_ns"));
         let mut tallies: Vec<RegionTally> = (0..n).map(|_| RegionTally::default()).collect();
+        let durable = self.durability.as_deref();
+        if let Some(log) = durable {
+            self.ensure_initial_checkpoint(log);
+        }
+        let mut dur = DurabilityTally::default();
         // Same reader-based path as the concurrent serve: single-threaded
         // means every validation passes, so results are the oracle for it.
         let readers: Vec<_> = self.regions.iter().map(|l| l.read().reader()).collect();
@@ -814,15 +943,31 @@ impl<const D: usize, S: PageStore> PartitionedDqServer<D, S> {
         for k in 0..steps {
             let mut frame_reports: Vec<Vec<NsiReport<D>>> = vec![Vec::new(); n];
             if let Some(batch) = inserts.get(k) {
+                // Same durable protocol as the concurrent serve: the
+                // whole batch is one WAL record, committed before any
+                // region apply.
+                if let Some(log) = durable {
+                    let committed = Instant::now();
+                    log.commit_frame(k as u64, batch);
+                    dur.appends += 1;
+                    dur.commit_ns += committed.elapsed().as_nanos() as u64;
+                }
                 for (r, out) in frame_reports.iter_mut().enumerate() {
                     let routed = self.route_batch(r, batch);
-                    if !routed.is_empty() {
+                    if !routed.is_empty() && !tallies[r].failed() {
                         self.apply_region_batch(r, &routed, out, &mut tallies[r], hold_hist.as_ref());
                         obs::trace(obs::TraceEvent::RegionRoute {
                             region: r as u32,
                             records: routed.len() as u32,
                         });
                     }
+                }
+            }
+            if let Some(log) = durable {
+                let any_failed = tallies.iter().any(RegionTally::failed);
+                if !any_failed && log.due_for_checkpoint() {
+                    self.checkpoint_logical(log);
+                    dur.checkpoints += 1;
                 }
             }
             for (i, run) in runs.iter_mut().enumerate() {
@@ -869,7 +1014,7 @@ impl<const D: usize, S: PageStore> PartitionedDqServer<D, S> {
                 ),
             })
             .collect();
-        self.assemble(steps, sessions, tallies, self.epoch_totals() - epoch_start)
+        self.assemble(steps, sessions, tallies, dur, self.epoch_totals() - epoch_start)
     }
 
     /// Optimistic-read counters summed over every region's tree.
@@ -888,6 +1033,7 @@ impl<const D: usize, S: PageStore> PartitionedDqServer<D, S> {
         steps: usize,
         sessions: Vec<(SessionOutput, Vec<u64>)>,
         tallies: Vec<RegionTally>,
+        dur: DurabilityTally,
         retries: EpochStats,
     ) -> PartitionedServeReport {
         let mut regions: Vec<RegionReport> = tallies
@@ -930,6 +1076,9 @@ impl<const D: usize, S: PageStore> PartitionedDqServer<D, S> {
             writer_reads: regions.iter().map(|r| r.writer_reads).sum(),
             writer_writes: regions.iter().map(|r| r.writer_writes).sum(),
             writer_outcome,
+            wal_appends: dur.appends,
+            wal_commit_ns: dur.commit_ns,
+            checkpoints: dur.checkpoints,
         };
         {
             let mut loads = self.loads.lock();
@@ -960,6 +1109,9 @@ impl<const D: usize, S: PageStore> PartitionedDqServer<D, S> {
         reg.counter("service.writer.writes").add(report.base.writer_writes);
         reg.counter("service.session.reads")
             .add(report.base.total_stats().disk_accesses);
+        if report.base.checkpoints > 0 {
+            reg.counter("service.checkpoints").add(report.base.checkpoints);
+        }
         for (r, rr) in report.regions.iter().enumerate() {
             reg.counter(&format!("service.region{r}.inserts"))
                 .add(rr.inserts_applied as u64);

@@ -25,6 +25,7 @@
 //! where validation is statically unnecessary), which the `service`
 //! integration test checks.
 
+use crate::durability::{DurabilityHook, DurableLog};
 use crate::layout::MotionRecord;
 use crate::npdq::NpdqEngine;
 use crate::pdq::{PdqEngine, PdqResult};
@@ -36,7 +37,7 @@ use rtree::{EpochStats, InsertReport, NsiSegmentRecord, RTree, Record, TreeRead,
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Barrier};
 use std::time::Instant;
-use storage::{PageStore, RetryPolicy, StorageError};
+use storage::{PageStore, RetryPolicy, SnapshotSource, StorageError};
 
 /// The insert report the writer broadcasts to PDQ sessions.
 pub type NsiReport<const D: usize> =
@@ -186,8 +187,18 @@ pub struct ServeReport {
     /// Whether the writer applied every batch clean. Degraded means some
     /// records were dropped after their storage errors exhausted the
     /// retry budget (or were unrecoverable, e.g. a corrupt page on the
-    /// descent path).
+    /// descent path). Failed means the device filled up
+    /// ([`StorageError::Full`]): the writer stopped applying — a full
+    /// disk stays full — though with durability enabled every batch is
+    /// still WAL-committed and recoverable onto a larger device.
     pub writer_outcome: SessionOutcome,
+    /// Frame batches group-committed to the WAL (0 without durability).
+    pub wal_appends: u64,
+    /// Wall-clock nanoseconds the writer spent in WAL group commits.
+    pub wal_commit_ns: u64,
+    /// Checkpoints the writer installed during the run (not counting the
+    /// initial checkpoint taken before the first frame).
+    pub checkpoints: u64,
 }
 
 impl ServeReport {
@@ -409,6 +420,10 @@ pub struct DqServer<const D: usize, S: PageStore> {
     /// How the writer handles transient insert failures (see
     /// [`Self::with_writer_retry`]).
     writer_retry: RetryPolicy,
+    /// When set, the writer group-commits every frame batch to the WAL
+    /// before applying it and checkpoints periodically (see
+    /// [`Self::with_durability`]).
+    durability: Option<DurabilityHook<D, S>>,
 }
 
 /// The writer's running tallies over one serve.
@@ -418,6 +433,18 @@ struct WriterState {
     reads: u64,
     writes: u64,
     outcome: SessionOutcome,
+    wal_appends: u64,
+    wal_commit_ns: u64,
+    checkpoints: u64,
+}
+
+impl WriterState {
+    /// A failed writer (full device) stops applying; checkpoints must
+    /// also stop, or truncation would drop WAL records that never reached
+    /// the tree.
+    fn failed(&self) -> bool {
+        matches!(self.outcome, SessionOutcome::Failed(_))
+    }
 }
 
 impl<const D: usize, S: PageStore> DqServer<D, S> {
@@ -427,6 +454,7 @@ impl<const D: usize, S: PageStore> DqServer<D, S> {
             tree: RwLock::new(tree.map_store(Arc::new)),
             metrics: None,
             writer_retry: RetryPolicy::default(),
+            durability: None,
         }
     }
 
@@ -451,6 +479,25 @@ impl<const D: usize, S: PageStore> DqServer<D, S> {
     /// recovery behind the slowest retry. Default: [`RetryPolicy::default`].
     pub fn with_writer_retry(mut self, policy: RetryPolicy) -> Self {
         self.writer_retry = policy;
+        self
+    }
+
+    /// Make the write path durable (builder-style): before applying any
+    /// frame's batch the writer group-commits it as one WAL record in
+    /// `log`, takes an initial checkpoint of the (possibly preloaded)
+    /// tree before the first frame, and checkpoints again every
+    /// `checkpoint_every` commits — so [`DurableLog::durable_image`]
+    /// recovers a tree bit-identical to this one at every committed-frame
+    /// prefix.
+    ///
+    /// The [`SnapshotSource`] bound lives only here: the checkpoint path
+    /// is captured as a plain function pointer, so `serve` stays generic
+    /// over any [`PageStore`].
+    pub fn with_durability(mut self, log: Arc<DurableLog>) -> Self
+    where
+        S: SnapshotSource,
+    {
+        self.durability = Some(DurabilityHook::for_tree(log));
         self
     }
 
@@ -521,6 +568,16 @@ impl<const D: usize, S: PageStore> DqServer<D, S> {
                             backoff = Some(self.writer_retry.backoff(attempt));
                             break;
                         }
+                        Err(e @ StorageError::Full { .. }) => {
+                            // A full device stays full: retrying or
+                            // skipping to the next record would just fail
+                            // again, so the writer fails for the run and
+                            // stops applying. With durability on, the
+                            // batch is already WAL-committed — nothing is
+                            // lost, it replays onto a larger device.
+                            w.outcome = SessionOutcome::Failed(format!("writer stopped: {e}"));
+                            idx = batch.len();
+                        }
                         Err(e) => {
                             w.outcome.record_error(e);
                             idx += 1;
@@ -574,6 +631,14 @@ impl<const D: usize, S: PageStore> DqServer<D, S> {
             .metrics
             .as_ref()
             .map(|m| m.histogram("service.writer.lock_hold_ns"));
+        if let Some(d) = &self.durability {
+            // The base checkpoint covers the preloaded tree, so recovery
+            // always has a snapshot to replay onto. A failure here is
+            // counted in the log's stats and the run proceeds: commits
+            // still accumulate, and the next successful checkpoint
+            // restores a full recovery story.
+            let _ = d.ensure_initial(&self.tree.read());
+        }
 
         let sessions = std::thread::scope(|scope| {
             let handles: Vec<_> = specs
@@ -642,6 +707,18 @@ impl<const D: usize, S: PageStore> DqServer<D, S> {
             for k in 0..steps {
                 barrier.wait();
                 if let Some(batch) = inserts.get(k) {
+                    // Durability first: the frame's whole batch becomes
+                    // durable as ONE group-committed WAL record before
+                    // any tree page is written, so a crash mid-apply
+                    // replays the frame instead of losing it. A failed
+                    // (full-device) writer keeps committing — recovery
+                    // replays the backlog onto a larger device.
+                    if let Some(d) = &self.durability {
+                        let committed = Instant::now();
+                        d.log.commit_frame(k as u64, batch);
+                        writer.wal_appends += 1;
+                        writer.wal_commit_ns += committed.elapsed().as_nanos() as u64;
+                    }
                     // Insert under the write lock, but only *collect* the
                     // reports there: broadcasting into PDQ mailboxes takes
                     // per-session locks and clones reports, none of which
@@ -649,7 +726,9 @@ impl<const D: usize, S: PageStore> DqServer<D, S> {
                     // would stretch every frame's exclusive section for
                     // work that isn't exclusive.
                     let mut reports: Vec<NsiReport<D>> = Vec::with_capacity(batch.len());
-                    self.apply_batch(batch, &mut reports, &mut writer, hold_hist.as_ref());
+                    if !writer.failed() {
+                        self.apply_batch(batch, &mut reports, &mut writer, hold_hist.as_ref());
+                    }
                     let fanout = is_pdq.iter().filter(|&&p| p).count();
                     for (mb, &pdq) in mailboxes.iter().zip(&is_pdq) {
                         if pdq {
@@ -660,6 +739,18 @@ impl<const D: usize, S: PageStore> DqServer<D, S> {
                         reports: reports.len() as u32,
                         sessions: fanout as u32,
                     });
+                }
+                // Sessions are parked at the second barrier wait, so the
+                // checkpoint's read lock sees a quiescent frame boundary.
+                // Never checkpoint once the writer has failed: truncation
+                // would drop committed records the tree never absorbed.
+                if let Some(d) = &self.durability {
+                    if !writer.failed()
+                        && d.log.due_for_checkpoint()
+                        && d.checkpoint(&self.tree.read()).is_ok()
+                    {
+                        writer.checkpoints += 1;
+                    }
                 }
                 barrier.wait();
             }
@@ -689,6 +780,9 @@ impl<const D: usize, S: PageStore> DqServer<D, S> {
             writer_reads: writer.reads,
             writer_writes: writer.writes,
             writer_outcome: writer.outcome,
+            wal_appends: writer.wal_appends,
+            wal_commit_ns: writer.wal_commit_ns,
+            checkpoints: writer.checkpoints,
         };
         self.publish_run(&report, self.tree.read().epoch_stats() - epoch_start);
         report
@@ -712,6 +806,9 @@ impl<const D: usize, S: PageStore> DqServer<D, S> {
             .metrics
             .as_ref()
             .map(|m| m.histogram("service.writer.lock_hold_ns"));
+        if let Some(d) = &self.durability {
+            let _ = d.ensure_initial(&self.tree.read());
+        }
         let mut runs: Vec<Result<SessionRun<'_, D>, SessionOutcome>> = {
             let tree = self.tree.read();
             specs
@@ -726,7 +823,25 @@ impl<const D: usize, S: PageStore> DqServer<D, S> {
         for k in 0..steps {
             let mut reports = Vec::new();
             if let Some(batch) = inserts.get(k) {
-                self.apply_batch(batch, &mut reports, &mut writer, hold_hist.as_ref());
+                // Same durable protocol as the concurrent serve: group
+                // commit first, then apply (never after a full device).
+                if let Some(d) = &self.durability {
+                    let committed = Instant::now();
+                    d.log.commit_frame(k as u64, batch);
+                    writer.wal_appends += 1;
+                    writer.wal_commit_ns += committed.elapsed().as_nanos() as u64;
+                }
+                if !writer.failed() {
+                    self.apply_batch(batch, &mut reports, &mut writer, hold_hist.as_ref());
+                }
+            }
+            if let Some(d) = &self.durability {
+                if !writer.failed()
+                    && d.log.due_for_checkpoint()
+                    && d.checkpoint(&self.tree.read()).is_ok()
+                {
+                    writer.checkpoints += 1;
+                }
             }
             let tree = self.tree.read();
             for run in &mut runs {
@@ -766,6 +881,9 @@ impl<const D: usize, S: PageStore> DqServer<D, S> {
             writer_reads: writer.reads,
             writer_writes: writer.writes,
             writer_outcome: writer.outcome,
+            wal_appends: writer.wal_appends,
+            wal_commit_ns: writer.wal_commit_ns,
+            checkpoints: writer.checkpoints,
         };
         self.publish_run(&report, self.tree.read().epoch_stats() - epoch_start);
         report
@@ -791,6 +909,9 @@ impl<const D: usize, S: PageStore> DqServer<D, S> {
         reg.counter("service.writer.writes").add(report.writer_writes);
         reg.counter("service.session.reads")
             .add(report.total_stats().disk_accesses);
+        if report.checkpoints > 0 {
+            reg.counter("service.checkpoints").add(report.checkpoints);
+        }
         for s in &report.sessions {
             reg.gauge("service.pdq.queue_hwm")
                 .record_max(s.queue_hwm as i64);

@@ -81,6 +81,29 @@ pub enum TraceEvent {
         /// Records routed to this region this frame.
         records: u32,
     },
+    /// The durable writer group-committed one frame's batch to the WAL
+    /// (before any tree page was written).
+    WalCommit {
+        /// Sequence number of the committed record.
+        seq: u64,
+        /// Bytes appended (header + payload).
+        bytes: u32,
+    },
+    /// The durable writer checkpointed the tree and truncated the WAL.
+    Checkpoint {
+        /// Last WAL sequence number the checkpoint covers.
+        seq: u64,
+        /// Live pages persisted in the snapshot.
+        pages: u32,
+    },
+    /// Recovery replayed the WAL on top of the last checkpoint.
+    WalReplayed {
+        /// Complete records applied.
+        records: u32,
+        /// Whether the log image ended at a record boundary (false after
+        /// a torn or corrupted tail was clipped).
+        clean_tail: bool,
+    },
 }
 
 /// A bounded ring of [`TraceEvent`]s, oldest-overwritten-first.

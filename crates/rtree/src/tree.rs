@@ -336,6 +336,16 @@ impl<R: Record, S: PageStore> RTree<R, S> {
     /// its locks, back off, and retry the same record — the serving
     /// layer's writer does exactly that without holding the tree write
     /// lock across backoff sleeps.
+    ///
+    /// The one exception is [`StorageError::Full`]: a split needs a fresh
+    /// page, and the device refusing it mid-cascade can strand a
+    /// completed lower-level split with no parent link (`len` is not
+    /// bumped; readers still parse the tree, but records moved into the
+    /// orphan page are unreachable). `Full` is not retryable — the caller
+    /// must treat it as fatal for the writing session, which is exactly
+    /// what the serving writer's `SessionOutcome::Failed` degradation
+    /// does. With the WAL enabled no update is lost: the batch's record
+    /// is already durable and recovery replays it onto a larger device.
     pub fn try_insert(
         &mut self,
         rec: R,
@@ -414,7 +424,7 @@ impl<R: Record, S: PageStore> RTree<R, S> {
         } else {
             let (old_node, new_node) = self.split_node(&leaf, leaf.len() - 1);
             child_key = old_node.bounding_key();
-            let new_page = self.store.alloc();
+            let new_page = self.store.try_alloc()?;
             self.write_node(leaf_page, &old_node);
             self.write_node(new_page, &new_node);
             pending = Some((new_node.bounding_key(), new_page));
@@ -432,7 +442,7 @@ impl<R: Record, S: PageStore> RTree<R, S> {
                 if node.len() > internal_cap {
                     let (old_node, new_node) = self.split_node(&node, node.len() - 1);
                     child_key = old_node.bounding_key();
-                    let new_page = self.store.alloc();
+                    let new_page = self.store.try_alloc()?;
                     self.write_node(page, &old_node);
                     self.write_node(new_page, &new_node);
                     pending = Some((new_node.bounding_key(), new_page));
@@ -458,7 +468,7 @@ impl<R: Record, S: PageStore> RTree<R, S> {
         let mut root_split = false;
         if let Some((nk, np)) = pending {
             // The old root split: grow the tree.
-            let new_root = self.store.alloc();
+            let new_root = self.store.try_alloc()?;
             let mut root_node =
                 Node::<R::Key, R>::internal(self.height, vec![(child_key, self.root), (nk, np)]);
             root_node.timestamp = now;

@@ -204,9 +204,11 @@ impl<S: PageStore> BufferPool<S> {
     }
 
     /// Retry transient device faults on miss fills per `policy` (the
-    /// default pool surfaces the first error). The retry loop runs with
-    /// the pool lock held — identity-critical, like the fill itself — so
-    /// the policy's backoff should stay in the microsecond range.
+    /// default pool surfaces the first error). The retry loop — and its
+    /// backoff sleeps — runs with the pool lock *released*: a faulted
+    /// page must not stall every other reader of the pool for the full
+    /// backoff. After recovery the pool re-acquires and re-validates
+    /// (another thread may have filled the frame meanwhile).
     pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
         self.recovery = FaultRecovery::new(policy);
         self
@@ -291,11 +293,33 @@ impl<S: PageStore> PageStore for BufferPool<S> {
         st.misses += 1;
         // The miss fill shares the device's buffer: no copy on this path
         // either. `evict_if_full` runs *before* the insert, so the
-        // resident count never exceeds `capacity`. Transient device
-        // faults are retried here (lock held — see `with_retry`), so one
-        // recorded miss still pairs with exactly one successful device
-        // read and the reconciliation identities survive fault injection.
-        let data = self.recovery.read_through(&self.inner, id)?.into_arc();
+        // resident count never exceeds `capacity`. The fault-free fill
+        // stays under the lock; the retry loop (and its backoff sleeps)
+        // runs with the lock *released* — see the cold branch.
+        let data = match self.inner.try_read_page(id) {
+            Ok(page) => page.into_arc(),
+            Err(first) => {
+                drop(st);
+                // Recover without the lock so other readers keep serving
+                // through the backoff. The miss above already paired with
+                // the one successful device read `recover` performs, so
+                // the misses == device-reads identity survives even if a
+                // concurrent reader filled the frame meanwhile (it counted
+                // its own miss and its own device read).
+                let data = self.recovery.recover(&self.inner, id, first)?.into_arc();
+                st = self.state.lock();
+                if let Some(frame) = st.frames.get(&id) {
+                    // Re-validate: a concurrent reader (or writer) beat us
+                    // to the frame while we slept. Its bytes are at least
+                    // as fresh as our device read — never clobber them
+                    // (the frame may hold an unflushed dirty write).
+                    let data = Arc::clone(&frame.data);
+                    st.touch(id);
+                    return Ok(PageRef::from_arc(data));
+                }
+                data
+            }
+        };
         st.evict_if_full(&self.inner, self.capacity);
         st.frames.insert(id, Frame::resident(Arc::clone(&data), false));
         st.push_front(id);
@@ -318,8 +342,8 @@ impl<S: PageStore> PageStore for BufferPool<S> {
         st.push_front(id);
     }
 
-    fn alloc(&self) -> PageId {
-        self.inner.alloc()
+    fn try_alloc(&self) -> Result<PageId, StorageError> {
+        self.inner.try_alloc()
     }
 
     fn free(&self, id: PageId) {

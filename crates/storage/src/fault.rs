@@ -47,6 +47,11 @@ pub enum StorageError {
     /// writer's section closes succeeds. Raised by `rtree`'s versioned
     /// readers, not by any device.
     Conflict { page: PageId },
+    /// Page allocation failed: the device's page-id space is exhausted
+    /// (simulated disk full). `page` is the first id that could not be
+    /// granted. Not retryable — a full disk stays full until pages are
+    /// freed.
+    Full { page: PageId },
 }
 
 impl StorageError {
@@ -56,13 +61,17 @@ impl StorageError {
             StorageError::Transient { page }
             | StorageError::Timeout { page }
             | StorageError::Corrupt { page }
-            | StorageError::Conflict { page } => *page,
+            | StorageError::Conflict { page }
+            | StorageError::Full { page } => *page,
         }
     }
 
     /// Whether a retry of the same read can possibly succeed.
     pub fn is_transient(&self) -> bool {
-        !matches!(self, StorageError::Corrupt { .. })
+        !matches!(
+            self,
+            StorageError::Corrupt { .. } | StorageError::Full { .. }
+        )
     }
 }
 
@@ -74,6 +83,9 @@ impl std::fmt::Display for StorageError {
             StorageError::Corrupt { page } => write!(f, "corrupt page {page} (checksum mismatch)"),
             StorageError::Conflict { page } => {
                 write!(f, "version conflict reading {page} (concurrent write)")
+            }
+            StorageError::Full { page } => {
+                write!(f, "page allocation failed at {page}: id space exhausted")
             }
         }
     }
@@ -310,8 +322,8 @@ impl<S: PageStore> PageStore for FaultyStore<S> {
         self.inner.write(id, data)
     }
 
-    fn alloc(&self) -> PageId {
-        self.inner.alloc()
+    fn try_alloc(&self) -> Result<PageId, StorageError> {
+        self.inner.try_alloc()
     }
 
     fn free(&self, id: PageId) {
@@ -392,11 +404,11 @@ impl<S: PageStore> PageStore for ChecksumStore<S> {
         self.inner.write(id, data)
     }
 
-    fn alloc(&self) -> PageId {
-        let id = self.inner.alloc();
+    fn try_alloc(&self) -> Result<PageId, StorageError> {
+        let id = self.inner.try_alloc()?;
         // A recycled id starts a new (zeroed) life; drop any stale sum.
         self.sums.lock().remove(&id);
-        id
+        Ok(id)
     }
 
     fn free(&self, id: PageId) {
@@ -466,22 +478,14 @@ impl FaultRecovery {
         }
     }
 
-    /// Read `id` from `inner`, retrying transient failures per the
-    /// policy. The success path is a single delegated call; all recovery
-    /// bookkeeping lives in the cold branch.
-    pub(crate) fn read_through<S: PageStore>(
-        &self,
-        inner: &S,
-        id: PageId,
-    ) -> Result<PageRef, StorageError> {
-        match inner.try_read_page(id) {
-            Ok(page) => Ok(page),
-            Err(first) => self.recover(inner, id, first),
-        }
-    }
-
+    /// Retry a failed read of `id` per the policy, starting from `first`.
+    ///
+    /// Called by the pools *after* dropping their state lock: the backoff
+    /// sleeps here must never run under a shard lock, or one faulted page
+    /// stalls every reader hashing to that shard for the full backoff
+    /// (the pools re-acquire and re-validate on return).
     #[cold]
-    fn recover<S: PageStore>(
+    pub(crate) fn recover<S: PageStore>(
         &self,
         inner: &S,
         id: PageId,

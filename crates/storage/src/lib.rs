@@ -27,6 +27,7 @@ pub mod pager;
 pub mod sharded;
 pub mod snapshotfile;
 pub mod stats;
+pub mod wal;
 
 pub use buffer::{BufferPool, CacheStats};
 pub use fault::{
@@ -35,8 +36,12 @@ pub use fault::{
 };
 pub use pager::{PageId, Pager};
 pub use sharded::ShardedBufferPool;
-pub use snapshotfile::{load_pager, save_pager};
+pub use snapshotfile::{load_pager, save_pager, SnapshotSource};
 pub use stats::{IoSnapshot, IoStats};
+pub use wal::{
+    replay as replay_wal, Wal, WalError, WalRecord, WalReplay, WalStats, WalTail,
+    WAL_RECORD_OVERHEAD,
+};
 
 use std::sync::Arc;
 
@@ -130,8 +135,17 @@ pub trait PageStore {
     /// Write a page; `data` must not exceed [`Self::page_size`].
     fn write(&self, id: PageId, data: &[u8]);
 
-    /// Allocate a fresh (zeroed) page.
-    fn alloc(&self) -> PageId;
+    /// Allocate a fresh (zeroed) page, failing with
+    /// [`StorageError::Full`] when the device's id space is exhausted.
+    fn try_alloc(&self) -> Result<PageId, StorageError>;
+
+    /// Infallible wrapper over [`Self::try_alloc`] for construction-time
+    /// callers (tree bootstrap, bulk load) with no degradation story:
+    /// panics on a full device, mirroring [`Self::read_page`].
+    fn alloc(&self) -> PageId {
+        self.try_alloc()
+            .unwrap_or_else(|e| panic!("unrecoverable storage error: {e}"))
+    }
 
     /// Return a page to the free list.
     fn free(&self, id: PageId);
@@ -158,6 +172,9 @@ impl<S: PageStore + ?Sized> PageStore for std::sync::Arc<S> {
     }
     fn write(&self, id: PageId, data: &[u8]) {
         (**self).write(id, data)
+    }
+    fn try_alloc(&self) -> Result<PageId, StorageError> {
+        (**self).try_alloc()
     }
     fn alloc(&self) -> PageId {
         (**self).alloc()

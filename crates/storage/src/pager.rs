@@ -41,6 +41,9 @@ struct PagerState {
 /// ```
 pub struct Pager {
     page_size: usize,
+    /// First page id that may never be granted (simulated disk capacity);
+    /// `u32::MAX` by default, lowered by [`Self::with_id_cap`] for tests.
+    id_cap: u32,
     state: Mutex<PagerState>,
     stats: IoStats,
 }
@@ -56,12 +59,48 @@ impl Pager {
         assert!(page_size > 0, "page size must be positive");
         Pager {
             page_size,
+            id_cap: u32::MAX,
             state: Mutex::new(PagerState {
                 pages: Vec::new(),
                 free: Vec::new(),
             }),
             stats: IoStats::new(),
         }
+    }
+
+    /// Cap the page-id space at `cap` pages (ids `0..cap`): the simulated
+    /// analogue of a small disk. Once every id below the cap is live,
+    /// [`PageStore::try_alloc`] reports [`StorageError::Full`] instead of
+    /// growing — the regression harness for writer degradation under
+    /// disk-full uses this.
+    pub fn with_id_cap(mut self, cap: u32) -> Self {
+        self.id_cap = cap;
+        self
+    }
+
+    /// Rebuild a pager from snapshot state: `slots[i]` is page `i`'s bytes
+    /// (`None` for a freed slot) and `free` is the allocator's free list,
+    /// verbatim, most-recently-freed last. Restoring the list verbatim is
+    /// what pins post-restore `alloc()` order to the pre-save pager.
+    pub(crate) fn restore(
+        page_size: usize,
+        slots: Vec<Option<Arc<[u8]>>>,
+        free: Vec<u32>,
+    ) -> Self {
+        assert!(page_size > 0, "page size must be positive");
+        Pager {
+            page_size,
+            id_cap: u32::MAX,
+            state: Mutex::new(PagerState { pages: slots, free }),
+            stats: IoStats::new(),
+        }
+    }
+
+    /// The allocator's free list, verbatim (most-recently-freed last, the
+    /// next `alloc` pops from the back). Persisted by snapshot v3 so a
+    /// reloaded pager allocates in the same order as the original.
+    pub fn free_list(&self) -> Vec<u32> {
+        self.state.lock().free.clone()
     }
 
     /// Number of live (allocated, not freed) pages.
@@ -139,17 +178,23 @@ impl PageStore for Pager {
         self.stats.record_write();
     }
 
-    fn alloc(&self) -> PageId {
+    fn try_alloc(&self) -> Result<PageId, crate::StorageError> {
         let mut st = self.state.lock();
-        self.stats.record_alloc();
         let zeroed: Arc<[u8]> = vec![0u8; self.page_size].into();
         if let Some(idx) = st.free.pop() {
+            self.stats.record_alloc();
             st.pages[idx as usize] = Some(zeroed);
-            return PageId(idx);
+            return Ok(PageId(idx));
         }
-        let idx = u32::try_from(st.pages.len()).expect("simulated disk full");
+        let idx = u32::try_from(st.pages.len())
+            .ok()
+            .filter(|&i| i < self.id_cap)
+            .ok_or(crate::StorageError::Full {
+                page: PageId(self.id_cap),
+            })?;
+        self.stats.record_alloc();
         st.pages.push(Some(zeroed));
-        PageId(idx)
+        Ok(PageId(idx))
     }
 
     fn free(&self, id: PageId) {

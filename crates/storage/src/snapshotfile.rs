@@ -6,23 +6,32 @@
 //!
 //! ```text
 //! magic "DQPG" ‖ version u32 ‖ page_size u32 ‖ page_count u32
+//! ‖ free_count u32 ‖ free ids (u32 each, allocator order)      (v3 only)
 //! then per page: page_id u32 ‖ page_len u32 ‖ fnv1a u64 ‖ page bytes (page_len)
 //! ```
 //!
-//! Version 2 stores each page's meaningful prefix (trailing zeros
-//! trimmed) with an FNV-1a checksum, so a truncated or bit-flipped
-//! snapshot is rejected at load with an [`io::Error`] — `load_pager`
-//! never panics on malformed input.
+//! Each page stores its meaningful prefix (trailing zeros trimmed) with
+//! an FNV-1a checksum, so a truncated or bit-flipped snapshot is rejected
+//! at load with an [`io::Error`] — `load_pager` never panics on malformed
+//! input.
 //!
-//! Only live pages are written; free-list structure is reconstructed on
-//! load (freed ids below the maximum are re-freed).
+//! Version 3 persists the allocator's free list verbatim, so a reloaded
+//! pager grants page ids in exactly the pre-save order — without that,
+//! post-restore `alloc()` order diverges from the original pager and the
+//! recovered-tree == fault-free-oracle identity (and the serve ==
+//! serve_serial determinism oracles after a restore) break. Version 2
+//! streams (no free section; gaps re-freed in ascending id order) still
+//! load via a compat path.
 
 use crate::fault::page_checksum;
-use crate::{PageId, PageStore, Pager};
+use crate::{PageId, PageStore, Pager, StorageError};
 use std::io::{self, Read, Write};
+use std::sync::Arc;
 
 const MAGIC: &[u8; 4] = b"DQPG";
-const VERSION: u32 = 2;
+const VERSION: u32 = 3;
+/// Newest legacy version still accepted by [`load_pager`].
+const VERSION_V2: u32 = 2;
 
 /// Largest `page_id` a snapshot may carry: load rebuilds ids densely, so
 /// this bounds the memory a malformed header can make us allocate.
@@ -35,15 +44,114 @@ fn bad(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
 
-/// Serialize every live page of a pager into `w`.
-pub fn save_pager<W: Write>(pager: &Pager, mut w: W) -> io::Result<()> {
-    let pages = pager.live_page_ids();
+fn storage_err(e: StorageError) -> io::Error {
+    io::Error::other(format!("snapshot read failed: {e}"))
+}
+
+/// A store that can be checkpointed by [`save_pager`]: exposes the live
+/// id set and the allocator's free list, and can flush any caching layer
+/// so the device and the snapshot agree. Implemented by [`Pager`] and
+/// forwarded by every wrapper, so a whole serving stack (pool over
+/// checksum over pager) checkpoints through its top handle.
+pub trait SnapshotSource: PageStore {
+    /// Make the underlying device current (write-back caches flush here).
+    fn prepare_snapshot(&self) {}
+
+    /// Ids of all live pages, ascending.
+    fn snapshot_live_ids(&self) -> Vec<PageId>;
+
+    /// The allocator's free list, verbatim (next `alloc` pops the back).
+    fn snapshot_free_list(&self) -> Vec<u32>;
+}
+
+impl SnapshotSource for Pager {
+    fn snapshot_live_ids(&self) -> Vec<PageId> {
+        self.live_page_ids()
+    }
+    fn snapshot_free_list(&self) -> Vec<u32> {
+        self.free_list()
+    }
+}
+
+impl<S: SnapshotSource> SnapshotSource for crate::BufferPool<S> {
+    fn prepare_snapshot(&self) {
+        self.flush();
+        self.inner().prepare_snapshot();
+    }
+    fn snapshot_live_ids(&self) -> Vec<PageId> {
+        self.inner().snapshot_live_ids()
+    }
+    fn snapshot_free_list(&self) -> Vec<u32> {
+        self.inner().snapshot_free_list()
+    }
+}
+
+impl<S: SnapshotSource> SnapshotSource for crate::ShardedBufferPool<S> {
+    fn prepare_snapshot(&self) {
+        self.flush();
+        self.inner().prepare_snapshot();
+    }
+    fn snapshot_live_ids(&self) -> Vec<PageId> {
+        self.inner().snapshot_live_ids()
+    }
+    fn snapshot_free_list(&self) -> Vec<u32> {
+        self.inner().snapshot_free_list()
+    }
+}
+
+impl<S: SnapshotSource> SnapshotSource for crate::FaultyStore<S> {
+    fn prepare_snapshot(&self) {
+        self.inner().prepare_snapshot();
+    }
+    fn snapshot_live_ids(&self) -> Vec<PageId> {
+        self.inner().snapshot_live_ids()
+    }
+    fn snapshot_free_list(&self) -> Vec<u32> {
+        self.inner().snapshot_free_list()
+    }
+}
+
+impl<S: SnapshotSource> SnapshotSource for crate::ChecksumStore<S> {
+    fn prepare_snapshot(&self) {
+        self.inner().prepare_snapshot();
+    }
+    fn snapshot_live_ids(&self) -> Vec<PageId> {
+        self.inner().snapshot_live_ids()
+    }
+    fn snapshot_free_list(&self) -> Vec<u32> {
+        self.inner().snapshot_free_list()
+    }
+}
+
+impl<S: SnapshotSource + ?Sized> SnapshotSource for Arc<S> {
+    fn prepare_snapshot(&self) {
+        (**self).prepare_snapshot();
+    }
+    fn snapshot_live_ids(&self) -> Vec<PageId> {
+        (**self).snapshot_live_ids()
+    }
+    fn snapshot_free_list(&self) -> Vec<u32> {
+        (**self).snapshot_free_list()
+    }
+}
+
+/// Serialize every live page (and the allocator free list) of a store
+/// into `w`. Works through any [`SnapshotSource`] stack; caching layers
+/// are flushed first so the snapshot reflects every completed write.
+pub fn save_pager<S: SnapshotSource, W: Write>(store: &S, mut w: W) -> io::Result<()> {
+    store.prepare_snapshot();
+    let pages = store.snapshot_live_ids();
+    let free = store.snapshot_free_list();
     w.write_all(MAGIC)?;
     w.write_all(&VERSION.to_le_bytes())?;
-    w.write_all(&(pager.page_size() as u32).to_le_bytes())?;
+    w.write_all(&(store.page_size() as u32).to_le_bytes())?;
     w.write_all(&(pages.len() as u32).to_le_bytes())?;
+    w.write_all(&(free.len() as u32).to_le_bytes())?;
+    for id in &free {
+        w.write_all(&id.to_le_bytes())?;
+    }
     for id in pages {
-        let page = pager.read(id);
+        let page = store.try_read_page(id).map_err(storage_err)?;
         // Store only the meaningful prefix: pages are zeroed on alloc and
         // writers serialize explicit lengths, so trailing zeros carry no
         // information and the checksum covers everything that does.
@@ -58,12 +166,14 @@ pub fn save_pager<W: Write>(pager: &Pager, mut w: W) -> io::Result<()> {
 
 /// Reconstruct a pager from a stream produced by [`save_pager`].
 ///
-/// Every persisted page keeps its original [`PageId`], so tree root
-/// references remain valid. Malformed input — bad magic, unsupported
-/// version, truncation anywhere, a `page_len` exceeding the page size,
-/// an out-of-range id, or a checksum mismatch — yields an [`io::Error`]
-/// ([`io::ErrorKind::InvalidData`] or [`io::ErrorKind::UnexpectedEof`]);
-/// this function does not panic.
+/// Every persisted page keeps its original [`PageId`] and (for v3
+/// streams) the allocator's free list is restored verbatim, so both tree
+/// root references and future `alloc()` order survive the roundtrip.
+/// Malformed input — bad magic, unsupported version, truncation anywhere,
+/// a `page_len` exceeding the page size, an out-of-range or duplicate id,
+/// a free id colliding with a live page, or a checksum mismatch — yields
+/// an [`io::Error`] ([`io::ErrorKind::InvalidData`] or
+/// [`io::ErrorKind::UnexpectedEof`]); this function does not panic.
 pub fn load_pager<R: Read>(mut r: R) -> io::Result<Pager> {
     let mut head = [0u8; 16];
     r.read_exact(&mut head)?;
@@ -71,7 +181,7 @@ pub fn load_pager<R: Read>(mut r: R) -> io::Result<Pager> {
         return Err(bad("bad magic"));
     }
     let version = u32::from_le_bytes([head[4], head[5], head[6], head[7]]);
-    if version != VERSION {
+    if version != VERSION && version != VERSION_V2 {
         return Err(bad(format!("unsupported version {version}")));
     }
     let page_size = u32::from_le_bytes([head[8], head[9], head[10], head[11]]) as usize;
@@ -83,7 +193,28 @@ pub fn load_pager<R: Read>(mut r: R) -> io::Result<Pager> {
         return Err(bad(format!("implausible page size {page_size}")));
     }
 
+    // v3: explicit free list, allocator order. v2 has no free section.
+    let mut free: Vec<u32> = Vec::new();
+    if version == VERSION {
+        let mut fixed = [0u8; 4];
+        r.read_exact(&mut fixed)?;
+        let free_count = u32::from_le_bytes(fixed) as usize;
+        if free_count > MAX_SNAPSHOT_PAGE_ID as usize {
+            return Err(bad(format!("implausible free count {free_count}")));
+        }
+        for _ in 0..free_count {
+            let mut idb = [0u8; 4];
+            r.read_exact(&mut idb)?;
+            let id = u32::from_le_bytes(idb);
+            if id >= MAX_SNAPSHOT_PAGE_ID {
+                return Err(bad(format!("free id {id} out of range")));
+            }
+            free.push(id);
+        }
+    }
+
     let mut entries: Vec<(u32, Vec<u8>)> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
     let mut max_id = 0u32;
     for _ in 0..count {
         let mut fixed = [0u8; 16];
@@ -101,6 +232,12 @@ pub fn load_pager<R: Read>(mut r: R) -> io::Result<Pager> {
         if id >= MAX_SNAPSHOT_PAGE_ID {
             return Err(bad(format!("page id {id} out of range")));
         }
+        if !seen.insert(id) {
+            // Two entries claiming one id means the stream lies about its
+            // shape: last-writer-wins loading would silently diverge
+            // `live_pages()` from the declared count.
+            return Err(bad(format!("duplicate page id {id}")));
+        }
         let mut data = vec![0u8; page_len];
         r.read_exact(&mut data)?;
         if page_checksum(&data) != sum {
@@ -110,7 +247,51 @@ pub fn load_pager<R: Read>(mut r: R) -> io::Result<Pager> {
         entries.push((id, data));
     }
 
-    // Rebuild: allocate 0..=max_id densely, write live pages, free gaps.
+    if version == VERSION_V2 {
+        return load_v2(page_size, entries, max_id);
+    }
+
+    // v3 rebuild: every slot in 0..total must be exactly one of live or
+    // free — that is the pager's allocator invariant, and anything else
+    // means the stream is inconsistent.
+    let max_free = free.iter().copied().max();
+    let total = if entries.is_empty() && free.is_empty() {
+        0
+    } else {
+        let hi = max_free.map_or(max_id, |f| f.max(max_id));
+        hi as usize + 1
+    };
+    let mut slots: Vec<Option<Arc<[u8]>>> = vec![None; total];
+    for (id, data) in &entries {
+        let mut page = vec![0u8; page_size];
+        page[..data.len()].copy_from_slice(data);
+        slots[*id as usize] = Some(page.into());
+    }
+    let mut freed = std::collections::HashSet::new();
+    for &id in &free {
+        if seen.contains(&id) {
+            return Err(bad(format!("free id {id} collides with a live page")));
+        }
+        if !freed.insert(id) {
+            return Err(bad(format!("duplicate free id {id}")));
+        }
+    }
+    if entries.len() + free.len() != total {
+        return Err(bad(format!(
+            "inconsistent snapshot: {} live + {} free != {} slots",
+            entries.len(),
+            free.len(),
+            total
+        )));
+    }
+    Ok(Pager::restore(page_size, slots, free))
+}
+
+/// Legacy (v2) rebuild: allocate `0..=max_id` densely, write live pages,
+/// free the gaps in ascending id order. Ascending re-free is all a v2
+/// stream can offer — it did not record allocator order — so `alloc()`
+/// order after a v2 load may differ from the pre-save pager (fixed by v3).
+fn load_v2(page_size: usize, entries: Vec<(u32, Vec<u8>)>, max_id: u32) -> io::Result<Pager> {
     let pager = Pager::with_page_size(page_size);
     if entries.is_empty() {
         return Ok(pager);
@@ -159,6 +340,57 @@ mod tests {
     }
 
     #[test]
+    fn restored_alloc_order_matches_original() {
+        // Free several pages in a deliberately shuffled order, snapshot,
+        // reload, and require the clone to grant ids in exactly the order
+        // the original would have: this is what keeps a recovered tree's
+        // page layout bit-identical to the fault-free oracle's.
+        let build = || {
+            let p = Pager::with_page_size(32);
+            let ids: Vec<PageId> = (0..6).map(|_| p.alloc()).collect();
+            for id in &ids {
+                p.write(*id, &id.0.to_le_bytes());
+            }
+            p.free(ids[4]);
+            p.free(ids[1]);
+            p.free(ids[3]);
+            p
+        };
+        let p = build();
+        let mut buf = Vec::new();
+        save_pager(&p, &mut buf).unwrap();
+        let q = load_pager(&buf[..]).unwrap();
+        assert_eq!(q.free_list(), p.free_list(), "free list survives verbatim");
+        // A pristine copy of the original and the reloaded pager must pop
+        // identically: last-freed first — 3, then 1, then 4.
+        let oracle = build();
+        for _ in 0..3 {
+            assert_eq!(q.alloc(), oracle.alloc());
+        }
+        assert_eq!(oracle.free_list(), q.free_list());
+    }
+
+    #[test]
+    fn v2_stream_still_loads() {
+        // Hand-build a v2 snapshot (no free section) and check the compat
+        // path: pages land on their ids, gaps are re-freed ascending.
+        let payload = b"legacy";
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        buf.extend_from_slice(&16u32.to_le_bytes()); // page size
+        buf.extend_from_slice(&1u32.to_le_bytes()); // one page ...
+        buf.extend_from_slice(&2u32.to_le_bytes()); // ... with id 2
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&page_checksum(payload).to_le_bytes());
+        buf.extend_from_slice(payload);
+        let q = load_pager(&buf[..]).unwrap();
+        assert_eq!(q.live_pages(), 1);
+        assert_eq!(&q.read(PageId(2))[..payload.len()], payload);
+        assert_eq!(q.free_list(), vec![0, 1], "gaps re-freed ascending");
+    }
+
+    #[test]
     fn empty_pager_roundtrip() {
         let p = Pager::with_page_size(32);
         let mut buf = Vec::new();
@@ -168,7 +400,22 @@ mod tests {
         assert_eq!(q.page_size(), 32);
     }
 
+    #[test]
+    fn snapshot_through_a_pool_stack_flushes_first() {
+        // save_pager through BufferPool<ChecksumStore<Pager>> must flush
+        // the dirty frame before reading the device.
+        let pool = crate::BufferPool::new(crate::ChecksumStore::new(Pager::with_page_size(32)), 4);
+        let a = pool.alloc();
+        pool.write(a, b"pooled"); // dirty in the pool, not yet on device
+        let mut buf = Vec::new();
+        save_pager(&pool, &mut buf).unwrap();
+        let q = load_pager(&buf[..]).unwrap();
+        assert_eq!(&q.read(a)[..6], b"pooled");
+    }
+
     /// A small valid snapshot with one page, for mutation tests.
+    /// Layout (v3, empty free list): 16-byte header ‖ free_count at 16
+    /// ‖ first page entry at 20.
     fn one_page_snapshot() -> Vec<u8> {
         let p = Pager::with_page_size(16);
         let a = p.alloc();
@@ -211,7 +458,8 @@ mod tests {
     #[test]
     fn truncated_page_payload_is_eof_not_panic() {
         let buf = one_page_snapshot();
-        // Any cut inside the per-page region must fail cleanly.
+        // Any cut inside the free section or per-page region must fail
+        // cleanly.
         for cut in 16..buf.len() {
             assert!(load_pager(&buf[..cut]).is_err(), "cut at {cut}");
         }
@@ -220,8 +468,8 @@ mod tests {
     #[test]
     fn page_len_exceeding_page_size_rejected() {
         let mut buf = one_page_snapshot();
-        // Per-page page_len lives at offset 20 (after header + id).
-        buf[20..24].copy_from_slice(&1000u32.to_le_bytes());
+        // Per-page page_len lives at offset 24 (header ‖ free_count ‖ id).
+        buf[24..28].copy_from_slice(&1000u32.to_le_bytes());
         expect_invalid(&buf, "page size");
     }
 
@@ -238,7 +486,7 @@ mod tests {
         // rebuild allocate billions of pages (and overflow the pager's
         // own id space).
         let mut buf = one_page_snapshot();
-        buf[16..20].copy_from_slice(&u32::MAX.to_le_bytes());
+        buf[20..24].copy_from_slice(&u32::MAX.to_le_bytes());
         expect_invalid(&buf, "out of range");
     }
 
@@ -255,5 +503,51 @@ mod tests {
         let mut buf = one_page_snapshot();
         buf[12..16].copy_from_slice(&7u32.to_le_bytes()); // claims 7 pages
         assert!(load_pager(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn duplicate_page_id_rejected() {
+        // Two entries for page 0: before the check, the second silently
+        // overwrote the first (last-writer-wins) and live_pages() came up
+        // short of the declared count.
+        let p = Pager::with_page_size(16);
+        let a = p.alloc();
+        p.write(a, b"payload");
+        let mut buf = Vec::new();
+        save_pager(&p, &mut buf).unwrap();
+        let entry = buf[20..].to_vec();
+        buf.extend_from_slice(&entry); // append a second copy of page 0
+        buf[12..16].copy_from_slice(&2u32.to_le_bytes()); // declare 2 pages
+        expect_invalid(&buf, "duplicate page id");
+    }
+
+    #[test]
+    fn free_id_colliding_with_live_page_rejected() {
+        let mut buf = one_page_snapshot();
+        // Splice in a free list [0] — but page 0 is live.
+        let mut crafted = buf[..16].to_vec();
+        crafted.extend_from_slice(&1u32.to_le_bytes());
+        crafted.extend_from_slice(&0u32.to_le_bytes());
+        crafted.extend_from_slice(&buf[20..]);
+        buf = crafted;
+        expect_invalid(&buf, "collides");
+    }
+
+    #[test]
+    fn gap_neither_live_nor_free_rejected() {
+        // One live page with id 2 and an empty free list leaves slots 0
+        // and 1 unaccounted for — a v3 stream must explain every slot.
+        let payload = b"payload";
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&16u32.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes()); // empty free list
+        buf.extend_from_slice(&2u32.to_le_bytes()); // live id 2
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&page_checksum(payload).to_le_bytes());
+        buf.extend_from_slice(payload);
+        expect_invalid(&buf, "inconsistent snapshot");
     }
 }

@@ -40,6 +40,14 @@
 # the same hard reconciliation asserts (they must survive injection:
 # failed reads never reach the device counters) plus all-sessions-Ok,
 # and its best concurrent throughput must stay within 2x of baseline.
+#
+# --wal-smoke runs the durable write path end to end: the WAL unit
+# suite, the durability module suite, and the chaos crash-point matrix
+# (recovery bit-identity at every crash point, torn/bit-flipped tails,
+# full-device backlog recovery, partitioned rebuild), then exp_service
+# with DQ_DURABLE=1 — whose hard asserts recover from the post-run
+# durable image and require the recovered tree to be bit-identical to
+# the served one, on every sweep configuration.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -47,12 +55,14 @@ BENCH_SMOKE=0
 OBS_SMOKE=0
 CHAOS_SMOKE=0
 SHARD_SMOKE=0
+WAL_SMOKE=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) BENCH_SMOKE=1 ;;
     --obs-smoke) OBS_SMOKE=1 ;;
     --chaos-smoke) CHAOS_SMOKE=1 ;;
     --shard-smoke) SHARD_SMOKE=1 ;;
+    --wal-smoke) WAL_SMOKE=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -172,6 +182,26 @@ if chaos < base / 2.0:
 print(f"OK: 1% transient faults cost {base / chaos:.2f}x "
       f"({base:.0f} -> {chaos:.0f} frames/s), identities held.")
 PY
+fi
+
+if [ "$WAL_SMOKE" = 1 ]; then
+  # The durable write path, bottom up: WAL framing/replay units, the
+  # DurableLog/checkpoint/recovery units, then the crash-point matrix
+  # (chaos_g..chaos_j: bit-identical recovery at every crash point,
+  # torn/truncated/bit-flipped tails landing on the last complete group
+  # commit, full-device backlog recovery, partitioned rebuild).
+  cargo test -q --offline -p storage wal
+  cargo test -q --offline -p mobiquery durability
+  cargo test -q --offline --test chaos -- chaos_g chaos_h chaos_i chaos_j
+  echo "OK: WAL + durability units and the crash-point matrix are green."
+
+  # exp_service with durability attached: every sweep configuration
+  # group-commits each frame, checkpoints on cadence, then recovers from
+  # the durable image and asserts bit-identity with the served tree.
+  DQ_SCALE=quick DQ_SESSIONS=4 DQ_DURABLE=1 \
+    cargo run -q --offline --release -p bench --bin exp_service \
+    > target/figures/exp_service_wal_smoke.txt
+  echo "OK: durable exp_service sweep recovered bit-identically on every configuration."
 fi
 
 echo "OK: build, tests, and clippy all green."
