@@ -165,10 +165,11 @@ fn run_config<S: SnapshotSource + Send + Sync>(
     //  tree level counters == engine QueryStats + writer attribution
     //  + optimistic retry traffic (node reads performed but discarded on
     //  version-validation failure; the serve publishes the delta as
-    //  `tree.read_retries`). Under the barrier protocol the writer never
-    //  overlaps a reading frame, so the retry term must be exactly zero
-    //  and the identity stays exact — a nonzero term here would mean a
-    //  write section leaked into a read phase.
+    //  `tree.read_retries`). Under the frame clock's flow control a
+    //  session reading frame `k` withholds the permit for batch `k + 1`,
+    //  so the writer never overlaps a reading frame and the retry term
+    //  must be exactly zero — a nonzero term here would mean a write
+    //  section leaked into a read phase.
     let retried = registry.counter_value("tree.read_retries");
     assert_eq!(
         levels.total_reads(),
@@ -177,7 +178,7 @@ fn run_config<S: SnapshotSource + Send + Sync>(
     );
     assert_eq!(
         retried, 0,
-        "the barrier protocol must keep optimistic reads conflict-free"
+        "the clock's flow control must keep optimistic reads conflict-free"
     );
     //  tree level counters == buffer pool hit/miss accounting. In
     //  durable mode checkpoint snapshots also read pages through the
@@ -355,6 +356,17 @@ fn run_partitioned(
     );
     for (i, s) in report.sessions.iter().enumerate() {
         assert!(s.outcome.is_ok(), "session {i} outcome: {:?}", s.outcome);
+        // The flight recorder stays exact out of lockstep: sessions run
+        // at their own pace under the per-region clocks, yet the frame
+        // reports must still sum to the session totals.
+        let mut frame_stats = mobiquery::QueryStats::default();
+        let mut frame_results = 0;
+        for f in &s.frames {
+            frame_stats += f.stats;
+            frame_results += f.results;
+        }
+        assert_eq!(frame_stats, s.stats, "session {i}: frame stats vs session stats");
+        assert_eq!(frame_results, s.results.len(), "session {i}: frame results vs delivered");
     }
     // The PR 3 identities, region by region and summed: each region
     // tree's level-counter reads equal that region's attributed session
@@ -367,9 +379,9 @@ fn run_partitioned(
             (t.level_counters().snapshot(), t.store().cache_stats(), t.epoch_stats())
         });
         let reads = (levels - levels0).total_reads();
-        // Optimistic retry traffic joins the identity; the frame barrier
-        // keeps the regions' write phases disjoint from reading frames,
-        // so the term must be exactly zero.
+        // Optimistic retry traffic joins the identity; each region's
+        // frame clock keeps its write phases disjoint from reading
+        // frames, so the term must be exactly zero.
         let retried = (epoch - epoch0).read_retries;
         assert_eq!(
             reads,

@@ -12,6 +12,16 @@
 //! whose record IS durable survives even if the crash hit between the
 //! WAL append and the tree write.
 //!
+//! The *ordering* between commit and apply is carried by the per-region
+//! [`crate::FrameClock`]s: the durability thread commits frame `k` and
+//! then advances every region clock's `committed` watermark past `k`,
+//! and each region writer's `wait_committed(k)` refuses to apply a
+//! non-empty slice before the watermark covers it — append
+//! happens-before apply, per frame, with no global barrier. Checkpoints
+//! are taken only after every clock's `applied` watermark covers the
+//! frame (a quiescent boundary), so a snapshot never observes a
+//! half-applied frame.
+//!
 //! Two checkpoint shapes share one log:
 //!
 //! * [`Checkpoint::Tree`] — the single-tree [`crate::DqServer`] persists

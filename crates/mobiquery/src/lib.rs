@@ -37,6 +37,7 @@
 pub mod adaptive;
 pub mod aggregate;
 pub mod cache;
+pub mod clock;
 pub mod durability;
 pub mod join;
 pub mod knn;
@@ -58,6 +59,7 @@ pub mod uncertain;
 pub use adaptive::{AdaptiveConfig, AdaptiveSession, Mode};
 pub use aggregate::CountProfile;
 pub use cache::ClientCache;
+pub use clock::{FrameClock, SessionLiveness};
 pub use durability::{
     Checkpoint, DurableImage, DurableLog, DurableStats, LogicalCheckpoint, RecoverError,
     RecoveryReport, TreeCheckpoint,
@@ -70,8 +72,11 @@ pub use npdq::NpdqEngine;
 pub use pdq::{PdqEngine, PdqResult};
 pub use psi::{psi_query, psi_query_key, PsiBounds, PsiSegmentRecord};
 pub use region::RegionGrid;
-pub use router::{PartitionedDqServer, PartitionedServeReport, RegionReport};
-pub use service::{DqServer, ServeReport, SessionKind, SessionOutcome, SessionOutput, SessionSpec};
+pub use router::{PartitionedDqServer, PartitionedServeReport, RecutPlan, RegionReport};
+pub use service::{
+    DqServer, FrameReport, ServeReport, SessionKind, SessionOutcome, SessionOutput, SessionPlan,
+    SessionSpec,
+};
 pub use session::{FlightSession, FrameView};
 pub use snapshot::SnapshotQuery;
 pub use spdq::SpdqSession;

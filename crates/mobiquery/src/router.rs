@@ -24,46 +24,97 @@
 //! [`PartitionedDqServer::serve_serial`] exactly, the same contract the
 //! single-tree server keeps.
 //!
-//! The frame protocol is the single-tree one, generalized: a barrier of
-//! `sessions + regions` participants, two waits per frame. Between the
-//! waits every region's writer applies its routed slice of the batch
-//! under ITS tree's write lock and broadcasts its [`rtree::InsertReport`]s
-//! into per-`(session, region)` mailboxes; after the second wait each
-//! session absorbs and drains each lane *latch-free* through a per-region
-//! optimistic [`rtree::TreeReader`] — no read lock on the serving path.
-//! Because each region has its own tree and pool, the reconciliation
-//! identity holds *per region*: region tree level reads == Σ lane disk
-//! accesses attributed to that region + that region's writer reads (+
-//! validation-discarded reads, zero under the barrier protocol).
+//! ## The clock protocol, per region
+//!
+//! Frames are ordered by one [`crate::clock::FrameClock`] *per region* —
+//! there is no global barrier anywhere on the serving path. Region `r`'s
+//! writer applies its routed slice of batch `k` only after (a) the
+//! `committed` watermark covers `k` (durable runs: the batch is in the
+//! WAL first) and (b) every live session attached to `r` has acked past
+//! `k` — then it applies under its tree's
+//! write lock, broadcasts [`rtree::InsertReport`]s into per-`(session,
+//! region)` mailboxes, and advances `r`'s `applied` watermark. A session
+//! processes frame `k` by waiting on `applied` of exactly the regions
+//! its query sweeps, so a slow (or deliberately sleeping) session
+//! back-pressures only its own lanes: writers of untouched regions never
+//! hear from it. Sessions *detach* from their lane clocks when their
+//! schedule ends — or when they fail mid-run, so a dead session releases
+//! the writers instead of zombie-parking at a barrier. Per region the
+//! invariant `committed >= applied` holds throughout, and the flow
+//! control keeps every optimistic read validation passing: region tree
+//! level reads == Σ lane disk accesses attributed to that region + that
+//! region's writer reads, exactly (non-durable runs).
+//!
+//! ## Epoch-handoff recuts
+//!
+//! Because nothing global synchronizes frames, the grid can be *recut
+//! while sessions are live* ([`RecutPlan`]): the run is split into
+//! epochs, each with its own grid, trees, clocks, and mailboxes. At an
+//! epoch boundary the coordinator waits for the old epoch's clocks to
+//! drain, collects and deduplicates every record, recuts the grid at
+//! equal-load quantiles of the epoch's measured load, rebuilds region
+//! trees, and publishes the next epoch; sessions re-route their lanes
+//! and rebuild their engines against the new layout, carrying their
+//! delivered-set and accumulated results across — delivery stays
+//! exactly-once and result sequences are bit-identical to a run that
+//! never recut. Between-serves [`PartitionedDqServer::rebalance`] (over
+//! `&mut self`) remains for callers that want the same recut without a
+//! live run.
 //!
 //! Hotspot rebalancing (after Kiwano, arXiv 1211.4414): every serve
 //! accumulates per-region load (writer reads+writes plus session reads);
 //! [`PartitionedDqServer::hotspot`] flags a region pulling more than a
-//! factor above the mean, and [`PartitionedDqServer::rebalance`] recuts
-//! the grid at equal-load quantiles between serves, rebuilding region
-//! trees from the deduplicated record set.
+//! factor above the mean.
 
+use crate::clock::{FrameClock, SessionLiveness};
 use crate::durability::DurableLog;
 use crate::layout::MotionRecord;
 use crate::npdq::NpdqEngine;
 use crate::pdq::{PdqEngine, PdqResult};
 use crate::region::RegionGrid;
 use crate::service::{
-    panic_message, FrameReport, NsiReport, ServeReport, SessionKind, SessionOutcome,
-    SessionOutput, SessionSpec,
+    panic_message, record_wait, FrameReport, NsiReport, ServeReport, SessionKind, SessionOutcome,
+    SessionOutput, SessionPlan, SessionSpec,
 };
 use crate::snapshot::SnapshotQuery;
 use crate::stats::QueryStats;
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{Condvar, Mutex, RwLock};
 use rtree::{EpochStats, NsiSegmentRecord, RTree, TreeReadRetry};
 use std::collections::{BTreeMap, HashSet};
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Barrier};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 use stkit::Interval;
 use storage::{PageStore, RetryPolicy, StorageError};
+
+/// One region's shared tree handle: epochs and the server itself hold
+/// `Arc`s to the same locked tree, so a recut can hand trees off without
+/// copying and old-epoch readers drain at their own pace.
+type RegionTree<const D: usize, S> = Arc<RwLock<RTree<NsiSegmentRecord<D>, Arc<S>>>>;
+
+/// A scheduled live recut: at the start of frame `at_frame` the grid is
+/// recut into `target_regions` at equal-load quantiles of the load
+/// measured so far, while sessions keep running.
+#[derive(Clone, Copy, Debug)]
+pub struct RecutPlan {
+    /// Global frame at whose boundary the handoff happens (the new grid
+    /// serves frames `at_frame..`). Must be strictly inside the run.
+    pub at_frame: usize,
+    /// Region count after the recut (>= 1).
+    pub target_regions: usize,
+}
+
+impl RecutPlan {
+    /// A recut at frame `at_frame` into `target_regions` regions.
+    pub fn new(at_frame: usize, target_regions: usize) -> Self {
+        RecutPlan {
+            at_frame,
+            target_regions,
+        }
+    }
+}
 
 /// Per-region tallies of one partitioned run.
 #[derive(Clone, Debug, Default)]
@@ -93,20 +144,21 @@ impl RegionReport {
 
 /// Outcome of one [`PartitionedDqServer::serve`] /
 /// [`PartitionedDqServer::serve_serial`] run: the familiar single-tree
-/// [`ServeReport`] (writer tallies summed over regions; session outputs
-/// merged across lanes) plus the per-region breakdown.
+/// [`ServeReport`] (writer tallies summed over regions *and* epochs;
+/// session outputs merged across lanes) plus the per-region breakdown of
+/// the **final** epoch (the whole run when nothing recut — region
+/// indices are not comparable across grids).
 ///
 /// Note `base.inserts_applied` counts *physical* per-region inserts, so
 /// it exceeds the batch record count when segments straddle seams.
-/// `Σ frame.stats == session.stats` also does not hold here (unlike the
-/// single-tree server): absorb work on frames past a session's schedule
-/// is still tallied into `session.stats` so the per-region read
-/// reconciliation stays exact.
+/// Under the clock protocol sessions never absorb frames outside their
+/// own window, so `Σ frame.stats == session.stats` holds here exactly
+/// as it does for the single-tree server.
 #[derive(Clone, Debug, Default)]
 pub struct PartitionedServeReport {
     /// The run viewed as a single server (sessions in spec order).
     pub base: ServeReport,
-    /// Per-region tallies, in grid order.
+    /// Per-region tallies of the final epoch, in grid order.
     pub regions: Vec<RegionReport>,
 }
 
@@ -134,10 +186,13 @@ struct LaneRun<'a, const D: usize> {
     engines: Vec<LaneEngine<D>>,
     /// PDQ cross-frame dedup: seam replicas deliver in the same frame in
     /// every lane (frame assignment depends only on overlap start), but
-    /// the set keeps exactly-once robust without leaning on that.
+    /// the set keeps exactly-once robust without leaning on that. It
+    /// also carries exactly-once across an epoch handoff, where fresh
+    /// engines re-see everything still visible.
     delivered: HashSet<(u32, u32)>,
     out: SessionOutput,
-    /// Node reads attributed per region (for the per-region identity).
+    /// Node reads attributed per region (for the per-region identity),
+    /// flushed into the epoch's shared tally before the final ack.
     region_reads: Vec<u64>,
     scratch: Vec<PdqResult<D>>,
     merge_pdq: Vec<(f64, u32, u32)>,
@@ -182,6 +237,49 @@ impl<'a, const D: usize> LaneRun<'a, D> {
             merge_pdq: Vec::new(),
             merge_npdq: Vec::new(),
             npdq_scratch: Vec::new(),
+        }
+    }
+
+    /// Re-route this session under a recut grid: fold the dying engines'
+    /// high-water marks into the output, then build fresh engines per
+    /// new lane. The delivered set and accumulated results survive, so
+    /// objects the new engines re-discover (anything still visible) are
+    /// suppressed — delivery stays exactly-once across the handoff.
+    fn rebuild<T: TreeReadRetry<NsiSegmentRecord<D>>>(&mut self, grid: &RegionGrid, trees: &[T]) {
+        for engine in &self.engines {
+            match engine {
+                LaneEngine::Pdq(pdq) => {
+                    self.out.queue_hwm = self.out.queue_hwm.max(pdq.queue_hwm());
+                }
+                LaneEngine::Npdq(npdq) => {
+                    self.out.discarded_subtrees += npdq.discarded_subtrees();
+                }
+            }
+        }
+        self.lanes = grid.route_rect(&self.spec.trajectory.swept_bounds());
+        self.engines = self
+            .lanes
+            .clone()
+            .map(|r| match self.spec.kind {
+                SessionKind::Pdq => LaneEngine::Pdq(Box::new(PdqEngine::start(
+                    &trees[r],
+                    self.spec.trajectory.clone(),
+                ))),
+                SessionKind::Npdq => LaneEngine::Npdq(Box::new(NpdqEngine::new())),
+            })
+            .collect();
+        self.region_reads = vec![0; trees.len()];
+    }
+
+    /// Hand the per-region read attribution to `add` and zero it (the
+    /// region count changes across epochs, so attribution is flushed
+    /// into each epoch's own tally before the handoff).
+    fn flush_loads(&mut self, mut add: impl FnMut(usize, u64)) {
+        for (r, c) in self.region_reads.iter_mut().enumerate() {
+            if *c > 0 {
+                add(r, *c);
+                *c = 0;
+            }
         }
     }
 
@@ -235,10 +333,6 @@ impl<'a, const D: usize> LaneRun<'a, D> {
                             first_err.get_or_insert(e);
                         }
                     }
-                    // Take every frame (absorb included), even past the
-                    // session's schedule: notify reads must land in the
-                    // region attribution or the per-region identity
-                    // under-counts.
                     let st = pdq.take_stats();
                     frame_stats += st;
                     self.region_reads[r] += st.disk_accesses;
@@ -319,7 +413,7 @@ impl<'a, const D: usize> LaneRun<'a, D> {
         }
     }
 
-    fn finish(mut self) -> (SessionOutput, Vec<u64>) {
+    fn finish(mut self) -> SessionOutput {
         for engine in &self.engines {
             match engine {
                 LaneEngine::Pdq(pdq) => {
@@ -330,12 +424,12 @@ impl<'a, const D: usize> LaneRun<'a, D> {
                 }
             }
         }
-        (self.out, self.region_reads)
+        self.out
     }
 }
 
 /// Per-region writer tallies while a run is in flight.
-#[derive(Default)]
+#[derive(Clone, Default)]
 struct RegionTally {
     applied: usize,
     reads: u64,
@@ -358,6 +452,263 @@ struct DurabilityTally {
     appends: u64,
     commit_ns: u64,
     checkpoints: u64,
+}
+
+/// Writer tallies folded over every epoch of a run (regions are not
+/// comparable across recuts, so cross-epoch figures only exist summed).
+#[derive(Default)]
+struct RunTotals {
+    applied: usize,
+    reads: u64,
+    writes: u64,
+    outcome: SessionOutcome,
+}
+
+impl RunTotals {
+    fn absorb(&mut self, tallies: &[RegionTally]) {
+        for t in tallies {
+            self.applied += t.applied;
+            self.reads += t.reads;
+            self.writes += t.writes;
+            match &t.outcome {
+                SessionOutcome::Ok => {}
+                SessionOutcome::Degraded { errors } => {
+                    for e in errors {
+                        self.outcome.record_error(e.clone());
+                    }
+                }
+                SessionOutcome::Failed(msg) => {
+                    self.outcome = SessionOutcome::Failed(msg.clone());
+                }
+            }
+        }
+    }
+}
+
+/// One epoch of a partitioned run: a grid, its trees, one frame clock
+/// per region, and the per-`(session, region)` mailboxes — everything
+/// that must be replaced wholesale at a live recut.
+struct Epoch<const D: usize, S: PageStore> {
+    /// First global frame this epoch serves.
+    start: usize,
+    /// One past the last global frame this epoch serves.
+    end: usize,
+    grid: RegionGrid,
+    trees: Vec<RegionTree<D, S>>,
+    /// `clocks[r]` orders region `r`'s frames against its sessions.
+    clocks: Vec<FrameClock>,
+    /// `windows[r][i]`: session `i`'s attached window on region `r`'s
+    /// clock — its global window clamped to this epoch, `None` when the
+    /// session's lanes miss `r` or its window misses the epoch.
+    windows: Vec<Vec<Option<(u64, u64)>>>,
+    /// `lanes[i]`: the regions session `i`'s trajectory sweeps under
+    /// this epoch's grid.
+    lanes: Vec<Range<usize>>,
+    /// `mailboxes[i][r]`: insert reports broadcast by region `r`'s
+    /// writer for session `i` to absorb.
+    mailboxes: Vec<Vec<Mutex<Vec<NsiReport<D>>>>>,
+    /// Session-side node reads attributed per region, flushed in by
+    /// each session before its final ack of the epoch (feeds recut
+    /// loads and the final report).
+    session_loads: Vec<AtomicU64>,
+}
+
+/// The ordered list of published epochs. Sessions wait here for epoch
+/// `e` to exist; the coordinator publishes each next epoch only after
+/// the previous one drained.
+struct EpochGate<const D: usize, S: PageStore> {
+    published: Mutex<Vec<Arc<Epoch<D, S>>>>,
+    cv: Condvar,
+}
+
+impl<const D: usize, S: PageStore> EpochGate<D, S> {
+    fn new() -> Self {
+        EpochGate {
+            published: Mutex::new(Vec::new()),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn publish(&self, ep: Arc<Epoch<D, S>>) {
+        self.published.lock().push(ep);
+        self.cv.notify_all();
+    }
+
+    fn wait_for(&self, e: usize) -> Arc<Epoch<D, S>> {
+        let mut g = self.published.lock();
+        while g.len() <= e {
+            self.cv.wait(&mut g);
+        }
+        Arc::clone(&g[e])
+    }
+
+    fn snapshot(&self) -> Vec<Arc<Epoch<D, S>>> {
+        self.published.lock().clone()
+    }
+}
+
+/// Build one epoch: route every plan's lanes under `grid`, clamp every
+/// plan's window to `[start, end)`, and give each region a clock that
+/// knows exactly which sessions are attached to it.
+#[allow(clippy::too_many_arguments)]
+fn make_epoch<const D: usize, S: PageStore>(
+    plans: &[SessionPlan<D>],
+    plan_windows: &[Option<(u64, u64)>],
+    grid: RegionGrid,
+    trees: Vec<RegionTree<D, S>>,
+    live: &Arc<SessionLiveness>,
+    start: usize,
+    end: usize,
+    durable: bool,
+) -> Arc<Epoch<D, S>> {
+    let n = grid.len();
+    let lanes: Vec<Range<usize>> = plans
+        .iter()
+        .map(|p| grid.route_rect(&p.spec.trajectory.swept_bounds()))
+        .collect();
+    let windows: Vec<Vec<Option<(u64, u64)>>> = (0..n)
+        .map(|r| {
+            plan_windows
+                .iter()
+                .enumerate()
+                .map(|(i, w)| {
+                    w.and_then(|(f, l)| {
+                        let f = f.max(start as u64);
+                        let l = l.min(end.saturating_sub(1) as u64);
+                        (lanes[i].contains(&r) && f <= l).then_some((f, l))
+                    })
+                })
+                .collect()
+        })
+        .collect();
+    let clocks: Vec<FrameClock> = (0..n)
+        .map(|r| FrameClock::new(windows[r].clone(), Arc::clone(live), start as u64, durable))
+        .collect();
+    let mailboxes: Vec<Vec<Mutex<Vec<NsiReport<D>>>>> = plans
+        .iter()
+        .map(|_| (0..n).map(|_| Mutex::new(Vec::new())).collect())
+        .collect();
+    let session_loads: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    Arc::new(Epoch {
+        start,
+        end,
+        grid,
+        trees,
+        clocks,
+        windows,
+        lanes,
+        mailboxes,
+        session_loads,
+    })
+}
+
+/// Epoch boundaries of a run: `[0, recut frames..., steps]`. Recut
+/// frames must be strictly increasing and strictly inside the run.
+fn epoch_bounds(recuts: &[RecutPlan], steps: usize) -> Vec<usize> {
+    let mut bounds = vec![0];
+    for rp in recuts {
+        assert!(
+            rp.at_frame > *bounds.last().expect("non-empty") && rp.at_frame < steps,
+            "recut frames must be strictly increasing and inside the run"
+        );
+        assert!(rp.target_regions >= 1, "recut needs at least one region");
+        bounds.push(rp.at_frame);
+    }
+    bounds.push(steps);
+    bounds
+}
+
+/// The slice of `batch` that routes to region `r` under `grid`, in
+/// batch order.
+fn route_slice<const D: usize>(
+    grid: &RegionGrid,
+    r: usize,
+    batch: &[(NsiSegmentRecord<D>, f64)],
+) -> Vec<(NsiSegmentRecord<D>, f64)> {
+    batch
+        .iter()
+        .filter(|(rec, _)| grid.route_rect(&rec.seg.spatial_bbox()).contains(&r))
+        .copied()
+        .collect()
+}
+
+/// Every record resident across `trees`, deduplicated by `(oid, seq)`
+/// so seam replicas collapse to one copy — the shared idiom of recuts
+/// and logical checkpoints.
+fn dedup_from<const D: usize, S: PageStore>(
+    trees: &[RegionTree<D, S>],
+) -> BTreeMap<(u32, u32), NsiSegmentRecord<D>> {
+    let mut records = BTreeMap::new();
+    for lock in trees {
+        lock.read().scan(|rec| {
+            records.insert(rec.ids(), *rec);
+        });
+    }
+    records
+}
+
+/// The grid-axis extent spanned by `records` (degenerate sets get a
+/// unit slab so `RegionGrid::recut` always has room to cut).
+fn record_bounds<const D: usize>(
+    axis: usize,
+    records: &BTreeMap<(u32, u32), NsiSegmentRecord<D>>,
+) -> Interval {
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for rec in records.values() {
+        let e = rec.seg.spatial_bbox().extent(axis);
+        lo = lo.min(e.lo);
+        hi = hi.max(e.hi);
+    }
+    if lo < hi {
+        Interval::new(lo, hi)
+    } else if lo.is_finite() {
+        Interval::new(lo - 0.5, lo + 0.5)
+    } else {
+        Interval::new(0.0, 1.0)
+    }
+}
+
+/// Build fresh region trees under `grid` from a deduplicated record
+/// set, routing seam straddlers into every touching region.
+fn build_regions<const D: usize, S: PageStore>(
+    grid: &RegionGrid,
+    records: &BTreeMap<(u32, u32), NsiSegmentRecord<D>>,
+    make_tree: &mut dyn FnMut(usize) -> RTree<NsiSegmentRecord<D>, S>,
+) -> Vec<RegionTree<D, S>> {
+    let mut trees: Vec<RTree<NsiSegmentRecord<D>, S>> = (0..grid.len())
+        .map(|r| {
+            let t = make_tree(r);
+            assert!(t.is_empty(), "make_tree must return empty trees");
+            t
+        })
+        .collect();
+    for rec in records.values() {
+        for r in grid.route_rect(&rec.seg.spatial_bbox()) {
+            trees[r].insert(*rec, rec.seg.t.lo);
+        }
+    }
+    trees
+        .into_iter()
+        .map(|t| Arc::new(RwLock::new(t.map_store(Arc::new))))
+        .collect()
+}
+
+/// Install a logical checkpoint of the deduplicated record set of
+/// `trees`. Callers fence the writers first (serial execution, or the
+/// committed-watermark hold in the durability loop), so the read-locked
+/// scans see a quiescent frame boundary.
+fn checkpoint_from<const D: usize, S: PageStore>(trees: &[RegionTree<D, S>], log: &DurableLog) {
+    let records: Vec<NsiSegmentRecord<D>> = dedup_from(trees).into_values().collect();
+    log.checkpoint_logical(&records);
+}
+
+/// Optimistic-read counters summed over every region's tree.
+fn stats_of<const D: usize, S: PageStore>(trees: &[RegionTree<D, S>]) -> EpochStats {
+    let mut total = EpochStats::default();
+    for lock in trees {
+        total += lock.read().epoch_stats();
+    }
+    total
 }
 
 /// A serving instance owning one NSI tree *per region*.
@@ -389,8 +740,9 @@ struct DurabilityTally {
 pub struct PartitionedDqServer<const D: usize, S: PageStore> {
     grid: RegionGrid,
     /// One tree per region; stores are `Arc`-wrapped so each session can
-    /// hold per-region optimistic readers without `S: Clone`.
-    regions: Vec<RwLock<RTree<NsiSegmentRecord<D>, Arc<S>>>>,
+    /// hold per-region optimistic readers without `S: Clone`, and the
+    /// locks are `Arc`-wrapped so live epochs share them with `&self`.
+    regions: Vec<RegionTree<D, S>>,
     /// Accumulated per-region load across serves (feeds hotspot
     /// detection and recutting).
     loads: Mutex<Vec<u64>>,
@@ -432,7 +784,7 @@ impl<const D: usize, S: PageStore> PartitionedDqServer<D, S> {
             grid,
             regions: trees
                 .into_iter()
-                .map(|t| RwLock::new(t.map_store(Arc::new)))
+                .map(|t| Arc::new(RwLock::new(t.map_store(Arc::new))))
                 .collect(),
             loads,
             metrics: None,
@@ -442,7 +794,8 @@ impl<const D: usize, S: PageStore> PartitionedDqServer<D, S> {
     }
 
     /// Record serving metrics into `registry` (builder-style): the
-    /// single-tree run counters plus per-region labels
+    /// single-tree run counters (including `service.clock_wait_ns` and
+    /// `service.frame_lag`) plus per-region labels
     /// `service.region{r}.{inserts,writer.reads,writer.writes,session.reads,load}`.
     pub fn with_metrics(mut self, registry: Arc<obs::MetricsRegistry>) -> Self {
         self.metrics = Some(registry);
@@ -458,9 +811,10 @@ impl<const D: usize, S: PageStore> PartitionedDqServer<D, S> {
 
     /// Make the write path durable (builder-style): each frame's whole
     /// batch is appended to `log`'s WAL as one group-committed record
-    /// *before* any region writer touches a tree page, and when a
-    /// checkpoint falls due the deduplicated record set of every region
-    /// is installed as a [`crate::durability::Checkpoint::Logical`]
+    /// *before* any region writer touches a tree page (the per-region
+    /// clocks' `committed` watermark publishes exactly that fact), and
+    /// when a checkpoint falls due the deduplicated record set of every
+    /// region is installed as a [`crate::durability::Checkpoint::Logical`]
     /// checkpoint. Recovery rebuilds via [`Self::build`] from the
     /// checkpoint records plus the replayed frames — result-equivalent
     /// to the crashed server, under any grid.
@@ -517,8 +871,9 @@ impl<const D: usize, S: PageStore> PartitionedDqServer<D, S> {
 
     /// Recut the grid into `target_regions` at equal-load quantiles of
     /// the accumulated per-region loads and rebuild the region trees
-    /// (between serves — callers hold `&mut self`, so no writer epoch is
-    /// in flight). Records are collected from every region and
+    /// (between serves — callers hold `&mut self`, so no epoch is in
+    /// flight). The same handoff [`RecutPlan`] performs mid-run, minus
+    /// the live sessions: records are collected from every region,
     /// deduplicated by `(oid, seq)` (seam replicas collapse), then
     /// re-routed under the new cuts; load tallies reset.
     pub fn rebalance(
@@ -526,68 +881,15 @@ impl<const D: usize, S: PageStore> PartitionedDqServer<D, S> {
         target_regions: usize,
         mut make_tree: impl FnMut(usize) -> RTree<NsiSegmentRecord<D>, S>,
     ) {
-        let axis = self.grid.axis();
-        let records = self.dedup_records();
-        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
-        for rec in records.values() {
-            let e = rec.seg.spatial_bbox().extent(axis);
-            lo = lo.min(e.lo);
-            hi = hi.max(e.hi);
-        }
-        let bounds = if lo < hi {
-            Interval::new(lo, hi)
-        } else if lo.is_finite() {
-            Interval::new(lo - 0.5, lo + 0.5)
-        } else {
-            Interval::new(0.0, 1.0)
-        };
+        let records = dedup_from(&self.regions);
         let grid = {
             let loads = self.loads.lock();
-            self.grid.recut(bounds, &loads, target_regions)
+            self.grid
+                .recut(record_bounds(self.grid.axis(), &records), &loads, target_regions)
         };
-        let n = grid.len();
-        let mut trees: Vec<RTree<NsiSegmentRecord<D>, S>> = (0..n)
-            .map(|r| {
-                let t = make_tree(r);
-                assert!(t.is_empty(), "make_tree must return empty trees");
-                t
-            })
-            .collect();
-        for rec in records.values() {
-            for r in grid.route_rect(&rec.seg.spatial_bbox()) {
-                trees[r].insert(*rec, rec.seg.t.lo);
-            }
-        }
+        self.regions = build_regions(&grid, &records, &mut make_tree);
         self.grid = grid;
-        self.regions = trees
-            .into_iter()
-            .map(|t| RwLock::new(t.map_store(Arc::new)))
-            .collect();
-        self.loads = Mutex::new(vec![0; n]);
-    }
-
-    /// Every record resident across the regions, deduplicated by
-    /// `(oid, seq)` so seam replicas collapse to one copy — the shared
-    /// idiom of [`Self::rebalance`] and logical checkpoints.
-    fn dedup_records(&self) -> BTreeMap<(u32, u32), NsiSegmentRecord<D>> {
-        let mut records = BTreeMap::new();
-        for lock in &self.regions {
-            lock.read().scan(|rec| {
-                records.insert(rec.ids(), *rec);
-            });
-        }
-        records
-    }
-
-    /// Install a logical checkpoint of the current deduplicated record
-    /// set. Region writers are parked at the frame barrier when this
-    /// runs, so the read-locked scans see a quiescent frame boundary
-    /// (concurrent sessions read latch-free and are unaffected). Note
-    /// the scans count as tree reads, so durable runs trade the strict
-    /// region read-reconciliation identity for recoverability.
-    fn checkpoint_logical(&self, log: &DurableLog) {
-        let records: Vec<NsiSegmentRecord<D>> = self.dedup_records().into_values().collect();
-        log.checkpoint_logical(&records);
+        *self.loads.lock() = vec![0; self.grid.len()];
     }
 
     /// Take the base checkpoint covering the preloaded regions, so
@@ -595,36 +897,23 @@ impl<const D: usize, S: PageStore> PartitionedDqServer<D, S> {
     /// skipped once the log holds any checkpoint).
     fn ensure_initial_checkpoint(&self, log: &DurableLog) {
         if !log.has_checkpoint() {
-            self.checkpoint_logical(log);
+            checkpoint_from(&self.regions, log);
         }
     }
 
     /// Global frame steps for a run (same rule as the single-tree
-    /// server).
+    /// server: enough for every plan's window and every insert batch).
     fn step_count(
         &self,
-        specs: &[SessionSpec<D>],
+        plans: &[SessionPlan<D>],
         inserts: &[Vec<(NsiSegmentRecord<D>, f64)>],
     ) -> usize {
-        specs
+        plans
             .iter()
-            .map(SessionSpec::steps)
+            .filter_map(|p| p.window().map(|(_, last)| last as usize + 1))
             .max()
             .unwrap_or(0)
             .max(inserts.len())
-    }
-
-    /// The slice of `batch` that routes to region `r`, in batch order.
-    fn route_batch(
-        &self,
-        r: usize,
-        batch: &[(NsiSegmentRecord<D>, f64)],
-    ) -> Vec<(NsiSegmentRecord<D>, f64)> {
-        batch
-            .iter()
-            .filter(|(rec, _)| self.grid.route_rect(&rec.seg.spatial_bbox()).contains(&r))
-            .copied()
-            .collect()
     }
 
     /// Apply one region's routed slice under that region's write lock —
@@ -633,7 +922,7 @@ impl<const D: usize, S: PageStore> PartitionedDqServer<D, S> {
     /// unrecoverable records are skipped into the tally's outcome.
     fn apply_region_batch(
         &self,
-        r: usize,
+        tree: &RwLock<RTree<NsiSegmentRecord<D>, Arc<S>>>,
         batch: &[(NsiSegmentRecord<D>, f64)],
         reports: &mut Vec<NsiReport<D>>,
         w: &mut RegionTally,
@@ -643,7 +932,7 @@ impl<const D: usize, S: PageStore> PartitionedDqServer<D, S> {
         let mut attempt = 0u32;
         while idx < batch.len() {
             let backoff = {
-                let mut tree = self.regions[r].write();
+                let mut tree = tree.write();
                 let held = Instant::now();
                 let before = tree.level_counters().snapshot();
                 let mut backoff = None;
@@ -693,10 +982,761 @@ impl<const D: usize, S: PageStore> PartitionedDqServer<D, S> {
         }
     }
 
-    /// Serve every session concurrently: one thread per session plus one
-    /// *writer thread per region*, meeting at a shared barrier twice per
-    /// frame. Deterministic: result sequences equal
-    /// [`Self::serve_serial`] on an identically prepared server.
+    /// Region `r`'s writer over one epoch: per frame, wait for the WAL
+    /// commit (durable runs) and for every attached session's permit,
+    /// apply the routed slice, broadcast to in-window live PDQ
+    /// mailboxes, and advance `r`'s `applied` watermark — every frame,
+    /// batch or not, so sessions of an idle or failed region never
+    /// stall.
+    #[allow(clippy::too_many_arguments)]
+    fn writer_loop(
+        &self,
+        ep: &Epoch<D, S>,
+        r: usize,
+        inserts: &[Vec<(NsiSegmentRecord<D>, f64)>],
+        is_pdq: &[bool],
+        live: &SessionLiveness,
+        any_failed: &AtomicBool,
+        hold_hist: Option<&Arc<obs::Histogram>>,
+        wait_hist: &Option<Arc<obs::Histogram>>,
+        lag_gauge: Option<&Arc<obs::Gauge>>,
+    ) -> RegionTally {
+        let mut w = RegionTally::default();
+        let mut reports: Vec<NsiReport<D>> = Vec::new();
+        let clock = &ep.clocks[r];
+        for k in ep.start..ep.end {
+            let ku = k as u64;
+            if let Some(batch) = inserts.get(k) {
+                let routed = route_slice(&ep.grid, r, batch);
+                if !routed.is_empty() && !w.failed() {
+                    // WAL before any page write, then flow control:
+                    // every live attached session has acked past `k`
+                    // (finished frame `k - 1`, or — at its join frame —
+                    // built its engines). Frames that route nothing
+                    // here skip both waits, so the ack check must not
+                    // be window-scoped (a later non-empty batch would
+                    // slip past a still-reading session).
+                    record_wait(wait_hist, clock.wait_committed(ku));
+                    record_wait(wait_hist, clock.wait_ready(ku));
+                    reports.clear();
+                    self.apply_region_batch(&ep.trees[r], &routed, &mut reports, &mut w, hold_hist);
+                    if w.failed() {
+                        any_failed.store(true, Ordering::Relaxed);
+                    }
+                    // Broadcast outside the write lock; only to live
+                    // sessions attached to this region whose window
+                    // covers this frame — nobody else will ever drain
+                    // the mailbox.
+                    for (i, win) in ep.windows[r].iter().enumerate() {
+                        if is_pdq[i]
+                            && win.is_some_and(|(f, l)| f <= ku && ku <= l)
+                            && live.is_live(i)
+                        {
+                            ep.mailboxes[i][r].lock().extend(reports.iter().cloned());
+                        }
+                    }
+                    obs::trace(obs::TraceEvent::RegionRoute {
+                        region: r as u32,
+                        records: routed.len() as u32,
+                    });
+                }
+            }
+            let lag = clock.advance_applied(ku + 1);
+            if let Some(g) = lag_gauge {
+                g.record_max(lag as i64);
+            }
+            obs::trace(obs::TraceEvent::FrameAdvance {
+                region: r as u32,
+                frame: k as u32,
+                watermark: obs::Watermark::Applied,
+            });
+        }
+        w
+    }
+
+    /// The durability participant (one per durable run; durable runs
+    /// are single-epoch): per frame, fence-and-checkpoint when due,
+    /// group-commit the batch, then advance every region's `committed`
+    /// watermark. The fence waits for every region's `applied` to reach
+    /// the frame boundary while `committed` still withholds the frame's
+    /// batch — trees hold exactly the batches the WAL's committed
+    /// prefix holds, a consistent cut under any interleaving.
+    fn durability_loop(
+        &self,
+        ep: &Epoch<D, S>,
+        log: &DurableLog,
+        steps: usize,
+        inserts: &[Vec<(NsiSegmentRecord<D>, f64)>],
+        any_failed: &AtomicBool,
+        wait_hist: &Option<Arc<obs::Histogram>>,
+    ) -> DurabilityTally {
+        let mut t = DurabilityTally::default();
+        for k in 0..steps {
+            let ku = k as u64;
+            if let Some(batch) = inserts.get(k) {
+                // Never checkpoint once any region's writer has failed:
+                // truncation would drop committed records the failed
+                // tree never absorbed.
+                if !any_failed.load(Ordering::Relaxed) && log.due_for_checkpoint() {
+                    for c in &ep.clocks {
+                        record_wait(wait_hist, c.wait_applied(ku));
+                    }
+                    checkpoint_from(&ep.trees, log);
+                    t.checkpoints += 1;
+                }
+                let committed = Instant::now();
+                log.commit_frame(ku, batch);
+                t.appends += 1;
+                t.commit_ns += committed.elapsed().as_nanos() as u64;
+            }
+            for (r, c) in ep.clocks.iter().enumerate() {
+                c.advance_committed(ku + 1);
+                obs::trace(obs::TraceEvent::FrameAdvance {
+                    region: r as u32,
+                    frame: k as u32,
+                    watermark: obs::Watermark::Committed,
+                });
+            }
+        }
+        // A checkpoint that came due on the run's last commits.
+        if !any_failed.load(Ordering::Relaxed) && log.due_for_checkpoint() {
+            for c in &ep.clocks {
+                record_wait(wait_hist, c.wait_applied(steps as u64));
+            }
+            checkpoint_from(&ep.trees, log);
+            t.checkpoints += 1;
+        }
+        t
+    }
+
+    /// One session's thread over the whole run: walk the epochs its
+    /// window intersects, (re)build lane engines at each handoff, and
+    /// inside an epoch run the clock protocol — wait `applied`, drain
+    /// mailboxes, step, ack. Failure at any point detaches the session
+    /// from its lane clocks and keeps its results so far.
+    fn session_loop(
+        i: usize,
+        plan: &SessionPlan<D>,
+        epoch_count: usize,
+        gate: &EpochGate<D, S>,
+        drain_hist: &Option<Arc<obs::Histogram>>,
+        wait_hist: &Option<Arc<obs::Histogram>>,
+    ) -> SessionOutput {
+        let Some((gf, gl)) = plan.window() else {
+            // Never scheduled: no engines, no clock attachment anywhere.
+            return SessionOutput::default();
+        };
+        let mut run: Option<LaneRun<'_, D>> = None;
+        let mut failure: Option<SessionOutcome> = None;
+        let mut started: Option<Instant> = None;
+        'epochs: for e in 0..epoch_count {
+            let ep = gate.wait_for(e);
+            if (ep.start as u64) > gl {
+                break;
+            }
+            let f = gf.max(ep.start as u64);
+            let l = gl.min(ep.end.saturating_sub(1) as u64);
+            if f > l {
+                continue;
+            }
+            let lanes = ep.lanes[i].clone();
+            // Wait for the join/handoff boundary on every lane: trees
+            // hold exactly state_{f-1} (the writers withhold batch `f`
+            // until our un-acked permit clears), so the engines build
+            // against precisely what the serial reference shows them.
+            for r in lanes.clone() {
+                record_wait(wait_hist, ep.clocks[r].wait_applied(f));
+            }
+            // Latch-free read path: every frame descends through these
+            // optimistic readers, never a read lock.
+            let readers: Vec<_> = ep.trees.iter().map(|t| t.read().reader()).collect();
+            if started.is_none() {
+                started = Some(Instant::now());
+            }
+            let prep = match &mut run {
+                None => catch_unwind(AssertUnwindSafe(|| {
+                    LaneRun::start(i, &plan.spec, &ep.grid, &readers)
+                }))
+                .map(Some),
+                Some(r0) => catch_unwind(AssertUnwindSafe(|| {
+                    r0.rebuild(&ep.grid, &readers);
+                    None
+                })),
+            };
+            match prep {
+                Ok(Some(r0)) => run = Some(r0),
+                Ok(None) => {}
+                Err(p) => {
+                    let msg = panic_message(p);
+                    match &mut run {
+                        Some(r0) => r0.out.outcome = SessionOutcome::Failed(msg),
+                        None => failure = Some(SessionOutcome::Failed(msg)),
+                    }
+                    for r in lanes.clone() {
+                        ep.clocks[r].detach(i);
+                    }
+                    break 'epochs;
+                }
+            }
+            for r in lanes.clone() {
+                ep.clocks[r].ack(i, f + 1);
+            }
+            let r0 = run.as_mut().expect("engines exist past prep");
+            for k in f..=l {
+                for r in lanes.clone() {
+                    record_wait(wait_hist, ep.clocks[r].wait_applied(k + 1));
+                }
+                let reports: Vec<Vec<NsiReport<D>>> = lanes
+                    .clone()
+                    .map(|r| std::mem::take(&mut *ep.mailboxes[i][r].lock()))
+                    .collect();
+                // Contain panics to the engine work alone; the clock
+                // calls stay outside so a caught panic can't corrupt
+                // the frame protocol.
+                let stepped = catch_unwind(AssertUnwindSafe(|| {
+                    r0.step_frame(&readers, &reports, k as usize)
+                }));
+                match stepped {
+                    Ok(Ok(Some(ns))) => {
+                        if let Some(h) = drain_hist {
+                            h.record(ns);
+                        }
+                    }
+                    Ok(Ok(None)) => {}
+                    Ok(Err(e)) => r0.out.outcome.record_error(e),
+                    Err(p) => {
+                        // Dead engine: keep the results so far, flush
+                        // the read attribution, release the writers.
+                        r0.out.outcome = SessionOutcome::Failed(panic_message(p));
+                        r0.flush_loads(|r, c| {
+                            ep.session_loads[r].fetch_add(c, Ordering::Relaxed);
+                        });
+                        for r in lanes.clone() {
+                            ep.clocks[r].detach(i);
+                        }
+                        break 'epochs;
+                    }
+                }
+                if !plan.frame_delay.is_zero() {
+                    std::thread::sleep(plan.frame_delay);
+                }
+                if k == l {
+                    // Last frame of this epoch: flush before the final
+                    // ack, so the coordinator's drain sees the loads.
+                    r0.flush_loads(|r, c| {
+                        ep.session_loads[r].fetch_add(c, Ordering::Relaxed);
+                    });
+                }
+                for r in lanes.clone() {
+                    ep.clocks[r].ack(i, k + 2);
+                }
+            }
+            if l == gl {
+                // Schedule complete: detach so no writer ever waits on
+                // this slot again (later epochs never attach it — the
+                // window clamp comes up empty).
+                for r in lanes.clone() {
+                    ep.clocks[r].detach(i);
+                }
+            }
+        }
+        let mut out = match (run, failure) {
+            (Some(r0), _) => r0.finish(),
+            (None, Some(outcome)) => SessionOutput {
+                outcome,
+                ..SessionOutput::default()
+            },
+            (None, None) => SessionOutput::default(),
+        };
+        if let Some(s) = started {
+            out.wall_ns = s.elapsed().as_nanos() as u64;
+        }
+        out
+    }
+
+    /// The concurrent serve: one writer thread per region per epoch, one
+    /// thread per session for the whole run, plus (durable runs) one
+    /// durability thread — all ordered by the per-region [`FrameClock`]s,
+    /// no global barrier anywhere. The coordinator (this thread) performs
+    /// the epoch handoffs: join an epoch's writers, drain its clocks,
+    /// recut, publish the next epoch through the [`EpochGate`].
+    ///
+    /// Returns the report plus — when a recut happened — the final grid
+    /// and trees for the caller to adopt.
+    #[allow(clippy::type_complexity)]
+    fn serve_clocked(
+        &self,
+        plans: &[SessionPlan<D>],
+        inserts: &[Vec<(NsiSegmentRecord<D>, f64)>],
+        recuts: &[RecutPlan],
+        mut make_tree: Option<&mut dyn FnMut(usize) -> RTree<NsiSegmentRecord<D>, S>>,
+    ) -> (
+        PartitionedServeReport,
+        Option<(RegionGrid, Vec<RegionTree<D, S>>)>,
+    )
+    where
+        S: Sync + Send,
+    {
+        let steps = self.step_count(plans, inserts);
+        let bounds = epoch_bounds(recuts, steps);
+        let epoch_count = bounds.len() - 1;
+        let durable = self.durability.as_deref();
+        assert!(
+            epoch_count == 1 || durable.is_none(),
+            "live recuts require a non-durable server"
+        );
+        if let Some(log) = durable {
+            self.ensure_initial_checkpoint(log);
+        }
+        let plan_windows: Vec<Option<(u64, u64)>> = plans.iter().map(|p| p.window()).collect();
+        let is_pdq: Vec<bool> = plans
+            .iter()
+            .map(|p| matches!(p.spec.kind, SessionKind::Pdq))
+            .collect();
+        let live = SessionLiveness::new(plans.len());
+        let any_failed = AtomicBool::new(false);
+        let gate = EpochGate::new();
+        let ep0 = make_epoch(
+            plans,
+            &plan_windows,
+            self.grid.clone(),
+            self.regions.iter().map(Arc::clone).collect(),
+            &live,
+            0,
+            bounds[1],
+            durable.is_some(),
+        );
+        let mut baselines = vec![stats_of(&ep0.trees)];
+        gate.publish(Arc::clone(&ep0));
+
+        let drain_hist = self
+            .metrics
+            .as_ref()
+            .map(|m| m.histogram("service.drain_ns"));
+        let hold_hist = self
+            .metrics
+            .as_ref()
+            .map(|m| m.histogram("service.writer.lock_hold_ns"));
+        let wait_hist = self
+            .metrics
+            .as_ref()
+            .map(|m| m.histogram("service.clock_wait_ns"));
+        let lag_gauge = self.metrics.as_ref().map(|m| m.gauge("service.frame_lag"));
+
+        let mut epoch_tallies: Vec<Vec<RegionTally>> = Vec::new();
+        let mut dur = DurabilityTally::default();
+        let outputs: Vec<SessionOutput> = std::thread::scope(|scope| {
+            let gate_ref = &gate;
+            let session_handles: Vec<_> = plans
+                .iter()
+                .enumerate()
+                .map(|(i, plan)| {
+                    let drain = drain_hist.clone();
+                    let wait = wait_hist.clone();
+                    scope.spawn(move || {
+                        Self::session_loop(i, plan, epoch_count, gate_ref, &drain, &wait)
+                    })
+                })
+                .collect();
+
+            let mut dur_handle = None;
+            for e in 0..epoch_count {
+                let ep = gate.wait_for(e);
+                if e == 0 {
+                    if let Some(log) = durable {
+                        let ep = Arc::clone(&ep);
+                        let wait = wait_hist.clone();
+                        let any_failed = &any_failed;
+                        dur_handle = Some(scope.spawn(move || {
+                            self.durability_loop(&ep, log, steps, inserts, any_failed, &wait)
+                        }));
+                    }
+                }
+                let writer_handles: Vec<_> = (0..ep.grid.len())
+                    .map(|r| {
+                        let ep = Arc::clone(&ep);
+                        let hold = hold_hist.clone();
+                        let wait = wait_hist.clone();
+                        let lag = lag_gauge.clone();
+                        let live = &live;
+                        let any_failed = &any_failed;
+                        let is_pdq = &is_pdq;
+                        scope.spawn(move || {
+                            self.writer_loop(
+                                &ep,
+                                r,
+                                inserts,
+                                is_pdq,
+                                live,
+                                any_failed,
+                                hold.as_ref(),
+                                &wait,
+                                lag.as_ref(),
+                            )
+                        })
+                    })
+                    .collect();
+                let tallies: Vec<RegionTally> = writer_handles
+                    .into_iter()
+                    .map(|h| h.join().expect("region writer panicked"))
+                    .collect();
+                if e + 1 < epoch_count {
+                    // Epoch handoff: every live session has fully left
+                    // this epoch (final acks past `end`), so loads and
+                    // tree contents are settled.
+                    for c in &ep.clocks {
+                        c.wait_drained();
+                    }
+                    let loads: Vec<u64> = (0..ep.grid.len())
+                        .map(|r| {
+                            ep.session_loads[r].load(Ordering::Relaxed)
+                                + tallies[r].reads
+                                + tallies[r].writes
+                        })
+                        .collect();
+                    let records = dedup_from(&ep.trees);
+                    let new_grid = ep.grid.recut(
+                        record_bounds(ep.grid.axis(), &records),
+                        &loads,
+                        recuts[e].target_regions,
+                    );
+                    let make = make_tree.as_deref_mut().expect("recuts require make_tree");
+                    let new_trees = build_regions(&new_grid, &records, make);
+                    baselines.push(stats_of(&new_trees));
+                    gate.publish(make_epoch(
+                        plans,
+                        &plan_windows,
+                        new_grid,
+                        new_trees,
+                        &live,
+                        bounds[e + 1],
+                        bounds[e + 2],
+                        false,
+                    ));
+                }
+                epoch_tallies.push(tallies);
+            }
+            if let Some(h) = dur_handle {
+                dur = h.join().expect("durability thread panicked");
+            }
+            session_handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(out) => out,
+                    Err(p) => SessionOutput {
+                        outcome: SessionOutcome::Failed(panic_message(p)),
+                        ..SessionOutput::default()
+                    },
+                })
+                .collect()
+        });
+
+        let published = gate.snapshot();
+        let mut retries = EpochStats::default();
+        for (e, ep) in published.iter().enumerate() {
+            retries += stats_of(&ep.trees) - baselines[e];
+        }
+        let mut totals = RunTotals::default();
+        for tallies in &epoch_tallies {
+            totals.absorb(tallies);
+        }
+        let final_tallies = epoch_tallies.pop().expect("at least one epoch");
+        let final_ep = published.last().expect("at least one epoch");
+        let final_loads: Vec<u64> = final_ep
+            .session_loads
+            .iter()
+            .map(|l| l.load(Ordering::Relaxed))
+            .collect();
+        let report = self.finish_report(
+            steps,
+            outputs,
+            &final_ep.grid,
+            final_tallies,
+            &final_loads,
+            totals,
+            dur,
+            retries,
+        );
+        let final_state =
+            (epoch_count > 1).then(|| (final_ep.grid.clone(), final_ep.trees.clone()));
+        (report, final_state)
+    }
+
+    /// Single-threaded reference for the clocked serve: the same epoch
+    /// schedule, frame interleaving (WAL commit → regions ascending →
+    /// sessions ascending) and handoff rebuilds, with no threads and no
+    /// clocks. [`Self::serve_plans`] must match this bit-for-bit.
+    #[allow(clippy::type_complexity)]
+    fn serve_serial_clocked(
+        &self,
+        plans: &[SessionPlan<D>],
+        inserts: &[Vec<(NsiSegmentRecord<D>, f64)>],
+        recuts: &[RecutPlan],
+        mut make_tree: Option<&mut dyn FnMut(usize) -> RTree<NsiSegmentRecord<D>, S>>,
+    ) -> (
+        PartitionedServeReport,
+        Option<(RegionGrid, Vec<RegionTree<D, S>>)>,
+    ) {
+        let steps = self.step_count(plans, inserts);
+        let bounds = epoch_bounds(recuts, steps);
+        let epoch_count = bounds.len() - 1;
+        let durable = self.durability.as_deref();
+        assert!(
+            epoch_count == 1 || durable.is_none(),
+            "live recuts require a non-durable server"
+        );
+        if let Some(log) = durable {
+            self.ensure_initial_checkpoint(log);
+        }
+        let plan_windows: Vec<Option<(u64, u64)>> = plans.iter().map(|p| p.window()).collect();
+        let is_pdq: Vec<bool> = plans
+            .iter()
+            .map(|p| matches!(p.spec.kind, SessionKind::Pdq))
+            .collect();
+        let drain_hist = self
+            .metrics
+            .as_ref()
+            .map(|m| m.histogram("service.drain_ns"));
+        let hold_hist = self
+            .metrics
+            .as_ref()
+            .map(|m| m.histogram("service.writer.lock_hold_ns"));
+
+        let mut grid = self.grid.clone();
+        let mut trees: Vec<RegionTree<D, S>> = self.regions.iter().map(Arc::clone).collect();
+        let mut runs: Vec<Option<Result<LaneRun<'_, D>, SessionOutcome>>> =
+            plans.iter().map(|_| None).collect();
+        let mut started: Vec<Option<Instant>> = vec![None; plans.len()];
+        let mut dur = DurabilityTally::default();
+        let mut totals = RunTotals::default();
+        let mut epoch_meta: Vec<(Vec<RegionTree<D, S>>, EpochStats)> = Vec::new();
+        let mut final_tallies: Vec<RegionTally> = Vec::new();
+        let mut final_loads: Vec<u64> = vec![0; grid.len()];
+        let mut final_grid = grid.clone();
+
+        for e in 0..epoch_count {
+            let (start, end) = (bounds[e], bounds[e + 1]);
+            let baseline = stats_of(&trees);
+            let mut tallies: Vec<RegionTally> = vec![RegionTally::default(); grid.len()];
+            let mut session_loads: Vec<u64> = vec![0; grid.len()];
+            let wins: Vec<Option<(u64, u64)>> = plan_windows
+                .iter()
+                .map(|w| {
+                    w.and_then(|(f, l)| {
+                        let f = f.max(start as u64);
+                        let l = l.min(end.saturating_sub(1) as u64);
+                        (f <= l).then_some((f, l))
+                    })
+                })
+                .collect();
+            let readers: Vec<_> = trees.iter().map(|t| t.read().reader()).collect();
+            if e > 0 {
+                // Handoff rebuild for sessions carried over from the
+                // previous epoch, in the same session order the
+                // concurrent path attaches them.
+                for (i, run) in runs.iter_mut().enumerate() {
+                    if wins[i].is_none() {
+                        continue;
+                    }
+                    if let Some(Ok(r0)) = run {
+                        if matches!(r0.out.outcome, SessionOutcome::Failed(_)) {
+                            continue;
+                        }
+                        if let Err(p) = catch_unwind(AssertUnwindSafe(|| {
+                            r0.rebuild(&grid, &readers);
+                        })) {
+                            r0.out.outcome = SessionOutcome::Failed(panic_message(p));
+                        }
+                    }
+                }
+            }
+            for k in start..end {
+                let ku = k as u64;
+                for (i, plan) in plans.iter().enumerate() {
+                    if runs[i].is_none() && wins[i].is_some_and(|(f, _)| f == ku) {
+                        started[i] = Some(Instant::now());
+                        runs[i] = Some(
+                            catch_unwind(AssertUnwindSafe(|| {
+                                LaneRun::start(i, &plan.spec, &grid, &readers)
+                            }))
+                            .map_err(|p| SessionOutcome::Failed(panic_message(p))),
+                        );
+                    }
+                }
+                let mut frame_reports: Vec<Vec<NsiReport<D>>> = vec![Vec::new(); grid.len()];
+                if let Some(batch) = inserts.get(k) {
+                    if let Some(log) = durable {
+                        if !tallies.iter().any(RegionTally::failed) && log.due_for_checkpoint() {
+                            checkpoint_from(&trees, log);
+                            dur.checkpoints += 1;
+                        }
+                        let committed = Instant::now();
+                        log.commit_frame(ku, batch);
+                        dur.appends += 1;
+                        dur.commit_ns += committed.elapsed().as_nanos() as u64;
+                    }
+                    for r in 0..grid.len() {
+                        let routed = route_slice(&grid, r, batch);
+                        if !routed.is_empty() && !tallies[r].failed() {
+                            self.apply_region_batch(
+                                &trees[r],
+                                &routed,
+                                &mut frame_reports[r],
+                                &mut tallies[r],
+                                hold_hist.as_ref(),
+                            );
+                            obs::trace(obs::TraceEvent::RegionRoute {
+                                region: r as u32,
+                                records: routed.len() as u32,
+                            });
+                        }
+                    }
+                }
+                for (i, run) in runs.iter_mut().enumerate() {
+                    let Some(Ok(r0)) = run else { continue };
+                    if matches!(r0.out.outcome, SessionOutcome::Failed(_)) {
+                        continue;
+                    }
+                    let Some((f, l)) = wins[i] else { continue };
+                    if ku < f || ku > l {
+                        continue;
+                    }
+                    let reports: Vec<Vec<NsiReport<D>>> = r0
+                        .lanes
+                        .clone()
+                        .map(|reg| {
+                            if is_pdq[i] {
+                                frame_reports[reg].clone()
+                            } else {
+                                Vec::new()
+                            }
+                        })
+                        .collect();
+                    match catch_unwind(AssertUnwindSafe(|| r0.step_frame(&readers, &reports, k))) {
+                        Ok(Ok(Some(ns))) => {
+                            if let Some(h) = &drain_hist {
+                                h.record(ns);
+                            }
+                        }
+                        Ok(Ok(None)) => {}
+                        Ok(Err(err)) => r0.out.outcome.record_error(err),
+                        Err(p) => r0.out.outcome = SessionOutcome::Failed(panic_message(p)),
+                    }
+                }
+            }
+            for r0 in runs.iter_mut().flatten().flatten() {
+                r0.flush_loads(|r, c| session_loads[r] += c);
+            }
+            totals.absorb(&tallies);
+            epoch_meta.push((trees.clone(), baseline));
+            if e + 1 < epoch_count {
+                let loads: Vec<u64> = (0..grid.len())
+                    .map(|r| session_loads[r] + tallies[r].reads + tallies[r].writes)
+                    .collect();
+                let records = dedup_from(&trees);
+                let new_grid = grid.recut(
+                    record_bounds(grid.axis(), &records),
+                    &loads,
+                    recuts[e].target_regions,
+                );
+                let make = make_tree.as_deref_mut().expect("recuts require make_tree");
+                trees = build_regions(&new_grid, &records, make);
+                grid = new_grid;
+            } else {
+                if let Some(log) = durable {
+                    if !tallies.iter().any(RegionTally::failed) && log.due_for_checkpoint() {
+                        checkpoint_from(&trees, log);
+                        dur.checkpoints += 1;
+                    }
+                }
+                final_tallies = tallies;
+                final_loads = session_loads;
+                final_grid = grid.clone();
+            }
+        }
+
+        let outputs: Vec<SessionOutput> = runs
+            .into_iter()
+            .zip(&started)
+            .map(|(run, started)| {
+                let mut out = match run {
+                    Some(Ok(r0)) => r0.finish(),
+                    Some(Err(outcome)) => SessionOutput {
+                        outcome,
+                        ..SessionOutput::default()
+                    },
+                    None => SessionOutput::default(),
+                };
+                if let Some(s) = started {
+                    out.wall_ns = s.elapsed().as_nanos() as u64;
+                }
+                out
+            })
+            .collect();
+        let mut retries = EpochStats::default();
+        for (epoch_trees, baseline) in &epoch_meta {
+            retries += stats_of(epoch_trees) - *baseline;
+        }
+        let report = self.finish_report(
+            steps,
+            outputs,
+            &final_grid,
+            final_tallies,
+            &final_loads,
+            totals,
+            dur,
+            retries,
+        );
+        let final_state = (epoch_count > 1).then_some((final_grid, trees));
+        (report, final_state)
+    }
+
+    /// Assemble the report from the final epoch's per-region tallies and
+    /// loads plus the run-wide totals, and publish metrics.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_report(
+        &self,
+        steps: usize,
+        outputs: Vec<SessionOutput>,
+        grid: &RegionGrid,
+        final_tallies: Vec<RegionTally>,
+        final_loads: &[u64],
+        totals: RunTotals,
+        dur: DurabilityTally,
+        retries: EpochStats,
+    ) -> PartitionedServeReport {
+        let regions: Vec<RegionReport> = final_tallies
+            .into_iter()
+            .enumerate()
+            .map(|(r, w)| RegionReport {
+                span: grid.span_of(r),
+                inserts_applied: w.applied,
+                writer_reads: w.reads,
+                writer_writes: w.writes,
+                session_reads: final_loads[r],
+                writer_outcome: w.outcome,
+            })
+            .collect();
+        let report = PartitionedServeReport {
+            base: ServeReport {
+                sessions: outputs,
+                frames: steps,
+                inserts_applied: totals.applied,
+                writer_reads: totals.reads,
+                writer_writes: totals.writes,
+                writer_outcome: totals.outcome,
+                wal_appends: dur.appends,
+                wal_commit_ns: dur.commit_ns,
+                checkpoints: dur.checkpoints,
+            },
+            regions,
+        };
+        self.publish_run(&report, retries);
+        report
+    }
+
+    /// Serve with the plain per-spec schedule (every session joins at
+    /// frame 0); see [`Self::serve_plans`].
     pub fn serve(
         &self,
         specs: &[SessionSpec<D>],
@@ -705,396 +1745,115 @@ impl<const D: usize, S: PageStore> PartitionedDqServer<D, S> {
     where
         S: Sync + Send,
     {
-        let steps = self.step_count(specs, inserts);
-        let n = self.regions.len();
-        let epoch_start = self.epoch_totals();
-        let is_pdq: Vec<bool> = specs.iter().map(|s| s.kind == SessionKind::Pdq).collect();
-        let session_lanes: Vec<Range<usize>> = specs
-            .iter()
-            .map(|s| self.grid.route_rect(&s.trajectory.swept_bounds()))
-            .collect();
-        let durable = self.durability.as_deref();
-        if let Some(log) = durable {
-            self.ensure_initial_checkpoint(log);
-        }
-        // Set by any region writer that hits a full device; once set,
-        // checkpoints stop (truncating the WAL would drop committed
-        // records that never reached a tree) while WAL commits continue.
-        let any_failed = AtomicBool::new(false);
-        // One extra participant when durable: the durability thread,
-        // which group-commits frame k's batch BEFORE its first wait —
-        // the barrier then orders the commit before every region apply.
-        let barrier = Barrier::new(specs.len() + n + usize::from(durable.is_some()));
-        let mailboxes: Vec<Vec<Mutex<Vec<NsiReport<D>>>>> = specs
-            .iter()
-            .map(|_| (0..n).map(|_| Mutex::new(Vec::new())).collect())
-            .collect();
-        let drain_hist = self.metrics.as_ref().map(|m| m.histogram("service.drain_ns"));
-        let hold_hist = self
-            .metrics
-            .as_ref()
-            .map(|m| m.histogram("service.writer.lock_hold_ns"));
-
-        let (sessions, tallies, dur) = std::thread::scope(|scope| {
-            let session_handles: Vec<_> = specs
-                .iter()
-                .enumerate()
-                .map(|(i, spec)| {
-                    let barrier = &barrier;
-                    let mailboxes = &mailboxes;
-                    let session_lanes = &session_lanes;
-                    let drain_hist = drain_hist.clone();
-                    scope.spawn(move || {
-                        // Same zombie discipline as the single-tree
-                        // server: a failed session still takes both
-                        // barrier waits and drains its mailboxes every
-                        // frame, so writers and healthy sessions never
-                        // stall on it.
-                        // One optimistic reader per region, built before
-                        // the first barrier wait (no writer is active
-                        // yet): the frame loop below never takes a read
-                        // lock.
-                        let readers: Vec<_> =
-                            self.regions.iter().map(|l| l.read().reader()).collect();
-                        let mut run = catch_unwind(AssertUnwindSafe(|| {
-                            LaneRun::start(i, spec, &self.grid, &readers)
-                        }))
-                        .map_err(|p| SessionOutcome::Failed(panic_message(p)));
-                        for k in 0..steps {
-                            barrier.wait(); // frame k opens; writers work
-                            barrier.wait(); // frame k batches visible
-                            let reports: Vec<Vec<NsiReport<D>>> = session_lanes[i]
-                                .clone()
-                                .map(|r| std::mem::take(&mut *mailboxes[i][r].lock()))
-                                .collect();
-                            let Ok(r) = &mut run else { continue };
-                            if matches!(r.out.outcome, SessionOutcome::Failed(_)) {
-                                continue;
-                            }
-                            let stepped = catch_unwind(AssertUnwindSafe(|| {
-                                r.step_frame(&readers, &reports, k)
-                            }));
-                            match stepped {
-                                Ok(Ok(Some(ns))) => {
-                                    if let Some(h) = &drain_hist {
-                                        h.record(ns);
-                                    }
-                                }
-                                Ok(Ok(None)) => {}
-                                Ok(Err(e)) => r.out.outcome.record_error(e),
-                                Err(p) => {
-                                    r.out.outcome = SessionOutcome::Failed(panic_message(p))
-                                }
-                            }
-                        }
-                        match run {
-                            Ok(r) => r.finish(),
-                            Err(outcome) => (
-                                SessionOutput {
-                                    outcome,
-                                    ..SessionOutput::default()
-                                },
-                                vec![0; n],
-                            ),
-                        }
-                    })
-                })
-                .collect();
-
-            let writer_handles: Vec<_> = (0..n)
-                .map(|r| {
-                    let barrier = &barrier;
-                    let mailboxes = &mailboxes;
-                    let session_lanes = &session_lanes;
-                    let is_pdq = &is_pdq;
-                    let any_failed = &any_failed;
-                    let hold_hist = hold_hist.clone();
-                    scope.spawn(move || {
-                        let mut w = RegionTally::default();
-                        let mut reports: Vec<NsiReport<D>> = Vec::new();
-                        for k in 0..steps {
-                            barrier.wait();
-                            if let Some(batch) = inserts.get(k) {
-                                let routed = self.route_batch(r, batch);
-                                if !routed.is_empty() && !w.failed() {
-                                    reports.clear();
-                                    self.apply_region_batch(
-                                        r,
-                                        &routed,
-                                        &mut reports,
-                                        &mut w,
-                                        hold_hist.as_ref(),
-                                    );
-                                    if w.failed() {
-                                        any_failed.store(true, Ordering::Relaxed);
-                                    }
-                                    for (i, lanes) in session_lanes.iter().enumerate() {
-                                        if is_pdq[i] && lanes.contains(&r) {
-                                            mailboxes[i][r].lock().extend(reports.iter().cloned());
-                                        }
-                                    }
-                                    obs::trace(obs::TraceEvent::RegionRoute {
-                                        region: r as u32,
-                                        records: routed.len() as u32,
-                                    });
-                                }
-                            }
-                            barrier.wait();
-                        }
-                        w
-                    })
-                })
-                .collect();
-
-            // The durability participant: commit frame k's batch, then
-            // take both waits — the first wait publishes the commit
-            // before any region writer starts applying. A checkpoint,
-            // when due, runs between the frame's second wait and the
-            // next frame's first (writers parked, sessions latch-free).
-            let durability_handle = durable.map(|log| {
-                let barrier = &barrier;
-                let any_failed = &any_failed;
-                scope.spawn(move || {
-                    let mut t = DurabilityTally::default();
-                    for k in 0..steps {
-                        if let Some(batch) = inserts.get(k) {
-                            let committed = Instant::now();
-                            log.commit_frame(k as u64, batch);
-                            t.appends += 1;
-                            t.commit_ns += committed.elapsed().as_nanos() as u64;
-                        }
-                        barrier.wait(); // frame k opens: batch is durable
-                        barrier.wait(); // frame k applied in every region
-                        if !any_failed.load(Ordering::Relaxed) && log.due_for_checkpoint() {
-                            self.checkpoint_logical(log);
-                            t.checkpoints += 1;
-                        }
-                    }
-                    t
-                })
-            });
-
-            let sessions: Vec<(SessionOutput, Vec<u64>)> = session_handles
-                .into_iter()
-                .map(|h| match h.join() {
-                    Ok(out) => out,
-                    Err(p) => (
-                        SessionOutput {
-                            outcome: SessionOutcome::Failed(panic_message(p)),
-                            ..SessionOutput::default()
-                        },
-                        vec![0; n],
-                    ),
-                })
-                .collect();
-            // Region writers never unwind past the barrier loop
-            // (apply_region_batch absorbs storage errors); a panic here
-            // would already have deadlocked the frame protocol, so a
-            // plain expect is honest.
-            let tallies: Vec<RegionTally> = writer_handles
-                .into_iter()
-                .map(|h| h.join().expect("region writer panicked"))
-                .collect();
-            let dur = durability_handle
-                .map(|h| h.join().expect("durability thread panicked"))
-                .unwrap_or_default();
-            (sessions, tallies, dur)
-        });
-
-        self.assemble(steps, sessions, tallies, dur, self.epoch_totals() - epoch_start)
+        let plans: Vec<SessionPlan<D>> = specs.iter().cloned().map(SessionPlan::new).collect();
+        self.serve_plans(&plans, inserts)
     }
 
-    /// The single-threaded reference: identical protocol, identical
-    /// per-region writer order (ascending region index), identical
-    /// results — the oracle for the partitioned concurrency tests.
+    /// Single-threaded reference for [`Self::serve`].
     pub fn serve_serial(
         &self,
         specs: &[SessionSpec<D>],
         inserts: &[Vec<(NsiSegmentRecord<D>, f64)>],
     ) -> PartitionedServeReport {
-        let steps = self.step_count(specs, inserts);
-        let n = self.regions.len();
-        let epoch_start = self.epoch_totals();
-        let is_pdq: Vec<bool> = specs.iter().map(|s| s.kind == SessionKind::Pdq).collect();
-        let drain_hist = self.metrics.as_ref().map(|m| m.histogram("service.drain_ns"));
-        let hold_hist = self
-            .metrics
-            .as_ref()
-            .map(|m| m.histogram("service.writer.lock_hold_ns"));
-        let mut tallies: Vec<RegionTally> = (0..n).map(|_| RegionTally::default()).collect();
-        let durable = self.durability.as_deref();
-        if let Some(log) = durable {
-            self.ensure_initial_checkpoint(log);
-        }
-        let mut dur = DurabilityTally::default();
-        // Same reader-based path as the concurrent serve: single-threaded
-        // means every validation passes, so results are the oracle for it.
-        let readers: Vec<_> = self.regions.iter().map(|l| l.read().reader()).collect();
-        let mut runs: Vec<Result<LaneRun<'_, D>, SessionOutcome>> = specs
-            .iter()
-            .enumerate()
-            .map(|(i, s)| {
-                catch_unwind(AssertUnwindSafe(|| {
-                    LaneRun::start(i, s, &self.grid, &readers)
-                }))
-                .map_err(|p| SessionOutcome::Failed(panic_message(p)))
-            })
-            .collect();
-        for k in 0..steps {
-            let mut frame_reports: Vec<Vec<NsiReport<D>>> = vec![Vec::new(); n];
-            if let Some(batch) = inserts.get(k) {
-                // Same durable protocol as the concurrent serve: the
-                // whole batch is one WAL record, committed before any
-                // region apply.
-                if let Some(log) = durable {
-                    let committed = Instant::now();
-                    log.commit_frame(k as u64, batch);
-                    dur.appends += 1;
-                    dur.commit_ns += committed.elapsed().as_nanos() as u64;
-                }
-                for (r, out) in frame_reports.iter_mut().enumerate() {
-                    let routed = self.route_batch(r, batch);
-                    if !routed.is_empty() && !tallies[r].failed() {
-                        self.apply_region_batch(r, &routed, out, &mut tallies[r], hold_hist.as_ref());
-                        obs::trace(obs::TraceEvent::RegionRoute {
-                            region: r as u32,
-                            records: routed.len() as u32,
-                        });
-                    }
-                }
-            }
-            if let Some(log) = durable {
-                let any_failed = tallies.iter().any(RegionTally::failed);
-                if !any_failed && log.due_for_checkpoint() {
-                    self.checkpoint_logical(log);
-                    dur.checkpoints += 1;
-                }
-            }
-            for (i, run) in runs.iter_mut().enumerate() {
-                let Ok(r) = run else { continue };
-                if matches!(r.out.outcome, SessionOutcome::Failed(_)) {
-                    continue;
-                }
-                let reports: Vec<Vec<NsiReport<D>>> = r
-                    .lanes
-                    .clone()
-                    .map(|reg| {
-                        if is_pdq[i] {
-                            frame_reports[reg].clone()
-                        } else {
-                            Vec::new()
-                        }
-                    })
-                    .collect();
-                let stepped = catch_unwind(AssertUnwindSafe(|| {
-                    r.step_frame(&readers, &reports, k)
-                }));
-                match stepped {
-                    Ok(Ok(Some(ns))) => {
-                        if let Some(h) = &drain_hist {
-                            h.record(ns);
-                        }
-                    }
-                    Ok(Ok(None)) => {}
-                    Ok(Err(e)) => r.out.outcome.record_error(e),
-                    Err(p) => r.out.outcome = SessionOutcome::Failed(panic_message(p)),
-                }
-            }
-        }
-        let sessions: Vec<(SessionOutput, Vec<u64>)> = runs
-            .into_iter()
-            .map(|run| match run {
-                Ok(r) => r.finish(),
-                Err(outcome) => (
-                    SessionOutput {
-                        outcome,
-                        ..SessionOutput::default()
-                    },
-                    vec![0; n],
-                ),
-            })
-            .collect();
-        self.assemble(steps, sessions, tallies, dur, self.epoch_totals() - epoch_start)
+        let plans: Vec<SessionPlan<D>> = specs.iter().cloned().map(SessionPlan::new).collect();
+        self.serve_serial_plans(&plans, inserts)
     }
 
-    /// Optimistic-read counters summed over every region's tree.
-    fn epoch_totals(&self) -> EpochStats {
-        let mut total = EpochStats::default();
-        for lock in &self.regions {
-            total += lock.read().epoch_stats();
-        }
-        total
-    }
-
-    /// Fold per-session and per-region tallies into the report,
-    /// accumulate loads for rebalancing, and publish metrics.
-    fn assemble(
+    /// Run the clocked serve over explicit [`SessionPlan`]s (staggered
+    /// joins, per-frame delays) with the current grid, one epoch, no
+    /// recuts.
+    pub fn serve_plans(
         &self,
-        steps: usize,
-        sessions: Vec<(SessionOutput, Vec<u64>)>,
-        tallies: Vec<RegionTally>,
-        dur: DurabilityTally,
-        retries: EpochStats,
-    ) -> PartitionedServeReport {
-        let mut regions: Vec<RegionReport> = tallies
-            .into_iter()
-            .enumerate()
-            .map(|(r, t)| RegionReport {
-                span: self.grid.span_of(r),
-                inserts_applied: t.applied,
-                writer_reads: t.reads,
-                writer_writes: t.writes,
-                session_reads: 0,
-                writer_outcome: t.outcome,
-            })
-            .collect();
-        let mut outputs = Vec::with_capacity(sessions.len());
-        for (out, reads) in sessions {
-            for (r, &count) in reads.iter().enumerate() {
-                regions[r].session_reads += count;
-            }
-            outputs.push(out);
-        }
-        let mut writer_outcome = SessionOutcome::Ok;
-        for rr in &regions {
-            match &rr.writer_outcome {
-                SessionOutcome::Ok => {}
-                SessionOutcome::Degraded { errors } => {
-                    for e in errors {
-                        writer_outcome.record_error(e.clone());
-                    }
-                }
-                SessionOutcome::Failed(msg) => {
-                    writer_outcome = SessionOutcome::Failed(msg.clone());
-                }
-            }
-        }
-        let base = ServeReport {
-            sessions: outputs,
-            frames: steps,
-            inserts_applied: regions.iter().map(|r| r.inserts_applied).sum(),
-            writer_reads: regions.iter().map(|r| r.writer_reads).sum(),
-            writer_writes: regions.iter().map(|r| r.writer_writes).sum(),
-            writer_outcome,
-            wal_appends: dur.appends,
-            wal_commit_ns: dur.commit_ns,
-            checkpoints: dur.checkpoints,
-        };
-        {
-            let mut loads = self.loads.lock();
-            for (r, rr) in regions.iter().enumerate() {
-                loads[r] += rr.load();
-            }
-        }
-        let report = PartitionedServeReport { base, regions };
-        self.publish_run(&report, retries);
+        plans: &[SessionPlan<D>],
+        inserts: &[Vec<(NsiSegmentRecord<D>, f64)>],
+    ) -> PartitionedServeReport
+    where
+        S: Sync + Send,
+    {
+        let (report, _) = self.serve_clocked(plans, inserts, &[], None);
+        self.accumulate_loads(&report);
         report
     }
 
-    /// Record a finished run's totals — single-tree names for the
-    /// aggregate, `service.region{r}.*` labels for the breakdown.
-    /// `retries` carries the run's optimistic-read counter deltas summed
-    /// over regions (same names as the single-tree server).
+    /// Single-threaded reference for [`Self::serve_plans`].
+    pub fn serve_serial_plans(
+        &self,
+        plans: &[SessionPlan<D>],
+        inserts: &[Vec<(NsiSegmentRecord<D>, f64)>],
+    ) -> PartitionedServeReport {
+        let (report, _) = self.serve_serial_clocked(plans, inserts, &[], None);
+        self.accumulate_loads(&report);
+        report
+    }
+
+    /// Serve with live rebalances: at each [`RecutPlan`] frame boundary
+    /// the epoch coordinator drains the old clocks, recuts the grid at
+    /// load quantiles, rebuilds the region trees via `make_tree`, and
+    /// hands live sessions over to the new epoch (their engines rebuild
+    /// against the new partition; the delivered-set dedup guarantees no
+    /// object is ever re-emitted). The server adopts the final grid and
+    /// trees. Requires a non-durable server.
+    pub fn serve_plans_with_recuts(
+        &mut self,
+        plans: &[SessionPlan<D>],
+        inserts: &[Vec<(NsiSegmentRecord<D>, f64)>],
+        recuts: &[RecutPlan],
+        mut make_tree: impl FnMut(usize) -> RTree<NsiSegmentRecord<D>, S>,
+    ) -> PartitionedServeReport
+    where
+        S: Sync + Send,
+    {
+        let (report, final_state) =
+            self.serve_clocked(plans, inserts, recuts, Some(&mut make_tree));
+        self.adopt(&report, final_state);
+        report
+    }
+
+    /// Single-threaded reference for [`Self::serve_plans_with_recuts`].
+    pub fn serve_serial_plans_with_recuts(
+        &mut self,
+        plans: &[SessionPlan<D>],
+        inserts: &[Vec<(NsiSegmentRecord<D>, f64)>],
+        recuts: &[RecutPlan],
+        mut make_tree: impl FnMut(usize) -> RTree<NsiSegmentRecord<D>, S>,
+    ) -> PartitionedServeReport {
+        let (report, final_state) =
+            self.serve_serial_clocked(plans, inserts, recuts, Some(&mut make_tree));
+        self.adopt(&report, final_state);
+        report
+    }
+
+    /// Fold a run's per-region session+writer loads into the sticky
+    /// per-region tallies that drive [`Self::hotspot`].
+    fn accumulate_loads(&self, report: &PartitionedServeReport) {
+        let mut loads = self.loads.lock();
+        for (r, rr) in report.regions.iter().enumerate() {
+            loads[r] += rr.load();
+        }
+    }
+
+    /// Install the final epoch's grid and trees after a run with recuts
+    /// (or just fold loads when no recut fired).
+    #[allow(clippy::type_complexity)]
+    fn adopt(
+        &mut self,
+        report: &PartitionedServeReport,
+        final_state: Option<(RegionGrid, Vec<RegionTree<D, S>>)>,
+    ) {
+        match final_state {
+            Some((grid, trees)) => {
+                self.grid = grid;
+                self.regions = trees;
+                *self.loads.lock() = report.regions.iter().map(RegionReport::load).collect();
+            }
+            None => self.accumulate_loads(report),
+        }
+    }
+
+    /// Mirror a run's report into the metrics registry (no-op when no
+    /// registry was attached). `retries` carries the run's
+    /// optimistic-read counter deltas summed per epoch — recut handoffs
+    /// reset the trees, so the deltas only compose epoch-by-epoch.
     fn publish_run(&self, report: &PartitionedServeReport, retries: EpochStats) {
         let Some(reg) = &self.metrics else { return };
         reg.counter("tree.read_retries").add(retries.read_retries);
@@ -1143,7 +1902,6 @@ impl<const D: usize, S: PageStore> PartitionedDqServer<D, S> {
         }
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1368,7 +2126,8 @@ mod tests {
     #[test]
     fn zombie_session_does_not_stall_partitioned_serve() {
         // An empty-schedule session among healthy ones plus per-frame
-        // inserts: the barrier protocol must complete.
+        // inserts: the never-scheduled session has no window, so it
+        // never attaches to any region's clock — nobody waits on it.
         let recs = line_records(10);
         let mut dead = slide_spec(SessionKind::Pdq, 10, 10.0);
         dead.frame_times = vec![0.0]; // zero steps
@@ -1386,5 +2145,38 @@ mod tests {
         assert_eq!(report.base.frames, 10);
         assert!(report.sessions[0].results.len() >= 10);
         assert!(report.sessions[1].results.is_empty());
+    }
+
+    #[test]
+    fn recut_mid_serve_preserves_results_and_matches_serial() {
+        // A live rebalance at frame 5 of a 10-frame serve: the epoch
+        // handoff must not change what the session sees (delivered-set
+        // dedup absorbs the engine rebuild), must match the serial
+        // reference bit-for-bit, and must leave the server on the new
+        // grid.
+        let recs = line_records(30);
+        let spec = slide_spec(SessionKind::Pdq, 10, 24.0);
+        let inserts = region0_inserts(10);
+        let plans = vec![SessionPlan::new(spec.clone())];
+        let recuts = [RecutPlan::new(5, 2)];
+        let mut server = build(RegionGrid::from_cuts(0, vec![25.0]), &recs);
+        let p = server.serve_plans_with_recuts(&plans, &inserts, &recuts, |_| {
+            RTree::new(Pager::new(), RTreeConfig::default())
+        });
+        let oracle = build(RegionGrid::from_cuts(0, vec![25.0]), &recs).serve_plans(&plans, &inserts);
+        assert_eq!(p.sessions[0].results, oracle.sessions[0].results);
+        assert_eq!(p.sessions[0].outcome, SessionOutcome::Ok);
+
+        let mut serial_server = build(RegionGrid::from_cuts(0, vec![25.0]), &recs);
+        let s = serial_server.serve_serial_plans_with_recuts(&plans, &inserts, &recuts, |_| {
+            RTree::new(Pager::new(), RTreeConfig::default())
+        });
+        assert_eq!(p.sessions[0].results, s.sessions[0].results);
+        assert_eq!(p.sessions[0].stats, s.sessions[0].stats);
+
+        // Both servers adopted the recut 2-region grid.
+        assert_eq!(server.grid().len(), 2);
+        assert_eq!(serial_server.grid().len(), 2);
+        assert!(server.grid().cuts()[0] < 25.0);
     }
 }

@@ -9,22 +9,29 @@
 //! engines (the §4.1 update-management protocol), while NPDQ sessions
 //! pick updates up through node timestamps (§4.2).
 //!
-//! Frames are synchronised with a [`std::sync::Barrier`]: each frame,
-//! the writer applies that frame's insert batch under the write lock,
-//! drops the lock, broadcasts the collected reports (mailbox pushes need
-//! no tree access, so they never extend the exclusive section), then
-//! every session processes the frame *latch-free* through an optimistic
-//! [`rtree::TreeReader`] (per-visit version validation for PDQ, a pinned
-//! snapshot via [`rtree::TreeReadRetry::with_consistent`] for NPDQ) — no
-//! read lock is taken on the serving path. Because the writer is parked
-//! at the barrier while sessions read, every validation succeeds and all
-//! sessions observe identical tree states,
-//! which makes the concurrent run *bitwise deterministic*: its
-//! per-session result sequences equal [`DqServer::serve_serial`]'s (the
-//! single-threaded reference executing the same protocol over `&RTree`,
-//! where validation is statically unnecessary), which the `service`
-//! integration test checks.
+//! Frames are ordered by a [`crate::clock::FrameClock`] instead of a
+//! global barrier: the writer advances the `applied` watermark after
+//! each frame's insert batch (and, when durable, the `committed`
+//! watermark after the batch's WAL group commit, which happens first);
+//! a session reads frame `k` by waiting for `applied` to cover `k`, and
+//! permits batch `k + 1` only once it has finished frame `k` (the
+//! clock's ack cursor). That flow control means the writer and the
+//! attached readers alternate — every session observes exactly the tree
+//! state the serial protocol would show it, every optimistic validation
+//! passes, and sessions join ([`SessionPlan::join_at`]) or leave
+//! ([`crate::clock::FrameClock::detach`] — including mid-run failures,
+//! which no longer zombie-park) at any frame without perturbing anyone
+//! else's results. Each frame's processing is *latch-free* through an
+//! optimistic [`rtree::TreeReader`] (per-visit version validation for
+//! PDQ, a pinned snapshot via [`rtree::TreeReadRetry::with_consistent`]
+//! for NPDQ) — no read lock is taken on the serving path, and the
+//! concurrent run stays *bitwise deterministic*: its per-session result
+//! sequences equal [`DqServer::serve_serial`]'s (the single-threaded
+//! reference executing the same protocol over `&RTree`, where
+//! validation is statically unnecessary), which the `service` and
+//! `clock` integration tests check.
 
+use crate::clock::{FrameClock, SessionLiveness};
 use crate::durability::{DurabilityHook, DurableLog};
 use crate::layout::MotionRecord;
 use crate::npdq::NpdqEngine;
@@ -35,8 +42,8 @@ use crate::trajectory::Trajectory;
 use parking_lot::{Mutex, RwLock};
 use rtree::{EpochStats, InsertReport, NsiSegmentRecord, RTree, Record, TreeRead, TreeReadRetry};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Barrier};
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 use storage::{PageStore, RetryPolicy, SnapshotSource, StorageError};
 
 /// The insert report the writer broadcasts to PDQ sessions.
@@ -76,6 +83,63 @@ impl<const D: usize> SessionSpec<D> {
     }
 }
 
+/// One session's lifecycle over a run: the query itself plus *when* it
+/// runs — independent frame clocks let sessions join mid-run and pace
+/// themselves, so those knobs live here rather than on [`SessionSpec`].
+#[derive(Clone, Debug)]
+pub struct SessionPlan<const D: usize> {
+    /// The query and frame schedule.
+    pub spec: SessionSpec<D>,
+    /// First global frame this session processes. A joiner sees the tree
+    /// exactly as of its join frame (all earlier batches applied, its
+    /// join frame's batch not yet) and consumes frames `join_frame..`
+    /// of its schedule — `frame_times` stay globally indexed.
+    pub join_frame: usize,
+    /// Artificial per-frame consumption delay — a deliberately slow
+    /// client. The session back-pressures only the regions its query
+    /// touches (the straggler experiment); results are unaffected, and
+    /// the serial reference ignores the delay entirely.
+    pub frame_delay: Duration,
+}
+
+impl<const D: usize> From<SessionSpec<D>> for SessionPlan<D> {
+    fn from(spec: SessionSpec<D>) -> Self {
+        SessionPlan::new(spec)
+    }
+}
+
+impl<const D: usize> SessionPlan<D> {
+    /// A plan that joins at frame 0 with no artificial delay — exactly
+    /// the pre-clock serving behavior.
+    pub fn new(spec: SessionSpec<D>) -> Self {
+        SessionPlan {
+            spec,
+            join_frame: 0,
+            frame_delay: Duration::ZERO,
+        }
+    }
+
+    /// Join mid-run at global frame `frame` (builder-style).
+    pub fn join_at(mut self, frame: usize) -> Self {
+        self.join_frame = frame;
+        self
+    }
+
+    /// Sleep `delay` after each processed frame (builder-style).
+    pub fn with_frame_delay(mut self, delay: Duration) -> Self {
+        self.frame_delay = delay;
+        self
+    }
+
+    /// The inclusive global-frame window this plan consumes, or `None`
+    /// when it never runs (empty schedule, or joined after its schedule
+    /// already ended).
+    pub(crate) fn window(&self) -> Option<(u64, u64)> {
+        let steps = self.spec.steps();
+        (self.join_frame < steps).then(|| (self.join_frame as u64, steps as u64 - 1))
+    }
+}
+
 /// One frame of one session, as observed while serving: what arrived and
 /// what it cost. The per-run stream of these is the serving path's
 /// flight recorder — `Σ frames.stats == session.stats` by construction.
@@ -110,8 +174,9 @@ pub enum SessionOutcome {
         errors: Vec<StorageError>,
     },
     /// The session died mid-run; the payload is the panic message. Its
-    /// results up to the failure are retained, its remaining frames are
-    /// skipped, and the rest of the run proceeds normally.
+    /// results up to the failure are retained, it detaches from its
+    /// frame clocks (no writer ever waits on it again), and the rest of
+    /// the run proceeds normally.
     Failed(String),
 }
 
@@ -164,6 +229,11 @@ pub struct SessionOutput {
     pub queue_hwm: usize,
     /// NPDQ only: subtrees pruned by discardability (0 for PDQ).
     pub discarded_subtrees: u64,
+    /// Wall-clock nanoseconds from this session's engine start to its
+    /// last frame — under independent clocks, sessions finish at their
+    /// own pace, and this is the per-session figure the straggler
+    /// experiment compares (0 when the session never ran).
+    pub wall_ns: u64,
     /// Whether the session finished clean, degraded, or failed.
     pub outcome: SessionOutcome,
 }
@@ -178,9 +248,11 @@ pub struct ServeReport {
     /// Records the writer inserted.
     pub inserts_applied: usize,
     /// Node reads the writer performed inside its write sections. Exact:
-    /// sessions are parked at the frame barrier while the writer holds
-    /// the lock, so the tree's level-counter delta over the write section
-    /// is attributable to the writer alone.
+    /// the clock's flow control keeps every attached session out of the
+    /// tree while the writer holds the lock (a session reading frame `k`
+    /// withholds the permit for batch `k + 1`), so the tree's
+    /// level-counter delta over the write section is attributable to the
+    /// writer alone.
     pub writer_reads: u64,
     /// Node writes the writer performed inside its write sections.
     pub writer_writes: u64,
@@ -447,6 +519,17 @@ impl WriterState {
     }
 }
 
+/// Record a clock wait into the `service.clock_wait_ns` histogram —
+/// only real waits; the fast path (watermark already past) is not a
+/// sample, it is the common case.
+pub(crate) fn record_wait(hist: &Option<Arc<obs::Histogram>>, ns: u64) {
+    if ns > 0 {
+        if let Some(h) = hist {
+            h.record(ns);
+        }
+    }
+}
+
 impl<const D: usize, S: PageStore> DqServer<D, S> {
     /// Take ownership of a (possibly pre-loaded) tree.
     pub fn new(tree: RTree<NsiSegmentRecord<D>, S>) -> Self {
@@ -462,8 +545,11 @@ impl<const D: usize, S: PageStore> DqServer<D, S> {
     ///
     /// Metric names: `service.drain_ns` (per-session-frame drain latency
     /// histogram), `service.writer.lock_hold_ns` (write-lock hold-time
-    /// histogram), `service.frames` / `service.inserts` /
-    /// `service.results` / `service.writer.reads` (run counters), and
+    /// histogram), `service.clock_wait_ns` (time any participant spent
+    /// blocked on a frame-clock watermark), `service.frame_lag` (gauge:
+    /// deepest applied-watermark lead over the slowest attached session),
+    /// `service.frames` / `service.inserts` / `service.results` /
+    /// `service.writer.reads` (run counters), and
     /// `service.pdq.queue_hwm` / `service.npdq.discarded` (gauges).
     pub fn with_metrics(mut self, registry: Arc<obs::MetricsRegistry>) -> Self {
         self.metrics = Some(registry);
@@ -474,9 +560,10 @@ impl<const D: usize, S: PageStore> DqServer<D, S> {
     ///
     /// A failed [`rtree::RTree::try_insert`] descent leaves the tree
     /// unchanged, so the writer can retry the same record. Backoff sleeps
-    /// happen with the write lock *released* — readers are parked at the
-    /// frame barrier anyway, but a held-across-sleep lock would serialize
-    /// recovery behind the slowest retry. Default: [`RetryPolicy::default`].
+    /// happen with the write lock *released* — the clock's flow control
+    /// keeps sessions out of the tree during the write section anyway,
+    /// but a held-across-sleep lock would serialize recovery behind the
+    /// slowest retry. Default: [`RetryPolicy::default`].
     pub fn with_writer_retry(mut self, policy: RetryPolicy) -> Self {
         self.writer_retry = policy;
         self
@@ -484,11 +571,11 @@ impl<const D: usize, S: PageStore> DqServer<D, S> {
 
     /// Make the write path durable (builder-style): before applying any
     /// frame's batch the writer group-commits it as one WAL record in
-    /// `log`, takes an initial checkpoint of the (possibly preloaded)
-    /// tree before the first frame, and checkpoints again every
-    /// `checkpoint_every` commits — so [`DurableLog::durable_image`]
-    /// recovers a tree bit-identical to this one at every committed-frame
-    /// prefix.
+    /// `log` (then advances the clock's `committed` watermark), takes an
+    /// initial checkpoint of the (possibly preloaded) tree before the
+    /// first frame, and checkpoints again every `checkpoint_every`
+    /// commits — so [`DurableLog::durable_image`] recovers a tree
+    /// bit-identical to this one at every committed-frame prefix.
     ///
     /// The [`SnapshotSource`] bound lives only here: the checkpoint path
     /// is captured as a plain function pointer, so `serve` stays generic
@@ -522,12 +609,12 @@ impl<const D: usize, S: PageStore> DqServer<D, S> {
         f(&self.tree.read())
     }
 
-    /// Global frame steps for a run: enough for every session's schedule
-    /// and every insert batch.
-    fn step_count(&self, specs: &[SessionSpec<D>], inserts: &[Vec<(NsiSegmentRecord<D>, f64)>]) -> usize {
-        specs
+    /// Global frame steps for a run: enough for every plan's window and
+    /// every insert batch.
+    fn step_count(&self, plans: &[SessionPlan<D>], inserts: &[Vec<(NsiSegmentRecord<D>, f64)>]) -> usize {
+        plans
             .iter()
-            .map(SessionSpec::steps)
+            .filter_map(|p| p.window().map(|(_, last)| last as usize + 1))
             .max()
             .unwrap_or(0)
             .max(inserts.len())
@@ -600,13 +687,14 @@ impl<const D: usize, S: PageStore> DqServer<D, S> {
     }
 
     /// Serve every session concurrently — one scoped thread per session
-    /// plus a writer thread — with per-frame batching.
+    /// plus a writer thread — frames ordered by the frame clock.
     ///
     /// `inserts[k]` is the batch of `(record, timestamp)` the writer
     /// applies at the start of frame `k`, before any session processes
-    /// that frame; its [`rtree::InsertReport`]s are broadcast to all PDQ
-    /// sessions. Result sequences are deterministic and equal to
-    /// [`Self::serve_serial`] on an identically prepared server.
+    /// that frame; its [`rtree::InsertReport`]s are broadcast to the PDQ
+    /// sessions whose window covers frame `k`. Result sequences are
+    /// deterministic and equal to [`Self::serve_serial`] on an
+    /// identically prepared server.
     pub fn serve(
         &self,
         specs: &[SessionSpec<D>],
@@ -615,14 +703,41 @@ impl<const D: usize, S: PageStore> DqServer<D, S> {
     where
         S: Sync + Send,
     {
-        let steps = self.step_count(specs, inserts);
+        let plans: Vec<SessionPlan<D>> = specs.iter().cloned().map(SessionPlan::new).collect();
+        self.serve_plans(&plans, inserts)
+    }
+
+    /// [`Self::serve`] with full per-session lifecycle control: join
+    /// frames and consumption pacing. The clock protocol in one page:
+    ///
+    /// * The writer, per frame `k`: group-commit the batch when durable
+    ///   (advancing `committed`), wait for every attached session's
+    ///   permit ([`FrameClock::wait_ready`]), apply under the write
+    ///   lock, broadcast reports to in-window PDQ mailboxes, advance
+    ///   `applied`, checkpoint when due.
+    /// * A session, per frame `k` of its window: wait for `applied` to
+    ///   cover `k`, drain its mailbox, absorb + step its engine, then
+    ///   ack `k + 2` — the permit for batch `k + 1`.
+    /// * Joiners wait for `applied == join_frame` before building their
+    ///   engines (the writer holds batch `join_frame` back until they
+    ///   ack); finished or failed sessions detach, so nobody ever waits
+    ///   on them again.
+    pub fn serve_plans(
+        &self,
+        plans: &[SessionPlan<D>],
+        inserts: &[Vec<(NsiSegmentRecord<D>, f64)>],
+    ) -> ServeReport
+    where
+        S: Sync + Send,
+    {
+        let steps = self.step_count(plans, inserts);
         let epoch_start = self.tree.read().epoch_stats();
-        let is_pdq: Vec<bool> = specs.iter().map(|s| s.kind == SessionKind::Pdq).collect();
-        // Writer + one thread per session meet at the barrier twice per
-        // frame: once before the batch is applied, once after.
-        let barrier = Barrier::new(specs.len() + 1);
+        let is_pdq: Vec<bool> = plans.iter().map(|p| p.spec.kind == SessionKind::Pdq).collect();
+        let windows: Vec<Option<(u64, u64)>> = plans.iter().map(SessionPlan::window).collect();
+        let live = SessionLiveness::new(plans.len());
+        let clock = FrameClock::new(windows.clone(), Arc::clone(&live), 0, self.durability.is_some());
         let mailboxes: Vec<Mutex<Vec<NsiReport<D>>>> =
-            specs.iter().map(|_| Mutex::new(Vec::new())).collect();
+            plans.iter().map(|_| Mutex::new(Vec::new())).collect();
         let mut writer = WriterState::default();
         // Histogram handles resolve once, up front: session threads then
         // record through lock-free atomics only.
@@ -631,6 +746,11 @@ impl<const D: usize, S: PageStore> DqServer<D, S> {
             .metrics
             .as_ref()
             .map(|m| m.histogram("service.writer.lock_hold_ns"));
+        let wait_hist = self
+            .metrics
+            .as_ref()
+            .map(|m| m.histogram("service.clock_wait_ns"));
+        let lag_gauge = self.metrics.as_ref().map(|m| m.gauge("service.frame_lag"));
         if let Some(d) = &self.durability {
             // The base checkpoint covers the preloaded tree, so recovery
             // always has a snapshot to replay onto. A failure here is
@@ -641,109 +761,153 @@ impl<const D: usize, S: PageStore> DqServer<D, S> {
         }
 
         let sessions = std::thread::scope(|scope| {
-            let handles: Vec<_> = specs
+            let handles: Vec<_> = plans
                 .iter()
                 .enumerate()
-                .map(|(i, spec)| {
-                    let barrier = &barrier;
+                .map(|(i, plan)| {
+                    let clock = &clock;
                     let mailboxes = &mailboxes;
                     let tree = &self.tree;
                     let drain_hist = drain_hist.clone();
+                    let wait_hist = wait_hist.clone();
                     scope.spawn(move || {
-                        // A panicking engine must never strand the barrier
-                        // protocol: every contained failure turns the
-                        // session into a zombie that still takes both
-                        // barrier waits and drains its mailbox each frame,
-                        // so the writer and healthy sessions proceed as if
-                        // nothing happened.
+                        let Some((first, last)) = plan.window() else {
+                            // Never scheduled: no engine, no clock
+                            // attachment (the window table has `None`).
+                            return SessionOutput::default();
+                        };
+                        let started = Instant::now();
+                        // Joiners see the tree exactly as of their join
+                        // frame: batches `< first` applied, batch `first`
+                        // held back by our un-acked permit.
+                        record_wait(&wait_hist, clock.wait_applied(first));
                         // Latch-free read path: every frame descends through
-                        // this optimistic reader, never a read lock. The
-                        // barrier keeps the writer parked while sessions
-                        // read, so validation always passes here; the reader
+                        // this optimistic reader, never a read lock. Flow
+                        // control keeps the writer out of the tree while we
+                        // read, so validation always passes; the reader
                         // still validates every visit, making torn reads
                         // impossible even if the protocol drifts.
                         let reader = tree.read().reader();
                         let mut run =
-                            catch_unwind(AssertUnwindSafe(|| SessionRun::start(i, spec, &reader)))
+                            catch_unwind(AssertUnwindSafe(|| SessionRun::start(i, &plan.spec, &reader)))
                                 .map_err(|p| SessionOutcome::Failed(panic_message(p)));
-                        for k in 0..steps {
-                            barrier.wait(); // frame k opens; writer works
-                            barrier.wait(); // frame k batch is visible
-                            let reports = std::mem::take(&mut *mailboxes[i].lock());
-                            let Ok(r) = &mut run else { continue };
-                            if matches!(r.out.outcome, SessionOutcome::Failed(_)) {
-                                continue; // dead engine: drained mailbox only
-                            }
-                            // Contain panics to the engine work alone; the
-                            // barrier waits above stay outside so a caught
-                            // panic can't desynchronise the frame protocol.
-                            let stepped = catch_unwind(AssertUnwindSafe(|| {
-                                r.absorb(&reader, &reports);
-                                r.try_step(&reader, k)
-                            }));
-                            match stepped {
-                                Ok(Ok(Some(ns))) => {
-                                    if let Some(h) = &drain_hist {
-                                        h.record(ns);
+                        if run.is_ok() {
+                            clock.ack(i, first + 1);
+                        }
+                        if let Ok(r) = &mut run {
+                            for k in first..=last {
+                                record_wait(&wait_hist, clock.wait_applied(k + 1));
+                                let reports = std::mem::take(&mut *mailboxes[i].lock());
+                                // Contain panics to the engine work alone;
+                                // the clock calls stay outside so a caught
+                                // panic can't corrupt the frame protocol.
+                                let stepped = catch_unwind(AssertUnwindSafe(|| {
+                                    r.absorb(&reader, &reports);
+                                    r.try_step(&reader, k as usize)
+                                }));
+                                match stepped {
+                                    Ok(Ok(Some(ns))) => {
+                                        if let Some(h) = &drain_hist {
+                                            h.record(ns);
+                                        }
+                                    }
+                                    Ok(Ok(None)) => {}
+                                    Ok(Err(e)) => r.out.outcome.record_error(e),
+                                    Err(p) => {
+                                        // Dead engine: keep the results so
+                                        // far, stop consuming frames. The
+                                        // detach below releases the writer.
+                                        r.out.outcome = SessionOutcome::Failed(panic_message(p));
+                                        break;
                                     }
                                 }
-                                Ok(Ok(None)) => {}
-                                Ok(Err(e)) => r.out.outcome.record_error(e),
-                                Err(p) => r.out.outcome = SessionOutcome::Failed(panic_message(p)),
+                                if !plan.frame_delay.is_zero() {
+                                    std::thread::sleep(plan.frame_delay);
+                                }
+                                clock.ack(i, k + 2);
                             }
                         }
-                        match run {
+                        // End of life — finished, failed, or the engine
+                        // never started: detach so the writer stops
+                        // waiting on this slot, permanently.
+                        clock.detach(i);
+                        let mut out = match run {
                             Ok(r) => r.finish(),
                             Err(outcome) => SessionOutput {
                                 outcome,
                                 ..SessionOutput::default()
                             },
-                        }
+                        };
+                        out.wall_ns = started.elapsed().as_nanos() as u64;
+                        out
                     })
                 })
                 .collect();
 
             // This thread is the writer.
             for k in 0..steps {
-                barrier.wait();
+                let ku = k as u64;
                 if let Some(batch) = inserts.get(k) {
                     // Durability first: the frame's whole batch becomes
                     // durable as ONE group-committed WAL record before
-                    // any tree page is written, so a crash mid-apply
-                    // replays the frame instead of losing it. A failed
+                    // any tree page is written — the `committed`
+                    // watermark publishes exactly that fact. A failed
                     // (full-device) writer keeps committing — recovery
                     // replays the backlog onto a larger device.
                     if let Some(d) = &self.durability {
                         let committed = Instant::now();
-                        d.log.commit_frame(k as u64, batch);
+                        d.log.commit_frame(ku, batch);
                         writer.wal_appends += 1;
                         writer.wal_commit_ns += committed.elapsed().as_nanos() as u64;
+                        clock.advance_committed(ku + 1);
+                        obs::trace(obs::TraceEvent::FrameAdvance {
+                            region: 0,
+                            frame: k as u32,
+                            watermark: obs::Watermark::Committed,
+                        });
                     }
-                    // Insert under the write lock, but only *collect* the
-                    // reports there: broadcasting into PDQ mailboxes takes
-                    // per-session locks and clones reports, none of which
-                    // needs the tree — holding the write lock across it
-                    // would stretch every frame's exclusive section for
-                    // work that isn't exclusive.
                     let mut reports: Vec<NsiReport<D>> = Vec::with_capacity(batch.len());
                     if !writer.failed() {
+                        // Flow control: every live attached session has
+                        // acked past `k` (finished frame `k - 1`, or —
+                        // at its join frame — built its engines) before
+                        // the write lock is taken.
+                        record_wait(&wait_hist, clock.wait_ready(ku));
                         self.apply_batch(batch, &mut reports, &mut writer, hold_hist.as_ref());
                     }
-                    let fanout = is_pdq.iter().filter(|&&p| p).count();
-                    for (mb, &pdq) in mailboxes.iter().zip(&is_pdq) {
-                        if pdq {
+                    // Broadcast outside the write lock: mailbox pushes
+                    // clone reports and take per-session locks, none of
+                    // which needs the tree. Only in-window live PDQ
+                    // sessions receive the batch — finished sessions have
+                    // nobody left to drain their mailbox.
+                    let mut fanout = 0u32;
+                    for (i, mb) in mailboxes.iter().enumerate() {
+                        let in_window = windows[i].is_some_and(|(f, l)| f <= ku && ku <= l);
+                        if is_pdq[i] && in_window && live.is_live(i) {
                             mb.lock().extend(reports.iter().cloned());
+                            fanout += 1;
                         }
                     }
                     obs::trace(obs::TraceEvent::InsertBroadcast {
                         reports: reports.len() as u32,
-                        sessions: fanout as u32,
+                        sessions: fanout,
                     });
                 }
-                // Sessions are parked at the second barrier wait, so the
-                // checkpoint's read lock sees a quiescent frame boundary.
-                // Never checkpoint once the writer has failed: truncation
-                // would drop committed records the tree never absorbed.
+                let lag = clock.advance_applied(ku + 1);
+                if let Some(g) = &lag_gauge {
+                    g.record_max(lag as i64);
+                }
+                obs::trace(obs::TraceEvent::FrameAdvance {
+                    region: 0,
+                    frame: k as u32,
+                    watermark: obs::Watermark::Applied,
+                });
+                // Checkpoint at the frame boundary: the tree is exactly
+                // `state_k` (this thread is the only mutator) and
+                // concurrent sessions read latch-free, so the read lock
+                // is immediately available. Never checkpoint once the
+                // writer has failed: truncation would drop committed
+                // records the tree never absorbed.
                 if let Some(d) = &self.durability {
                     if !writer.failed()
                         && d.log.due_for_checkpoint()
@@ -752,15 +916,14 @@ impl<const D: usize, S: PageStore> DqServer<D, S> {
                         writer.checkpoints += 1;
                     }
                 }
-                barrier.wait();
             }
 
             // Joining can only fail for panics *outside* the contained
-            // region (they already unwound through the barrier loop, so
-            // this run's results are forfeit anyway); synthesize a Failed
-            // output rather than poisoning the whole serve. The writer's
-            // loop above has finished by this point, so its tallies are
-            // complete no matter which sessions died.
+            // region (they already unwound through the frame loop and the
+            // detach, so this run's results are forfeit anyway);
+            // synthesize a Failed output rather than poisoning the whole
+            // serve. The writer's loop above has finished by this point,
+            // so its tallies are complete no matter which sessions died.
             handles
                 .into_iter()
                 .map(|h| match h.join() {
@@ -798,8 +961,22 @@ impl<const D: usize, S: PageStore> DqServer<D, S> {
         specs: &[SessionSpec<D>],
         inserts: &[Vec<(NsiSegmentRecord<D>, f64)>],
     ) -> ServeReport {
-        let steps = self.step_count(specs, inserts);
+        let plans: Vec<SessionPlan<D>> = specs.iter().cloned().map(SessionPlan::new).collect();
+        self.serve_serial_plans(&plans, inserts)
+    }
+
+    /// [`Self::serve_plans`]'s single-threaded reference: the same frame
+    /// order the clock enforces, executed inline (joiners build their
+    /// engines right before their join frame's batch applies; frame
+    /// delays are ignored — pacing never changes results).
+    pub fn serve_serial_plans(
+        &self,
+        plans: &[SessionPlan<D>],
+        inserts: &[Vec<(NsiSegmentRecord<D>, f64)>],
+    ) -> ServeReport {
+        let steps = self.step_count(plans, inserts);
         let epoch_start = self.tree.read().epoch_stats();
+        let windows: Vec<Option<(u64, u64)>> = plans.iter().map(SessionPlan::window).collect();
         let mut writer = WriterState::default();
         let drain_hist = self.metrics.as_ref().map(|m| m.histogram("service.drain_ns"));
         let hold_hist = self
@@ -809,18 +986,25 @@ impl<const D: usize, S: PageStore> DqServer<D, S> {
         if let Some(d) = &self.durability {
             let _ = d.ensure_initial(&self.tree.read());
         }
-        let mut runs: Vec<Result<SessionRun<'_, D>, SessionOutcome>> = {
-            let tree = self.tree.read();
-            specs
-                .iter()
-                .enumerate()
-                .map(|(i, s)| {
-                    catch_unwind(AssertUnwindSafe(|| SessionRun::start(i, s, &*tree)))
-                        .map_err(|p| SessionOutcome::Failed(panic_message(p)))
-                })
-                .collect()
-        };
+        // Engines are built lazily at each plan's join frame, against the
+        // pre-batch tree — the same state the concurrent joiner pins via
+        // the clock.
+        let mut runs: Vec<Option<Result<SessionRun<'_, D>, SessionOutcome>>> =
+            plans.iter().map(|_| None).collect();
+        let mut started: Vec<Option<Instant>> = vec![None; plans.len()];
         for k in 0..steps {
+            {
+                let tree = self.tree.read();
+                for (i, plan) in plans.iter().enumerate() {
+                    if windows[i].is_some_and(|(f, _)| f == k as u64) {
+                        started[i] = Some(Instant::now());
+                        runs[i] = Some(
+                            catch_unwind(AssertUnwindSafe(|| SessionRun::start(i, &plan.spec, &*tree)))
+                                .map_err(|p| SessionOutcome::Failed(panic_message(p))),
+                        );
+                    }
+                }
+            }
             let mut reports = Vec::new();
             if let Some(batch) = inserts.get(k) {
                 // Same durable protocol as the concurrent serve: group
@@ -844,9 +1028,12 @@ impl<const D: usize, S: PageStore> DqServer<D, S> {
                 }
             }
             let tree = self.tree.read();
-            for run in &mut runs {
-                let Ok(r) = run else { continue };
+            for (i, run) in runs.iter_mut().enumerate() {
+                let Some(Ok(r)) = run.as_mut() else { continue };
                 if matches!(r.out.outcome, SessionOutcome::Failed(_)) {
+                    continue;
+                }
+                if !windows[i].is_some_and(|(f, l)| f <= k as u64 && k as u64 <= l) {
                     continue;
                 }
                 let stepped = catch_unwind(AssertUnwindSafe(|| {
@@ -868,12 +1055,20 @@ impl<const D: usize, S: PageStore> DqServer<D, S> {
         let report = ServeReport {
             sessions: runs
                 .into_iter()
-                .map(|run| match run {
-                    Ok(r) => r.finish(),
-                    Err(outcome) => SessionOutput {
-                        outcome,
-                        ..SessionOutput::default()
-                    },
+                .enumerate()
+                .map(|(i, run)| {
+                    let mut out = match run {
+                        Some(Ok(r)) => r.finish(),
+                        Some(Err(outcome)) => SessionOutput {
+                            outcome,
+                            ..SessionOutput::default()
+                        },
+                        None => SessionOutput::default(),
+                    };
+                    if let Some(s) = started[i] {
+                        out.wall_ns = s.elapsed().as_nanos() as u64;
+                    }
+                    out
                 })
                 .collect(),
             frames: steps,
@@ -1027,8 +1222,8 @@ mod tests {
 
     #[test]
     fn writer_only_serve_applies_every_batch() {
-        // No sessions at all: the barrier degenerates to Barrier::new(1)
-        // and the writer must still apply every frame's batch.
+        // No sessions at all: the clock has no attached windows, so the
+        // writer never waits and must still apply every frame's batch.
         let server: DqServer<2, Pager> = DqServer::new(line_tree(5));
         let inserts: Vec<Vec<(R, f64)>> = (0..7)
             .map(|k| {
@@ -1057,8 +1252,8 @@ mod tests {
     fn short_schedule_session_stops_while_writer_continues() {
         // A session whose frame schedule (3 steps) is much shorter than
         // the insert schedule (10 batches): the run spans 10 frames, the
-        // session reports only its own 3, and the broadcasts that arrive
-        // after its schedule ended must not corrupt anything.
+        // session reports only its own 3, detaches, and the writer
+        // finishes the remaining batches without waiting on it.
         let server = DqServer::new(line_tree(30));
         let spec = slide_spec(SessionKind::Pdq, 3, 3.0);
         let inserts: Vec<Vec<(R, f64)>> = (0..10)
@@ -1139,6 +1334,7 @@ mod tests {
         assert_eq!(report.sessions[0].frames.len(), 8);
         assert_eq!(report.sessions[1].frames.len(), 6); // NPDQ: one step per frame time
         assert!(report.sessions[0].queue_hwm > 0);
+        assert!(report.sessions[0].wall_ns > 0, "session wall time recorded");
 
         let timeline = report.timeline();
         assert_eq!(timeline.len(), 14);
@@ -1158,5 +1354,36 @@ mod tests {
             registry.counter_value("service.session.reads"),
             report.total_stats().disk_accesses
         );
+    }
+
+    #[test]
+    fn join_mid_run_sees_exactly_the_tail_and_matches_serial() {
+        // A joiner at frame 4 of a 10-step schedule: reports exactly
+        // frames 4..=9, delivers no duplicates, and the concurrent run
+        // equals the serial reference bit-for-bit.
+        let spec = slide_spec(SessionKind::Pdq, 10, 30.0);
+        let plans = vec![
+            SessionPlan::new(spec.clone()),
+            SessionPlan::new(spec).join_at(4),
+        ];
+        let inserts: Vec<Vec<(R, f64)>> = (0..10)
+            .map(|k| {
+                let t = 3.0 * k as f64;
+                vec![(
+                    R::new(4000 + k as u32, 0, Interval::new(t, 100.0), [(t + 4.0) % 29.0, 0.5], [(t + 4.0) % 29.0, 0.5]),
+                    t,
+                )]
+            })
+            .collect();
+        let parallel = DqServer::new(line_tree(30)).serve_plans(&plans, &inserts);
+        let serial = DqServer::new(line_tree(30)).serve_serial_plans(&plans, &inserts);
+        let joiner = &parallel.sessions[1];
+        assert_eq!(joiner.frames.len(), 6, "frames >= join watermark only");
+        assert_eq!(joiner.frames[0].frame, 4);
+        let mut seen = std::collections::HashSet::new();
+        assert!(joiner.results.iter().all(|id| seen.insert(*id)), "every object once");
+        for (p, s) in parallel.sessions.iter().zip(&serial.sessions) {
+            assert_eq!(p.results, s.results);
+        }
     }
 }

@@ -104,6 +104,27 @@ pub enum TraceEvent {
         /// a torn or corrupted tail was clipped).
         clean_tail: bool,
     },
+    /// A region's frame clock advanced one of its watermarks: frame
+    /// `frame`'s batch became WAL-durable (`committed`) or visible in the
+    /// region's tree (`applied`). Single-tree servers emit region 0.
+    FrameAdvance {
+        /// Region index within the serving grid (0 for `DqServer`).
+        region: u32,
+        /// Global frame whose watermark advanced.
+        frame: u32,
+        /// Which watermark moved.
+        watermark: Watermark,
+    },
+}
+
+/// Which per-region frame-clock watermark a [`TraceEvent::FrameAdvance`]
+/// reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Watermark {
+    /// The frame's batch is durable in the WAL (`committed`).
+    Committed,
+    /// The frame's batch is visible in the region's tree (`applied`).
+    Applied,
 }
 
 /// A bounded ring of [`TraceEvent`]s, oldest-overwritten-first.

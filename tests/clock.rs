@@ -1,0 +1,332 @@
+//! Per-region frame clocks, end to end: ragged schedule lengths,
+//! sessions joining mid-run, a recut during an active serve, a mid-run
+//! session panic, and the frame-report/session-stats identity under
+//! out-of-lockstep execution. Every concurrent run is checked against
+//! the single-threaded reference protocol — the clock refactor must be
+//! invisible to results.
+
+use std::time::Duration;
+
+use dq_repro::mobiquery::{
+    DqServer, PartitionedDqServer, RecutPlan, RegionGrid, SessionKind, SessionOutcome,
+    SessionPlan, SessionSpec, Trajectory,
+};
+use dq_repro::rtree::{NsiSegmentRecord, RTree, RTreeConfig};
+use dq_repro::stkit::{Interval, Rect};
+use dq_repro::storage::{FaultPlan, FaultyStore, PageId, PageStore, Pager};
+
+type R = NsiSegmentRecord<2>;
+
+/// Objects on a line: oid `i` sits at `x = i + 0.5`, alive the whole run.
+fn line_records(n: u32) -> Vec<R> {
+    (0..n)
+        .map(|i| {
+            let x = f64::from(i) + 0.5;
+            R::new(i, 0, Interval::new(0.0, 100.0), [x, 0.5], [x, 0.5])
+        })
+        .collect()
+}
+
+fn build_tree<S: PageStore>(store: S, recs: &[R]) -> RTree<R, S> {
+    let mut tree = RTree::new(store, RTreeConfig::default());
+    for r in recs {
+        tree.insert(*r, r.seg.t.lo);
+    }
+    tree
+}
+
+/// A window sliding right from `x0` at unit speed for `span` seconds.
+fn slide_spec(kind: SessionKind, x0: f64, frames: usize, span: f64) -> SessionSpec<2> {
+    SessionSpec {
+        kind,
+        trajectory: Trajectory::linear(
+            Rect::from_corners([x0, 0.0], [x0 + 1.0, 1.0]),
+            [1.0, 0.0],
+            Interval::new(0.0, span),
+            2,
+        ),
+        frame_times: (0..=frames)
+            .map(|k| span * k as f64 / frames as f64)
+            .collect(),
+    }
+}
+
+/// Per-frame insert batches dropping fresh objects along the line.
+fn line_inserts(frames: usize, per_frame: u32) -> Vec<Vec<(R, f64)>> {
+    (0..frames)
+        .map(|k| {
+            let t = k as f64 * 0.3;
+            (0..per_frame)
+                .map(|j| {
+                    let oid = 1000 + (k as u32) * per_frame + j;
+                    let x = f64::from(oid % 37) + 0.25;
+                    (R::new(oid, 0, Interval::new(t, 100.0), [x, 0.5], [x, 0.5]), t)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn partitioned(grid: RegionGrid, recs: &[R]) -> PartitionedDqServer<2, Pager> {
+    PartitionedDqServer::build(grid, recs, |_| {
+        RTree::new(Pager::new(), RTreeConfig::default())
+    })
+}
+
+/// The (oid, seq) stream must never repeat — the paper's "retrieve each
+/// object once" contract, per session.
+fn assert_each_object_once(results: &[(u32, u32)]) {
+    let mut seen = std::collections::HashSet::new();
+    for &r in results {
+        assert!(seen.insert(r), "object {r:?} delivered twice");
+    }
+}
+
+/// Σ frame-report stats == session stats and Σ frame results ==
+/// delivered count, for every session of a run.
+fn assert_frames_reconcile(sessions: &[dq_repro::mobiquery::SessionOutput]) {
+    for (i, s) in sessions.iter().enumerate() {
+        let mut stats = dq_repro::mobiquery::QueryStats::default();
+        let mut results = 0;
+        for f in &s.frames {
+            stats += f.stats;
+            results += f.results;
+        }
+        assert_eq!(stats, s.stats, "session {i}: Σ frame stats != session stats");
+        assert_eq!(results, s.results.len(), "session {i}: Σ frame results");
+    }
+}
+
+/// Sessions with very different schedule lengths: the short ones finish
+/// and detach while the long one keeps consuming frames. Both servers,
+/// concurrent == serial, bit for bit.
+#[test]
+fn ragged_schedule_lengths_match_serial() {
+    let recs = line_records(40);
+    let inserts = line_inserts(20, 3);
+    let specs = [
+        slide_spec(SessionKind::Pdq, 0.0, 5, 5.0),
+        slide_spec(SessionKind::Npdq, 10.0, 12, 12.0),
+        slide_spec(SessionKind::Pdq, 20.0, 20, 16.0),
+    ];
+    let plans: Vec<SessionPlan<2>> = specs.iter().cloned().map(SessionPlan::new).collect();
+
+    let single = DqServer::new(build_tree(Pager::new(), &recs));
+    let p = single.serve_plans(&plans, &inserts);
+    let s = DqServer::new(build_tree(Pager::new(), &recs)).serve_serial_plans(&plans, &inserts);
+    assert_eq!(p.frames, 20);
+    for i in 0..plans.len() {
+        assert_eq!(p.sessions[i].results, s.sessions[i].results, "session {i}");
+        assert_eq!(p.sessions[i].stats, s.sessions[i].stats, "session {i}");
+        // Frame reports match on every deterministic field (latency is
+        // wall clock, so it is excluded).
+        assert_eq!(p.sessions[i].frames.len(), s.sessions[i].frames.len());
+        for (a, b) in p.sessions[i].frames.iter().zip(&s.sessions[i].frames) {
+            assert_eq!((a.frame, a.results, a.stats), (b.frame, b.results, b.stats));
+        }
+    }
+
+    let grid = RegionGrid::from_cuts(0, vec![15.0, 30.0]);
+    let pp = partitioned(grid.clone(), &recs).serve_plans(&plans, &inserts);
+    let ps = partitioned(grid, &recs).serve_serial_plans(&plans, &inserts);
+    for i in 0..plans.len() {
+        assert_eq!(pp.sessions[i].results, ps.sessions[i].results, "session {i}");
+        assert_eq!(pp.sessions[i].stats, ps.sessions[i].stats, "session {i}");
+        assert_each_object_once(&pp.sessions[i].results);
+    }
+}
+
+/// A session joining at global frame 7 of a 16-frame run: it sees the
+/// tree exactly as of its join watermark (batches 0..7 applied, batch 7
+/// not yet), reports only frames >= 7, delivers each object once, and
+/// matches the serial reference on both servers.
+#[test]
+fn join_mid_run_sees_exactly_the_tail() {
+    let recs = line_records(40);
+    let inserts = line_inserts(16, 3);
+    let plans = vec![
+        SessionPlan::new(slide_spec(SessionKind::Pdq, 0.0, 16, 12.0)),
+        SessionPlan::new(slide_spec(SessionKind::Pdq, 8.0, 16, 12.0)).join_at(7),
+        SessionPlan::new(slide_spec(SessionKind::Npdq, 20.0, 16, 12.0)).join_at(7),
+    ];
+
+    let single = DqServer::new(build_tree(Pager::new(), &recs));
+    let p = single.serve_plans(&plans, &inserts);
+    let s = DqServer::new(build_tree(Pager::new(), &recs)).serve_serial_plans(&plans, &inserts);
+    for i in 0..plans.len() {
+        assert_eq!(p.sessions[i].results, s.sessions[i].results, "session {i}");
+        assert_eq!(p.sessions[i].stats, s.sessions[i].stats, "session {i}");
+        assert_each_object_once(&p.sessions[i].results);
+    }
+    // Joiners report frames starting at their join watermark only.
+    for i in [1, 2] {
+        assert!(!p.sessions[i].frames.is_empty(), "joiner {i} never ran");
+        assert!(
+            p.sessions[i].frames.iter().all(|f| f.frame >= 7),
+            "joiner {i} reported a pre-join frame"
+        );
+    }
+
+    let grid = RegionGrid::from_cuts(0, vec![15.0, 30.0]);
+    let pp = partitioned(grid.clone(), &recs).serve_plans(&plans, &inserts);
+    let ps = partitioned(grid, &recs).serve_serial_plans(&plans, &inserts);
+    for i in 0..plans.len() {
+        assert_eq!(pp.sessions[i].results, ps.sessions[i].results, "session {i}");
+        assert_each_object_once(&pp.sessions[i].results);
+    }
+    assert!(pp.sessions[1].frames.iter().all(|f| f.frame >= 7));
+}
+
+/// A recut fires at frame 6 while a joiner arrives at frame 3 and a
+/// short session has already finished: the epoch handoff must preserve
+/// every session's results exactly (recut == no-recut, concurrent ==
+/// serial) and leave the server on the new grid.
+#[test]
+fn recut_during_active_serve_preserves_results() {
+    let recs = line_records(40);
+    let inserts = line_inserts(12, 3);
+    let plans = vec![
+        SessionPlan::new(slide_spec(SessionKind::Pdq, 0.0, 12, 10.0)),
+        SessionPlan::new(slide_spec(SessionKind::Npdq, 12.0, 12, 10.0)).join_at(3),
+        SessionPlan::new(slide_spec(SessionKind::Pdq, 24.0, 4, 4.0)),
+    ];
+    let recuts = [RecutPlan::new(6, 3)];
+    let grid = RegionGrid::from_cuts(0, vec![20.0]);
+
+    let mut server = partitioned(grid.clone(), &recs);
+    let p = server.serve_plans_with_recuts(&plans, &inserts, &recuts, |_| {
+        RTree::new(Pager::new(), RTreeConfig::default())
+    });
+    let flat = partitioned(grid.clone(), &recs).serve_plans(&plans, &inserts);
+    let mut serial_server = partitioned(grid, &recs);
+    let s = serial_server.serve_serial_plans_with_recuts(&plans, &inserts, &recuts, |_| {
+        RTree::new(Pager::new(), RTreeConfig::default())
+    });
+    for i in 0..plans.len() {
+        assert_eq!(p.sessions[i].results, flat.sessions[i].results, "vs no-recut {i}");
+        assert_eq!(p.sessions[i].results, s.sessions[i].results, "vs serial {i}");
+        assert_eq!(p.sessions[i].stats, s.sessions[i].stats, "vs serial {i}");
+        assert_each_object_once(&p.sessions[i].results);
+        assert_eq!(p.sessions[i].outcome, SessionOutcome::Ok);
+    }
+    assert_eq!(server.grid().len(), 3, "server adopted the recut grid");
+    assert_eq!(serial_server.grid().len(), 3);
+}
+
+/// The leaf page holding `oid` — found by a plain DFS over clean pages,
+/// so call this *before* corrupting anything.
+fn leaf_page_of<S: PageStore>(tree: &RTree<R, S>, oid: u32) -> PageId {
+    let mut stack = vec![tree.root_page()];
+    while let Some(page) = stack.pop() {
+        let node = tree.read_node(page);
+        if node.is_leaf() {
+            if node.leaf_records().any(|r| r.oid == oid) {
+                return page;
+            }
+        } else {
+            for (_, child) in node.internal_entries() {
+                stack.push(child);
+            }
+        }
+    }
+    panic!("oid {oid} not found in any leaf");
+}
+
+/// The retired-zombie regression: a session that panics mid-run (broken
+/// node header on its sweep path) detaches from its clocks instead of
+/// parking on a barrier. The writer keeps applying every batch, the
+/// healthy session's results are bit-identical to a run without the
+/// doomed session, and the serve terminates (this test completing *is*
+/// the no-deadlock assertion).
+#[test]
+fn mid_run_panic_neither_deadlocks_nor_perturbs_others() {
+    let recs = line_records(40);
+    // Inserts land in the healthy session's lane only, far from the
+    // corrupt leaf, so the writer's descent never touches it.
+    let inserts: Vec<Vec<(R, f64)>> = (0..8)
+        .map(|k| {
+            let t = k as f64;
+            vec![(
+                R::new(500 + k as u32, 0, Interval::new(t, 100.0), [2.25, 0.5], [2.25, 0.5]),
+                t,
+            )]
+        })
+        .collect();
+    let healthy = slide_spec(SessionKind::Pdq, 0.0, 8, 8.0);
+    let doomed = slide_spec(SessionKind::Pdq, 24.0, 8, 8.0);
+
+    // No checksum layer, flip byte 0: the node header itself breaks, so
+    // the doomed session's descent panics (contained fail-stop).
+    let store = FaultyStore::with_flipped_bytes(
+        Pager::with_page_size(256),
+        FaultPlan::quiet(7),
+        vec![0],
+    );
+    let tree = build_tree(store, &recs);
+    let victim = leaf_page_of(&tree, 28);
+    tree.store().corrupt_page(victim);
+
+    let server = DqServer::new(tree);
+    let report = server.serve(&[healthy.clone(), doomed], &inserts);
+    assert!(
+        matches!(report.sessions[1].outcome, SessionOutcome::Failed(_)),
+        "doomed session should have died, got {:?}",
+        report.sessions[1].outcome
+    );
+    // Every frame's batch still applied after the detach.
+    assert_eq!(report.frames, 8);
+    assert_eq!(report.inserts_applied, 8);
+    assert!(report.writer_outcome.is_ok());
+
+    // The healthy session is oblivious: same results as a run that
+    // never had the doomed session at all, on a clean store.
+    let oracle = DqServer::new(build_tree(Pager::with_page_size(256), &recs))
+        .serve_serial(std::slice::from_ref(&healthy), &inserts);
+    assert!(report.sessions[0].outcome.is_ok());
+    assert_eq!(report.sessions[0].results, oracle.sessions[0].results);
+    assert_eq!(report.sessions[0].frames.len(), 8);
+}
+
+/// Out-of-lockstep execution (one deliberately slow session): results
+/// stay bit-identical to the undelayed serial reference and the
+/// per-frame flight recorder still reconciles exactly with the
+/// session-level stats — on both servers.
+#[test]
+fn frame_reports_reconcile_out_of_lockstep() {
+    let recs = line_records(40);
+    let inserts = line_inserts(10, 3);
+    let specs = [
+        slide_spec(SessionKind::Pdq, 0.0, 10, 10.0),
+        slide_spec(SessionKind::Npdq, 12.0, 10, 10.0),
+        slide_spec(SessionKind::Pdq, 24.0, 10, 10.0),
+    ];
+    let plans: Vec<SessionPlan<2>> = specs
+        .iter()
+        .cloned()
+        .enumerate()
+        .map(|(i, spec)| {
+            let p = SessionPlan::new(spec);
+            if i == 1 {
+                p.with_frame_delay(Duration::from_millis(2))
+            } else {
+                p
+            }
+        })
+        .collect();
+    let undelayed: Vec<SessionPlan<2>> = specs.iter().cloned().map(SessionPlan::new).collect();
+
+    let p = DqServer::new(build_tree(Pager::new(), &recs)).serve_plans(&plans, &inserts);
+    let s = DqServer::new(build_tree(Pager::new(), &recs)).serve_serial_plans(&undelayed, &inserts);
+    for i in 0..plans.len() {
+        assert_eq!(p.sessions[i].results, s.sessions[i].results, "session {i}");
+    }
+    assert_frames_reconcile(&p.sessions);
+
+    let grid = RegionGrid::from_cuts(0, vec![15.0, 30.0]);
+    let pp = partitioned(grid.clone(), &recs).serve_plans(&plans, &inserts);
+    let ps = partitioned(grid, &recs).serve_serial_plans(&undelayed, &inserts);
+    for i in 0..plans.len() {
+        assert_eq!(pp.sessions[i].results, ps.sessions[i].results, "session {i}");
+    }
+    assert_frames_reconcile(&pp.sessions);
+}

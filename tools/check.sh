@@ -41,6 +41,15 @@
 # failed reads never reach the device counters) plus all-sessions-Ok,
 # and its best concurrent throughput must stay within 2x of baseline.
 #
+# --clock-smoke runs the per-region frame-clock protocol end to end:
+# the clock integration suite (ragged schedule lengths, join-mid-run
+# watermarks, a recut during an active serve, mid-run panic containment,
+# frame-report reconciliation out of lockstep), then the straggler
+# experiment — one deliberately slow session on region 0 — whose figure
+# the wrapper gates: every non-stalled region must keep >= 0.9x its
+# clean-run frames/s, and the straggler itself must actually have been
+# slowed (< 0.5x), or the run proves nothing.
+#
 # --wal-smoke runs the durable write path end to end: the WAL unit
 # suite, the durability module suite, and the chaos crash-point matrix
 # (recovery bit-identity at every crash point, torn/bit-flipped tails,
@@ -56,6 +65,7 @@ OBS_SMOKE=0
 CHAOS_SMOKE=0
 SHARD_SMOKE=0
 WAL_SMOKE=0
+CLOCK_SMOKE=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) BENCH_SMOKE=1 ;;
@@ -63,6 +73,7 @@ for arg in "$@"; do
     --chaos-smoke) CHAOS_SMOKE=1 ;;
     --shard-smoke) SHARD_SMOKE=1 ;;
     --wal-smoke) WAL_SMOKE=1 ;;
+    --clock-smoke) CLOCK_SMOKE=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -181,6 +192,35 @@ if chaos < base / 2.0:
              f"fault-free baseline ({base:.0f} frames/s)")
 print(f"OK: 1% transient faults cost {base / chaos:.2f}x "
       f"({base:.0f} -> {chaos:.0f} frames/s), identities held.")
+PY
+fi
+
+if [ "$CLOCK_SMOKE" = 1 ]; then
+  # The ragged-lifecycle suite: every concurrent run checked against the
+  # serial reference protocol bit for bit.
+  cargo test -q --offline --test clock
+  echo "OK: clock suite green (ragged windows, joiners, live recut, panic containment)."
+
+  # One slow session on region 0; regions 1..3 must be unaffected.
+  cargo run -q --offline --release -p bench --bin exp_service_straggler \
+    > target/figures/exp_service_straggler.txt
+  python3 - "$PWD/target/figures/exp_service_straggler.json" <<'PY'
+import json, sys
+rows = json.load(open(sys.argv[1]))["rows"]
+for r in rows:
+    region, ratio, stalled = int(r[0]), float(r[4]), r[-1] == "yes"
+    if stalled:
+        if ratio >= 0.5:
+            sys.exit(f"FAIL: the straggler (region {region}) kept {ratio:.2f}x "
+                     "of its clean-run frames/s -- the injected delay did not "
+                     "bite, the isolation claim is untested")
+        print(f"OK: straggler region {region} slowed to {ratio:.2f}x (as injected).")
+    else:
+        if ratio < 0.9:
+            sys.exit(f"FAIL: non-stalled region {region} dropped to {ratio:.2f}x "
+                     "of its clean-run frames/s (floor 0.9x) -- the straggler's "
+                     "back-pressure leaked across regions")
+        print(f"OK: region {region} unaffected at {ratio:.2f}x (floor 0.9x).")
 PY
 fi
 
