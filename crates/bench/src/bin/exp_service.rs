@@ -180,6 +180,18 @@ fn run_config<S: SnapshotSource + Send + Sync>(
         retried, 0,
         "the clock's flow control must keep optimistic reads conflict-free"
     );
+    //  per-session mailboxes are bounded by the same flow control: the
+    //  writer is never more than one frame ahead of any reader, so a
+    //  mailbox can never hold more than one frame's insert batch.
+    let mailbox_hwm = registry.gauge_value("service.mailbox_hwm");
+    let mailbox_bound = inserts.iter().map(Vec::len).max().unwrap_or(0) as i64;
+    assert!(
+        mailbox_hwm <= mailbox_bound,
+        "mailbox hwm {mailbox_hwm} exceeds the one-batch bound {mailbox_bound}"
+    );
+    if mode == "concurrent" && mailbox_bound > 0 {
+        assert!(mailbox_hwm > 0, "insert broadcasts must land in mailboxes");
+    }
     //  tree level counters == buffer pool hit/miss accounting. In
     //  durable mode checkpoint snapshots also read pages through the
     //  pool without ticking the level counters, so the identity widens:

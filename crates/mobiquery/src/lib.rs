@@ -74,8 +74,8 @@ pub use psi::{psi_query, psi_query_key, PsiBounds, PsiSegmentRecord};
 pub use region::RegionGrid;
 pub use router::{PartitionedDqServer, PartitionedServeReport, RecutPlan, RegionReport};
 pub use service::{
-    DqServer, FrameReport, ServeReport, SessionKind, SessionOutcome, SessionOutput, SessionPlan,
-    SessionSpec,
+    DqServer, FrameDelta, FrameReport, FrameSink, ServeReport, SessionKind, SessionOutcome,
+    SessionOutput, SessionPlan, SessionSpec, SinkVerdict,
 };
 pub use session::{FlightSession, FrameView};
 pub use snapshot::SnapshotQuery;

@@ -73,8 +73,9 @@ use crate::npdq::NpdqEngine;
 use crate::pdq::{PdqEngine, PdqResult};
 use crate::region::RegionGrid;
 use crate::service::{
-    panic_message, record_wait, FrameReport, NsiReport, ServeReport, SessionKind, SessionOutcome,
-    SessionOutput, SessionPlan, SessionSpec,
+    mailbox_bound, panic_message, publish_mailbox_hwm, record_wait, FrameDelta, FrameReport,
+    FrameSink, Mailbox, NsiReport, ServeReport, SessionKind, SessionOutcome, SessionOutput,
+    SessionPlan, SessionSpec, SinkVerdict,
 };
 use crate::snapshot::SnapshotQuery;
 use crate::stats::QueryStats;
@@ -505,8 +506,11 @@ struct Epoch<const D: usize, S: PageStore> {
     /// this epoch's grid.
     lanes: Vec<Range<usize>>,
     /// `mailboxes[i][r]`: insert reports broadcast by region `r`'s
-    /// writer for session `i` to absorb.
-    mailboxes: Vec<Vec<Mutex<Vec<NsiReport<D>>>>>,
+    /// writer for session `i` to absorb. Bounded by `mailbox_cap`.
+    mailboxes: Vec<Vec<Mailbox<NsiReport<D>>>>,
+    /// The one-batch mailbox bound (largest insert batch of the run; a
+    /// region's routed slice can only be smaller).
+    mailbox_cap: usize,
     /// Session-side node reads attributed per region, flushed in by
     /// each session before its final ack of the epoch (feeds recut
     /// loads and the final report).
@@ -560,6 +564,7 @@ fn make_epoch<const D: usize, S: PageStore>(
     start: usize,
     end: usize,
     durable: bool,
+    mailbox_cap: usize,
 ) -> Arc<Epoch<D, S>> {
     let n = grid.len();
     let lanes: Vec<Range<usize>> = plans
@@ -584,9 +589,9 @@ fn make_epoch<const D: usize, S: PageStore>(
     let clocks: Vec<FrameClock> = (0..n)
         .map(|r| FrameClock::new(windows[r].clone(), Arc::clone(live), start as u64, durable))
         .collect();
-    let mailboxes: Vec<Vec<Mutex<Vec<NsiReport<D>>>>> = plans
+    let mailboxes: Vec<Vec<Mailbox<NsiReport<D>>>> = plans
         .iter()
-        .map(|_| (0..n).map(|_| Mutex::new(Vec::new())).collect())
+        .map(|_| (0..n).map(|_| Mailbox::new()).collect())
         .collect();
     let session_loads: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
     Arc::new(Epoch {
@@ -598,6 +603,7 @@ fn make_epoch<const D: usize, S: PageStore>(
         windows,
         lanes,
         mailboxes,
+        mailbox_cap,
         session_loads,
     })
 }
@@ -901,6 +907,20 @@ impl<const D: usize, S: PageStore> PartitionedDqServer<D, S> {
         }
     }
 
+    /// Checkpoint the current region trees and truncate the WAL now,
+    /// regardless of the cadence counter. Returns `false` on a
+    /// non-durable server. The network front door calls this on
+    /// graceful shutdown so recovery after a drain replays zero records.
+    pub fn checkpoint_now(&self) -> bool {
+        match &self.durability {
+            Some(log) => {
+                checkpoint_from(&self.regions, log);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Global frame steps for a run (same rule as the single-tree
     /// server: enough for every plan's window and every insert batch).
     fn step_count(
@@ -1032,7 +1052,7 @@ impl<const D: usize, S: PageStore> PartitionedDqServer<D, S> {
                             && win.is_some_and(|(f, l)| f <= ku && ku <= l)
                             && live.is_live(i)
                         {
-                            ep.mailboxes[i][r].lock().extend(reports.iter().cloned());
+                            ep.mailboxes[i][r].push_all(&reports, ep.mailbox_cap);
                         }
                     }
                     obs::trace(obs::TraceEvent::RegionRoute {
@@ -1114,11 +1134,13 @@ impl<const D: usize, S: PageStore> PartitionedDqServer<D, S> {
     /// inside an epoch run the clock protocol — wait `applied`, drain
     /// mailboxes, step, ack. Failure at any point detaches the session
     /// from its lane clocks and keeps its results so far.
+    #[allow(clippy::too_many_arguments)]
     fn session_loop(
         i: usize,
         plan: &SessionPlan<D>,
         epoch_count: usize,
         gate: &EpochGate<D, S>,
+        sink: Option<&dyn FrameSink>,
         drain_hist: &Option<Arc<obs::Histogram>>,
         wait_hist: &Option<Arc<obs::Histogram>>,
     ) -> SessionOutput {
@@ -1188,8 +1210,10 @@ impl<const D: usize, S: PageStore> PartitionedDqServer<D, S> {
                 }
                 let reports: Vec<Vec<NsiReport<D>>> = lanes
                     .clone()
-                    .map(|r| std::mem::take(&mut *ep.mailboxes[i][r].lock()))
+                    .map(|r| ep.mailboxes[i][r].take())
                     .collect();
+                let results_before = r0.out.results.len();
+                let frames_before = r0.out.frames.len();
                 // Contain panics to the engine work alone; the clock
                 // calls stay outside so a caught panic can't corrupt
                 // the frame protocol.
@@ -1215,6 +1239,31 @@ impl<const D: usize, S: PageStore> PartitionedDqServer<D, S> {
                             ep.clocks[r].detach(i);
                         }
                         break 'epochs;
+                    }
+                }
+                if r0.out.frames.len() > frames_before {
+                    if let Some(sink) = sink {
+                        let f = r0.out.frames.last().expect("frame just reported");
+                        let delta = FrameDelta {
+                            session: i,
+                            frame: f.frame,
+                            results: &r0.out.results[results_before..],
+                            latency_ns: f.latency_ns,
+                        };
+                        if sink.on_frame(&delta) == SinkVerdict::Detach {
+                            // Evicted by its consumer: same exit as a
+                            // mid-run failure — flush attribution, keep
+                            // the results so far, release the writers.
+                            r0.out.outcome =
+                                SessionOutcome::Failed("detached by frame sink".into());
+                            r0.flush_loads(|r, c| {
+                                ep.session_loads[r].fetch_add(c, Ordering::Relaxed);
+                            });
+                            for r in lanes.clone() {
+                                ep.clocks[r].detach(i);
+                            }
+                            break 'epochs;
+                        }
                     }
                 }
                 if !plan.frame_delay.is_zero() {
@@ -1270,6 +1319,7 @@ impl<const D: usize, S: PageStore> PartitionedDqServer<D, S> {
         inserts: &[Vec<(NsiSegmentRecord<D>, f64)>],
         recuts: &[RecutPlan],
         mut make_tree: Option<&mut dyn FnMut(usize) -> RTree<NsiSegmentRecord<D>, S>>,
+        sinks: &[Option<&dyn FrameSink>],
     ) -> (
         PartitionedServeReport,
         Option<(RegionGrid, Vec<RegionTree<D, S>>)>,
@@ -1278,6 +1328,7 @@ impl<const D: usize, S: PageStore> PartitionedDqServer<D, S> {
         S: Sync + Send,
     {
         let steps = self.step_count(plans, inserts);
+        let mailbox_cap = mailbox_bound(inserts);
         let bounds = epoch_bounds(recuts, steps);
         let epoch_count = bounds.len() - 1;
         let durable = self.durability.as_deref();
@@ -1305,6 +1356,7 @@ impl<const D: usize, S: PageStore> PartitionedDqServer<D, S> {
             0,
             bounds[1],
             durable.is_some(),
+            mailbox_cap,
         );
         let mut baselines = vec![stats_of(&ep0.trees)];
         gate.publish(Arc::clone(&ep0));
@@ -1333,8 +1385,9 @@ impl<const D: usize, S: PageStore> PartitionedDqServer<D, S> {
                 .map(|(i, plan)| {
                     let drain = drain_hist.clone();
                     let wait = wait_hist.clone();
+                    let sink = sinks.get(i).copied().flatten();
                     scope.spawn(move || {
-                        Self::session_loop(i, plan, epoch_count, gate_ref, &drain, &wait)
+                        Self::session_loop(i, plan, epoch_count, gate_ref, sink, &drain, &wait)
                     })
                 })
                 .collect();
@@ -1412,6 +1465,7 @@ impl<const D: usize, S: PageStore> PartitionedDqServer<D, S> {
                         bounds[e + 1],
                         bounds[e + 2],
                         false,
+                        mailbox_cap,
                     ));
                 }
                 epoch_tallies.push(tallies);
@@ -1432,6 +1486,12 @@ impl<const D: usize, S: PageStore> PartitionedDqServer<D, S> {
         });
 
         let published = gate.snapshot();
+        let deepest = published
+            .iter()
+            .flat_map(|ep| ep.mailboxes.iter().flatten().map(Mailbox::hwm))
+            .max()
+            .unwrap_or(0);
+        publish_mailbox_hwm(&self.metrics, deepest);
         let mut retries = EpochStats::default();
         for (e, ep) in published.iter().enumerate() {
             retries += stats_of(&ep.trees) - baselines[e];
@@ -1770,7 +1830,27 @@ impl<const D: usize, S: PageStore> PartitionedDqServer<D, S> {
     where
         S: Sync + Send,
     {
-        let (report, _) = self.serve_clocked(plans, inserts, &[], None);
+        let (report, _) = self.serve_clocked(plans, inserts, &[], None, &[]);
+        self.accumulate_loads(&report);
+        report
+    }
+
+    /// [`Self::serve_plans`] with a per-session [`FrameSink`] hook: each
+    /// session's new frame results are offered to its sink as soon as the
+    /// frame is processed, before the session acks the next frame. A sink
+    /// returning [`SinkVerdict::Detach`] removes the session from every
+    /// region clock without stalling the run — this is the attach point
+    /// for the network front door's bounded outboxes.
+    pub fn serve_plans_streamed(
+        &self,
+        plans: &[SessionPlan<D>],
+        inserts: &[Vec<(NsiSegmentRecord<D>, f64)>],
+        sinks: &[Option<&dyn FrameSink>],
+    ) -> PartitionedServeReport
+    where
+        S: Sync + Send,
+    {
+        let (report, _) = self.serve_clocked(plans, inserts, &[], None, sinks);
         self.accumulate_loads(&report);
         report
     }
@@ -1804,7 +1884,7 @@ impl<const D: usize, S: PageStore> PartitionedDqServer<D, S> {
         S: Sync + Send,
     {
         let (report, final_state) =
-            self.serve_clocked(plans, inserts, recuts, Some(&mut make_tree));
+            self.serve_clocked(plans, inserts, recuts, Some(&mut make_tree), &[]);
         self.adopt(&report, final_state);
         report
     }

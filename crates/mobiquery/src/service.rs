@@ -42,6 +42,7 @@ use crate::trajectory::Trajectory;
 use parking_lot::{Mutex, RwLock};
 use rtree::{EpochStats, InsertReport, NsiSegmentRecord, RTree, Record, TreeRead, TreeReadRetry};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use storage::{PageStore, RetryPolicy, SnapshotSource, StorageError};
@@ -307,6 +308,111 @@ impl ServeReport {
     /// the buffer pool's hit+miss total.
     pub fn total_reads(&self) -> u64 {
         self.total_stats().disk_accesses + self.writer_reads
+    }
+}
+
+/// One frame's freshly delivered results for one session, handed to a
+/// [`FrameSink`] the moment the session finishes the frame — before the
+/// session acks the frame to its clocks, so a sink that says
+/// [`SinkVerdict::Detach`] stops the session without it ever granting
+/// the next batch's permit.
+///
+/// `results` is the suffix of the session's result stream this frame
+/// appended (deterministic, so streamed deltas concatenate to exactly
+/// the [`SessionOutput::results`] a non-streamed run reports). Frames a
+/// degraded step produced are delivered too: results emitted before a
+/// storage fault are valid and final.
+#[derive(Clone, Copy, Debug)]
+pub struct FrameDelta<'a> {
+    /// Session index within the run (spec/plan order).
+    pub session: usize,
+    /// Global frame step index.
+    pub frame: usize,
+    /// `(oid, seq)` of the objects this frame delivered, in order.
+    pub results: &'a [(u32, u32)],
+    /// Wall-clock time the session spent processing the frame.
+    pub latency_ns: u64,
+}
+
+/// What a [`FrameSink`] wants done with its session after a delta.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SinkVerdict {
+    /// Keep serving the session.
+    Continue,
+    /// Stop the session now: it records
+    /// [`SessionOutcome::Failed`]`("detached by frame sink")`, keeps its
+    /// results so far, and detaches from its frame clocks exactly like a
+    /// mid-run failure — no writer ever waits on it again.
+    Detach,
+}
+
+/// Per-frame consumer of one session's results, called from that
+/// session's serving thread (hence `Sync`): the hook a network front
+/// door uses to stream deltas to a remote client, and to evict the
+/// session (slow reader, dead socket) without touching the serving core.
+pub trait FrameSink: Sync {
+    /// Consume one frame's delta; the verdict decides whether the
+    /// session keeps running.
+    fn on_frame(&self, delta: &FrameDelta<'_>) -> SinkVerdict;
+}
+
+/// A bounded per-session mailbox of broadcast insert reports.
+///
+/// The clock's flow control keeps the writer at most one frame ahead of
+/// every attached reader, so a mailbox never holds more than one
+/// frame's broadcast — the bound is a protocol invariant, not a drop
+/// policy (dropping would break determinism). Overflow is therefore a
+/// bug and asserts; the observed high-water mark is published as the
+/// `service.mailbox_hwm` gauge and re-checked by the `exp_service`
+/// reconciliation pass.
+pub(crate) struct Mailbox<T> {
+    inner: Mutex<Vec<T>>,
+    hwm: AtomicUsize,
+}
+
+impl<T: Clone> Mailbox<T> {
+    pub(crate) fn new() -> Self {
+        Mailbox {
+            inner: Mutex::new(Vec::new()),
+            hwm: AtomicUsize::new(0),
+        }
+    }
+
+    /// Append a frame's broadcast, asserting the one-batch bound `cap`
+    /// (the largest batch the run can broadcast).
+    pub(crate) fn push_all(&self, items: &[T], cap: usize) {
+        let mut q = self.inner.lock();
+        q.extend(items.iter().cloned());
+        assert!(
+            q.len() <= cap,
+            "mailbox overflow: {} queued reports exceed the one-batch bound {cap}",
+            q.len(),
+        );
+        self.hwm.fetch_max(q.len(), Ordering::Relaxed);
+    }
+
+    /// Drain everything queued.
+    pub(crate) fn take(&self) -> Vec<T> {
+        std::mem::take(&mut *self.inner.lock())
+    }
+
+    /// Deepest the mailbox ever got.
+    pub(crate) fn hwm(&self) -> usize {
+        self.hwm.load(Ordering::Relaxed)
+    }
+}
+
+/// The one-batch mailbox bound for a run: no broadcast can exceed the
+/// largest insert batch (partitioned servers broadcast routed slices,
+/// which only shrink).
+pub(crate) fn mailbox_bound<const D: usize>(inserts: &[Vec<(NsiSegmentRecord<D>, f64)>]) -> usize {
+    inserts.iter().map(Vec::len).max().unwrap_or(0)
+}
+
+/// Publish the deepest mailbox high-water mark of a run.
+pub(crate) fn publish_mailbox_hwm(metrics: &Option<Arc<obs::MetricsRegistry>>, hwm: usize) {
+    if let Some(reg) = metrics {
+        reg.gauge("service.mailbox_hwm").record_max(hwm as i64);
     }
 }
 
@@ -730,14 +836,35 @@ impl<const D: usize, S: PageStore> DqServer<D, S> {
     where
         S: Sync + Send,
     {
+        self.serve_plans_streamed(plans, inserts, &[])
+    }
+
+    /// [`Self::serve_plans`] with per-frame streaming: `sinks[i]` (when
+    /// present) receives session `i`'s [`FrameDelta`] the moment each
+    /// frame finishes, from the session's own thread, *before* the
+    /// session acks the frame — a [`SinkVerdict::Detach`] therefore
+    /// stops the session without it ever granting the next batch's
+    /// permit, exactly the mid-run-failure path. Result sequences are
+    /// unaffected by sinks: streamed deltas concatenate to precisely the
+    /// results a plain run reports.
+    pub fn serve_plans_streamed(
+        &self,
+        plans: &[SessionPlan<D>],
+        inserts: &[Vec<(NsiSegmentRecord<D>, f64)>],
+        sinks: &[Option<&dyn FrameSink>],
+    ) -> ServeReport
+    where
+        S: Sync + Send,
+    {
         let steps = self.step_count(plans, inserts);
         let epoch_start = self.tree.read().epoch_stats();
         let is_pdq: Vec<bool> = plans.iter().map(|p| p.spec.kind == SessionKind::Pdq).collect();
         let windows: Vec<Option<(u64, u64)>> = plans.iter().map(SessionPlan::window).collect();
         let live = SessionLiveness::new(plans.len());
         let clock = FrameClock::new(windows.clone(), Arc::clone(&live), 0, self.durability.is_some());
-        let mailboxes: Vec<Mutex<Vec<NsiReport<D>>>> =
-            plans.iter().map(|_| Mutex::new(Vec::new())).collect();
+        let mailbox_cap = mailbox_bound(inserts);
+        let mailboxes: Vec<Mailbox<NsiReport<D>>> =
+            plans.iter().map(|_| Mailbox::new()).collect();
         let mut writer = WriterState::default();
         // Histogram handles resolve once, up front: session threads then
         // record through lock-free atomics only.
@@ -770,6 +897,7 @@ impl<const D: usize, S: PageStore> DqServer<D, S> {
                     let tree = &self.tree;
                     let drain_hist = drain_hist.clone();
                     let wait_hist = wait_hist.clone();
+                    let sink = sinks.get(i).copied().flatten();
                     scope.spawn(move || {
                         let Some((first, last)) = plan.window() else {
                             // Never scheduled: no engine, no clock
@@ -797,7 +925,9 @@ impl<const D: usize, S: PageStore> DqServer<D, S> {
                         if let Ok(r) = &mut run {
                             for k in first..=last {
                                 record_wait(&wait_hist, clock.wait_applied(k + 1));
-                                let reports = std::mem::take(&mut *mailboxes[i].lock());
+                                let reports = mailboxes[i].take();
+                                let results_before = r.out.results.len();
+                                let frames_before = r.out.frames.len();
                                 // Contain panics to the engine work alone;
                                 // the clock calls stay outside so a caught
                                 // panic can't corrupt the frame protocol.
@@ -819,6 +949,27 @@ impl<const D: usize, S: PageStore> DqServer<D, S> {
                                         // detach below releases the writer.
                                         r.out.outcome = SessionOutcome::Failed(panic_message(p));
                                         break;
+                                    }
+                                }
+                                if r.out.frames.len() > frames_before {
+                                    if let Some(sink) = sink {
+                                        let f = r.out.frames.last().expect("frame just reported");
+                                        let delta = FrameDelta {
+                                            session: i,
+                                            frame: f.frame,
+                                            results: &r.out.results[results_before..],
+                                            latency_ns: f.latency_ns,
+                                        };
+                                        if sink.on_frame(&delta) == SinkVerdict::Detach {
+                                            // Evicted by its consumer: the
+                                            // un-acked permit is released by
+                                            // the detach below, like any
+                                            // mid-run failure.
+                                            r.out.outcome = SessionOutcome::Failed(
+                                                "detached by frame sink".into(),
+                                            );
+                                            break;
+                                        }
                                     }
                                 }
                                 if !plan.frame_delay.is_zero() {
@@ -884,7 +1035,7 @@ impl<const D: usize, S: PageStore> DqServer<D, S> {
                     for (i, mb) in mailboxes.iter().enumerate() {
                         let in_window = windows[i].is_some_and(|(f, l)| f <= ku && ku <= l);
                         if is_pdq[i] && in_window && live.is_live(i) {
-                            mb.lock().extend(reports.iter().cloned());
+                            mb.push_all(&reports, mailbox_cap);
                             fanout += 1;
                         }
                     }
@@ -936,6 +1087,8 @@ impl<const D: usize, S: PageStore> DqServer<D, S> {
                 .collect()
         });
 
+        let deepest = mailboxes.iter().map(Mailbox::hwm).max().unwrap_or(0);
+        publish_mailbox_hwm(&self.metrics, deepest);
         let report = ServeReport {
             sessions,
             frames: steps,
@@ -1385,5 +1538,127 @@ mod tests {
         for (p, s) in parallel.sessions.iter().zip(&serial.sessions) {
             assert_eq!(p.results, s.results);
         }
+    }
+
+    /// One recorded delta: `(frame, results)`.
+    type RecordedDelta = (usize, Vec<(u32, u32)>);
+
+    /// A sink that accumulates every delta it is offered, optionally
+    /// detaching after a fixed number of frames.
+    struct RecordingSink {
+        got: Mutex<Vec<RecordedDelta>>,
+        detach_after: usize,
+    }
+
+    impl FrameSink for RecordingSink {
+        fn on_frame(&self, delta: &FrameDelta<'_>) -> SinkVerdict {
+            let mut got = self.got.lock();
+            got.push((delta.frame, delta.results.to_vec()));
+            if got.len() >= self.detach_after {
+                SinkVerdict::Detach
+            } else {
+                SinkVerdict::Continue
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_deltas_reassemble_the_serial_results() {
+        let specs: Vec<SessionSpec<2>> = vec![
+            slide_spec(SessionKind::Pdq, 12, 30.0),
+            slide_spec(SessionKind::Npdq, 12, 30.0),
+        ];
+        let plans: Vec<SessionPlan<2>> = specs.iter().cloned().map(SessionPlan::new).collect();
+        let inserts: Vec<Vec<(R, f64)>> = (0..12)
+            .map(|k| {
+                let t = 30.0 * k as f64 / 12.0;
+                vec![(
+                    R::new(6000 + k as u32, 0, Interval::new(t, 100.0), [(t + 4.0) % 29.0, 0.5], [(t + 4.0) % 29.0, 0.5]),
+                    t,
+                )]
+            })
+            .collect();
+        let sinks: Vec<RecordingSink> = (0..2)
+            .map(|_| RecordingSink {
+                got: Mutex::new(Vec::new()),
+                detach_after: usize::MAX,
+            })
+            .collect();
+        let refs: Vec<Option<&dyn FrameSink>> =
+            sinks.iter().map(|s| Some(s as &dyn FrameSink)).collect();
+        let report = DqServer::new(line_tree(30)).serve_plans_streamed(&plans, &inserts, &refs);
+        let serial = DqServer::new(line_tree(30)).serve_serial_plans(&plans, &inserts);
+        for (i, sink) in sinks.iter().enumerate() {
+            let got = sink.got.lock();
+            let frames: Vec<usize> = got.iter().map(|(f, _)| *f).collect();
+            let expect_frames: Vec<usize> =
+                report.sessions[i].frames.iter().map(|f| f.frame).collect();
+            assert_eq!(frames, expect_frames, "one delta per reported frame");
+            let streamed: Vec<(u32, u32)> =
+                got.iter().flat_map(|(_, r)| r.iter().copied()).collect();
+            assert_eq!(streamed, serial.sessions[i].results, "deltas reassemble serial");
+        }
+    }
+
+    #[test]
+    fn sink_detach_frees_the_writer_and_fails_only_that_session() {
+        let specs: Vec<SessionSpec<2>> = vec![
+            slide_spec(SessionKind::Pdq, 10, 30.0),
+            slide_spec(SessionKind::Pdq, 10, 30.0),
+        ];
+        let plans: Vec<SessionPlan<2>> = specs.iter().cloned().map(SessionPlan::new).collect();
+        let inserts: Vec<Vec<(R, f64)>> = (0..10)
+            .map(|k| {
+                let t = 3.0 * k as f64;
+                vec![(
+                    R::new(7000 + k as u32, 0, Interval::new(t, 100.0), [(t + 4.0) % 29.0, 0.5], [(t + 4.0) % 29.0, 0.5]),
+                    t,
+                )]
+            })
+            .collect();
+        let slow = RecordingSink {
+            got: Mutex::new(Vec::new()),
+            detach_after: 3,
+        };
+        let refs: Vec<Option<&dyn FrameSink>> = vec![Some(&slow as &dyn FrameSink), None];
+        let report = DqServer::new(line_tree(30)).serve_plans_streamed(&plans, &inserts, &refs);
+        assert_eq!(report.frames, 10, "detach must not stall the run");
+        assert_eq!(report.inserts_applied, 10);
+        assert_eq!(slow.got.lock().len(), 3);
+        assert!(
+            matches!(&report.sessions[0].outcome, SessionOutcome::Failed(m) if m.contains("detached")),
+            "evicted session fails: {:?}",
+            report.sessions[0].outcome
+        );
+        let serial = DqServer::new(line_tree(30)).serve_serial_plans(&plans, &inserts);
+        assert_eq!(report.sessions[1].results, serial.sessions[1].results, "healthy session unaffected");
+    }
+
+    #[test]
+    fn mailbox_hwm_gauge_stays_within_one_batch() {
+        let specs: Vec<SessionSpec<2>> = (0..4)
+            .map(|_| slide_spec(SessionKind::Pdq, 15, 30.0))
+            .collect();
+        let inserts: Vec<Vec<(R, f64)>> = (0..15)
+            .map(|k| {
+                let t = 2.0 * k as f64;
+                (0..3)
+                    .map(|j| {
+                        let x = (t + 3.0 + j as f64) % 29.0;
+                        (
+                            R::new(8000 + 3 * k + j, 0, Interval::new(t, 100.0), [x, 0.5], [x, 0.5]),
+                            t,
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        let registry = Arc::new(obs::MetricsRegistry::new());
+        let server = DqServer::new(line_tree(30)).with_metrics(Arc::clone(&registry));
+        server.serve(&specs, &inserts);
+        let hwm = registry.gauge_value("service.mailbox_hwm");
+        let bound = inserts.iter().map(Vec::len).max().unwrap_or(0) as i64;
+        assert!(hwm > 0, "PDQ broadcasts must land in mailboxes");
+        assert!(hwm <= bound, "mailbox hwm {hwm} exceeds one-batch bound {bound}");
     }
 }

@@ -29,6 +29,6 @@ pub mod trace;
 
 pub use metrics::{Counter, Gauge, Histogram, MetricValue, MetricsRegistry};
 pub use trace::{
-    set_trace_enabled, take_thread_trace, thread_trace_dropped, trace, trace_enabled, QueueOpKind,
-    TraceEvent, TraceRing, Watermark,
+    set_trace_enabled, take_thread_trace, thread_trace_dropped, trace, trace_enabled, EvictReason,
+    QueueOpKind, TraceEvent, TraceRing, Watermark,
 };

@@ -115,6 +115,34 @@ pub enum TraceEvent {
         /// Which watermark moved.
         watermark: Watermark,
     },
+    /// The network front door admitted a connection as a session.
+    ConnAccepted {
+        /// Session id assigned by the server.
+        session: u32,
+    },
+    /// A network session was evicted from the serving run: its frame
+    /// deltas stop, it detaches from its frame clocks, and its socket is
+    /// closed after the typed `Evicted` notice.
+    SessionEvicted {
+        /// Session id assigned by the server.
+        session: u32,
+        /// Why the session was evicted.
+        reason: EvictReason,
+    },
+}
+
+/// Why the network front door evicted a session
+/// ([`TraceEvent::SessionEvicted`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EvictReason {
+    /// The session's bounded outbox stayed full past the write deadline:
+    /// the client stopped reading (or stopped granting credit).
+    SlowReader,
+    /// The socket disconnected (EOF, reset, or a half-open peer) while
+    /// the session was still being served.
+    Disconnected,
+    /// The client sent bytes that failed protocol decoding.
+    Protocol,
 }
 
 /// Which per-region frame-clock watermark a [`TraceEvent::FrameAdvance`]

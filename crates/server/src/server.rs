@@ -1,0 +1,635 @@
+//! The network front door: TCP listener, session pumps, and the
+//! serving coordinator.
+//!
+//! Three kinds of thread cooperate:
+//!
+//! * **Listener** — accepts connections, runs admission inline
+//!   (rejects get a typed `Rejected` frame and close immediately), and
+//!   hands admitted sockets to the worker pool.
+//! * **Session pumps** (pool workers) — one per admitted session for
+//!   its lifetime: decode the `Hello`, register the session with the
+//!   coordinator, then shuttle bytes — outbox frames out, `Credit` /
+//!   `Bye` in. Every socket failure mode (EOF, reset, garbage bytes,
+//!   half-open peer) is contained here: the pump evicts its own
+//!   outbox, which the coordinator's sink observes as `Detach`.
+//! * **Coordinator** — owns the [`PartitionedDqServer`], gathers
+//!   registered sessions into batches, and runs
+//!   [`serve_plans_streamed`](PartitionedDqServer::serve_plans_streamed)
+//!   with one [`NetSink`] per session. A sink push that outlives the
+//!   write deadline evicts the session (`SlowReader`) and detaches it
+//!   from its frame clocks — the serving core never blocks on a
+//!   socket longer than the deadline.
+//!
+//! Graceful shutdown: the flag stops admission, the listener exits and
+//! drops its registration sender, in-flight pumps drop theirs after
+//! registering, so the coordinator's channel drains to disconnection —
+//! it serves every already-admitted session to completion (applying
+//! all committed frames) and takes a final checkpoint before exiting,
+//! which is why recovery after a drain replays zero WAL records.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use mobiquery::router::PartitionedDqServer;
+use mobiquery::{FrameDelta, FrameSink, NsiRecord, SessionOutcome, SessionPlan, SinkVerdict};
+use obs::{EvictReason, MetricsRegistry, TraceEvent};
+use storage::PageStore;
+
+use crate::admission::Admission;
+use crate::outbox::{Outbox, Pop, PushError};
+use crate::pool::WorkerPool;
+use crate::protocol::{
+    encode, is_delta_frame, DoneOutcome, FrameReader, HelloSpec, Msg, ProtocolError,
+    DEFAULT_MAX_FRAME_BYTES,
+};
+
+/// One run's insert schedule (outer: frames, inner: records per frame).
+pub type RunInserts = Vec<Vec<(NsiRecord<2>, f64)>>;
+
+/// Tunables for [`NetServer::start`].
+#[derive(Clone)]
+pub struct ServerConfig {
+    /// Pool workers; the hard ceiling on concurrent sessions (each
+    /// live session occupies one worker).
+    pub workers: usize,
+    /// Admission: max live sessions (clamped to `workers`).
+    pub max_sessions: usize,
+    /// Admission: max live sessions per client IP.
+    pub max_per_ip: usize,
+    /// Bounded outbox depth, in frames.
+    pub outbox_frames: usize,
+    /// How long a sink push may wait on a full outbox before the
+    /// session is evicted as a slow reader.
+    pub write_deadline: Duration,
+    /// After the first session of a batch registers, how long the
+    /// coordinator waits for more before serving.
+    pub gather_window: Duration,
+    /// Serve as soon as this many sessions are gathered.
+    pub min_gather: usize,
+    /// Wire frame payload cap.
+    pub max_frame_bytes: usize,
+    /// Budget for reading the `Hello` after accept.
+    pub handshake_timeout: Duration,
+    /// Pump idle granularity (socket read timeout / outbox poll).
+    pub poll_interval: Duration,
+    /// Metrics registry for `net.*` counters (optional).
+    pub metrics: Option<Arc<MetricsRegistry>>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 8,
+            max_sessions: 8,
+            max_per_ip: 8,
+            outbox_frames: 4,
+            write_deadline: Duration::from_millis(200),
+            gather_window: Duration::from_millis(10),
+            min_gather: 1,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            handshake_timeout: Duration::from_secs(2),
+            poll_interval: Duration::from_millis(2),
+            metrics: None,
+        }
+    }
+}
+
+/// What the front door did over its lifetime, returned by
+/// [`NetHandle::shutdown`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerSummary {
+    /// Serving runs the coordinator executed.
+    pub runs: usize,
+    /// Sessions served (admitted and registered).
+    pub sessions: usize,
+    /// Sessions evicted (slow reader, disconnect, protocol).
+    pub evicted: usize,
+    /// Whether the final-drain checkpoint was taken (durable servers).
+    pub checkpointed: bool,
+}
+
+/// A session registered with the coordinator, awaiting its batch.
+struct PendingSession {
+    id: u32,
+    plan: SessionPlan<2>,
+    outbox: Arc<Outbox>,
+}
+
+/// State shared by listener, pumps, and coordinator.
+struct Shared {
+    config: ServerConfig,
+    shutdown: AtomicBool,
+    next_id: AtomicU32,
+    evicted: AtomicUsize,
+}
+
+impl Shared {
+    fn counter(&self, name: &str) {
+        if let Some(m) = &self.config.metrics {
+            m.counter(name).add(1);
+        }
+    }
+
+    /// Evict `outbox` with a wire notice; first caller wins, and only
+    /// the winner counts/traces.
+    fn evict(&self, session: u32, outbox: &Outbox, reason: EvictReason) {
+        if outbox.evict(reason, encode(&Msg::Evicted { reason })) {
+            self.evicted.fetch_add(1, Ordering::Relaxed);
+            self.counter("net.sessions.evicted");
+            obs::trace(TraceEvent::SessionEvicted { session, reason });
+        }
+    }
+}
+
+/// The serving core's per-frame sink for one network session.
+struct NetSink {
+    shared: Arc<Shared>,
+    session: u32,
+    outbox: Arc<Outbox>,
+}
+
+impl FrameSink for NetSink {
+    fn on_frame(&self, delta: &FrameDelta<'_>) -> SinkVerdict {
+        let bytes = encode(&Msg::Delta {
+            frame: delta.frame as u32,
+            latency_ns: delta.latency_ns,
+            results: delta.results.to_vec(),
+        });
+        let len = bytes.len() as u64;
+        match self.outbox.push(bytes, self.shared.config.write_deadline) {
+            Ok(()) => {
+                if let Some(m) = &self.shared.config.metrics {
+                    m.counter("net.frames.sent").add(1);
+                    m.counter("net.bytes.sent").add(len);
+                }
+                SinkVerdict::Continue
+            }
+            Err(PushError::Timeout) => {
+                self.shared
+                    .evict(self.session, &self.outbox, EvictReason::SlowReader);
+                SinkVerdict::Detach
+            }
+            // The pump already evicted (disconnect / protocol): just
+            // detach from the clocks.
+            Err(PushError::Closed) => SinkVerdict::Detach,
+        }
+    }
+}
+
+/// A running front door. [`shutdown`](Self::shutdown) performs the
+/// graceful drain and returns the summary; merely dropping the handle
+/// runs the same drain but discards the summary.
+pub struct NetHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    listener: Option<JoinHandle<()>>,
+    coordinator: Option<JoinHandle<(usize, usize, bool)>>,
+    pool: Option<WorkerPool>,
+}
+
+impl NetHandle {
+    /// The bound address (use port 0 in `start` to pick a free port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop admission, drain every admitted session, take the final
+    /// checkpoint, and return the lifetime summary.
+    pub fn shutdown(mut self) -> ServerSummary {
+        self.shutdown_inner()
+    }
+
+    fn shutdown_inner(&mut self) -> ServerSummary {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.listener.take() {
+            let _ = h.join();
+        }
+        // Pool joins once every pump exits; pumps exit once the
+        // coordinator finishes (or evicts) their sessions — join the
+        // coordinator first.
+        let (runs, sessions, checkpointed) = self
+            .coordinator
+            .take()
+            .map(|h| h.join().expect("coordinator panicked"))
+            .unwrap_or_default();
+        if let Some(pool) = self.pool.take() {
+            pool.join();
+        }
+        ServerSummary {
+            runs,
+            sessions,
+            evicted: self.shared.evicted.load(Ordering::Relaxed),
+            checkpointed,
+        }
+    }
+}
+
+impl Drop for NetHandle {
+    /// A dropped handle still drains: without this, the worker pool's
+    /// drop would join pump workers whose job channel the live listener
+    /// keeps open — a deadlock whenever a caller (e.g. a failing test)
+    /// unwinds past the handle.
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// The network front door itself; see the module docs.
+pub struct NetServer;
+
+impl NetServer {
+    /// Bind `addr` and start serving `core` over it. `run_inserts` is
+    /// a queue of per-run insert schedules: the coordinator's `r`-th
+    /// serving run applies the `r`-th schedule (empty once exhausted).
+    pub fn start<S>(
+        core: PartitionedDqServer<2, S>,
+        run_inserts: Vec<RunInserts>,
+        addr: &str,
+        config: ServerConfig,
+    ) -> std::io::Result<NetHandle>
+    where
+        S: PageStore + Send + Sync + 'static,
+    {
+        let listener = TcpListener::bind(addr)?;
+        let bound = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let shared = Arc::new(Shared {
+            config: config.clone(),
+            shutdown: AtomicBool::new(false),
+            next_id: AtomicU32::new(0),
+            evicted: AtomicUsize::new(0),
+        });
+        let admission = Arc::new(Admission::new(
+            config.max_sessions.min(config.workers),
+            config.max_per_ip,
+        ));
+        let pool = WorkerPool::new(config.workers, "net-pump");
+        let (reg_tx, reg_rx) = mpsc::channel::<PendingSession>();
+
+        let listener_thread = {
+            let shared = Arc::clone(&shared);
+            let admission = Arc::clone(&admission);
+            let pool_tx = pool_sender(&pool);
+            std::thread::Builder::new()
+                .name("net-accept".into())
+                .spawn(move || {
+                    listener_loop(listener, shared, admission, pool_tx, reg_tx);
+                })
+                .expect("spawn listener")
+        };
+
+        let coordinator_thread = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("net-coord".into())
+                .spawn(move || coordinator_loop(core, run_inserts, shared, reg_rx))
+                .expect("spawn coordinator")
+        };
+
+        Ok(NetHandle {
+            addr: bound,
+            shared,
+            listener: Some(listener_thread),
+            coordinator: Some(coordinator_thread),
+            pool: Some(pool),
+        })
+    }
+}
+
+/// The pool's `execute` needs to be callable from the listener thread
+/// while `NetHandle` still owns the pool for the final join — hand the
+/// listener a closure-backed dispatcher instead of the pool itself.
+type PumpJob = Box<dyn FnOnce() + Send + 'static>;
+
+fn pool_sender(pool: &WorkerPool) -> impl Fn(PumpJob) -> bool + Send + 'static {
+    // WorkerPool::execute only needs &self; clone its sender by
+    // wrapping dispatch in a channel of jobs? Simpler: the pool's own
+    // channel is already MPSC — expose it via a thin adapter.
+    let tx = pool.job_sender();
+    move |job| tx.send(job).is_ok()
+}
+
+fn listener_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    admission: Arc<Admission>,
+    dispatch: impl Fn(PumpJob) -> bool,
+    reg_tx: mpsc::Sender<PendingSession>,
+) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, peer)) => match admission.admit(peer.ip()) {
+                Ok(guard) => {
+                    let shared = Arc::clone(&shared);
+                    let reg_tx = reg_tx.clone();
+                    let job: PumpJob = Box::new(move || {
+                        let _slot = guard;
+                        session_pump(stream, shared, reg_tx);
+                    });
+                    if !dispatch(job) {
+                        return;
+                    }
+                }
+                Err(reason) => {
+                    shared.counter(match reason {
+                        crate::protocol::RejectReason::Busy => "net.conns.rejected.busy",
+                        crate::protocol::RejectReason::Overloaded => {
+                            "net.conns.rejected.overloaded"
+                        }
+                    });
+                    let mut stream = stream;
+                    let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+                    let _ = stream.write_all(&encode(&Msg::Rejected { reason }));
+                }
+            },
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(shared.config.poll_interval);
+            }
+            Err(_) => std::thread::sleep(shared.config.poll_interval),
+        }
+    }
+    // reg_tx drops here: once in-flight pumps have registered, the
+    // coordinator's channel disconnects and it can drain out.
+}
+
+/// Read one complete `Hello` within the handshake budget.
+fn read_hello(
+    stream: &mut TcpStream,
+    shared: &Shared,
+) -> Result<HelloSpec, Option<ProtocolError>> {
+    let budget = shared.config.handshake_timeout;
+    let start = std::time::Instant::now();
+    let _ = stream.set_read_timeout(Some(shared.config.poll_interval.max(Duration::from_millis(1))));
+    let mut reader = FrameReader::new(shared.config.max_frame_bytes);
+    let mut buf = [0u8; 4096];
+    loop {
+        match reader.next_msg() {
+            Ok(Some(Msg::Hello(h))) => return Ok(h),
+            Ok(Some(_)) => {
+                return Err(Some(ProtocolError::Malformed(
+                    "first message must be Hello".into(),
+                )))
+            }
+            Ok(None) => {}
+            Err(e) => return Err(Some(e)),
+        }
+        if start.elapsed() >= budget {
+            return Err(None); // silent: the peer just never spoke
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => {
+                // EOF mid-handshake: truncated stream if partial bytes
+                // were seen, otherwise a probe that closed politely.
+                return Err(reader.has_partial().then_some(ProtocolError::Truncated));
+            }
+            Ok(n) => reader.extend(&buf[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => return Err(None),
+        }
+    }
+}
+
+/// One admitted connection's whole lifetime on a pool worker.
+fn session_pump(mut stream: TcpStream, shared: Arc<Shared>, reg_tx: mpsc::Sender<PendingSession>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(Some(shared.config.write_deadline));
+
+    let hello = match read_hello(&mut stream, &shared) {
+        Ok(h) => h,
+        Err(proto_err) => {
+            if proto_err.is_some() {
+                // Typed containment: tell the peer why, then close.
+                let _ = stream.write_all(&encode(&Msg::Evicted {
+                    reason: EvictReason::Protocol,
+                }));
+                shared.counter("net.conns.rejected.protocol");
+            }
+            return;
+        }
+    };
+    let plan = hello.to_plan();
+    let mut credit: u64 = hello.credit as u64;
+
+    let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
+    let outbox = Arc::new(Outbox::new(shared.config.outbox_frames));
+    // Register BEFORE confirming: a client that saw `Admitted` is
+    // guaranteed to be in some batch, and sequential admits land in
+    // registration order.
+    if reg_tx
+        .send(PendingSession {
+            id,
+            plan,
+            outbox: Arc::clone(&outbox),
+        })
+        .is_err()
+    {
+        return; // coordinator already gone (shutdown race)
+    }
+    drop(reg_tx); // the coordinator must see disconnection on drain
+    if stream.write_all(&encode(&Msg::Admitted { session: id })).is_err() {
+        shared.evict(id, &outbox, EvictReason::Disconnected);
+        return;
+    }
+    shared.counter("net.conns.accepted");
+    obs::trace(TraceEvent::ConnAccepted { session: id });
+
+    let _ = stream.set_read_timeout(Some(shared.config.poll_interval));
+    let mut reader = FrameReader::new(shared.config.max_frame_bytes);
+    let mut buf = [0u8; 4096];
+    let mut saw_bye = false;
+    let mut read_open = true;
+
+    loop {
+        // Write step: drain whatever the outbox will release.
+        loop {
+            match outbox.pop(credit > 0, Duration::ZERO) {
+                Pop::Frame(bytes) => {
+                    let delta = is_delta_frame(&bytes);
+                    if stream.write_all(&bytes).is_err() {
+                        shared.evict(id, &outbox, EvictReason::Disconnected);
+                        return;
+                    }
+                    if delta {
+                        credit -= 1;
+                    }
+                }
+                Pop::Idle => break,
+                Pop::Exhausted => {
+                    let _ = stream.flush();
+                    graceful_close(stream, &shared);
+                    return;
+                }
+            }
+        }
+        // Read step: blocks up to poll_interval, which paces the loop.
+        if !read_open {
+            std::thread::sleep(shared.config.poll_interval);
+            continue;
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => {
+                if saw_bye {
+                    // Orderly half-close: keep writing results.
+                    read_open = false;
+                } else {
+                    shared.evict(id, &outbox, EvictReason::Disconnected);
+                    // Drain the notice attempt, then exit via Exhausted.
+                }
+            }
+            Ok(n) => {
+                reader.extend(&buf[..n]);
+                loop {
+                    match reader.next_msg() {
+                        Ok(Some(Msg::Credit { n })) => credit = credit.saturating_add(n as u64),
+                        Ok(Some(Msg::Bye)) => saw_bye = true,
+                        Ok(Some(_)) => {
+                            shared.evict(id, &outbox, EvictReason::Protocol);
+                            read_open = false;
+                            break;
+                        }
+                        Ok(None) => break,
+                        Err(_) => {
+                            shared.evict(id, &outbox, EvictReason::Protocol);
+                            read_open = false;
+                            break;
+                        }
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => {
+                shared.evict(id, &outbox, EvictReason::Disconnected);
+                read_open = false;
+            }
+        }
+    }
+}
+
+/// Half-close after the terminal frame, then briefly drain the read
+/// side. Closing outright would turn a late `Credit`/`Bye` from the
+/// peer into an RST, which destroys the terminal frame still sitting
+/// in the peer's receive buffer — the peer would see a dead socket
+/// instead of its `Done`.
+fn graceful_close(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let deadline = std::time::Instant::now() + shared.config.write_deadline;
+    let mut buf = [0u8; 1024];
+    while std::time::Instant::now() < deadline {
+        match stream.read(&mut buf) {
+            Ok(0) => break, // peer's FIN: both directions closed cleanly
+            Ok(_) => {}     // stray credits/Bye: discard
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => break,
+        }
+    }
+}
+
+/// Map a served session's outcome onto the wire enum.
+fn wire_outcome(outcome: &SessionOutcome) -> DoneOutcome {
+    match outcome {
+        SessionOutcome::Ok => DoneOutcome::Ok,
+        SessionOutcome::Degraded { .. } => DoneOutcome::Degraded,
+        SessionOutcome::Failed(_) => DoneOutcome::Failed,
+    }
+}
+
+fn coordinator_loop<S>(
+    core: PartitionedDqServer<2, S>,
+    run_inserts: Vec<RunInserts>,
+    shared: Arc<Shared>,
+    reg_rx: mpsc::Receiver<PendingSession>,
+) -> (usize, usize, bool)
+where
+    S: PageStore + Send + Sync,
+{
+    let mut inserts_queue: std::collections::VecDeque<RunInserts> = run_inserts.into();
+    let mut runs = 0usize;
+    let mut sessions = 0usize;
+    let mut disconnected = false;
+
+    while !disconnected {
+        // Gather a batch: block for the first registration, then give
+        // stragglers `gather_window` (or until `min_gather`) to pile on.
+        let mut batch: Vec<PendingSession> = Vec::new();
+        match reg_rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(p) => batch.push(p),
+            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+        let window_start = std::time::Instant::now();
+        while batch.len() < shared.config.min_gather {
+            let left = shared
+                .config
+                .gather_window
+                .saturating_sub(window_start.elapsed());
+            if left.is_zero() {
+                break;
+            }
+            match reg_rx.recv_timeout(left) {
+                Ok(p) => batch.push(p),
+                Err(mpsc::RecvTimeoutError::Timeout) => break,
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    disconnected = true;
+                    break;
+                }
+            }
+        }
+
+        serve_batch(&core, &mut inserts_queue, &shared, &batch);
+        runs += 1;
+        sessions += batch.len();
+    }
+
+    // Shutdown drain: every committed frame was applied inside the
+    // last run; seal the state so recovery replays nothing.
+    let checkpointed = core.checkpoint_now();
+    (runs, sessions, checkpointed)
+}
+
+fn serve_batch<S>(
+    core: &PartitionedDqServer<2, S>,
+    inserts_queue: &mut std::collections::VecDeque<RunInserts>,
+    shared: &Arc<Shared>,
+    batch: &[PendingSession],
+) where
+    S: PageStore + Send + Sync,
+{
+    let inserts = inserts_queue.pop_front().unwrap_or_default();
+    let plans: Vec<SessionPlan<2>> = batch.iter().map(|p| p.plan.clone()).collect();
+    let sinks_owned: Vec<NetSink> = batch
+        .iter()
+        .map(|p| NetSink {
+            shared: Arc::clone(shared),
+            session: p.id,
+            outbox: Arc::clone(&p.outbox),
+        })
+        .collect();
+    let sinks: Vec<Option<&dyn FrameSink>> =
+        sinks_owned.iter().map(|s| Some(s as &dyn FrameSink)).collect();
+
+    let report = core.serve_plans_streamed(&plans, &inserts, &sinks);
+
+    for (i, p) in batch.iter().enumerate() {
+        let out = &report.base.sessions[i];
+        p.outbox.finish(encode(&Msg::Done {
+            outcome: wire_outcome(&out.outcome),
+            frames: out.frames.len() as u32,
+            results: out.results.len() as u64,
+        }));
+        if let Some(m) = &shared.config.metrics {
+            m.gauge("net.outbox.hwm").record_max(p.outbox.hwm() as i64);
+        }
+    }
+}

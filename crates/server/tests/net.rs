@@ -1,0 +1,363 @@
+//! Loopback integration suite for the network front door: bit-identity
+//! against the serial serving oracle, typed admission rejections,
+//! slow-reader / vanish / garbage containment, and the
+//! graceful-shutdown drain (recovery replays zero records).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use mobiquery::durability::DurableLog;
+use mobiquery::region::RegionGrid;
+use mobiquery::router::PartitionedDqServer;
+use mobiquery::{NsiRecord, SessionKind, SessionPlan, SessionSpec, Trajectory};
+use obs::EvictReason;
+use rtree::{RTree, RTreeConfig};
+use server::{
+    ClientBehavior, ClientOutcome, NetClient, NetServer, RejectReason, ServerConfig,
+};
+use stkit::{Interval, Rect};
+use storage::Pager;
+
+type R = NsiRecord<2>;
+
+fn line_records(n: u32) -> Vec<R> {
+    (0..n)
+        .map(|i| {
+            let x = i as f64 + 0.5;
+            R::new(i, 0, Interval::new(0.0, 100.0), [x, 0.5], [x, 0.5])
+        })
+        .collect()
+}
+
+fn slide_plan(kind: SessionKind, frames: usize, span: f64) -> SessionPlan<2> {
+    SessionPlan::new(SessionSpec {
+        kind,
+        trajectory: Trajectory::linear(
+            Rect::from_corners([0.0, 0.0], [1.0, 1.0]),
+            [1.0, 0.0],
+            Interval::new(0.0, span),
+            2,
+        ),
+        frame_times: (0..=frames)
+            .map(|k| span * k as f64 / frames as f64)
+            .collect(),
+    })
+}
+
+fn insert_schedule(frames: usize, span: f64) -> Vec<Vec<(R, f64)>> {
+    (0..frames)
+        .map(|k| {
+            let t = span * k as f64 / frames as f64;
+            vec![(
+                R::new(
+                    1000 + k as u32,
+                    0,
+                    Interval::new(t, 100.0),
+                    [(t + 5.0) % (span - 1.0), 0.5],
+                    [(t + 5.0) % (span - 1.0), 0.5],
+                ),
+                t,
+            )]
+        })
+        .collect()
+}
+
+fn build_core(cuts: Vec<f64>, recs: &[R]) -> PartitionedDqServer<2, Pager> {
+    PartitionedDqServer::build(RegionGrid::from_cuts(0, cuts), recs, |_| {
+        RTree::new(Pager::new(), RTreeConfig::default())
+    })
+}
+
+fn config(min_gather: usize) -> ServerConfig {
+    ServerConfig {
+        min_gather,
+        gather_window: Duration::from_millis(500),
+        write_deadline: Duration::from_millis(500),
+        ..ServerConfig::default()
+    }
+}
+
+#[test]
+fn loopback_stream_is_bit_identical_to_serve_serial() {
+    let recs = line_records(30);
+    let plans = vec![
+        slide_plan(SessionKind::Pdq, 12, 30.0),
+        slide_plan(SessionKind::Npdq, 12, 30.0),
+        slide_plan(SessionKind::Pdq, 8, 30.0),
+    ];
+    let inserts = insert_schedule(12, 30.0);
+
+    let oracle = build_core(vec![15.0], &recs).serve_serial_plans(&plans, &inserts);
+
+    let handle = NetServer::start(
+        build_core(vec![15.0], &recs),
+        vec![inserts.clone()],
+        "127.0.0.1:0",
+        config(plans.len()),
+    )
+    .expect("start server");
+    let addr = handle.addr();
+
+    // Sequential admits pin registration order to plan order.
+    let clients: Vec<NetClient> = plans
+        .iter()
+        .map(|p| {
+            let mut c = NetClient::connect(addr).expect("connect");
+            c.hello(p, 4).expect("hello io").expect("admitted");
+            c
+        })
+        .collect();
+    let handles: Vec<_> = clients
+        .into_iter()
+        .map(|c| std::thread::spawn(move || c.run(ClientBehavior::WellBehaved)))
+        .collect();
+    let runs: Vec<_> = handles
+        .into_iter()
+        .map(|t| t.join().expect("client thread"))
+        .collect();
+
+    for (i, run) in runs.iter().enumerate() {
+        let expect = &oracle.base.sessions[i];
+        assert_eq!(
+            run.results(),
+            expect.results,
+            "session {i}: streamed results must be bit-identical to serve_serial"
+        );
+        match run.outcome {
+            ClientOutcome::Done {
+                frames, results, ..
+            } => {
+                assert_eq!(frames as usize, expect.frames.len());
+                assert_eq!(results as usize, expect.results.len());
+                assert_eq!(run.deltas.len(), expect.frames.len(), "one delta per frame");
+            }
+            ref other => panic!("session {i}: expected Done, got {other:?}"),
+        }
+    }
+
+    let summary = handle.shutdown();
+    assert_eq!(summary.runs, 1, "one gather batch");
+    assert_eq!(summary.sessions, 3);
+    assert_eq!(summary.evicted, 0);
+    assert!(!summary.checkpointed, "non-durable core takes no checkpoint");
+}
+
+#[test]
+fn admission_rejections_are_typed() {
+    let recs = line_records(10);
+    // Global cap 1: the second connection is Overloaded.
+    let cfg = ServerConfig {
+        max_sessions: 1,
+        min_gather: 2, // hold the first session pending so it stays live
+        gather_window: Duration::from_millis(400),
+        ..ServerConfig::default()
+    };
+    let handle = NetServer::start(build_core(vec![5.0], &recs), vec![], "127.0.0.1:0", cfg)
+        .expect("start server");
+    let plan = slide_plan(SessionKind::Pdq, 5, 10.0);
+    let mut c1 = NetClient::connect(handle.addr()).expect("connect");
+    c1.hello(&plan, 8).expect("io").expect("admitted");
+    let mut c2 = NetClient::connect(handle.addr()).expect("connect");
+    assert_eq!(
+        c2.hello(&plan, 8).expect("io"),
+        Err(RejectReason::Overloaded)
+    );
+    let run = c1.run(ClientBehavior::WellBehaved);
+    assert!(matches!(run.outcome, ClientOutcome::Done { .. }));
+    handle.shutdown();
+
+    // Per-IP cap 1 under a roomy global cap: the second is Busy.
+    let cfg = ServerConfig {
+        max_sessions: 4,
+        max_per_ip: 1,
+        min_gather: 2,
+        gather_window: Duration::from_millis(400),
+        ..ServerConfig::default()
+    };
+    let handle = NetServer::start(build_core(vec![5.0], &recs), vec![], "127.0.0.1:0", cfg)
+        .expect("start server");
+    let mut c1 = NetClient::connect(handle.addr()).expect("connect");
+    c1.hello(&plan, 8).expect("io").expect("admitted");
+    let mut c2 = NetClient::connect(handle.addr()).expect("connect");
+    assert_eq!(c2.hello(&plan, 8).expect("io"), Err(RejectReason::Busy));
+    let run = c1.run(ClientBehavior::WellBehaved);
+    assert!(matches!(run.outcome, ClientOutcome::Done { .. }));
+    handle.shutdown();
+}
+
+#[test]
+fn slow_reader_is_evicted_and_healthy_session_unaffected() {
+    let recs = line_records(30);
+    let plans = vec![
+        slide_plan(SessionKind::Pdq, 12, 30.0),
+        slide_plan(SessionKind::Pdq, 12, 30.0),
+    ];
+    let inserts = insert_schedule(12, 30.0);
+    let oracle = build_core(vec![15.0], &recs).serve_serial_plans(&plans, &inserts);
+
+    let cfg = ServerConfig {
+        min_gather: 2,
+        gather_window: Duration::from_secs(2),
+        outbox_frames: 1,
+        write_deadline: Duration::from_millis(100),
+        ..ServerConfig::default()
+    };
+    let handle = NetServer::start(
+        build_core(vec![15.0], &recs),
+        vec![inserts],
+        "127.0.0.1:0",
+        cfg,
+    )
+    .expect("start server");
+
+    let mut healthy = NetClient::connect(handle.addr()).expect("connect");
+    healthy.hello(&plans[0], 64).expect("io").expect("admitted");
+    let mut stalled = NetClient::connect(handle.addr()).expect("connect");
+    // Zero credit and a stall from the first delta: the outbox fills
+    // and the write deadline must evict us.
+    stalled.hello(&plans[1], 0).expect("io").expect("admitted");
+
+    let h = std::thread::spawn(move || healthy.run(ClientBehavior::WellBehaved));
+    let s = std::thread::spawn(move || stalled.run(ClientBehavior::StallAfter(0)));
+    let healthy_run = h.join().expect("healthy thread");
+    let stalled_run = s.join().expect("stalled thread");
+
+    assert_eq!(
+        healthy_run.results(),
+        oracle.base.sessions[0].results,
+        "healthy session must stream the full serial results"
+    );
+    assert!(matches!(healthy_run.outcome, ClientOutcome::Done { .. }));
+    assert_eq!(
+        stalled_run.outcome,
+        ClientOutcome::Evicted(EvictReason::SlowReader)
+    );
+    let summary = handle.shutdown();
+    assert_eq!(summary.evicted, 1);
+}
+
+#[test]
+fn vanished_client_is_contained() {
+    let recs = line_records(30);
+    let plans = vec![
+        slide_plan(SessionKind::Pdq, 12, 30.0),
+        slide_plan(SessionKind::Pdq, 12, 30.0),
+    ];
+    let inserts = insert_schedule(12, 30.0);
+    let oracle = build_core(vec![15.0], &recs).serve_serial_plans(&plans, &inserts);
+
+    let cfg = ServerConfig {
+        min_gather: 2,
+        gather_window: Duration::from_secs(2),
+        write_deadline: Duration::from_millis(200),
+        ..ServerConfig::default()
+    };
+    let handle = NetServer::start(
+        build_core(vec![15.0], &recs),
+        vec![inserts],
+        "127.0.0.1:0",
+        cfg,
+    )
+    .expect("start server");
+
+    let mut healthy = NetClient::connect(handle.addr()).expect("connect");
+    healthy.hello(&plans[0], 64).expect("io").expect("admitted");
+    let mut vanisher = NetClient::connect(handle.addr()).expect("connect");
+    vanisher.hello(&plans[1], 2).expect("io").expect("admitted");
+
+    let h = std::thread::spawn(move || healthy.run(ClientBehavior::WellBehaved));
+    let v = std::thread::spawn(move || vanisher.run(ClientBehavior::VanishAfter(1)));
+    let healthy_run = h.join().expect("healthy thread");
+    let vanished_run = v.join().expect("vanisher thread");
+
+    assert_eq!(healthy_run.results(), oracle.base.sessions[0].results);
+    assert!(matches!(healthy_run.outcome, ClientOutcome::Done { .. }));
+    assert_eq!(vanished_run.outcome, ClientOutcome::ConnectionLost);
+    let summary = handle.shutdown();
+    assert_eq!(summary.evicted, 1, "the vanished session was evicted");
+}
+
+#[test]
+fn garbage_streams_are_contained_to_their_session() {
+    let recs = line_records(30);
+    let plan = slide_plan(SessionKind::Pdq, 10, 30.0);
+
+    let cfg = ServerConfig {
+        min_gather: 2,
+        gather_window: Duration::from_secs(2),
+        ..ServerConfig::default()
+    };
+    let handle = NetServer::start(
+        build_core(vec![15.0], &recs),
+        vec![],
+        "127.0.0.1:0",
+        cfg,
+    )
+    .expect("start server");
+
+    // Garbage instead of a Hello: typed Protocol notice, no session.
+    let mut pre = NetClient::connect(handle.addr()).expect("connect");
+    pre.send_raw(&[5, 0, 0, 0, 0x7F, 1, 2, 3, 4]).expect("send");
+    match pre.next_msg() {
+        Ok(server::Msg::Evicted {
+            reason: EvictReason::Protocol,
+        }) => {}
+        other => panic!("expected Protocol eviction notice, got {other:?}"),
+    }
+
+    // Garbage AFTER admission: that session is evicted, the healthy
+    // session in the same batch still completes.
+    let mut rogue = NetClient::connect(handle.addr()).expect("connect");
+    rogue.hello(&plan, 8).expect("io").expect("admitted");
+    rogue.send_raw(&[0xDE, 0xAD, 0xBE, 0xEF, 0xFF, 0xFF, 0xFF, 0xFF]).expect("send");
+    let mut healthy = NetClient::connect(handle.addr()).expect("connect");
+    healthy.hello(&plan, 64).expect("io").expect("admitted");
+
+    let h = std::thread::spawn(move || healthy.run(ClientBehavior::WellBehaved));
+    let r = std::thread::spawn(move || rogue.run(ClientBehavior::WellBehaved));
+    let healthy_run = h.join().expect("healthy thread");
+    let rogue_run = r.join().expect("rogue thread");
+
+    assert!(matches!(healthy_run.outcome, ClientOutcome::Done { .. }));
+    assert!(!healthy_run.results().is_empty());
+    assert_eq!(
+        rogue_run.outcome,
+        ClientOutcome::Evicted(EvictReason::Protocol)
+    );
+    let summary = handle.shutdown();
+    assert!(summary.evicted >= 1);
+}
+
+#[test]
+fn shutdown_drain_checkpoints_so_recovery_replays_nothing() {
+    let recs = line_records(30);
+    let plan = slide_plan(SessionKind::Pdq, 10, 30.0);
+    let inserts = insert_schedule(10, 30.0);
+    // Cadence high enough that no mid-run checkpoint fires: only the
+    // drain checkpoint can bring the replay count to zero.
+    let log = Arc::new(DurableLog::new(10_000));
+    let core = build_core(vec![15.0], &recs).with_durability(Arc::clone(&log));
+
+    let handle = NetServer::start(core, vec![inserts], "127.0.0.1:0", config(1))
+        .expect("start server");
+    let mut c = NetClient::connect(handle.addr()).expect("connect");
+    c.hello(&plan, 64).expect("io").expect("admitted");
+    let run = c.run(ClientBehavior::WellBehaved);
+    assert!(matches!(run.outcome, ClientOutcome::Done { .. }));
+    assert!(!run.results().is_empty());
+
+    let summary = handle.shutdown();
+    assert!(summary.checkpointed, "drain must take the final checkpoint");
+
+    let (base, frames, report) = log
+        .durable_image()
+        .recover_records::<2>()
+        .expect("recover after drain");
+    assert_eq!(
+        report.replayed_records, 0,
+        "recovery after a graceful drain replays zero WAL records"
+    );
+    assert!(frames.is_empty());
+    // The checkpoint holds preload + every applied insert.
+    assert_eq!(base.len(), 30 + 10);
+}

@@ -152,6 +152,27 @@ impl Condvar {
         guard.0 = Some(inner);
     }
 
+    /// Atomically release the guard's lock and wait for a notification
+    /// or the timeout, whichever comes first. Matches `parking_lot`'s
+    /// `wait_for`: the returned [`WaitTimeoutResult`] says whether the
+    /// wait ended by timeout (spurious wakeups still return `false`).
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.0.take().expect("guard taken during condvar wait");
+        let (inner, res) = match self.0.wait_timeout(inner, timeout) {
+            Ok((g, r)) => (g, r),
+            Err(e) => {
+                let (g, r) = e.into_inner();
+                (g, r)
+            }
+        };
+        guard.0 = Some(inner);
+        WaitTimeoutResult(res.timed_out())
+    }
+
     /// Wake one waiter.
     pub fn notify_one(&self) {
         self.0.notify_one();
@@ -160,6 +181,17 @@ impl Condvar {
     /// Wake all waiters.
     pub fn notify_all(&self) {
         self.0.notify_all();
+    }
+}
+
+/// Whether a [`Condvar::wait_for`] ended because the timeout elapsed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// True iff the wait ended by timeout rather than notification.
+    pub fn timed_out(&self) -> bool {
+        self.0
     }
 }
 
@@ -200,6 +232,32 @@ mod tests {
             let mut done = m.lock();
             while !*done {
                 cv.wait(&mut done);
+            }
+        });
+        let (m, cv) = &*pair;
+        *m.lock() = true;
+        cv.notify_all();
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn wait_for_times_out_and_wakes() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        // Timeout path: nobody notifies.
+        {
+            let (m, cv) = &*pair;
+            let mut done = m.lock();
+            let res = cv.wait_for(&mut done, std::time::Duration::from_millis(10));
+            assert!(res.timed_out());
+            assert!(!*done, "guard reborrowed after timed wait");
+        }
+        // Notification path.
+        let p2 = pair.clone();
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut done = m.lock();
+            while !*done {
+                let _ = cv.wait_for(&mut done, std::time::Duration::from_secs(5));
             }
         });
         let (m, cv) = &*pair;

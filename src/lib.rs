@@ -4,6 +4,7 @@ pub use mobiquery;
 pub use motion;
 pub use obs;
 pub use rtree;
+pub use server;
 pub use stkit;
 pub use storage;
 pub use tprtree;

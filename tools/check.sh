@@ -50,6 +50,19 @@
 # clean-run frames/s, and the straggler itself must actually have been
 # slowed (< 0.5x), or the run proves nothing.
 #
+# --net-smoke runs the network front door end to end: the server
+# crate's suites (codec round-trip + adversarial proptests, the
+# loopback socket suite, in-process stream identity), then the
+# exp_service_net experiment — interleaved clean and chaos runs, the
+# chaos runs adding a stalling and a vanishing client — whose figure
+# the wrapper gates: both misbehaving clients must be evicted, the
+# healthy sessions' aggregate frames/s must keep >= 0.9x the clean
+# runs' (per-session ratios are informational: on a loaded host they
+# carry scheduler noise the aggregate averages out) with bit-identical
+# results, and no completed session's p99 frame latency may exceed the
+# ceiling (DQ_NET_P99_US, default 50000 us — half the eviction write
+# deadline would already be pathological on loopback).
+#
 # --wal-smoke runs the durable write path end to end: the WAL unit
 # suite, the durability module suite, and the chaos crash-point matrix
 # (recovery bit-identity at every crash point, torn/bit-flipped tails,
@@ -66,6 +79,7 @@ CHAOS_SMOKE=0
 SHARD_SMOKE=0
 WAL_SMOKE=0
 CLOCK_SMOKE=0
+NET_SMOKE=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) BENCH_SMOKE=1 ;;
@@ -74,6 +88,7 @@ for arg in "$@"; do
     --shard-smoke) SHARD_SMOKE=1 ;;
     --wal-smoke) WAL_SMOKE=1 ;;
     --clock-smoke) CLOCK_SMOKE=1 ;;
+    --net-smoke) NET_SMOKE=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -221,6 +236,52 @@ for r in rows:
                      "of its clean-run frames/s (floor 0.9x) -- the straggler's "
                      "back-pressure leaked across regions")
         print(f"OK: region {region} unaffected at {ratio:.2f}x (floor 0.9x).")
+PY
+fi
+
+if [ "$NET_SMOKE" = 1 ]; then
+  # The server crate bottom up: codec round-trip + adversarial
+  # proptests (no byte stream panics the decoder), the loopback socket
+  # suite (bit-identity, typed admission rejections, slow-reader /
+  # vanished / garbage containment, shutdown-drain recovery), and the
+  # in-process stream-identity check the socket path rests on.
+  cargo test -q --offline -p server
+  echo "OK: server suites green (codec, sockets, stream identity)."
+
+  # Clean vs chaos over a real loopback socket. The binary's internal
+  # asserts already enforce eviction of both misbehaving clients, wire
+  # results bit-identical to the serial oracle, and the 0.9x aggregate
+  # healthy fps floor; the wrapper re-checks the emitted figure and
+  # bounds the p99 frame latency of every completed session.
+  cargo run -q --offline --release -p bench --bin exp_service_net \
+    > target/figures/exp_service_net_smoke.txt
+  python3 - "$PWD/target/figures/exp_service_net.json" <<'PY'
+import json, os, sys
+rows = json.load(open(sys.argv[1]))["rows"]
+ceiling = float(os.environ.get("DQ_NET_P99_US", "50000"))
+evicted = 0
+agg = {"clean": 0.0, "chaos": 0.0}
+for mode, session, region, fps, p99, ratio, outcome in rows:
+    if mode == "chaos" and outcome != "done":
+        evicted += 1
+        continue
+    if outcome != "done":
+        sys.exit(f"FAIL: {mode} session {session} ended '{outcome}'")
+    if float(p99) > ceiling:
+        sys.exit(f"FAIL: {mode} session {session} p99 frame latency "
+                 f"{float(p99):.0f} us exceeds the {ceiling:.0f} us ceiling")
+    if region != "0":
+        agg[mode] += float(fps)
+if evicted != 2:
+    sys.exit(f"FAIL: expected both misbehaving clients gone, saw {evicted}")
+agg_ratio = agg["chaos"] / agg["clean"]
+if agg_ratio < 0.9:
+    sys.exit(f"FAIL: the healthy sessions' aggregate frames/s fell to "
+             f"{agg_ratio:.2f}x of the clean runs' (floor 0.9x)")
+done_p99 = max(float(r[4]) for r in rows if r[6] == "done")
+print(f"OK: 2 misbehaving clients evicted, aggregate healthy fps "
+      f"{agg_ratio:.2f}x of clean (floor 0.9x), worst done-session p99 "
+      f"{done_p99:.0f} us (ceiling {ceiling:.0f} us).")
 PY
 fi
 
